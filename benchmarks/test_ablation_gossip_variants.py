@@ -1,0 +1,40 @@
+"""Ablation benchmark: which parts of Anonymous Gossip matter?
+
+The paper motivates three design choices -- anonymous propagation, the
+locality bias (section 4.2) and cached gossip (section 4.3).  This benchmark
+compares, on the same stressed scenario, plain MAODV against the full gossip
+protocol and against variants with one mechanism removed:
+
+* ``gossip``                -- full protocol (anonymous + locality + cached)
+* ``gossip-anonymous-only`` -- member cache disabled (pure section 4.1/4.2)
+* ``gossip-cached-only``    -- anonymous propagation replaced by cached gossip
+* ``gossip-no-locality``    -- next hops chosen uniformly instead of by
+  nearest-member distance
+"""
+
+import pytest
+
+from benchmarks.conftest import bench_scale, bench_seeds, run_figure_benchmark
+from repro.experiments.figures import figure3_range_fast
+
+VARIANTS = (
+    "maodv",
+    "gossip",
+    "gossip-anonymous-only",
+    "gossip-cached-only",
+    "gossip-no-locality",
+)
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_gossip_variants(benchmark):
+    # A sparse, fast-moving point of the Fig. 3 sweep, where recovery matters.
+    spec = figure3_range_fast()
+    result = run_figure_benchmark(
+        benchmark, spec, x_values=[55], seeds=bench_seeds(2), variants=VARIANTS
+    )
+    points = {point.variant: point for point in result.points}
+    assert set(points) == set(VARIANTS)
+    # Every gossip variant should at least match the MAODV baseline.
+    for variant in VARIANTS[1:]:
+        assert points[variant].mean >= points["maodv"].mean - 1.0

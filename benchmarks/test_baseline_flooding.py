@@ -1,0 +1,64 @@
+"""Baseline benchmark: MAODV and MAODV + AG vs blind flooding.
+
+The paper's related work discusses flooding as the brute-force reliability
+baseline: high delivery, but at a much higher transmission cost.  This
+benchmark verifies the trade-off shape: flooding's delivery is at least
+comparable to MAODV's while its channel usage (MAC transmissions per data
+packet delivered) is substantially higher than the tree-based protocol's.
+"""
+
+import pytest
+
+from benchmarks.conftest import bench_scale, bench_seeds
+from repro.workload.scenario import Scenario, ScenarioConfig
+
+
+def _run_variant(protocol: str, gossip: bool, seed: int):
+    if bench_scale() == "paper":
+        config = ScenarioConfig.paper(
+            seed=seed, protocol=protocol, gossip_enabled=gossip,
+            transmission_range_m=65.0, max_speed_mps=1.0,
+        )
+    else:
+        config = ScenarioConfig.quick(
+            seed=seed, protocol=protocol, gossip_enabled=gossip,
+            transmission_range_m=55.0, max_speed_mps=1.0,
+        )
+    return Scenario(config).run()
+
+
+@pytest.mark.benchmark(group="baseline")
+def test_flooding_baseline_tradeoff(benchmark):
+    seeds = bench_seeds(2)
+
+    def _run():
+        rows = {}
+        for variant, (protocol, gossip) in {
+            "maodv": ("maodv", False),
+            "gossip": ("maodv", True),
+            "flooding": ("flooding", False),
+        }.items():
+            runs = [_run_variant(protocol, gossip, seed) for seed in range(1, seeds + 1)]
+            mean_delivery = sum(r.summary.mean for r in runs) / len(runs)
+            transmissions = sum(
+                r.protocol_stats.get("mac.data_transmissions", 0)
+                + r.protocol_stats.get("mac.broadcast_transmissions", 0)
+                for r in runs
+            ) / len(runs)
+            rows[variant] = {"mean": mean_delivery, "transmissions": transmissions}
+        return rows
+
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print()
+    for variant, values in rows.items():
+        print(f"{variant:10s} mean packets/member={values['mean']:8.1f} "
+              f"MAC transmissions={values['transmissions']:10.0f}")
+        benchmark.extra_info[variant] = {
+            "mean": round(values["mean"], 1),
+            "transmissions": round(values["transmissions"], 0),
+        }
+
+    # Shape: gossip recovers at least as much as plain MAODV; flooding burns
+    # noticeably more transmissions than the tree-based protocol.
+    assert rows["gossip"]["mean"] >= rows["maodv"]["mean"] - 1.0
+    assert rows["flooding"]["transmissions"] > rows["maodv"]["transmissions"]

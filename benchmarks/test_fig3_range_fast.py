@@ -1,0 +1,23 @@
+"""Benchmark reproducing Fig. 3: packet delivery vs transmission range (2 m/s).
+
+Same sweep as Fig. 2 but with a maximum node speed of 2 m/s: more link breaks,
+lower absolute delivery, and a larger gap between MAODV and MAODV + AG.
+"""
+
+import pytest
+
+from benchmarks.conftest import assert_gossip_improves_delivery, run_figure_benchmark
+from repro.experiments.figures import figure3_range_fast
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_packet_delivery_vs_range_fast(benchmark):
+    spec = figure3_range_fast()
+    result = run_figure_benchmark(
+        benchmark, spec, x_values=[45, 55, 65, 75, 85], seeds=1
+    )
+    assert_gossip_improves_delivery(result, slack=1.0)
+    # At the largest range the network is well connected: gossip should push
+    # delivery close to the number of packets sent.
+    best_gossip = result.points_for("gossip")[-1]
+    assert best_gossip.mean >= 0.6 * best_gossip.packets_sent

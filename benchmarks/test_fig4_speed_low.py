@@ -1,0 +1,23 @@
+"""Benchmark reproducing Fig. 4: packet delivery vs maximum speed (0.1-1 m/s).
+
+40 nodes, 75 m transmission range.  The paper reports near-100% delivery for
+the gossip protocol below 0.3 m/s and a slow decline as speed rises.
+"""
+
+import pytest
+
+from benchmarks.conftest import assert_gossip_improves_delivery, run_figure_benchmark
+from repro.experiments.figures import figure4_speed_low
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_packet_delivery_vs_low_speed(benchmark):
+    spec = figure4_speed_low()
+    result = run_figure_benchmark(
+        benchmark, spec, x_values=[0.2, 0.5, 1.0], seeds=1
+    )
+    assert_gossip_improves_delivery(result, slack=1.0)
+    # At walking-pace mobility over a well-connected network, the gossip
+    # variant delivers the large majority of packets to the average member.
+    slowest = result.points_for("gossip")[0]
+    assert slowest.delivery_ratio >= 0.7

@@ -1,0 +1,19 @@
+"""Benchmark reproducing Fig. 5: packet delivery vs maximum speed (1-10 m/s).
+
+40 nodes, 75 m transmission range.  Higher speeds break tree links more often;
+delivery declines gradually and the gossip recovery margin stays positive.
+"""
+
+import pytest
+
+from benchmarks.conftest import assert_gossip_improves_delivery, run_figure_benchmark
+from repro.experiments.figures import figure5_speed_high
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_packet_delivery_vs_high_speed(benchmark):
+    spec = figure5_speed_high()
+    result = run_figure_benchmark(
+        benchmark, spec, x_values=[1.0, 5.0, 10.0], seeds=1
+    )
+    assert_gossip_improves_delivery(result, slack=1.0)

@@ -1,0 +1,20 @@
+"""Benchmark reproducing Fig. 6: packet delivery vs node count, constant degree.
+
+The node count grows from 40 to 100 while the transmission range shrinks with
+1/sqrt(density) so the average neighbour count stays constant.  Longer routes
+mean more link failures, so delivery declines gently with network size.
+"""
+
+import pytest
+
+from benchmarks.conftest import assert_gossip_improves_delivery, run_figure_benchmark
+from repro.experiments.figures import figure6_nodes_constant_degree
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_packet_delivery_vs_nodes_constant_degree(benchmark):
+    spec = figure6_nodes_constant_degree()
+    result = run_figure_benchmark(
+        benchmark, spec, x_values=[40, 70, 100], seeds=1
+    )
+    assert_gossip_improves_delivery(result, slack=1.0)

@@ -1,0 +1,20 @@
+"""Benchmark reproducing Fig. 7: packet delivery vs node count, 55 m range.
+
+The transmission range stays fixed at 55 m while the node count grows from 40
+to 100: connectivity first improves delivery, then the extra traffic starts
+congesting the channel.
+"""
+
+import pytest
+
+from benchmarks.conftest import assert_gossip_improves_delivery, run_figure_benchmark
+from repro.experiments.figures import figure7_nodes_constant_range
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_packet_delivery_vs_nodes_constant_range(benchmark):
+    spec = figure7_nodes_constant_range()
+    result = run_figure_benchmark(
+        benchmark, spec, x_values=[40, 70, 100], seeds=1
+    )
+    assert_gossip_improves_delivery(result, slack=1.0)

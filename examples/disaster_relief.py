@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Disaster-relief field operation: the paper's motivating workload.
+
+A command post multicasts situation updates to rescue teams spread over the
+operation area.  Teams move at walking pace, radios are short-range, and
+there is no infrastructure -- exactly the environment the paper targets.
+
+The example compares three ways of getting the updates out:
+
+* plain MAODV (the unreliable multicast tree),
+* MAODV + Anonymous Gossip (the paper's protocol),
+* blind flooding (the brute-force baseline discussed in related work),
+
+and reports delivery, fairness across teams (min/max spread) and the channel
+cost (MAC transmissions per delivered packet).
+
+Run with::
+
+    python examples/disaster_relief.py [--teams N] [--seed N]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import ScenarioConfig
+from repro.metrics.reporting import format_rows
+from repro.workload.scenario import Scenario
+
+
+def _scenario(args, protocol: str, gossip: bool) -> ScenarioConfig:
+    return ScenarioConfig.quick(
+        seed=args.seed,
+        num_nodes=args.teams * 3,
+        member_count=args.teams,
+        transmission_range_m=args.range,
+        max_speed_mps=1.5,              # rescue teams on foot
+        max_pause_s=30.0,
+        protocol=protocol,
+        gossip_enabled=gossip,
+        duration_s=90.0,
+        source_start_s=15.0,
+        source_stop_s=80.0,
+        packet_interval_s=0.5,
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--teams", type=int, default=8,
+                        help="number of rescue teams (group members)")
+    parser.add_argument("--range", type=float, default=70.0,
+                        help="radio range in metres")
+    parser.add_argument("--seed", type=int, default=3, help="random seed")
+    args = parser.parse_args()
+
+    variants = {
+        "MAODV": ("maodv", False),
+        "MAODV + AG": ("maodv", True),
+        "flooding": ("flooding", False),
+    }
+
+    rows = []
+    for label, (protocol, gossip) in variants.items():
+        print(f"running {label} ...")
+        result = Scenario(_scenario(args, protocol, gossip)).run()
+        summary = result.summary
+        transmissions = (
+            result.protocol_stats.get("mac.data_transmissions", 0)
+            + result.protocol_stats.get("mac.broadcast_transmissions", 0)
+        )
+        delivered_total = sum(summary.member_counts.values())
+        cost = transmissions / delivered_total if delivered_total else float("inf")
+        rows.append([
+            label,
+            f"{summary.mean:.1f} / {summary.packets_sent}",
+            summary.minimum,
+            summary.maximum,
+            f"{100 * summary.delivery_ratio:.1f}%",
+            f"{transmissions:.0f}",
+            f"{cost:.1f}",
+        ])
+
+    print()
+    print(format_rows(
+        ["protocol", "mean rcvd / sent", "worst team", "best team",
+         "delivery", "MAC transmissions", "tx per delivered pkt"],
+        rows,
+    ))
+    print("\nExpected shape: MAODV + AG reaches flooding-level delivery with a "
+          "much smaller worst/best spread than plain MAODV; flooding pays for "
+          "its delivery with the highest per-packet channel cost at scale.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Run a paper-scale subset of every figure sweep and dump the measurements.
+
+The full 10-seed, 9-point sweeps of the paper take hours in pure Python; this
+script runs a representative subset (a few x values, 1-2 seeds) at the exact
+paper-scale parameters (600 s, 40+ nodes, 2201 packets) so EXPERIMENTS.md can
+report measured paper-scale numbers next to the paper's own.
+
+Usage::
+
+    python scripts/run_paper_scale.py [output_path] [--seeds N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.experiments.figures import all_figures
+from repro.experiments.runner import run_experiment, run_goodput_experiment
+
+SUBSET = {
+    "fig2": [45, 65, 85],
+    "fig3": [45, 65, 85],
+    "fig4": [0.2, 0.6, 1.0],
+    "fig5": [2.0, 6.0, 10.0],
+    "fig6": [40, 70, 100],
+    "fig7": [40, 70, 100],
+}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("output", nargs="?", default="paper_scale_results.json")
+    parser.add_argument("--seeds", type=int, default=1)
+    args = parser.parse_args()
+
+    figures = all_figures()
+    report = {"seeds": args.seeds, "figures": {}}
+    started = time.time()
+    for figure, x_values in SUBSET.items():
+        spec = figures[figure]
+        print(f"[{time.time() - started:7.1f}s] running {figure} at {x_values} ...",
+              flush=True)
+        result = run_experiment(
+            spec, scale="paper", seeds=args.seeds, x_values=x_values,
+            variants=("maodv", "gossip"),
+        )
+        report["figures"][figure] = {
+            "title": result.title,
+            "points": [
+                {
+                    "x": point.x,
+                    "variant": point.variant,
+                    "mean": round(point.mean, 1),
+                    "min": round(point.minimum, 1),
+                    "max": round(point.maximum, 1),
+                    "delivery_ratio": round(point.delivery_ratio, 3),
+                    "goodput": round(point.goodput, 1),
+                    "packets_sent": round(point.packets_sent, 1),
+                }
+                for point in sorted(result.points, key=lambda p: (p.x, p.variant))
+            ],
+        }
+        print(result.to_table(), flush=True)
+
+    print(f"[{time.time() - started:7.1f}s] running fig8 goodput ...", flush=True)
+    goodput = run_goodput_experiment(figures["fig8"], scale="paper", seeds=args.seeds)
+    report["figures"]["fig8"] = {
+        "title": "Gossip goodput per member",
+        "combinations": {
+            f"{range_m:.0f}m,{speed}m/s": {
+                "mean": round(sum(values.values()) / len(values), 2),
+                "min": round(min(values.values()), 2),
+                "max": round(max(values.values()), 2),
+                "members": len(values),
+            }
+            for (range_m, speed), values in goodput.items()
+        },
+    }
+
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+    print(f"[{time.time() - started:7.1f}s] wrote {args.output}", flush=True)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project is fully described by ``pyproject.toml``; this file exists so the
+package can be installed in editable mode (``python setup.py develop`` /
+``pip install -e .``) on environments without the ``wheel`` package, such as
+offline machines.
+"""
+
+from setuptools import setup
+
+setup()

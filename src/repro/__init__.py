@@ -1,0 +1,37 @@
+"""Anonymous Gossip: reliable multicast for mobile ad-hoc networks.
+
+A from-scratch reproduction of *Anonymous Gossip: Improving Multicast
+Reliability in Mobile Ad-Hoc Networks* (Chandra, Ramasubramanian, Birman --
+ICDCS 2001), including every substrate the paper's evaluation relies on:
+
+* ``repro.sim`` -- deterministic discrete-event simulation engine.
+* ``repro.net`` -- unit-disk radio, shared medium, CSMA/CA MAC, nodes.
+* ``repro.mobility`` -- random waypoint and scripted mobility models.
+* ``repro.routing`` -- AODV unicast routing.
+* ``repro.multicast`` -- MAODV multicast trees plus flooding baselines.
+* ``repro.core`` -- the Anonymous Gossip protocol itself.
+* ``repro.workload`` / ``repro.metrics`` / ``repro.experiments`` -- the
+  paper's traffic model, measurements and per-figure experiment sweeps.
+
+Quickstart::
+
+    from repro import ScenarioConfig, run_scenario
+
+    result = run_scenario(ScenarioConfig.quick(gossip_enabled=True))
+    print(result.summary)
+"""
+
+from repro.core import GossipAgent, GossipConfig
+from repro.workload.scenario import Scenario, ScenarioConfig, ScenarioResult, run_scenario
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "GossipAgent",
+    "GossipConfig",
+    "Scenario",
+    "ScenarioConfig",
+    "ScenarioResult",
+    "run_scenario",
+    "__version__",
+]

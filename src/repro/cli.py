@@ -1,0 +1,137 @@
+"""Command-line interface.
+
+Three subcommands cover the common workflows::
+
+    python -m repro run --profile quick --range 55 --speed 2 --gossip
+    python -m repro figure fig2 --scale quick --seeds 2
+    python -m repro list-figures
+
+``run`` executes a single scenario and prints its delivery summary;
+``figure`` regenerates one of the paper's figures (MAODV vs MAODV + AG
+series); ``list-figures`` shows which figures are available.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments.figures import all_figures
+from repro.experiments.runner import run_experiment
+from repro.metrics.reporting import format_rows
+from repro.workload.scenario import Scenario, ScenarioConfig
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed separately for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Anonymous Gossip (ICDCS 2001) reproduction toolkit",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = subparsers.add_parser("run", help="run a single scenario")
+    run_parser.add_argument("--profile", choices=("quick", "paper"), default="quick")
+    run_parser.add_argument("--nodes", type=int, default=None, help="number of nodes")
+    run_parser.add_argument("--members", type=int, default=None, help="number of group members")
+    run_parser.add_argument("--range", type=float, default=None, dest="range_m",
+                            help="transmission range in metres")
+    run_parser.add_argument("--speed", type=float, default=None,
+                            help="maximum node speed in m/s")
+    run_parser.add_argument("--seed", type=int, default=1)
+    run_parser.add_argument("--protocol", choices=("maodv", "flooding", "odmrp"), default="maodv")
+    gossip_group = run_parser.add_mutually_exclusive_group()
+    gossip_group.add_argument("--gossip", dest="gossip", action="store_true", default=True,
+                              help="enable Anonymous Gossip (default)")
+    gossip_group.add_argument("--no-gossip", dest="gossip", action="store_false",
+                              help="disable Anonymous Gossip")
+
+    figure_parser = subparsers.add_parser("figure", help="reproduce one paper figure")
+    figure_parser.add_argument("figure", choices=sorted(all_figures()))
+    figure_parser.add_argument("--scale", choices=("quick", "paper"), default="quick")
+    figure_parser.add_argument("--seeds", type=int, default=None)
+    figure_parser.add_argument("--points", type=float, nargs="*", default=None,
+                               help="subset of x values to run")
+    figure_parser.add_argument(
+        "--variants", nargs="*", default=("maodv", "gossip"),
+        help="protocol variants to compare (maodv, gossip, flooding, odmrp, "
+             "odmrp-gossip, gossip-no-locality, gossip-anonymous-only, "
+             "gossip-cached-only)",
+    )
+
+    subparsers.add_parser("list-figures", help="list the reproducible figures")
+    return parser
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    overrides = {"seed": args.seed, "protocol": args.protocol, "gossip_enabled": args.gossip}
+    if args.nodes is not None:
+        overrides["num_nodes"] = args.nodes
+    if args.members is not None:
+        overrides["member_count"] = args.members
+    if args.range_m is not None:
+        overrides["transmission_range_m"] = args.range_m
+    if args.speed is not None:
+        overrides["max_speed_mps"] = args.speed
+    if args.profile == "paper":
+        config = ScenarioConfig.paper(**overrides)
+    else:
+        config = ScenarioConfig.quick(**overrides)
+
+    result = Scenario(config).run()
+    summary = result.summary
+    label = config.protocol + (" + gossip" if config.gossip_enabled else "")
+    print(format_rows(
+        ["protocol", "sent", "mean", "min", "max", "std", "delivery", "goodput"],
+        [[
+            label,
+            summary.packets_sent,
+            f"{summary.mean:.1f}",
+            summary.minimum,
+            summary.maximum,
+            f"{summary.std:.1f}",
+            f"{100 * summary.delivery_ratio:.1f}%",
+            f"{result.mean_goodput:.1f}%",
+        ]],
+    ))
+    print(f"events processed: {result.events_processed}")
+    return 0
+
+
+def _command_figure(args: argparse.Namespace) -> int:
+    spec = all_figures()[args.figure]
+    result = run_experiment(
+        spec,
+        scale=args.scale,
+        seeds=args.seeds,
+        x_values=args.points,
+        variants=tuple(args.variants),
+    )
+    print(result.to_table())
+    return 0
+
+
+def _command_list_figures() -> int:
+    rows = [
+        [figure, spec.title, " ".join(str(x) for x in spec.x_values)]
+        for figure, spec in sorted(all_figures().items())
+    ]
+    print(format_rows(["figure", "title", "x values"], rows))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "run":
+        return _command_run(args)
+    if args.command == "figure":
+        return _command_figure(args)
+    if args.command == "list-figures":
+        return _command_list_figures()
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,38 @@
+"""Anonymous Gossip (AG) -- the paper's primary contribution.
+
+AG is a pull-based gossip recovery layer that runs alongside an unreliable
+multicast routing protocol (MAODV here) and recovers lost multicast packets
+without any node needing to know the group membership:
+
+* :class:`~repro.core.gossip.GossipAgent` -- the per-node agent: periodic
+  gossip rounds, anonymous propagation along the multicast tree with the
+  locality bias of section 4.2, cached gossip (section 4.3), and the
+  pull-style message exchange of section 4.4.
+* :class:`~repro.core.lost_table.LostTable` -- per-source expected sequence
+  numbers and the bounded set of missing messages.
+* :class:`~repro.core.history.HistoryTable` -- bounded FIFO of recently
+  received payloads served to gossip partners.
+* :class:`~repro.core.member_cache.MemberCache` -- opportunistically learned
+  member addresses used by cached gossip.
+* :class:`~repro.core.config.GossipConfig` -- every tunable from the paper's
+  section 5.1 (gossip interval, lost buffer size, cache size, ...).
+"""
+
+from repro.core.config import GossipConfig
+from repro.core.gossip import GossipAgent, GossipStats
+from repro.core.history import HistoryTable
+from repro.core.lost_table import LostTable
+from repro.core.member_cache import MemberCache, MemberCacheEntry
+from repro.core.messages import GossipReply, GossipRequest
+
+__all__ = [
+    "GossipAgent",
+    "GossipConfig",
+    "GossipReply",
+    "GossipRequest",
+    "GossipStats",
+    "HistoryTable",
+    "LostTable",
+    "MemberCache",
+    "MemberCacheEntry",
+]

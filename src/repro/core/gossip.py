@@ -1,0 +1,360 @@
+"""The Anonymous Gossip agent.
+
+One :class:`GossipAgent` is attached to every node that participates in the
+multicast tree.  Group members run the full protocol (periodic gossip rounds,
+lost/history/member-cache state); pure routers only take part in the
+anonymous propagation of gossip requests along the tree.
+
+The agent implements the paper's four design answers:
+
+* **Anonymous gossip** (4.1): a request is handed to a random tree next hop;
+  every router forwards it to a random next hop excluding the one it arrived
+  from; a member receiving it flips a coin between accepting and forwarding.
+* **Locality** (4.2): next hops with a smaller nearest-member distance are
+  chosen with proportionally higher probability.
+* **Cached gossip** (4.3): with probability ``1 - p_anon`` the request is
+  unicast straight to a member learned opportunistically into the member
+  cache.
+* **Pull exchange** (4.4): the request carries the lost buffer and expected
+  sequence numbers; the accepting member answers with any matching packets
+  from its history table, unicast back to the initiator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.core.config import GossipConfig
+from repro.core.history import HistoryTable
+from repro.core.lost_table import LostTable
+from repro.core.member_cache import MemberCache
+from repro.core.messages import GossipReply, GossipRequest, MessageId
+from repro.multicast.messages import MulticastData
+from repro.net.addressing import GroupAddress, NodeId
+from repro.net.node import Node
+from repro.routing.aodv import AodvRouter
+from repro.sim.timers import PeriodicTimer
+
+RecoveryListener = Callable[[MulticastData], None]
+
+#: Hop-count estimate recorded in the member cache when no unicast route to
+#: the member is known.
+_UNKNOWN_HOPS = 8
+
+
+@dataclass
+class GossipStats:
+    """Per-node gossip counters (goodput is derived from the reply counters)."""
+
+    rounds: int = 0
+    anonymous_requests_sent: int = 0
+    cached_requests_sent: int = 0
+    rounds_skipped_no_neighbor: int = 0
+    requests_forwarded: int = 0
+    requests_accepted: int = 0
+    requests_dropped: int = 0
+    replies_sent: int = 0
+    reply_messages_sent: int = 0
+    replies_received: int = 0
+    reply_messages_received: int = 0
+    recovered_messages: int = 0
+    duplicate_messages: int = 0
+
+    @property
+    def goodput_percent(self) -> float:
+        """Percentage of non-duplicate messages among gossip-reply messages.
+
+        This is the paper's goodput metric (Fig. 8).  Returns 100.0 when no
+        reply message has been received yet.
+        """
+        total = self.recovered_messages + self.duplicate_messages
+        if total == 0:
+            return 100.0
+        return 100.0 * self.recovered_messages / total
+
+
+class GossipAgent:
+    """Anonymous Gossip for one node and one multicast group."""
+
+    def __init__(
+        self,
+        node: Node,
+        multicast,
+        aodv: AodvRouter,
+        group: GroupAddress,
+        config: Optional[GossipConfig] = None,
+    ):
+        self.node = node
+        self.sim = node.sim
+        self.multicast = multicast
+        self.aodv = aodv
+        self.group = group
+        self.config = config or GossipConfig()
+        self.rng = node.streams.for_node("gossip", node.node_id)
+        self.stats = GossipStats()
+
+        self.lost_table = LostTable(
+            capacity=self.config.lost_table_size,
+            initial_expected_seq=self.config.initial_expected_seq,
+        )
+        self.history = HistoryTable(capacity=self.config.history_size)
+        self.member_cache = MemberCache(capacity=self.config.member_cache_size)
+        self._recovery_listeners: List[RecoveryListener] = []
+
+        node.register_handler(GossipRequest, self._on_request)
+        node.register_handler(GossipReply, self._on_reply)
+        multicast.add_delivery_listener(self._on_multicast_delivery)
+
+        self._timer = PeriodicTimer(
+            self.sim,
+            self.config.gossip_interval_s,
+            self._gossip_round,
+            delay=self.rng.uniform(0.0, self.config.gossip_interval_s),
+            jitter=self.config.gossip_interval_s * 0.05,
+            rng=self.rng,
+        )
+
+    # ------------------------------------------------------------------ basics
+    @property
+    def node_id(self) -> NodeId:
+        """Identifier of the owning node."""
+        return self.node.node_id
+
+    @property
+    def is_member(self) -> bool:
+        """True while the owning node is a member of the gossip group."""
+        return self.multicast.is_member(self.group)
+
+    def add_recovery_listener(self, listener: RecoveryListener) -> None:
+        """Subscribe to messages recovered through gossip replies."""
+        self._recovery_listeners.append(listener)
+
+    def start(self) -> None:
+        """Start periodic gossip rounds (only members actually gossip)."""
+        self._timer.start()
+
+    def stop(self) -> None:
+        """Stop gossiping."""
+        self._timer.stop()
+
+    # ------------------------------------------------------- reception tracking
+    def _on_multicast_delivery(self, data: MulticastData) -> None:
+        if data.group != self.group:
+            return
+        self.record_receipt(data)
+        if data.source != self.node_id:
+            self._note_member(data.source)
+
+    def record_receipt(self, data: MulticastData) -> None:
+        """Record a multicast data packet received by the underlying protocol."""
+        self.lost_table.observe(data.source, data.seq)
+        self.history.add(data)
+
+    def has_received(self, source: NodeId, seq: int) -> bool:
+        """Best-effort: has this member already received (source, seq)?"""
+        if (source, seq) in self.history:
+            return True
+        return self.lost_table.has_received(source, seq)
+
+    def _note_member(self, member: NodeId) -> None:
+        if member == self.node_id:
+            return
+        self.member_cache.note_member(member, self._hops_to(member), self.sim.now)
+
+    def _hops_to(self, member: NodeId) -> int:
+        route = self.aodv.route_table.lookup(member, self.sim.now)
+        if route is not None:
+            return route.hop_count
+        return _UNKNOWN_HOPS
+
+    # ------------------------------------------------------------ gossip rounds
+    def _gossip_round(self) -> None:
+        if not self.is_member:
+            return
+        self.stats.rounds += 1
+        request = self._build_request()
+        use_cached = (
+            self.config.enable_cached_gossip
+            and len(self.member_cache) > 0
+            and self.rng.random() >= self.config.p_anon
+        )
+        if use_cached:
+            self._send_cached(request)
+        else:
+            self._send_anonymous(request)
+
+    def _build_request(self) -> GossipRequest:
+        lost = self.lost_table.most_recent_lost(self.config.lost_buffer_size)
+        expected = self.lost_table.expected_map()
+        size = (
+            self.config.request_base_size_bytes
+            + self.config.request_per_lost_entry_bytes * (len(lost) + len(expected))
+        )
+        return GossipRequest(
+            origin=self.node_id,
+            destination=self.group,
+            size_bytes=size,
+            group=self.group,
+            initiator=self.node_id,
+            lost=list(lost),
+            expected=expected,
+            hops_remaining=self.config.max_gossip_hops,
+        )
+
+    def _send_anonymous(self, request: GossipRequest) -> None:
+        next_hop = self._choose_next_hop(exclude=None)
+        if next_hop is None:
+            self.stats.rounds_skipped_no_neighbor += 1
+            return
+        self.stats.anonymous_requests_sent += 1
+        self.node.send_frame(request, next_hop)
+
+    def _send_cached(self, request: GossipRequest) -> None:
+        member = self.member_cache.random_member(self.rng, exclude=self.node_id)
+        if member is None:
+            self._send_anonymous(request)
+            return
+        request.direct = True
+        request.destination = member
+        self.stats.cached_requests_sent += 1
+        self.member_cache.record_gossip(member, self.sim.now)
+        self.aodv.send_unicast(request, member)
+
+    # ----------------------------------------------------- anonymous propagation
+    def _choose_next_hop(self, exclude: Optional[NodeId]) -> Optional[NodeId]:
+        neighbors = [n for n in self.multicast.tree_neighbors(self.group) if n != exclude]
+        if not neighbors:
+            return None
+        if not self.config.enable_locality or len(neighbors) == 1:
+            return self.rng.choice(neighbors)
+        weights = [
+            1.0 / max(1, self.multicast.nearest_member_via(self.group, neighbor))
+            for neighbor in neighbors
+        ]
+        return self._weighted_choice(neighbors, weights)
+
+    def _weighted_choice(self, items: List[NodeId], weights: List[float]) -> NodeId:
+        total = sum(weights)
+        draw = self.rng.random() * total
+        cumulative = 0.0
+        for item, weight in zip(items, weights):
+            cumulative += weight
+            if draw <= cumulative:
+                return item
+        return items[-1]
+
+    def _on_request(self, request: GossipRequest, from_node: NodeId) -> None:
+        if request.group != self.group:
+            return
+        if request.initiator == self.node_id:
+            # A request must never be served by (or cycle back to) its own
+            # initiator.
+            self.stats.requests_dropped += 1
+            return
+        if self.is_member:
+            self._note_member(request.initiator)
+        if request.direct:
+            self._accept(request)
+            return
+        if self.is_member and self.rng.random() < self.config.accept_probability:
+            self._accept(request)
+            return
+        self._propagate(request, from_node)
+
+    def _propagate(self, request: GossipRequest, from_node: NodeId) -> None:
+        if request.hops_remaining <= 1:
+            # The request ran out of budget; a member holding it serves it
+            # rather than dropping the round entirely.
+            if self.is_member:
+                self._accept(request)
+            else:
+                self.stats.requests_dropped += 1
+            return
+        next_hop = self._choose_next_hop(exclude=from_node)
+        if next_hop is None:
+            if self.is_member:
+                self._accept(request)
+            else:
+                self.stats.requests_dropped += 1
+            return
+        forwarded = GossipRequest(
+            origin=request.origin,
+            destination=request.destination,
+            size_bytes=request.size_bytes,
+            group=request.group,
+            initiator=request.initiator,
+            lost=request.lost,
+            expected=request.expected,
+            hops_remaining=request.hops_remaining - 1,
+            direct=False,
+        )
+        self.stats.requests_forwarded += 1
+        self.node.send_frame(forwarded, next_hop)
+
+    # ----------------------------------------------------------------- replies
+    def _accept(self, request: GossipRequest) -> None:
+        if not self.is_member:
+            # Only members hold message history; a non-member cannot serve
+            # the request so it silently ends here.
+            self.stats.requests_dropped += 1
+            return
+        self.stats.requests_accepted += 1
+        messages = self._collect_reply_messages(request)
+        if not messages and not self.config.reply_when_empty:
+            return
+        reply = GossipReply(
+            origin=self.node_id,
+            destination=request.initiator,
+            size_bytes=self.config.reply_base_size_bytes
+            + sum(message.size_bytes for message in messages),
+            group=self.group,
+            responder=self.node_id,
+            messages=messages,
+        )
+        self.stats.replies_sent += 1
+        self.stats.reply_messages_sent += len(messages)
+        self.aodv.send_unicast(reply, request.initiator)
+
+    def _collect_reply_messages(self, request: GossipRequest) -> List[MulticastData]:
+        limit = self.config.max_messages_per_reply
+        messages = self.history.lookup_many(list(request.lost), limit)
+        found_ids = {message.message_id() for message in messages}
+
+        def offer(source: NodeId, from_seq: int) -> None:
+            if len(messages) >= limit or source == request.initiator:
+                return
+            for candidate in self.history.messages_at_or_after(
+                source, from_seq, limit - len(messages)
+            ):
+                if candidate.message_id() not in found_ids:
+                    messages.append(candidate)
+                    found_ids.add(candidate.message_id())
+
+        # Messages newer than what the initiator expects from sources it knows.
+        for source, expected_seq in request.expected.items():
+            offer(source, expected_seq)
+        # Sources the initiator has never heard from at all: everything in the
+        # history is news to it.  This is what lets gossip bootstrap a member
+        # that was cut off from the tree before receiving its first packet.
+        known_sources = set(request.expected)
+        for source in {message_id[0] for message_id in self.history.message_ids()}:
+            if source not in known_sources:
+                offer(source, self.config.initial_expected_seq)
+        return messages[:limit]
+
+    def _on_reply(self, reply: GossipReply, from_node: NodeId) -> None:
+        if reply.group != self.group or not self.is_member:
+            return
+        self.stats.replies_received += 1
+        self.stats.reply_messages_received += len(reply.messages)
+        self._note_member(reply.responder)
+        self.member_cache.record_gossip(reply.responder, self.sim.now)
+        for message in reply.messages:
+            if self.has_received(message.source, message.seq):
+                self.stats.duplicate_messages += 1
+                continue
+            self.stats.recovered_messages += 1
+            self.record_receipt(message)
+            for listener in self._recovery_listeners:
+                listener(message)

@@ -1,0 +1,42 @@
+"""Experiment definitions reproducing the paper's figures.
+
+Each figure of the evaluation section maps to an :class:`ExperimentSpec`
+produced by a function in :mod:`repro.experiments.figures`; the
+:mod:`repro.experiments.runner` executes the sweep (MAODV alone vs
+MAODV + Anonymous Gossip, several seeds per point) and aggregates the
+per-member delivery counts exactly as the paper plots them.
+"""
+
+from repro.experiments.figures import (
+    ExperimentSpec,
+    figure2_range_slow,
+    figure3_range_fast,
+    figure4_speed_low,
+    figure5_speed_high,
+    figure6_nodes_constant_degree,
+    figure7_nodes_constant_range,
+    figure8_goodput,
+    all_figures,
+)
+from repro.experiments.runner import (
+    ExperimentPoint,
+    ExperimentResult,
+    run_experiment,
+    run_goodput_experiment,
+)
+
+__all__ = [
+    "ExperimentPoint",
+    "ExperimentResult",
+    "ExperimentSpec",
+    "all_figures",
+    "figure2_range_slow",
+    "figure3_range_fast",
+    "figure4_speed_low",
+    "figure5_speed_high",
+    "figure6_nodes_constant_degree",
+    "figure7_nodes_constant_range",
+    "figure8_goodput",
+    "run_experiment",
+    "run_goodput_experiment",
+]

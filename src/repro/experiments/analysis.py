@@ -1,0 +1,138 @@
+"""Analysis helpers for experiment results.
+
+These utilities turn raw :class:`~repro.experiments.runner.ExperimentResult`
+series into the statements the paper makes about them: by how much does
+Anonymous Gossip improve mean delivery, how much does it shrink the
+per-member spread, where (if anywhere) do two series cross over, and does a
+series trend upward or downward along the sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.runner import ExperimentPoint, ExperimentResult
+
+
+@dataclass(frozen=True)
+class VariantComparison:
+    """Aggregate comparison of one variant against a baseline."""
+
+    baseline: str
+    variant: str
+    points_compared: int
+    mean_improvement: float          # average (variant - baseline) packets/member
+    mean_improvement_percent: float  # relative to the baseline mean
+    spread_reduction: float          # average reduction of (max - min)
+    never_worse: bool                # variant mean >= baseline mean at every point
+
+    def __str__(self) -> str:
+        return (
+            f"{self.variant} vs {self.baseline}: "
+            f"{self.mean_improvement:+.1f} packets/member "
+            f"({self.mean_improvement_percent:+.1f}%), "
+            f"spread reduced by {self.spread_reduction:.1f}"
+        )
+
+
+def _paired_points(
+    result: ExperimentResult, baseline: str, variant: str
+) -> List[Tuple[ExperimentPoint, ExperimentPoint]]:
+    baseline_points = {point.x: point for point in result.points_for(baseline)}
+    pairs = []
+    for variant_point in result.points_for(variant):
+        baseline_point = baseline_points.get(variant_point.x)
+        if baseline_point is not None:
+            pairs.append((baseline_point, variant_point))
+    return pairs
+
+
+def compare_variants(
+    result: ExperimentResult, baseline: str = "maodv", variant: str = "gossip"
+) -> VariantComparison:
+    """Summarise how ``variant`` compares to ``baseline`` across the sweep."""
+    pairs = _paired_points(result, baseline, variant)
+    if not pairs:
+        raise ValueError(
+            f"no common sweep points between {baseline!r} and {variant!r}"
+        )
+    deltas = [v.mean - b.mean for b, v in pairs]
+    baseline_mean = sum(b.mean for b, _ in pairs) / len(pairs)
+    spread_deltas = [(b.maximum - b.minimum) - (v.maximum - v.minimum) for b, v in pairs]
+    improvement = sum(deltas) / len(deltas)
+    return VariantComparison(
+        baseline=baseline,
+        variant=variant,
+        points_compared=len(pairs),
+        mean_improvement=improvement,
+        mean_improvement_percent=(100.0 * improvement / baseline_mean) if baseline_mean else 0.0,
+        spread_reduction=sum(spread_deltas) / len(spread_deltas),
+        never_worse=all(delta >= 0 for delta in deltas),
+    )
+
+
+def crossover_points(
+    result: ExperimentResult, first: str, second: str
+) -> List[float]:
+    """Sweep values where the ordering of two variants' means flips.
+
+    Returns the x values *after* which the sign of (first - second) changes.
+    An empty list means one variant dominates the other across the sweep.
+    """
+    pairs_first = {p.x: p.mean for p in result.points_for(first)}
+    pairs_second = {p.x: p.mean for p in result.points_for(second)}
+    xs = sorted(set(pairs_first) & set(pairs_second))
+    crossings: List[float] = []
+    previous_sign: Optional[int] = None
+    for x in xs:
+        difference = pairs_first[x] - pairs_second[x]
+        sign = (difference > 0) - (difference < 0)
+        if sign == 0:
+            continue
+        if previous_sign is not None and sign != previous_sign:
+            crossings.append(x)
+        previous_sign = sign
+    return crossings
+
+
+def trend(values: Sequence[float]) -> str:
+    """Classify a series as 'increasing', 'decreasing' or 'flat'.
+
+    Uses the least-squares slope normalised by the series mean, with a 2%
+    tolerance band counted as flat -- enough to describe the paper's "delivery
+    improves with range" / "delivery degrades with speed" statements without
+    being fooled by single-point noise.
+    """
+    points = list(values)
+    if len(points) < 2:
+        return "flat"
+    count = len(points)
+    mean_x = (count - 1) / 2.0
+    mean_y = sum(points) / count
+    numerator = sum((index - mean_x) * (value - mean_y) for index, value in enumerate(points))
+    denominator = sum((index - mean_x) ** 2 for index in range(count))
+    slope = numerator / denominator if denominator else 0.0
+    if mean_y == 0:
+        return "flat"
+    relative_change = slope * (count - 1) / abs(mean_y)
+    if relative_change > 0.02:
+        return "increasing"
+    if relative_change < -0.02:
+        return "decreasing"
+    return "flat"
+
+
+def summarize(result: ExperimentResult) -> Dict[str, object]:
+    """A compact dictionary summary of one experiment (used in reports)."""
+    summary: Dict[str, object] = {"figure": result.spec_figure, "title": result.title}
+    for variant in result.variants():
+        means = [point.mean for point in result.points_for(variant)]
+        summary[variant] = {
+            "points": len(means),
+            "mean_of_means": sum(means) / len(means) if means else 0.0,
+            "trend": trend(means),
+        }
+    if {"maodv", "gossip"}.issubset(set(result.variants())):
+        summary["comparison"] = str(compare_variants(result))
+    return summary

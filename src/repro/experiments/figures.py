@@ -1,0 +1,287 @@
+"""One experiment specification per figure of the paper's evaluation.
+
+Every figure sweeps a single parameter while comparing MAODV against
+MAODV + Anonymous Gossip:
+
+* Fig. 2 / Fig. 3 -- packet delivery vs transmission range (45-85 m) at a
+  maximum speed of 0.2 m/s and 2 m/s respectively (40 nodes).
+* Fig. 4 / Fig. 5 -- packet delivery vs maximum speed (0.1-1 m/s and
+  1-10 m/s) at a transmission range of 75 m (40 nodes).
+* Fig. 6 -- packet delivery vs number of nodes (40-100), transmission range
+  scaled to keep the average neighbour count constant.
+* Fig. 7 -- packet delivery vs number of nodes (40-100) at a fixed 55 m
+  transmission range.
+* Fig. 8 -- gossip goodput per member for {45 m, 75 m} x {0.2, 2 m/s}.
+
+Every spec can be materialised at ``paper`` scale (600 s runs, 2201 packets,
+10 seeds) or at ``quick`` scale (shorter source phase, fewer nodes/seeds)
+for CI-sized runs; the protocol parameters are identical in both.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Sequence
+
+from repro.workload.scenario import ScenarioConfig
+
+
+@dataclass
+class ExperimentSpec:
+    """A parameter sweep reproducing one figure."""
+
+    figure: str
+    title: str
+    x_label: str
+    x_values: List[float]
+    #: Builds the scenario config for one x value at a given scale.
+    config_builder: Callable[[float, str], ScenarioConfig] = field(repr=False)
+    #: Number of random seeds per point at paper scale (the paper uses 10).
+    paper_seeds: int = 10
+    #: Number of random seeds per point at quick scale.
+    quick_seeds: int = 2
+
+    def config_for(self, x: float, *, scale: str = "quick", seed: int = 1) -> ScenarioConfig:
+        """The scenario config for swept value ``x`` at ``scale`` with ``seed``."""
+        if scale not in ("paper", "quick"):
+            raise ValueError(f"unknown scale {scale!r}")
+        config = self.config_builder(x, scale)
+        return replace(config, seed=seed)
+
+    def seeds_for(self, scale: str) -> int:
+        """Number of replications used at ``scale``."""
+        return self.paper_seeds if scale == "paper" else self.quick_seeds
+
+
+def _base_config(scale: str, **overrides) -> ScenarioConfig:
+    if scale == "paper":
+        return ScenarioConfig.paper(**overrides)
+    return ScenarioConfig.quick(**overrides)
+
+
+def _quick_node_count(paper_nodes: float) -> int:
+    """Scale the paper's node counts (40-100) down for quick runs (14-34)."""
+    return max(8, int(round(paper_nodes / 3)))
+
+
+#: Node density of the paper's reference setup (40 nodes in 200 m x 200 m).
+_PAPER_DENSITY = 40 / (200.0 * 200.0)
+
+
+def _equivalent_quick_range(
+    paper_range_m: float,
+    quick_nodes: int,
+    quick_area_m: float = 150.0,
+) -> float:
+    """Transmission range giving the quick scenario the paper's connectivity.
+
+    The expected neighbour count of a node is ``density * pi * range^2``;
+    keeping it equal between the paper's 40-node/200 m setup and the scaled
+    quick setup means scaling the range by ``sqrt(paper_density /
+    quick_density)``.  Without this correction the sparse end of each sweep
+    is dominated by network partitions rather than protocol behaviour.
+    """
+    quick_density = quick_nodes / (quick_area_m * quick_area_m)
+    return paper_range_m * math.sqrt(_PAPER_DENSITY / quick_density)
+
+
+# --------------------------------------------------------------------- figures
+def figure2_range_slow() -> ExperimentSpec:
+    """Fig. 2: packet delivery vs transmission range, max speed 0.2 m/s."""
+
+    def build(x: float, scale: str) -> ScenarioConfig:
+        if scale == "paper":
+            return _base_config(
+                scale, num_nodes=40, max_speed_mps=0.2, transmission_range_m=x
+            )
+        return _base_config(
+            scale, max_speed_mps=0.2, transmission_range_m=_equivalent_quick_range(x, 16)
+        )
+
+    return ExperimentSpec(
+        figure="fig2",
+        title="Packet delivery vs transmission range (max speed 0.2 m/s)",
+        x_label="transmission range (m)",
+        x_values=[45, 50, 55, 60, 65, 70, 75, 80, 85],
+        config_builder=build,
+    )
+
+
+def figure3_range_fast() -> ExperimentSpec:
+    """Fig. 3: packet delivery vs transmission range, max speed 2 m/s."""
+
+    def build(x: float, scale: str) -> ScenarioConfig:
+        if scale == "paper":
+            return _base_config(
+                scale, num_nodes=40, max_speed_mps=2.0, transmission_range_m=x
+            )
+        return _base_config(
+            scale, max_speed_mps=2.0, transmission_range_m=_equivalent_quick_range(x, 16)
+        )
+
+    return ExperimentSpec(
+        figure="fig3",
+        title="Packet delivery vs transmission range (max speed 2 m/s)",
+        x_label="transmission range (m)",
+        x_values=[45, 50, 55, 60, 65, 70, 75, 80, 85],
+        config_builder=build,
+    )
+
+
+def figure4_speed_low() -> ExperimentSpec:
+    """Fig. 4: packet delivery vs maximum speed, 0.1-1 m/s, range 75 m."""
+
+    def build(x: float, scale: str) -> ScenarioConfig:
+        if scale == "paper":
+            return _base_config(
+                scale, num_nodes=40, transmission_range_m=75.0, max_speed_mps=x
+            )
+        return _base_config(
+            scale, transmission_range_m=_equivalent_quick_range(75.0, 16), max_speed_mps=x
+        )
+
+    return ExperimentSpec(
+        figure="fig4",
+        title="Packet delivery vs maximum speed (0.1-1 m/s, range 75 m)",
+        x_label="max speed (m/s)",
+        x_values=[round(0.1 * i, 1) for i in range(1, 11)],
+        config_builder=build,
+    )
+
+
+def figure5_speed_high() -> ExperimentSpec:
+    """Fig. 5: packet delivery vs maximum speed, 1-10 m/s, range 75 m."""
+
+    def build(x: float, scale: str) -> ScenarioConfig:
+        if scale == "paper":
+            return _base_config(
+                scale, num_nodes=40, transmission_range_m=75.0, max_speed_mps=x
+            )
+        return _base_config(
+            scale, transmission_range_m=_equivalent_quick_range(75.0, 16), max_speed_mps=x
+        )
+
+    return ExperimentSpec(
+        figure="fig5",
+        title="Packet delivery vs maximum speed (1-10 m/s, range 75 m)",
+        x_label="max speed (m/s)",
+        x_values=[float(i) for i in range(1, 11)],
+        config_builder=build,
+    )
+
+
+def figure6_nodes_constant_degree() -> ExperimentSpec:
+    """Fig. 6: packet delivery vs number of nodes, constant average degree.
+
+    The transmission range is scaled with 1/sqrt(density) so the expected
+    number of neighbours of a node stays approximately constant as the node
+    count grows, which is how the paper runs this experiment.
+    """
+
+    def build(x: float, scale: str) -> ScenarioConfig:
+        reference_nodes = 40.0
+        reference_range = 75.0
+        scaled_range = reference_range * math.sqrt(reference_nodes / x)
+        if scale == "paper":
+            return _base_config(
+                scale,
+                num_nodes=int(x),
+                max_speed_mps=0.2,
+                transmission_range_m=scaled_range,
+            )
+        nodes = _quick_node_count(x)
+        return _base_config(
+            scale,
+            num_nodes=nodes,
+            member_count=max(2, nodes // 3),
+            max_speed_mps=0.2,
+            transmission_range_m=_equivalent_quick_range(scaled_range, nodes),
+        )
+
+    return ExperimentSpec(
+        figure="fig6",
+        title="Packet delivery vs number of nodes (constant average degree)",
+        x_label="# nodes",
+        x_values=[40, 50, 60, 70, 80, 90, 100],
+        config_builder=build,
+    )
+
+
+def figure7_nodes_constant_range() -> ExperimentSpec:
+    """Fig. 7: packet delivery vs number of nodes, fixed 55 m range."""
+
+    def build(x: float, scale: str) -> ScenarioConfig:
+        if scale == "paper":
+            return _base_config(
+                scale,
+                num_nodes=int(x),
+                max_speed_mps=0.2,
+                transmission_range_m=55.0,
+            )
+        nodes = _quick_node_count(x)
+        return _base_config(
+            scale,
+            num_nodes=nodes,
+            member_count=max(2, nodes // 3),
+            max_speed_mps=0.2,
+            transmission_range_m=_equivalent_quick_range(55.0, nodes),
+        )
+
+    return ExperimentSpec(
+        figure="fig7",
+        title="Packet delivery vs number of nodes (range 55 m)",
+        x_label="# nodes",
+        x_values=[40, 50, 60, 70, 80, 90, 100],
+        config_builder=build,
+    )
+
+
+def figure8_goodput() -> ExperimentSpec:
+    """Fig. 8: gossip goodput per member for 2x2 range/speed combinations.
+
+    The swept "x" values are indices into the four (range, speed)
+    combinations the paper plots: (45 m, 0.2 m/s), (75 m, 0.2 m/s),
+    (45 m, 2 m/s), (75 m, 2 m/s).
+    """
+
+    combinations = [(45.0, 0.2), (75.0, 0.2), (45.0, 2.0), (75.0, 2.0)]
+
+    def build(x: float, scale: str) -> ScenarioConfig:
+        range_m, speed = combinations[int(x)]
+        if scale == "paper":
+            return _base_config(
+                scale,
+                num_nodes=40,
+                transmission_range_m=range_m,
+                max_speed_mps=speed,
+            )
+        return _base_config(
+            scale,
+            transmission_range_m=_equivalent_quick_range(range_m, 16),
+            max_speed_mps=speed,
+        )
+
+    spec = ExperimentSpec(
+        figure="fig8",
+        title="Gossip goodput per member (range, speed combinations)",
+        x_label="combination index",
+        x_values=[0, 1, 2, 3],
+        config_builder=build,
+    )
+    spec.combinations = combinations  # type: ignore[attr-defined]
+    return spec
+
+
+def all_figures() -> Dict[str, ExperimentSpec]:
+    """All experiment specs keyed by figure id."""
+    specs = [
+        figure2_range_slow(),
+        figure3_range_fast(),
+        figure4_speed_low(),
+        figure5_speed_high(),
+        figure6_nodes_constant_degree(),
+        figure7_nodes_constant_range(),
+        figure8_goodput(),
+    ]
+    return {spec.figure: spec for spec in specs}

@@ -1,0 +1,193 @@
+"""Sweep execution: run an :class:`ExperimentSpec` and aggregate the results.
+
+For every swept value the runner executes the scenario twice per seed --
+once with plain MAODV and once with MAODV + Anonymous Gossip on the *same*
+mobility pattern (same seed) -- and averages the per-member delivery counts
+across seeds, which is exactly how the paper produces each data point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.figures import ExperimentSpec
+from repro.metrics.reporting import format_rows
+from repro.workload.scenario import Scenario, ScenarioConfig, ScenarioResult
+
+
+@dataclass
+class ExperimentPoint:
+    """Aggregated measurements for one (x value, protocol variant) pair."""
+
+    x: float
+    variant: str
+    packets_sent: float
+    mean: float
+    minimum: float
+    maximum: float
+    delivery_ratio: float
+    goodput: float
+    runs: int
+
+    def as_row(self) -> List[object]:
+        """Row used by the text reports."""
+        return [
+            self.x,
+            self.variant,
+            f"{self.mean:.1f}",
+            f"{self.minimum:.1f}",
+            f"{self.maximum:.1f}",
+            f"{self.delivery_ratio:.3f}",
+            f"{self.goodput:.1f}",
+        ]
+
+
+@dataclass
+class ExperimentResult:
+    """All points of one experiment (one reproduced figure)."""
+
+    spec_figure: str
+    title: str
+    x_label: str
+    points: List[ExperimentPoint] = field(default_factory=list)
+
+    def points_for(self, variant: str) -> List[ExperimentPoint]:
+        """Points of one protocol variant, ordered by x."""
+        return sorted(
+            (point for point in self.points if point.variant == variant),
+            key=lambda point: point.x,
+        )
+
+    def variants(self) -> List[str]:
+        """Names of the protocol variants present in the results."""
+        seen: List[str] = []
+        for point in self.points:
+            if point.variant not in seen:
+                seen.append(point.variant)
+        return seen
+
+    def to_table(self) -> str:
+        """Human-readable table of every measured point."""
+        headers = [self.x_label, "variant", "mean", "min", "max", "ratio", "goodput%"]
+        rows = [point.as_row() for point in sorted(self.points, key=lambda p: (p.x, p.variant))]
+        return f"{self.title}\n" + format_rows(headers, rows)
+
+
+def _run_single(config: ScenarioConfig) -> ScenarioResult:
+    return Scenario(config).run()
+
+
+def _aggregate(x: float, variant: str, results: Sequence[ScenarioResult]) -> ExperimentPoint:
+    runs = len(results)
+    mean = sum(result.summary.mean for result in results) / runs
+    minimum = sum(result.summary.minimum for result in results) / runs
+    maximum = sum(result.summary.maximum for result in results) / runs
+    ratio = sum(result.summary.delivery_ratio for result in results) / runs
+    goodput = sum(result.mean_goodput for result in results) / runs
+    sent = sum(result.packets_sent for result in results) / runs
+    return ExperimentPoint(
+        x=x,
+        variant=variant,
+        packets_sent=sent,
+        mean=mean,
+        minimum=minimum,
+        maximum=maximum,
+        delivery_ratio=ratio,
+        goodput=goodput,
+        runs=runs,
+    )
+
+
+def run_experiment(
+    spec: ExperimentSpec,
+    *,
+    scale: str = "quick",
+    seeds: Optional[int] = None,
+    x_values: Optional[Sequence[float]] = None,
+    variants: Sequence[str] = ("maodv", "gossip"),
+) -> ExperimentResult:
+    """Run every point of ``spec`` and aggregate across seeds.
+
+    ``variants`` selects which protocol variants to run: ``"maodv"`` is the
+    underlying protocol alone, ``"gossip"`` is MAODV + Anonymous Gossip,
+    ``"flooding"`` is the blind-flooding baseline.
+    """
+    seeds = seeds if seeds is not None else spec.seeds_for(scale)
+    xs = list(x_values) if x_values is not None else list(spec.x_values)
+    result = ExperimentResult(spec_figure=spec.figure, title=spec.title, x_label=spec.x_label)
+    for x in xs:
+        per_variant: Dict[str, List[ScenarioResult]] = {variant: [] for variant in variants}
+        for seed in range(1, seeds + 1):
+            base = spec.config_for(x, scale=scale, seed=seed)
+            for variant in variants:
+                config = _variant_config(base, variant)
+                per_variant[variant].append(_run_single(config))
+        for variant, runs in per_variant.items():
+            result.points.append(_aggregate(x, variant, runs))
+    return result
+
+
+def _variant_config(base: ScenarioConfig, variant: str) -> ScenarioConfig:
+    from dataclasses import replace
+
+    if variant == "maodv":
+        return replace(base, protocol="maodv", gossip_enabled=False)
+    if variant == "gossip":
+        return replace(base, protocol="maodv", gossip_enabled=True)
+    if variant == "flooding":
+        return replace(base, protocol="flooding", gossip_enabled=False)
+    if variant == "odmrp":
+        return replace(base, protocol="odmrp", gossip_enabled=False)
+    if variant == "odmrp-gossip":
+        return replace(base, protocol="odmrp", gossip_enabled=True)
+    if variant == "gossip-no-locality":
+        return replace(
+            base,
+            protocol="maodv",
+            gossip_enabled=True,
+            gossip_config=base.gossip_config.without_locality(),
+        )
+    if variant == "gossip-anonymous-only":
+        return replace(
+            base,
+            protocol="maodv",
+            gossip_enabled=True,
+            gossip_config=base.gossip_config.anonymous_only(),
+        )
+    if variant == "gossip-cached-only":
+        return replace(
+            base,
+            protocol="maodv",
+            gossip_enabled=True,
+            gossip_config=base.gossip_config.cached_only(),
+        )
+    raise ValueError(f"unknown experiment variant {variant!r}")
+
+
+def run_goodput_experiment(
+    spec: ExperimentSpec,
+    *,
+    scale: str = "quick",
+    seeds: Optional[int] = None,
+) -> Dict[tuple, Dict[int, float]]:
+    """Run the Fig. 8 goodput experiment.
+
+    Returns a mapping ``(range_m, speed) -> {member -> goodput_percent}``
+    aggregated over seeds (per-member goodput averaged across runs).
+    """
+    seeds = seeds if seeds is not None else spec.seeds_for(scale)
+    combinations = getattr(spec, "combinations", [(45.0, 0.2), (75.0, 0.2), (45.0, 2.0), (75.0, 2.0)])
+    results: Dict[tuple, Dict[int, float]] = {}
+    for index, combination in enumerate(combinations):
+        accumulated: Dict[int, List[float]] = {}
+        for seed in range(1, seeds + 1):
+            config = spec.config_for(index, scale=scale, seed=seed)
+            config = _variant_config(config, "gossip")
+            run = _run_single(config)
+            for member, goodput in run.goodput_by_member.items():
+                accumulated.setdefault(member, []).append(goodput)
+        results[combination] = {
+            member: sum(values) / len(values) for member, values in accumulated.items()
+        }
+    return results

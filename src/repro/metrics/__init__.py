@@ -1,0 +1,20 @@
+"""Measurement and reporting.
+
+* :class:`~repro.metrics.collectors.DeliveryCollector` -- records which
+  multicast packets each group member received (through the routing protocol
+  or through gossip recovery) and derives the per-receiver statistics the
+  paper plots: mean / min / max packets received and the delivery ratio.
+* :mod:`repro.metrics.reporting` -- plain-text table formatting used by the
+  examples and the benchmark harness.
+"""
+
+from repro.metrics.collectors import DeliveryCollector, DeliverySummary, MemberDelivery
+from repro.metrics.reporting import format_rows, format_summary_table
+
+__all__ = [
+    "DeliveryCollector",
+    "DeliverySummary",
+    "MemberDelivery",
+    "format_rows",
+    "format_summary_table",
+]

@@ -1,0 +1,136 @@
+"""Delivery accounting.
+
+The paper's figures plot, per simulation run, the number of multicast data
+packets received by each group member (the error bars show the min-max range
+across members, the line the mean).  :class:`DeliveryCollector` gathers
+exactly that: sources register the packets they send, members register the
+packets they receive -- whether the packet arrived through MAODV or through a
+gossip reply -- and duplicates are counted once.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+MessageId = Tuple[int, int]
+
+
+@dataclass
+class MemberDelivery:
+    """Reception record of one group member."""
+
+    member: int
+    received: Set[MessageId] = field(default_factory=set)
+    via_routing: int = 0
+    via_gossip: int = 0
+
+    @property
+    def count(self) -> int:
+        """Number of distinct data packets this member received."""
+        return len(self.received)
+
+
+@dataclass
+class DeliverySummary:
+    """Per-run statistics over all members (one data point of a paper figure)."""
+
+    packets_sent: int
+    member_counts: Dict[int, int]
+    mean: float
+    minimum: int
+    maximum: int
+    std: float
+    delivery_ratio: float
+
+    def __str__(self) -> str:
+        return (
+            f"sent={self.packets_sent} mean={self.mean:.1f} "
+            f"min={self.minimum} max={self.maximum} "
+            f"ratio={self.delivery_ratio:.3f}"
+        )
+
+
+class DeliveryCollector:
+    """Collects sent/received packet counts for one multicast group."""
+
+    def __init__(self) -> None:
+        self._sent: Set[MessageId] = set()
+        self._members: Dict[int, MemberDelivery] = {}
+
+    # ------------------------------------------------------------------ inputs
+    def register_member(self, member: int) -> None:
+        """Declare ``member`` as a group member (so zero counts appear too)."""
+        self._members.setdefault(member, MemberDelivery(member=member))
+
+    def note_sent(self, source: int, seq: int) -> None:
+        """Record that the source multicast packet (source, seq)."""
+        self._sent.add((source, seq))
+
+    def note_delivered(self, member: int, source: int, seq: int, *, via_gossip: bool = False) -> None:
+        """Record that ``member`` received packet (source, seq).
+
+        Duplicate deliveries of the same packet to the same member are
+        ignored, matching the paper's per-receiver packet counts.
+        """
+        record = self._members.setdefault(member, MemberDelivery(member=member))
+        message_id = (source, seq)
+        if message_id in record.received:
+            return
+        record.received.add(message_id)
+        if via_gossip:
+            record.via_gossip += 1
+        else:
+            record.via_routing += 1
+
+    # ----------------------------------------------------------------- queries
+    @property
+    def packets_sent(self) -> int:
+        """Number of distinct data packets multicast by the sources."""
+        return len(self._sent)
+
+    @property
+    def members(self) -> List[int]:
+        """Registered member identifiers."""
+        return sorted(self._members)
+
+    def received_by(self, member: int) -> int:
+        """Number of distinct packets received by ``member``."""
+        record = self._members.get(member)
+        return record.count if record is not None else 0
+
+    def member_record(self, member: int) -> MemberDelivery:
+        """Full reception record of ``member``."""
+        return self._members.setdefault(member, MemberDelivery(member=member))
+
+    def counts(self) -> Dict[int, int]:
+        """Mapping member -> number of packets received."""
+        return {member: record.count for member, record in sorted(self._members.items())}
+
+    def summary(self) -> DeliverySummary:
+        """Aggregate statistics over all registered members."""
+        counts = self.counts()
+        values = list(counts.values())
+        if not values:
+            return DeliverySummary(
+                packets_sent=self.packets_sent,
+                member_counts={},
+                mean=0.0,
+                minimum=0,
+                maximum=0,
+                std=0.0,
+                delivery_ratio=0.0,
+            )
+        mean = sum(values) / len(values)
+        variance = sum((value - mean) ** 2 for value in values) / len(values)
+        sent = self.packets_sent
+        return DeliverySummary(
+            packets_sent=sent,
+            member_counts=counts,
+            mean=mean,
+            minimum=min(values),
+            maximum=max(values),
+            std=math.sqrt(variance),
+            delivery_ratio=(mean / sent) if sent else 0.0,
+        )

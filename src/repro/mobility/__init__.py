@@ -1,0 +1,21 @@
+"""Node mobility models.
+
+The paper uses the random-waypoint model inside a 200 m x 200 m square with a
+uniform pause time in [0, 80] s.  :class:`RandomWaypointMobility` reproduces
+it; :class:`StaticMobility`, :class:`GridMobility` and
+:class:`WaypointTraceMobility` support testing and custom scenarios.
+"""
+
+from repro.mobility.base import MobilityModel, RectangularArea
+from repro.mobility.random_waypoint import RandomWaypointMobility
+from repro.mobility.static import GridMobility, StaticMobility
+from repro.mobility.trace import WaypointTraceMobility
+
+__all__ = [
+    "GridMobility",
+    "MobilityModel",
+    "RandomWaypointMobility",
+    "RectangularArea",
+    "StaticMobility",
+    "WaypointTraceMobility",
+]

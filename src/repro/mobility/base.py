@@ -1,0 +1,47 @@
+"""Mobility model interface and helpers."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Tuple
+
+Position = Tuple[float, float]
+
+
+@dataclass(frozen=True)
+class RectangularArea:
+    """The rectangular simulation area nodes move within.
+
+    The paper uses a 200 m x 200 m square.
+    """
+
+    width_m: float = 200.0
+    height_m: float = 200.0
+
+    def __post_init__(self) -> None:
+        if self.width_m <= 0 or self.height_m <= 0:
+            raise ValueError("area dimensions must be positive")
+
+    def contains(self, position: Position) -> bool:
+        """True when ``position`` lies inside (or on the border of) the area."""
+        x, y = position
+        return 0.0 <= x <= self.width_m and 0.0 <= y <= self.height_m
+
+    def random_point(self, rng) -> Position:
+        """Draw a uniformly random point inside the area."""
+        return (rng.uniform(0.0, self.width_m), rng.uniform(0.0, self.height_m))
+
+
+class MobilityModel(abc.ABC):
+    """Provides a node's position as a function of simulation time."""
+
+    @abc.abstractmethod
+    def position(self, at_time: float) -> Position:
+        """Return the ``(x, y)`` position in metres at ``at_time`` seconds."""
+
+    def distance_to(self, other: "MobilityModel", at_time: float) -> float:
+        """Euclidean distance to another mobile node at ``at_time``."""
+        ax, ay = self.position(at_time)
+        bx, by = other.position(at_time)
+        return ((ax - bx) ** 2 + (ay - by) ** 2) ** 0.5

@@ -1,0 +1,165 @@
+"""The random-waypoint mobility model.
+
+Each node repeatedly (1) picks a uniformly random destination inside the
+area, (2) travels towards it in a straight line at a speed drawn uniformly
+from ``[min_speed, max_speed]``, then (3) pauses for a time drawn uniformly
+from ``[0, max_pause]`` before picking the next destination.  These are the
+exact semantics the paper describes (with ``min_speed = 0`` and
+``max_pause = 80 s``).
+
+The implementation is *lazy and analytic*: movement legs are generated on
+demand and positions are interpolated, so querying the position at an
+arbitrary time costs nothing beyond extending the leg list -- no per-step
+movement events are ever scheduled in the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.mobility.base import MobilityModel, Position, RectangularArea
+
+
+@dataclass
+class _Leg:
+    """One segment of motion: travel then pause."""
+
+    start_time: float
+    start: Position
+    end: Position
+    travel_end_time: float
+    pause_end_time: float
+
+    def position(self, at_time: float) -> Position:
+        if at_time >= self.travel_end_time:
+            return self.end
+        duration = self.travel_end_time - self.start_time
+        if duration <= 0:
+            return self.end
+        fraction = (at_time - self.start_time) / duration
+        x = self.start[0] + (self.end[0] - self.start[0]) * fraction
+        y = self.start[1] + (self.end[1] - self.start[1]) * fraction
+        return (x, y)
+
+
+class RandomWaypointMobility(MobilityModel):
+    """Random-waypoint motion inside a rectangular area.
+
+    Parameters
+    ----------
+    area:
+        The rectangle the node moves within.
+    rng:
+        Random stream used for waypoints, speeds and pauses.
+    min_speed_mps, max_speed_mps:
+        Speed interval.  The paper fixes ``min_speed`` to 0 and sweeps
+        ``max_speed``; a zero ``max_speed`` degenerates to a static node at
+        its initial position.
+    max_pause_s:
+        Upper bound of the uniform pause time (80 s in the paper).
+    initial_position:
+        Optional starting point; drawn uniformly at random when omitted.
+    """
+
+    def __init__(
+        self,
+        area: RectangularArea,
+        rng,
+        *,
+        min_speed_mps: float = 0.0,
+        max_speed_mps: float = 1.0,
+        max_pause_s: float = 80.0,
+        initial_position: Position | None = None,
+    ):
+        if min_speed_mps < 0 or max_speed_mps < 0:
+            raise ValueError("speeds must be non-negative")
+        if max_speed_mps < min_speed_mps:
+            raise ValueError("max_speed_mps must be >= min_speed_mps")
+        if max_pause_s < 0:
+            raise ValueError("max_pause_s must be non-negative")
+        self.area = area
+        self.rng = rng
+        self.min_speed_mps = float(min_speed_mps)
+        self.max_speed_mps = float(max_speed_mps)
+        self.max_pause_s = float(max_pause_s)
+        start = initial_position if initial_position is not None else area.random_point(rng)
+        if not area.contains(start):
+            raise ValueError(f"initial position {start} lies outside the area")
+        self._legs: List[_Leg] = []
+        self._origin: Position = (float(start[0]), float(start[1]))
+
+    # ------------------------------------------------------------------ legs
+    def _last_state(self) -> tuple:
+        if not self._legs:
+            return 0.0, self._origin
+        last = self._legs[-1]
+        return last.pause_end_time, last.end
+
+    def _draw_speed(self) -> float:
+        speed = self.rng.uniform(self.min_speed_mps, self.max_speed_mps)
+        return speed
+
+    def _extend_until(self, at_time: float) -> None:
+        guard = 0
+        while True:
+            last_end, last_position = self._last_state()
+            if last_end > at_time and self._legs:
+                return
+            if self.max_speed_mps == 0.0:
+                # Degenerate case: the node can never move.
+                if not self._legs:
+                    self._legs.append(
+                        _Leg(0.0, self._origin, self._origin, float("inf"), float("inf"))
+                    )
+                return
+            destination = self.area.random_point(self.rng)
+            speed = self._draw_speed()
+            distance = (
+                (destination[0] - last_position[0]) ** 2
+                + (destination[1] - last_position[1]) ** 2
+            ) ** 0.5
+            if speed <= 0.0:
+                # A zero draw means the node idles through this leg; model it
+                # as a pure pause so time still advances.
+                travel_time = 0.0
+                destination = last_position
+            else:
+                travel_time = distance / speed
+            pause = self.rng.uniform(0.0, self.max_pause_s) if self.max_pause_s > 0 else 0.0
+            travel_end = last_end + travel_time
+            leg = _Leg(
+                start_time=last_end,
+                start=last_position,
+                end=destination,
+                travel_end_time=travel_end,
+                pause_end_time=travel_end + pause,
+            )
+            # Guarantee progress even when both travel and pause are 0.
+            if leg.pause_end_time <= leg.start_time:
+                leg = _Leg(last_end, last_position, destination, last_end, last_end + 1e-3)
+            self._legs.append(leg)
+            guard += 1
+            if guard > 1_000_000:  # pragma: no cover - defensive
+                raise RuntimeError("random waypoint model failed to advance time")
+
+    # -------------------------------------------------------------- interface
+    def position(self, at_time: float) -> Position:
+        if at_time < 0:
+            raise ValueError("time must be non-negative")
+        self._extend_until(at_time)
+        # Binary search over legs (they are sorted by start_time).
+        legs = self._legs
+        lo, hi = 0, len(legs) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if legs[mid].pause_end_time <= at_time:
+                lo = mid + 1
+            else:
+                hi = mid
+        return legs[lo].position(at_time)
+
+    @property
+    def legs_generated(self) -> int:
+        """Number of movement legs generated so far (diagnostic)."""
+        return len(self._legs)

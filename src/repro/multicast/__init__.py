@@ -1,0 +1,44 @@
+"""Multicast routing substrate.
+
+* :mod:`repro.multicast.maodv` -- Multicast AODV (the paper's underlying
+  protocol): shared multicast tree per group, on-demand join via
+  RREQ/RREP/MACT, group leader with periodic group hellos, tree repair on
+  link breaks, pruning, and the nearest-member annotations used by Anonymous
+  Gossip's locality optimisation.
+* :mod:`repro.multicast.flooding` -- blind flooding and hyper-flooding
+  baselines (the comparison protocols discussed in the paper's related work).
+"""
+
+from repro.multicast.config import MaodvConfig
+from repro.multicast.flooding import FloodingConfig, FloodingRouter
+from repro.multicast.maodv import MaodvRouter, MaodvStats
+from repro.multicast.odmrp import OdmrpConfig, OdmrpRouter, OdmrpStats
+from repro.multicast.messages import (
+    GroupHello,
+    JoinReply,
+    JoinRequest,
+    MactMessage,
+    MulticastData,
+    NearestMemberUpdate,
+)
+from repro.multicast.route_table import GroupEntry, MulticastRouteTable, NextHopEntry
+
+__all__ = [
+    "FloodingConfig",
+    "FloodingRouter",
+    "GroupEntry",
+    "GroupHello",
+    "JoinReply",
+    "JoinRequest",
+    "MactMessage",
+    "MaodvConfig",
+    "MaodvRouter",
+    "MaodvStats",
+    "MulticastData",
+    "MulticastRouteTable",
+    "NearestMemberUpdate",
+    "NextHopEntry",
+    "OdmrpConfig",
+    "OdmrpRouter",
+    "OdmrpStats",
+]

@@ -1,0 +1,59 @@
+"""MAODV protocol parameters.
+
+Defaults follow the paper's simulation settings where stated (group hello
+interval 5 s) and reasonable draft values elsewhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class MaodvConfig:
+    """Tunable MAODV parameters."""
+
+    #: Interval between group hello floods sent by the group leader.
+    group_hello_interval_s: float = 5.0
+    #: TTL of group hello floods and join-request floods.
+    flood_ttl: int = 16
+    #: How long a join requester collects replies before activating the best.
+    reply_wait_s: float = 0.5
+    #: Number of join attempts before the node declares itself partitioned
+    #: (and becomes its own group leader).
+    join_retries: int = 3
+    #: Number of repair attempts after a tree link break before giving up and
+    #: becoming a partition leader.
+    repair_retries: int = 2
+    #: How long a repair attempt waits for replies.
+    repair_wait_s: float = 0.75
+    #: Size in bytes of the control messages.
+    join_request_size_bytes: int = 28
+    join_reply_size_bytes: int = 24
+    mact_size_bytes: int = 16
+    group_hello_size_bytes: int = 16
+    nearest_member_update_size_bytes: int = 12
+    #: Link-layer header accounted for multicast data (the payload size comes
+    #: from the application).
+    data_header_bytes: int = 20
+    #: Size of the (source, seq) duplicate-suppression cache for data.
+    data_cache_size: int = 4096
+    #: Value used as "infinity" for nearest-member distances.
+    nearest_member_infinity: int = 64
+    #: Whether routers maintain nearest-member distances (needed by the
+    #: gossip locality optimisation; cheap, so enabled by default).
+    track_nearest_member: bool = True
+    #: Random delay added before re-broadcasting flooded packets (join
+    #: requests, group hellos, tree data); avoids systematic
+    #: synchronised-rebroadcast collisions between hidden terminals.
+    broadcast_jitter_s: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.group_hello_interval_s <= 0:
+            raise ValueError("group_hello_interval_s must be positive")
+        if self.flood_ttl < 1:
+            raise ValueError("flood_ttl must be at least 1")
+        if self.join_retries < 0 or self.repair_retries < 0:
+            raise ValueError("retry counts must be non-negative")
+        if self.nearest_member_infinity < 1:
+            raise ValueError("nearest_member_infinity must be positive")

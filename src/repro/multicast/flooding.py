@@ -1,0 +1,164 @@
+"""Flooding-based multicast baselines.
+
+The paper's related-work section discusses flooding and *hyper-flooding*
+(Ho et al.) as the brute-force way to obtain reliability in MANETs: every
+node rebroadcasts every new packet, optionally several times.  These routers
+share the delivery-listener interface of :class:`~repro.multicast.maodv.MaodvRouter`
+so the same workload, metrics and (optionally) gossip layer can run on top of
+them, which is what the baseline benchmark uses.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.net.addressing import BROADCAST_ADDRESS, GroupAddress, NodeId
+from repro.net.node import Node
+from repro.multicast.messages import MulticastData
+from repro.routing.aodv import AodvRouter
+
+DataListener = Callable[[MulticastData], None]
+
+
+@dataclass
+class FloodingConfig:
+    """Parameters of the flooding baselines."""
+
+    #: TTL given to flooded data packets.
+    flood_ttl: int = 16
+    #: Number of times each node rebroadcasts a packet.  1 is plain flooding;
+    #: larger values approximate hyper-flooding's aggressive re-sending.
+    rebroadcast_count: int = 1
+    #: Spacing between repeated rebroadcasts (hyper-flooding only).
+    rebroadcast_interval_s: float = 0.5
+    #: Random delay before each (re)broadcast; prevents synchronised
+    #: rebroadcast collisions between hidden terminals.
+    broadcast_jitter_s: float = 0.01
+    #: Duplicate-suppression cache size.
+    data_cache_size: int = 4096
+    #: Link-layer header accounted for multicast data.
+    data_header_bytes: int = 20
+
+    def __post_init__(self) -> None:
+        if self.flood_ttl < 1:
+            raise ValueError("flood_ttl must be at least 1")
+        if self.rebroadcast_count < 1:
+            raise ValueError("rebroadcast_count must be at least 1")
+
+
+@dataclass
+class FloodingStats:
+    """Per-node counters for the flooding baseline."""
+
+    data_originated: int = 0
+    data_forwarded: int = 0
+    data_delivered: int = 0
+    data_duplicates: int = 0
+
+
+class FloodingRouter:
+    """Blind (or hyper-) flooding multicast."""
+
+    def __init__(self, node: Node, aodv: AodvRouter, config: Optional[FloodingConfig] = None):
+        self.node = node
+        self.sim = node.sim
+        self.aodv = aodv
+        self.config = config or FloodingConfig()
+        self.rng = node.streams.for_node("flooding", node.node_id)
+        self.stats = FloodingStats()
+        self._members: Dict[GroupAddress, bool] = {}
+        self._data_seq: Dict[GroupAddress, int] = {}
+        self._seen: "OrderedDict[tuple, None]" = OrderedDict()
+        self._delivery_listeners: List[DataListener] = []
+        node.register_handler(MulticastData, self._on_multicast_data)
+
+    # ------------------------------------------------------------------ basics
+    @property
+    def node_id(self) -> NodeId:
+        """Identifier of the owning node."""
+        return self.node.node_id
+
+    def add_delivery_listener(self, listener: DataListener) -> None:
+        """Subscribe to multicast data delivered to this node as a member."""
+        self._delivery_listeners.append(listener)
+
+    def is_member(self, group: GroupAddress) -> bool:
+        """True when this node joined ``group``."""
+        return self._members.get(group, False)
+
+    def is_on_tree(self, group: GroupAddress) -> bool:
+        """Flooding has no tree; every node participates."""
+        return True
+
+    def join_group(self, group: GroupAddress) -> None:
+        """Join ``group`` (purely local state for flooding)."""
+        self._members[group] = True
+
+    def leave_group(self, group: GroupAddress) -> None:
+        """Leave ``group``."""
+        self._members.pop(group, None)
+
+    def tree_neighbors(self, group: GroupAddress) -> List[NodeId]:
+        """Flooding's "tree" is the current neighbourhood."""
+        return self.aodv.neighbors()
+
+    def nearest_member_via(self, group: GroupAddress, neighbor: NodeId) -> int:
+        """Without a tree there is no member-distance information."""
+        return 1
+
+    # --------------------------------------------------------------- data plane
+    def send_data(self, group: GroupAddress, size_bytes: int = 64) -> MulticastData:
+        """Originate one multicast data packet to ``group``."""
+        seq = self._data_seq.get(group, 0) + 1
+        self._data_seq[group] = seq
+        data = MulticastData(
+            origin=self.node_id,
+            destination=group,
+            size_bytes=size_bytes + self.config.data_header_bytes,
+            ttl=self.config.flood_ttl,
+            group=group,
+            source=self.node_id,
+            seq=seq,
+        )
+        self.stats.data_originated += 1
+        self._remember(data.message_id())
+        if self.is_member(group):
+            self._deliver(data)
+        self._broadcast_repeatedly(data, self.config.rebroadcast_count)
+        return data
+
+    def _on_multicast_data(self, data: MulticastData, from_node: NodeId) -> None:
+        key = data.message_id()
+        if key in self._seen:
+            self.stats.data_duplicates += 1
+            return
+        self._remember(key)
+        if self.is_member(data.group):
+            self._deliver(data)
+        if data.ttl <= 1:
+            return
+        forwarded = data.copy_for_forwarding()
+        self.stats.data_forwarded += 1
+        self._broadcast_repeatedly(forwarded, self.config.rebroadcast_count)
+
+    def _broadcast_repeatedly(self, data: MulticastData, count: int) -> None:
+        for attempt in range(count):
+            jitter = self.rng.uniform(0.0, self.config.broadcast_jitter_s)
+            self.sim.schedule(
+                attempt * self.config.rebroadcast_interval_s + jitter,
+                self.node.send_frame,
+                data,
+                BROADCAST_ADDRESS,
+            )
+
+    def _deliver(self, data: MulticastData) -> None:
+        self.stats.data_delivered += 1
+        for listener in self._delivery_listeners:
+            listener(data)
+
+    def _remember(self, key: tuple) -> None:
+        self._seen[key] = None
+        while len(self._seen) > self.config.data_cache_size:
+            self._seen.popitem(last=False)

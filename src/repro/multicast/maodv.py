@@ -1,0 +1,639 @@
+"""Multicast AODV (MAODV).
+
+This module implements the multicast tree protocol the paper layers
+Anonymous Gossip on top of:
+
+* **Join**: a node joins a group by flooding a :class:`JoinRequest`; tree
+  members and routers answer with :class:`JoinReply`; the requester picks the
+  freshest/shortest reply and activates the branch with a
+  :class:`MactMessage`, grafting every node along the path onto the tree.
+* **Group leader**: the first member of a group (or a member that could not
+  find the tree) becomes group leader, periodically increments the group
+  sequence number and floods :class:`GroupHello` announcements.
+* **Data forwarding**: multicast data is rebroadcast along the tree; a node
+  accepts a data packet only from one of its active tree neighbours and
+  suppresses duplicates by (source, sequence number).
+* **Tree maintenance**: when a tree link breaks, the *downstream* node (the
+  one farther from the leader) repairs it with a repair-flagged join request
+  that only nodes closer to the leader may answer; repeated failure makes it
+  the leader of its own partition.  Leaving members and orphaned leaf routers
+  prune themselves with MACT prune messages.
+* **Nearest-member tracking** (paper section 4.2): every tree node maintains,
+  per next hop, the distance to the nearest group member reachable through
+  that next hop, propagated with small "modify" messages.  Anonymous Gossip
+  uses these distances to bias gossip towards nearby members.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.net.addressing import BROADCAST_ADDRESS, GroupAddress, NodeId
+from repro.net.node import Node
+from repro.net.packet import Packet
+from repro.multicast.config import MaodvConfig
+from repro.multicast.messages import (
+    GroupHello,
+    JoinReply,
+    JoinRequest,
+    MactMessage,
+    MulticastData,
+    NearestMemberUpdate,
+)
+from repro.multicast.route_table import GroupEntry, MulticastRouteTable
+from repro.routing.aodv import AodvRouter
+from repro.sim.timers import PeriodicTimer
+
+DataListener = Callable[[MulticastData], None]
+
+
+@dataclass
+class MaodvStats:
+    """Per-node MAODV counters."""
+
+    joins_initiated: int = 0
+    join_requests_sent: int = 0
+    join_requests_forwarded: int = 0
+    join_replies_sent: int = 0
+    join_replies_forwarded: int = 0
+    mact_sent: int = 0
+    prunes_sent: int = 0
+    group_hellos_sent: int = 0
+    group_hellos_forwarded: int = 0
+    data_originated: int = 0
+    data_forwarded: int = 0
+    data_delivered: int = 0
+    data_duplicates: int = 0
+    data_rejected_off_tree: int = 0
+    repairs_started: int = 0
+    repairs_succeeded: int = 0
+    partitions_became_leader: int = 0
+    nearest_member_updates_sent: int = 0
+
+
+@dataclass
+class _PendingJoin:
+    """State of an in-progress join or tree-repair attempt."""
+
+    group: GroupAddress
+    rreq_id: int
+    repair: bool = False
+    requester_hops_to_leader: int = 0
+    retries: int = 0
+    replies: List[Tuple[JoinReply, NodeId]] = field(default_factory=list)
+
+
+class MaodvRouter:
+    """MAODV multicast routing agent for a single node."""
+
+    def __init__(self, node: Node, aodv: AodvRouter, config: Optional[MaodvConfig] = None):
+        self.node = node
+        self.sim = node.sim
+        self.aodv = aodv
+        self.config = config or MaodvConfig()
+        self.rng = node.streams.for_node("maodv", node.node_id)
+        self.stats = MaodvStats()
+        self.table = MulticastRouteTable()
+
+        self._rreq_id = 0
+        self._data_seq: Dict[GroupAddress, int] = {}
+        self._pending_joins: Dict[GroupAddress, _PendingJoin] = {}
+        self._reverse_routes: Dict[tuple, NodeId] = {}
+        self._potential_upstream: Dict[tuple, NodeId] = {}
+        self._seen_join_requests: Dict[tuple, float] = {}
+        self._seen_group_hellos: Dict[tuple, float] = {}
+        self._seen_data: "OrderedDict[tuple, None]" = OrderedDict()
+        self._last_advertised: Dict[Tuple[GroupAddress, NodeId], int] = {}
+        self._group_hello_timers: Dict[GroupAddress, PeriodicTimer] = {}
+        self._delivery_listeners: List[DataListener] = []
+
+        node.register_handler(MulticastData, self._on_multicast_data)
+        node.register_handler(JoinRequest, self._on_join_request)
+        node.register_handler(JoinReply, self._on_join_reply)
+        node.register_handler(MactMessage, self._on_mact)
+        node.register_handler(GroupHello, self._on_group_hello)
+        node.register_handler(NearestMemberUpdate, self._on_nearest_member_update)
+        aodv.add_neighbor_loss_listener(self._on_neighbor_loss)
+
+    # ------------------------------------------------------------------ basics
+    @property
+    def node_id(self) -> NodeId:
+        """Identifier of the owning node."""
+        return self.node.node_id
+
+    def add_delivery_listener(self, listener: DataListener) -> None:
+        """Subscribe to multicast data delivered to this node as a member."""
+        self._delivery_listeners.append(listener)
+
+    def _broadcast_jittered(self, packet: Packet) -> None:
+        """Re-broadcast a flooded packet after a small random delay.
+
+        Several tree routers forward the same flooded packet at the same
+        instant; without jitter, hidden terminals collide systematically.
+        """
+        jitter = self.rng.uniform(0.0, self.config.broadcast_jitter_s)
+        self.sim.schedule(jitter, self.node.send_frame, packet, BROADCAST_ADDRESS)
+
+    def is_member(self, group: GroupAddress) -> bool:
+        """True when this node is a member of ``group``."""
+        entry = self.table.entry(group)
+        return entry is not None and entry.is_member
+
+    def is_on_tree(self, group: GroupAddress) -> bool:
+        """True when this node is part of the group's multicast tree."""
+        entry = self.table.entry(group)
+        return entry is not None and entry.on_tree
+
+    def is_group_leader(self, group: GroupAddress) -> bool:
+        """True when this node currently acts as the group leader."""
+        entry = self.table.entry(group)
+        return entry is not None and entry.leader == self.node_id
+
+    def tree_neighbors(self, group: GroupAddress) -> List[NodeId]:
+        """Active multicast tree next hops for ``group``."""
+        entry = self.table.entry(group)
+        if entry is None:
+            return []
+        return entry.tree_neighbors()
+
+    def nearest_member_via(self, group: GroupAddress, neighbor: NodeId) -> int:
+        """Nearest-member distance advertised by ``neighbor`` for ``group``."""
+        entry = self.table.entry(group)
+        if entry is None:
+            return self.config.nearest_member_infinity
+        return entry.nearest_member_via(neighbor)
+
+    # -------------------------------------------------------------- membership
+    def join_group(self, group: GroupAddress) -> None:
+        """Join ``group`` as a member, building or grafting onto its tree."""
+        entry = self.table.get_or_create(group)
+        if entry.is_member:
+            return
+        entry.is_member = True
+        self.stats.joins_initiated += 1
+        if entry.tree_neighbors():
+            # Already a router on this tree: membership change only.
+            self._propagate_nearest_member(group)
+            return
+        self._start_join(group)
+
+    def leave_group(self, group: GroupAddress) -> None:
+        """Leave ``group``; a leaf node prunes itself off the tree."""
+        entry = self.table.entry(group)
+        if entry is None or not entry.is_member:
+            return
+        entry.is_member = False
+        neighbors = entry.tree_neighbors()
+        if len(neighbors) <= 1 and not self.is_group_leader(group):
+            if neighbors:
+                self._send_prune(group, neighbors[0])
+                entry.remove_next_hop(neighbors[0])
+            self._stop_group_hello(group)
+            self.table.remove(group)
+            return
+        # Non-leaf members must keep routing for the tree.
+        self._propagate_nearest_member(group)
+
+    # --------------------------------------------------------------- data plane
+    def send_data(self, group: GroupAddress, size_bytes: int = 64) -> MulticastData:
+        """Originate one multicast data packet to ``group``; returns it."""
+        seq = self._data_seq.get(group, 0) + 1
+        self._data_seq[group] = seq
+        data = MulticastData(
+            origin=self.node_id,
+            destination=group,
+            size_bytes=size_bytes + self.config.data_header_bytes,
+            group=group,
+            source=self.node_id,
+            seq=seq,
+        )
+        self.stats.data_originated += 1
+        self._remember_data(data.message_id())
+        entry = self.table.entry(group)
+        if entry is not None and entry.is_member:
+            self._deliver_to_member(data)
+        if entry is not None and entry.tree_neighbors():
+            self.node.send_frame(data, BROADCAST_ADDRESS)
+        return data
+
+    def _on_multicast_data(self, data: MulticastData, from_node: NodeId) -> None:
+        entry = self.table.entry(data.group)
+        if entry is None or not entry.on_tree:
+            return
+        if from_node != self.node_id and from_node not in entry.next_hops:
+            # Data is only accepted from tree neighbours (enabled or pending
+            # activation); anything else is off-tree traffic.
+            self.stats.data_rejected_off_tree += 1
+            return
+        key = data.message_id()
+        if key in self._seen_data:
+            self.stats.data_duplicates += 1
+            return
+        self._remember_data(key)
+        if entry.is_member:
+            self._deliver_to_member(data)
+        # Forward along the tree if there is anyone besides the sender.
+        others = [n for n in entry.tree_neighbors() if n != from_node]
+        if others:
+            self.stats.data_forwarded += 1
+            self._broadcast_jittered(data)
+
+    def _deliver_to_member(self, data: MulticastData) -> None:
+        self.stats.data_delivered += 1
+        for listener in self._delivery_listeners:
+            listener(data)
+
+    def _remember_data(self, key: tuple) -> None:
+        self._seen_data[key] = None
+        while len(self._seen_data) > self.config.data_cache_size:
+            self._seen_data.popitem(last=False)
+
+    # ------------------------------------------------------------ join protocol
+    def _start_join(self, group: GroupAddress, *, repair: bool = False,
+                    requester_hops_to_leader: int = 0) -> None:
+        if group in self._pending_joins:
+            return
+        self._rreq_id += 1
+        pending = _PendingJoin(
+            group=group,
+            rreq_id=self._rreq_id,
+            repair=repair,
+            requester_hops_to_leader=requester_hops_to_leader,
+        )
+        self._pending_joins[group] = pending
+        if repair:
+            self.stats.repairs_started += 1
+        self._send_join_request(pending)
+
+    def _send_join_request(self, pending: _PendingJoin) -> None:
+        entry = self.table.get_or_create(pending.group)
+        self.stats.join_requests_sent += 1
+        request = JoinRequest(
+            origin=self.node_id,
+            destination=BROADCAST_ADDRESS,
+            size_bytes=self.config.join_request_size_bytes,
+            ttl=self.config.flood_ttl,
+            group=pending.group,
+            origin_seq=self.aodv.sequence_number,
+            rreq_id=pending.rreq_id,
+            hop_count=0,
+            group_seq=entry.group_seq,
+            group_seq_known=entry.leader != -1,
+            repair=pending.repair,
+            requester_hops_to_leader=pending.requester_hops_to_leader,
+        )
+        self._seen_join_requests[request.key()] = self.sim.now + 10.0
+        self.node.send_frame(request, BROADCAST_ADDRESS)
+        wait = self.config.repair_wait_s if pending.repair else self.config.reply_wait_s
+        self.sim.schedule(wait, self._join_wait_expired, pending.group, pending.rreq_id)
+
+    def _on_join_request(self, request: JoinRequest, from_node: NodeId) -> None:
+        if request.origin == self.node_id:
+            return
+        now = self.sim.now
+        key = request.key()
+        expiry = self._seen_join_requests.get(key)
+        if expiry is not None and expiry > now:
+            return
+        self._seen_join_requests[key] = now + 10.0
+        self._reverse_routes[key] = from_node
+
+        entry = self.table.entry(request.group)
+        can_reply = entry is not None and entry.on_tree
+        if can_reply and request.repair:
+            # Only nodes closer to the group leader than the requester may
+            # answer a repair request (prevents loops, per the paper).
+            can_reply = entry.hops_to_leader < request.requester_hops_to_leader
+        if can_reply:
+            entry.add_next_hop(from_node, enabled=False)
+            self.stats.join_replies_sent += 1
+            reply = JoinReply(
+                origin=self.node_id,
+                destination=request.origin,
+                size_bytes=self.config.join_reply_size_bytes,
+                group=request.group,
+                replier=self.node_id,
+                group_seq=entry.group_seq,
+                group_leader=entry.leader,
+                hop_count=0,
+                hops_to_leader=entry.hops_to_leader,
+                rreq_id=request.rreq_id,
+            )
+            self.node.send_frame(reply, from_node)
+            return
+        if request.ttl <= 1:
+            return
+        forwarded = JoinRequest(
+            origin=request.origin,
+            destination=BROADCAST_ADDRESS,
+            size_bytes=request.size_bytes,
+            ttl=request.ttl - 1,
+            group=request.group,
+            origin_seq=request.origin_seq,
+            rreq_id=request.rreq_id,
+            hop_count=request.hop_count + 1,
+            group_seq=request.group_seq,
+            group_seq_known=request.group_seq_known,
+            repair=request.repair,
+            requester_hops_to_leader=request.requester_hops_to_leader,
+        )
+        self.stats.join_requests_forwarded += 1
+        self._broadcast_jittered(forwarded)
+
+    def _on_join_reply(self, reply: JoinReply, from_node: NodeId) -> None:
+        if reply.destination == self.node_id:
+            pending = self._pending_joins.get(reply.group)
+            if pending is not None and pending.rreq_id == reply.rreq_id:
+                pending.replies.append((reply, from_node))
+            return
+        # Intermediate node: remember the path in both directions as
+        # potential (disabled) tree links and forward towards the requester.
+        entry = self.table.get_or_create(reply.group)
+        entry.add_next_hop(from_node, enabled=False)
+        self._potential_upstream[(reply.group, reply.rreq_id)] = from_node
+        reverse = self._reverse_routes.get((reply.destination, reply.rreq_id))
+        if reverse is None:
+            return
+        entry.add_next_hop(reverse, enabled=False)
+        forwarded = JoinReply(
+            origin=reply.origin,
+            destination=reply.destination,
+            size_bytes=reply.size_bytes,
+            group=reply.group,
+            replier=reply.replier,
+            group_seq=reply.group_seq,
+            group_leader=reply.group_leader,
+            hop_count=reply.hop_count + 1,
+            hops_to_leader=reply.hops_to_leader,
+            rreq_id=reply.rreq_id,
+        )
+        self.stats.join_replies_forwarded += 1
+        self.node.send_frame(forwarded, reverse)
+
+    def _join_wait_expired(self, group: GroupAddress, rreq_id: int) -> None:
+        pending = self._pending_joins.get(group)
+        if pending is None or pending.rreq_id != rreq_id:
+            return
+        if pending.replies:
+            self._activate_best_reply(pending)
+            return
+        max_retries = self.config.repair_retries if pending.repair else self.config.join_retries
+        if pending.retries < max_retries:
+            pending.retries += 1
+            self._rreq_id += 1
+            pending.rreq_id = self._rreq_id
+            pending.replies.clear()
+            self._send_join_request(pending)
+            return
+        # No tree found: this node becomes the leader of its own partition.
+        del self._pending_joins[group]
+        entry = self.table.get_or_create(group)
+        if entry.is_member:
+            self._become_leader(group)
+        elif not entry.on_tree:
+            self.table.remove(group)
+
+    def _activate_best_reply(self, pending: _PendingJoin) -> None:
+        del self._pending_joins[pending.group]
+        reply, next_hop = max(
+            pending.replies, key=lambda item: (item[0].group_seq, -item[0].hop_count)
+        )
+        entry = self.table.get_or_create(pending.group)
+        entry.leader = reply.group_leader
+        entry.group_seq = max(entry.group_seq, reply.group_seq)
+        entry.hops_to_leader = reply.hops_to_leader + reply.hop_count + 1
+        entry.enable_next_hop(next_hop, is_upstream=True)
+        self._stop_group_hello_if_not_leader(pending.group)
+        mact = MactMessage(
+            origin=self.node_id,
+            destination=next_hop,
+            size_bytes=self.config.mact_size_bytes,
+            group=pending.group,
+            kind="activate",
+            rreq_id=pending.rreq_id,
+        )
+        self.stats.mact_sent += 1
+        self.node.send_frame(mact, next_hop)
+        if pending.repair:
+            self.stats.repairs_succeeded += 1
+        self._propagate_nearest_member(pending.group)
+
+    def _on_mact(self, mact: MactMessage, from_node: NodeId) -> None:
+        entry = self.table.entry(mact.group)
+        if entry is None:
+            return
+        if mact.kind == "prune":
+            entry.remove_next_hop(from_node)
+            self._last_advertised.pop((mact.group, from_node), None)
+            self._maybe_prune_self(mact.group)
+            self._propagate_nearest_member(mact.group)
+            return
+        was_on_tree = entry.on_tree
+        entry.enable_next_hop(from_node, is_upstream=False)
+        if not was_on_tree:
+            upstream = self._potential_upstream.get((mact.group, mact.rreq_id))
+            if upstream is not None and upstream != from_node:
+                entry.enable_next_hop(upstream, is_upstream=True)
+                forwarded = MactMessage(
+                    origin=self.node_id,
+                    destination=upstream,
+                    size_bytes=self.config.mact_size_bytes,
+                    group=mact.group,
+                    kind="activate",
+                    rreq_id=mact.rreq_id,
+                )
+                self.stats.mact_sent += 1
+                self.node.send_frame(forwarded, upstream)
+        self._propagate_nearest_member(mact.group)
+
+    # -------------------------------------------------------------- group hello
+    def _become_leader(self, group: GroupAddress) -> None:
+        entry = self.table.get_or_create(group)
+        entry.leader = self.node_id
+        entry.group_seq += 1
+        entry.hops_to_leader = 0
+        self.stats.partitions_became_leader += 1
+        if group not in self._group_hello_timers:
+            timer = PeriodicTimer(
+                self.sim,
+                self.config.group_hello_interval_s,
+                lambda g=group: self._send_group_hello(g),
+                delay=self.rng.uniform(0.0, 0.5),
+            )
+            self._group_hello_timers[group] = timer
+            timer.start()
+        self._propagate_nearest_member(group)
+
+    def _stop_group_hello(self, group: GroupAddress) -> None:
+        timer = self._group_hello_timers.pop(group, None)
+        if timer is not None:
+            timer.stop()
+
+    def _stop_group_hello_if_not_leader(self, group: GroupAddress) -> None:
+        if not self.is_group_leader(group):
+            self._stop_group_hello(group)
+
+    def _send_group_hello(self, group: GroupAddress) -> None:
+        entry = self.table.entry(group)
+        if entry is None or entry.leader != self.node_id:
+            self._stop_group_hello(group)
+            return
+        entry.group_seq += 1
+        self.stats.group_hellos_sent += 1
+        hello = GroupHello(
+            origin=self.node_id,
+            destination=BROADCAST_ADDRESS,
+            size_bytes=self.config.group_hello_size_bytes,
+            ttl=self.config.flood_ttl,
+            group=group,
+            leader=self.node_id,
+            group_seq=entry.group_seq,
+            hop_count=0,
+        )
+        self._seen_group_hellos[hello.key()] = self.sim.now + 60.0
+        self.node.send_frame(hello, BROADCAST_ADDRESS)
+
+    def _on_group_hello(self, hello: GroupHello, from_node: NodeId) -> None:
+        now = self.sim.now
+        key = hello.key()
+        expiry = self._seen_group_hellos.get(key)
+        if expiry is not None and expiry > now:
+            return
+        self._seen_group_hellos[key] = now + 60.0
+        if len(self._seen_group_hellos) > 1024:
+            self._seen_group_hellos = {
+                k: v for k, v in self._seen_group_hellos.items() if v > now
+            }
+        entry = self.table.entry(hello.group)
+        if entry is not None:
+            self._reconcile_leader(entry, hello)
+        if hello.ttl > 1:
+            forwarded = GroupHello(
+                origin=hello.origin,
+                destination=BROADCAST_ADDRESS,
+                size_bytes=hello.size_bytes,
+                ttl=hello.ttl - 1,
+                group=hello.group,
+                leader=hello.leader,
+                group_seq=hello.group_seq,
+                hop_count=hello.hop_count + 1,
+            )
+            self.stats.group_hellos_forwarded += 1
+            self._broadcast_jittered(forwarded)
+
+    def _reconcile_leader(self, entry: GroupEntry, hello: GroupHello) -> None:
+        if hello.group_seq < entry.group_seq:
+            return
+        if hello.leader == self.node_id:
+            return
+        i_am_leader = entry.leader == self.node_id
+        if i_am_leader:
+            # Two partitions heard each other.  The leader with the lower id
+            # abdicates and grafts onto the other tree (simplified merge rule
+            # compared to the full draft, preserving the "single leader after
+            # merge" behaviour).
+            if hello.leader > self.node_id:
+                self._stop_group_hello(entry.group)
+                entry.leader = hello.leader
+                entry.group_seq = hello.group_seq
+                entry.hops_to_leader = hello.hop_count + 1
+                if entry.is_member:
+                    # Graft this (sub)tree onto the surviving leader's tree:
+                    # only nodes closer to the new leader may answer, which
+                    # prevents re-grafting onto the abdicating leader's own
+                    # subtree.
+                    self._start_join(
+                        entry.group,
+                        repair=True,
+                        requester_hops_to_leader=entry.hops_to_leader,
+                    )
+            return
+        entry.leader = hello.leader
+        entry.group_seq = max(entry.group_seq, hello.group_seq)
+        if entry.on_tree:
+            entry.hops_to_leader = hello.hop_count + 1
+        # A member that lost contact with the tree rejoins when it hears the
+        # leader again.
+        if entry.is_member and not entry.tree_neighbors() and entry.group not in self._pending_joins:
+            self._start_join(entry.group)
+
+    # ---------------------------------------------------------- tree maintenance
+    def _on_neighbor_loss(self, neighbor: NodeId) -> None:
+        for group in list(self.table.groups()):
+            entry = self.table.entry(group)
+            if entry is None or neighbor not in entry.next_hops:
+                continue
+            hop = entry.next_hops[neighbor]
+            was_enabled = hop.enabled
+            was_upstream = hop.is_upstream
+            entry.remove_next_hop(neighbor)
+            self._last_advertised.pop((group, neighbor), None)
+            if not was_enabled:
+                continue
+            if was_upstream and not self.is_group_leader(group):
+                # Downstream node repairs the break (paper / draft rule).
+                self._start_join(
+                    group,
+                    repair=True,
+                    requester_hops_to_leader=max(entry.hops_to_leader, 1),
+                )
+            else:
+                self._maybe_prune_self(group)
+            self._propagate_nearest_member(group)
+
+    def _maybe_prune_self(self, group: GroupAddress) -> None:
+        entry = self.table.entry(group)
+        if entry is None or entry.is_member or self.is_group_leader(group):
+            return
+        neighbors = entry.tree_neighbors()
+        if len(neighbors) == 1:
+            self._send_prune(group, neighbors[0])
+            entry.remove_next_hop(neighbors[0])
+            neighbors = []
+        if not neighbors:
+            self._stop_group_hello(group)
+            self.table.remove(group)
+
+    def _send_prune(self, group: GroupAddress, neighbor: NodeId) -> None:
+        prune = MactMessage(
+            origin=self.node_id,
+            destination=neighbor,
+            size_bytes=self.config.mact_size_bytes,
+            group=group,
+            kind="prune",
+        )
+        self.stats.prunes_sent += 1
+        self.node.send_frame(prune, neighbor)
+
+    # ------------------------------------------------------- nearest member data
+    def _propagate_nearest_member(self, group: GroupAddress) -> None:
+        if not self.config.track_nearest_member:
+            return
+        entry = self.table.entry(group)
+        if entry is None:
+            return
+        infinity = self.config.nearest_member_infinity
+        for neighbor in entry.tree_neighbors():
+            advertised = entry.advertised_distance_to(neighbor, infinity)
+            last = self._last_advertised.get((group, neighbor))
+            if last == advertised:
+                continue
+            self._last_advertised[(group, neighbor)] = advertised
+            update = NearestMemberUpdate(
+                origin=self.node_id,
+                destination=neighbor,
+                size_bytes=self.config.nearest_member_update_size_bytes,
+                group=group,
+                distance=advertised,
+            )
+            self.stats.nearest_member_updates_sent += 1
+            self.node.send_frame(update, neighbor)
+
+    def _on_nearest_member_update(self, update: NearestMemberUpdate, from_node: NodeId) -> None:
+        entry = self.table.entry(update.group)
+        if entry is None or from_node not in entry.next_hops:
+            return
+        if entry.set_nearest_member(from_node, update.distance):
+            self._propagate_nearest_member(update.group)

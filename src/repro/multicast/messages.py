@@ -1,0 +1,115 @@
+"""MAODV control and data messages.
+
+MAODV reuses AODV's message structure with multicast extensions; here the
+extensions are modelled as dedicated packet classes to keep the two protocols
+independently testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.addressing import BROADCAST_ADDRESS, GroupAddress, NodeId
+from repro.net.packet import Packet
+
+
+@dataclass
+class MulticastData(Packet):
+    """A multicast data packet forwarded along the group tree.
+
+    ``destination`` holds the group address; ``origin`` is the original
+    multicast source; ``seq`` is the per-source sequence number that the
+    gossip layer uses to detect losses.
+    """
+
+    group: GroupAddress = -1
+    source: NodeId = -1
+    seq: int = 0
+
+    def message_id(self) -> tuple:
+        """Globally unique id of the multicast message: (source, seq)."""
+        return (self.source, self.seq)
+
+
+@dataclass
+class JoinRequest(Packet):
+    """RREQ with the join (or repair) flag set, flooded by a joining node."""
+
+    group: GroupAddress = -1
+    origin_seq: int = 0
+    rreq_id: int = 0
+    hop_count: int = 0
+    group_seq: int = 0
+    group_seq_known: bool = False
+    #: True when this request repairs a broken tree link rather than joining.
+    repair: bool = False
+    #: For repair requests: the requester's last known distance to the group
+    #: leader.  Only nodes strictly closer to the leader may answer.
+    requester_hops_to_leader: int = 0
+
+    def __post_init__(self) -> None:
+        self.destination = BROADCAST_ADDRESS
+
+    def key(self) -> tuple:
+        """Duplicate-suppression key."""
+        return (self.origin, self.rreq_id)
+
+
+@dataclass
+class JoinReply(Packet):
+    """RREP sent by a tree member/router back towards the join requester."""
+
+    group: GroupAddress = -1
+    #: Node on the multicast tree that generated the reply.
+    replier: NodeId = -1
+    group_seq: int = 0
+    group_leader: NodeId = -1
+    #: Hops from the forwarding node to the replier (incremented per hop).
+    hop_count: int = 0
+    #: Replier's distance to the group leader.
+    hops_to_leader: int = 0
+    #: Echo of the request's rreq_id so the requester can match replies.
+    rreq_id: int = 0
+
+
+@dataclass
+class MactMessage(Packet):
+    """Multicast activation message (MACT).
+
+    ``kind`` is ``"activate"`` to graft the sender onto the tree via the
+    receiving next hop, or ``"prune"`` to leave the tree.
+    """
+
+    group: GroupAddress = -1
+    kind: str = "activate"
+    rreq_id: int = 0
+
+
+@dataclass
+class GroupHello(Packet):
+    """Periodic network-wide announcement flooded by the group leader."""
+
+    group: GroupAddress = -1
+    leader: NodeId = -1
+    group_seq: int = 0
+    hop_count: int = 0
+
+    def __post_init__(self) -> None:
+        self.destination = BROADCAST_ADDRESS
+
+    def key(self) -> tuple:
+        """Duplicate-suppression key."""
+        return (self.leader, self.group_seq, self.group)
+
+
+@dataclass
+class NearestMemberUpdate(Packet):
+    """Modify message propagating nearest-member distances along the tree.
+
+    This is the paper's section 4.2 maintenance traffic: when a node's
+    advertised distance-to-nearest-member towards one of its tree next hops
+    changes, it sends the new value to that next hop.
+    """
+
+    group: GroupAddress = -1
+    distance: int = 0

@@ -1,0 +1,38 @@
+"""Wireless network substrate.
+
+This package models the pieces of the GloMoSim stack that the paper's
+evaluation relies on:
+
+* :mod:`repro.net.addressing` -- node identifiers, broadcast and multicast
+  group addresses.
+* :mod:`repro.net.packet` -- base packet / frame types shared by every layer.
+* :mod:`repro.net.medium` -- the shared wireless medium: unit-disk
+  propagation, carrier sensing and collision handling.
+* :mod:`repro.net.phy` -- per-node radio bound to the medium.
+* :mod:`repro.net.mac` -- a CSMA/CA MAC in the spirit of IEEE 802.11 DCF:
+  carrier sense, binary-exponential backoff, unicast ACK + retransmission,
+  broadcast without recovery.
+* :mod:`repro.net.node` -- a mobile node owning a protocol stack.
+"""
+
+from repro.net.addressing import BROADCAST_ADDRESS, GroupAddress, NodeId, is_multicast
+from repro.net.config import MacConfig, RadioConfig
+from repro.net.mac import CsmaMac, MacStats
+from repro.net.medium import Medium
+from repro.net.node import Node
+from repro.net.packet import Frame, Packet
+
+__all__ = [
+    "BROADCAST_ADDRESS",
+    "CsmaMac",
+    "Frame",
+    "GroupAddress",
+    "MacConfig",
+    "MacStats",
+    "Medium",
+    "Node",
+    "NodeId",
+    "Packet",
+    "RadioConfig",
+    "is_multicast",
+]

@@ -1,0 +1,41 @@
+"""Addressing conventions.
+
+Nodes are identified by small non-negative integers (``NodeId``).  Multicast
+groups live in a disjoint address space starting at
+:data:`MULTICAST_BASE` so a destination address can always be classified as
+unicast, multicast or broadcast without extra context (mirroring IPv4 class-D
+addressing in the paper's stack).
+"""
+
+from __future__ import annotations
+
+NodeId = int
+GroupAddress = int
+
+#: Link-layer and network-layer broadcast address.
+BROADCAST_ADDRESS: int = -1
+
+#: First address of the multicast group range.
+MULTICAST_BASE: int = 1_000_000
+
+
+def make_group_address(index: int) -> GroupAddress:
+    """Return the group address for multicast group number ``index`` (0-based)."""
+    if index < 0:
+        raise ValueError(f"group index must be non-negative, got {index}")
+    return MULTICAST_BASE + index
+
+
+def is_multicast(address: int) -> bool:
+    """True when ``address`` designates a multicast group."""
+    return address >= MULTICAST_BASE
+
+
+def is_broadcast(address: int) -> bool:
+    """True when ``address`` is the broadcast address."""
+    return address == BROADCAST_ADDRESS
+
+
+def is_unicast(address: int) -> bool:
+    """True when ``address`` designates a single node."""
+    return 0 <= address < MULTICAST_BASE

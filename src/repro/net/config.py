@@ -1,0 +1,71 @@
+"""Radio and MAC configuration.
+
+Defaults mirror the paper's GloMoSim setup: IEEE 802.11 at 2 Mbps with a
+configurable transmission range (the paper sweeps 45 m - 85 m).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class RadioConfig:
+    """Physical-layer parameters.
+
+    Attributes
+    ----------
+    transmission_range_m:
+        Unit-disk reception range; nodes farther apart than this cannot
+        receive each other's frames.
+    carrier_sense_range_m:
+        Range within which a transmission is sensed as channel-busy (and can
+        corrupt concurrent receptions).  Defaults to the transmission range
+        when left at ``None``.
+    bitrate_bps:
+        Channel bit rate.  The paper assumes 2 Mbps.
+    preamble_s:
+        Fixed per-frame PHY overhead added to the transmission duration.
+    """
+
+    transmission_range_m: float = 75.0
+    carrier_sense_range_m: float | None = None
+    bitrate_bps: float = 2_000_000.0
+    preamble_s: float = 192e-6
+
+    def __post_init__(self) -> None:
+        if self.transmission_range_m <= 0:
+            raise ValueError("transmission_range_m must be positive")
+        if self.bitrate_bps <= 0:
+            raise ValueError("bitrate_bps must be positive")
+        if self.carrier_sense_range_m is None:
+            self.carrier_sense_range_m = self.transmission_range_m
+        if self.carrier_sense_range_m < self.transmission_range_m:
+            raise ValueError("carrier_sense_range_m cannot be below transmission_range_m")
+
+    def airtime(self, size_bytes: int) -> float:
+        """Time in seconds to put ``size_bytes`` on the air."""
+        return self.preamble_s + (size_bytes * 8.0) / self.bitrate_bps
+
+
+@dataclass
+class MacConfig:
+    """CSMA/CA MAC parameters (802.11-DCF-like)."""
+
+    slot_time_s: float = 20e-6
+    sifs_s: float = 10e-6
+    difs_s: float = 50e-6
+    cw_min: int = 16
+    cw_max: int = 1024
+    retry_limit: int = 4
+    ack_timeout_s: float = 1.5e-3
+    ack_size_bytes: int = 14
+    queue_limit: int = 64
+
+    def __post_init__(self) -> None:
+        if self.cw_min < 1 or self.cw_max < self.cw_min:
+            raise ValueError("contention window bounds must satisfy 1 <= cw_min <= cw_max")
+        if self.retry_limit < 0:
+            raise ValueError("retry_limit must be non-negative")
+        if self.queue_limit < 1:
+            raise ValueError("queue_limit must be at least 1")

@@ -1,0 +1,261 @@
+"""A CSMA/CA medium-access layer.
+
+The MAC models the parts of IEEE 802.11 DCF that shape the paper's results:
+
+* carrier sense plus random backoff before every transmission,
+* binary-exponential backoff on retransmission,
+* link-layer acknowledgement and retransmission for unicast frames,
+* no recovery for broadcast frames (they are sent exactly once),
+* a bounded transmit queue (congestion drops).
+
+A failed unicast (retry limit exceeded) is reported to the upper layer, which
+is how AODV/MAODV detect broken links in addition to missed hello beacons.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Optional
+
+from repro.net.addressing import BROADCAST_ADDRESS, NodeId
+from repro.net.config import MacConfig
+from repro.net.packet import Frame, Packet
+from repro.net.phy import Phy
+from repro.sim.engine import EventHandle, Simulator
+
+
+@dataclass
+class MacAck(Packet):
+    """Link-layer acknowledgement for a unicast frame."""
+
+    acked_uid: int = -1
+
+    def __post_init__(self) -> None:
+        self.ttl = 1
+
+
+@dataclass
+class MacStats:
+    """Counters kept by each MAC instance."""
+
+    enqueued: int = 0
+    queue_drops: int = 0
+    data_transmissions: int = 0
+    broadcast_transmissions: int = 0
+    ack_transmissions: int = 0
+    retransmissions: int = 0
+    unicast_failures: int = 0
+    delivered_to_upper: int = 0
+    acks_received: int = 0
+
+
+class _MacState(enum.Enum):
+    IDLE = "idle"
+    CONTEND = "contend"
+    TRANSMIT = "transmit"
+    WAIT_ACK = "wait_ack"
+
+
+@dataclass
+class _OutgoingFrame:
+    frame: Frame
+    retries: int = 0
+    cw: int = 0
+
+
+class CsmaMac:
+    """Carrier-sense MAC with unicast ARQ.
+
+    Parameters
+    ----------
+    sim, phy, config, rng:
+        Simulation engine, radio, MAC parameters and the random stream used
+        for backoff.
+    on_receive:
+        ``callback(packet, from_node_id)`` invoked for every frame addressed
+        to this node (or broadcast).
+    on_unicast_failure:
+        ``callback(packet, next_hop)`` invoked when a unicast frame exhausts
+        its retries; used by routing layers as a link-break signal.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        phy: Phy,
+        config: MacConfig,
+        rng,
+        *,
+        on_receive: Optional[Callable[[Packet, NodeId], None]] = None,
+        on_unicast_failure: Optional[Callable[[Packet, NodeId], None]] = None,
+    ):
+        self.sim = sim
+        self.phy = phy
+        self.config = config
+        self.rng = rng
+        self.stats = MacStats()
+        self.on_receive = on_receive
+        self.on_unicast_failure = on_unicast_failure
+
+        self._state = _MacState.IDLE
+        self._queue: Deque[_OutgoingFrame] = deque()
+        self._current: Optional[_OutgoingFrame] = None
+        self._pending_event: Optional[EventHandle] = None
+        # Recently received unicast frame ids, used to suppress duplicate
+        # deliveries caused by lost ACKs + retransmission (802.11 does the
+        # same with its retry bit and sequence-number cache).
+        self._recent_unicast: Deque[tuple] = deque(maxlen=32)
+
+        phy.set_receive_callback(self._on_phy_receive)
+
+    # ----------------------------------------------------------------- public
+    @property
+    def node_id(self) -> NodeId:
+        """Identifier of the owning node."""
+        return self.phy.node_id
+
+    @property
+    def state(self) -> str:
+        """Current MAC state name (for tests and debugging)."""
+        return self._state.value
+
+    @property
+    def queue_length(self) -> int:
+        """Number of frames waiting to be transmitted (excluding the current one)."""
+        return len(self._queue)
+
+    def send(self, packet: Packet, next_hop: int) -> bool:
+        """Queue ``packet`` for transmission to ``next_hop``.
+
+        Returns ``False`` when the frame was dropped because the transmit
+        queue is full.
+        """
+        frame = Frame(src=self.node_id, dst=next_hop, packet=packet)
+        if len(self._queue) >= self.config.queue_limit:
+            self.stats.queue_drops += 1
+            return False
+        self.stats.enqueued += 1
+        self._queue.append(_OutgoingFrame(frame=frame, cw=self.config.cw_min))
+        if self._state is _MacState.IDLE:
+            self._dequeue_next()
+        return True
+
+    # ----------------------------------------------------------- transmit path
+    def _dequeue_next(self) -> None:
+        if self._current is not None or not self._queue:
+            return
+        self._current = self._queue.popleft()
+        self._start_contention()
+
+    def _start_contention(self) -> None:
+        self._state = _MacState.CONTEND
+        backoff = self._backoff_delay(self._current.cw)
+        self._pending_event = self.sim.schedule(backoff, self._attempt_transmission)
+
+    def _backoff_delay(self, cw: int) -> float:
+        slots = self.rng.randrange(cw)
+        return self.config.difs_s + slots * self.config.slot_time_s
+
+    def _attempt_transmission(self) -> None:
+        if self._state is not _MacState.CONTEND or self._current is None:
+            return
+        if self.phy.transmitting or self.phy.carrier_busy():
+            # Defer: redraw the backoff and try again when it expires.
+            backoff = self._backoff_delay(self._current.cw)
+            self._pending_event = self.sim.schedule(backoff, self._attempt_transmission)
+            return
+        self._state = _MacState.TRANSMIT
+        frame = self._current.frame
+        if frame.is_broadcast:
+            self.stats.broadcast_transmissions += 1
+        else:
+            self.stats.data_transmissions += 1
+        duration = self.phy.transmit(frame)
+        self._pending_event = self.sim.schedule(duration, self._transmission_done)
+
+    def _transmission_done(self) -> None:
+        if self._current is None:
+            self._state = _MacState.IDLE
+            return
+        frame = self._current.frame
+        if frame.is_broadcast:
+            self._finish_current()
+        else:
+            self._state = _MacState.WAIT_ACK
+            self._pending_event = self.sim.schedule(self.config.ack_timeout_s, self._ack_timeout)
+
+    def _ack_timeout(self) -> None:
+        if self._state is not _MacState.WAIT_ACK or self._current is None:
+            return
+        current = self._current
+        if current.retries >= self.config.retry_limit:
+            self.stats.unicast_failures += 1
+            failed = current.frame
+            self._finish_current()
+            if self.on_unicast_failure is not None:
+                self.on_unicast_failure(failed.packet, failed.dst)
+            return
+        current.retries += 1
+        current.cw = min(current.cw * 2, self.config.cw_max)
+        self.stats.retransmissions += 1
+        self._start_contention()
+
+    def _finish_current(self) -> None:
+        self._current = None
+        self._state = _MacState.IDLE
+        if self._pending_event is not None:
+            self._pending_event.cancel()
+            self._pending_event = None
+        self._dequeue_next()
+
+    # ------------------------------------------------------------ receive path
+    def _on_phy_receive(self, frame: Frame, sender_id: NodeId) -> None:
+        if frame.dst not in (self.node_id, BROADCAST_ADDRESS):
+            return
+        packet = frame.packet
+        if isinstance(packet, MacAck):
+            self._handle_ack(packet, sender_id)
+            return
+        if not frame.is_broadcast:
+            self._send_ack(packet, sender_id)
+            key = (sender_id, packet.uid)
+            if key in self._recent_unicast:
+                # Retransmission of a frame whose ACK was lost: acknowledge
+                # again but do not deliver a duplicate upward.
+                return
+            self._recent_unicast.append(key)
+        self.stats.delivered_to_upper += 1
+        if self.on_receive is not None:
+            self.on_receive(packet, sender_id)
+
+    def _handle_ack(self, ack: MacAck, sender_id: NodeId) -> None:
+        self.stats.acks_received += 1
+        if (
+            self._state is _MacState.WAIT_ACK
+            and self._current is not None
+            and ack.acked_uid == self._current.frame.packet.uid
+            and sender_id == self._current.frame.dst
+        ):
+            if self._pending_event is not None:
+                self._pending_event.cancel()
+            self._finish_current()
+
+    def _send_ack(self, packet: Packet, sender_id: NodeId) -> None:
+        ack = MacAck(
+            origin=self.node_id,
+            destination=sender_id,
+            size_bytes=self.config.ack_size_bytes,
+            acked_uid=packet.uid,
+        )
+        self.sim.schedule(self.config.sifs_s, self._transmit_ack, ack, sender_id)
+
+    def _transmit_ack(self, ack: MacAck, sender_id: NodeId) -> None:
+        if self.phy.transmitting:
+            # Half-duplex: we started another transmission in the meantime,
+            # the data sender will retransmit.
+            return
+        frame = Frame(src=self.node_id, dst=sender_id, packet=ack)
+        self.stats.ack_transmissions += 1
+        self.phy.transmit(frame)

@@ -1,0 +1,205 @@
+"""The shared wireless medium.
+
+The medium implements a unit-disk propagation model with collisions:
+
+* A frame transmitted by node ``S`` occupies the channel for
+  ``RadioConfig.airtime(size)`` seconds.
+* Every node within the *carrier-sense range* of ``S`` senses the channel as
+  busy for that interval.
+* Every node within the *transmission range* of ``S`` receives the frame at
+  the end of the interval **unless** the reception was corrupted, which
+  happens when (a) another sensed transmission overlapped in time at that
+  receiver, or (b) the receiver was itself transmitting (half-duplex radio).
+
+This is the behaviour the paper depends on: finite bandwidth, spatial reuse,
+and congestion-induced loss.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from repro.net.config import RadioConfig
+from repro.net.packet import Frame
+from repro.sim.engine import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.net.phy import Phy
+
+
+@dataclass
+class MediumStats:
+    """Aggregate channel statistics."""
+
+    transmissions: int = 0
+    deliveries: int = 0
+    collisions: int = 0
+    out_of_range_discards: int = 0
+    half_duplex_losses: int = 0
+
+
+@dataclass
+class _Reception:
+    """An in-flight copy of a frame heading for one receiver."""
+
+    receiver: "Phy"
+    frame: Frame
+    sender_id: int
+    end_time: float
+    in_range: bool
+    corrupted: bool = False
+
+
+@dataclass
+class _Transmission:
+    """An in-flight transmission occupying the channel."""
+
+    sender: "Phy"
+    frame: Frame
+    start_time: float
+    end_time: float
+    receptions: List[_Reception] = field(default_factory=list)
+
+
+class Medium:
+    """The single shared wireless channel used by every node."""
+
+    def __init__(self, sim: Simulator, config: Optional[RadioConfig] = None):
+        self.sim = sim
+        self.config = config or RadioConfig()
+        self.stats = MediumStats()
+        self._phys: Dict[int, "Phy"] = {}
+        self._active: List[_Transmission] = []
+        self._active_receptions: Dict[int, List[_Reception]] = {}
+
+    # --------------------------------------------------------------- registry
+    def register(self, phy: "Phy") -> None:
+        """Attach a radio to the channel."""
+        if phy.node_id in self._phys:
+            raise ValueError(f"node {phy.node_id} already registered on this medium")
+        self._phys[phy.node_id] = phy
+        self._active_receptions[phy.node_id] = []
+
+    @property
+    def node_ids(self) -> List[int]:
+        """Identifiers of every registered radio."""
+        return sorted(self._phys)
+
+    def phy_for(self, node_id: int) -> "Phy":
+        """Return the radio registered for ``node_id``."""
+        return self._phys[node_id]
+
+    # --------------------------------------------------------------- geometry
+    @staticmethod
+    def _distance(a: tuple, b: tuple) -> float:
+        return math.hypot(a[0] - b[0], a[1] - b[1])
+
+    def distance_between(self, node_a: int, node_b: int) -> float:
+        """Current euclidean distance between two nodes."""
+        now = self.sim.now
+        return self._distance(self._phys[node_a].position(now), self._phys[node_b].position(now))
+
+    def neighbors_of(self, node_id: int) -> List[int]:
+        """Node ids currently within transmission range of ``node_id``."""
+        now = self.sim.now
+        origin = self._phys[node_id].position(now)
+        limit = self.config.transmission_range_m
+        result = []
+        for other_id, phy in self._phys.items():
+            if other_id == node_id:
+                continue
+            if self._distance(origin, phy.position(now)) <= limit:
+                result.append(other_id)
+        return sorted(result)
+
+    # ------------------------------------------------------------ busy sense
+    def is_busy_for(self, phy: "Phy") -> bool:
+        """Carrier sense: is the channel busy as perceived by ``phy``?"""
+        if phy.transmitting:
+            return True
+        now = self.sim.now
+        position = phy.position(now)
+        cs_range = self.config.carrier_sense_range_m
+        for tx in self._active:
+            if tx.sender is phy:
+                continue
+            if tx.end_time <= now:
+                continue
+            if self._distance(position, tx.sender.position(tx.start_time)) <= cs_range:
+                return True
+        return False
+
+    # ---------------------------------------------------------------- transmit
+    def transmit(self, sender: "Phy", frame: Frame) -> float:
+        """Start transmitting ``frame`` from ``sender``.
+
+        Returns the airtime of the frame.  Reception outcomes are resolved
+        when the transmission ends.
+        """
+        now = self.sim.now
+        duration = self.config.airtime(frame.size_bytes)
+        end_time = now + duration
+        tx = _Transmission(sender=sender, frame=frame, start_time=now, end_time=end_time)
+        self.stats.transmissions += 1
+
+        sender_pos = sender.position(now)
+        cs_range = self.config.carrier_sense_range_m
+        rx_range = self.config.transmission_range_m
+
+        # A node that starts transmitting corrupts anything it was receiving.
+        for reception in self._active_receptions[sender.node_id]:
+            if not reception.corrupted:
+                reception.corrupted = True
+                self.stats.half_duplex_losses += 1
+
+        for node_id, phy in self._phys.items():
+            if phy is sender:
+                continue
+            distance = self._distance(sender_pos, phy.position(now))
+            if distance > cs_range:
+                continue
+            in_range = distance <= rx_range
+            reception = _Reception(
+                receiver=phy,
+                frame=frame,
+                sender_id=sender.node_id,
+                end_time=end_time,
+                in_range=in_range,
+            )
+            ongoing = self._active_receptions[node_id]
+            if ongoing:
+                # Overlapping energy at this receiver: everything is lost.
+                for other in ongoing:
+                    if not other.corrupted:
+                        other.corrupted = True
+                        self.stats.collisions += 1
+                reception.corrupted = True
+                self.stats.collisions += 1
+            if phy.transmitting:
+                reception.corrupted = True
+                self.stats.half_duplex_losses += 1
+            ongoing.append(reception)
+            tx.receptions.append(reception)
+
+        self._active.append(tx)
+        self.sim.schedule(duration, self._finish_transmission, tx)
+        return duration
+
+    def _finish_transmission(self, tx: _Transmission) -> None:
+        self._active.remove(tx)
+        for reception in tx.receptions:
+            receiver_id = reception.receiver.node_id
+            self._active_receptions[receiver_id].remove(reception)
+            if not reception.in_range:
+                self.stats.out_of_range_discards += 1
+                continue
+            if reception.corrupted:
+                continue
+            if reception.receiver.transmitting:
+                self.stats.half_duplex_losses += 1
+                continue
+            self.stats.deliveries += 1
+            reception.receiver.deliver(reception.frame, reception.sender_id)
+        tx.sender.transmission_finished()

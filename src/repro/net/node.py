@@ -1,0 +1,151 @@
+"""A mobile node and its protocol stack.
+
+A :class:`Node` owns:
+
+* a mobility model providing its position over time,
+* a radio (:class:`~repro.net.phy.Phy`) bound to the shared medium,
+* a CSMA/CA MAC,
+* a packet dispatcher that routes received packets to the protocol that
+  registered the packet's type (AODV, MAODV, gossip, applications),
+* a list of applications started when the scenario starts.
+
+The node itself knows nothing about routing or gossip; protocols attach
+themselves via :meth:`register_handler` and :meth:`add_link_failure_listener`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple, Type
+
+from repro.net.addressing import NodeId
+from repro.net.config import MacConfig
+from repro.net.mac import CsmaMac
+from repro.net.medium import Medium
+from repro.net.packet import Packet
+from repro.net.phy import Phy
+from repro.sim.engine import Simulator
+from repro.sim.random import RandomStreams
+
+PacketHandler = Callable[[Packet, NodeId], None]
+LinkFailureListener = Callable[[Packet, NodeId], None]
+
+
+class Node:
+    """One mobile node in the ad-hoc network."""
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        sim: Simulator,
+        medium: Medium,
+        mobility,
+        streams: RandomStreams,
+        mac_config: Optional[MacConfig] = None,
+    ):
+        self.node_id = node_id
+        self.sim = sim
+        self.medium = medium
+        self.mobility = mobility
+        self.streams = streams
+        self.phy = Phy(self, medium)
+        self.mac = CsmaMac(
+            sim,
+            self.phy,
+            mac_config or MacConfig(),
+            streams.for_node("mac", node_id),
+            on_receive=self.deliver,
+            on_unicast_failure=self._on_unicast_failure,
+        )
+        self._handlers: Dict[Type[Packet], PacketHandler] = {}
+        self._sniffers: List[PacketHandler] = []
+        self._link_failure_listeners: List[LinkFailureListener] = []
+        self.applications: List = []
+        self._started = False
+
+    # ----------------------------------------------------------------- basics
+    def position(self, at_time: Optional[float] = None) -> Tuple[float, float]:
+        """Return the node position at ``at_time`` (default: now)."""
+        if at_time is None:
+            at_time = self.sim.now
+        return self.mobility.position(at_time)
+
+    # ------------------------------------------------------ failure injection
+    @property
+    def alive(self) -> bool:
+        """False while the node is simulated as crashed (radio off)."""
+        return self.phy.enabled
+
+    def fail(self) -> None:
+        """Crash the node: its radio stops transmitting and receiving.
+
+        Protocol state (route tables, gossip buffers) is intentionally kept,
+        modelling a transient outage rather than a reboot; neighbours detect
+        the failure through missed hellos and MAC-level delivery failures.
+        """
+        self.phy.power_down()
+
+    def recover(self) -> None:
+        """Bring a crashed node back online."""
+        self.phy.power_up()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Node({self.node_id})"
+
+    # ----------------------------------------------------------- dispatcher
+    def register_handler(self, packet_type: Type[Packet], handler: PacketHandler) -> None:
+        """Route received packets of ``packet_type`` (exact class) to ``handler``."""
+        if packet_type in self._handlers:
+            raise ValueError(
+                f"node {self.node_id}: handler for {packet_type.__name__} already registered"
+            )
+        self._handlers[packet_type] = handler
+
+    def add_sniffer(self, sniffer: PacketHandler) -> None:
+        """Register a callback invoked for *every* packet this node receives.
+
+        Protocols use this for passive observations such as neighbour
+        liveness (AODV) and member-cache population (cached gossip).
+        """
+        self._sniffers.append(sniffer)
+
+    def deliver(self, packet: Packet, from_node: NodeId) -> None:
+        """Dispatch a packet received from the MAC (or from a local protocol)."""
+        for sniffer in self._sniffers:
+            sniffer(packet, from_node)
+        handler = self._handlers.get(type(packet))
+        if handler is None:
+            for packet_type, candidate in self._handlers.items():
+                if isinstance(packet, packet_type):
+                    handler = candidate
+                    break
+        if handler is not None:
+            handler(packet, from_node)
+
+    # ------------------------------------------------------------- link layer
+    def send_frame(self, packet: Packet, next_hop: NodeId) -> bool:
+        """Hand a packet to the MAC for single-hop transmission."""
+        return self.mac.send(packet, next_hop)
+
+    def add_link_failure_listener(self, listener: LinkFailureListener) -> None:
+        """Subscribe to MAC-level unicast delivery failures (link-break hints)."""
+        self._link_failure_listeners.append(listener)
+
+    def _on_unicast_failure(self, packet: Packet, next_hop: NodeId) -> None:
+        for listener in self._link_failure_listeners:
+            listener(packet, next_hop)
+
+    # ----------------------------------------------------------- applications
+    def add_application(self, application) -> None:
+        """Attach an application object; it is started with the node."""
+        self.applications.append(application)
+        if self._started and hasattr(application, "start"):
+            application.start()
+
+    def start(self) -> None:
+        """Start every attached application (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        for application in self.applications:
+            if hasattr(application, "start"):
+                application.start()

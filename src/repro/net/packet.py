@@ -1,0 +1,103 @@
+"""Packet and frame base types.
+
+A :class:`Packet` is a network-layer unit: it knows its originator, its final
+destination (node, group, or broadcast) and its size in bytes.  Protocols
+subclass it to add their own fields (RREQ, MACT, gossip requests, ...).
+
+A :class:`Frame` is the link-layer unit handed to the MAC: a packet plus the
+addresses of the transmitting node and of the next hop (or broadcast).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.net.addressing import BROADCAST_ADDRESS, NodeId
+
+_packet_uid_counter = itertools.count()
+
+
+def _next_uid() -> int:
+    return next(_packet_uid_counter)
+
+
+@dataclass
+class Packet:
+    """Base class for every network-layer packet.
+
+    Attributes
+    ----------
+    origin:
+        Node that created the packet.
+    destination:
+        Final destination: a node id, a multicast group address, or
+        :data:`~repro.net.addressing.BROADCAST_ADDRESS`.
+    size_bytes:
+        Wire size used to compute transmission delay and channel occupancy.
+    ttl:
+        Remaining hop budget; forwarding layers decrement it and drop the
+        packet when it reaches zero.
+    uid:
+        Monotonically increasing identifier useful for tracing and
+        de-duplication in tests.
+    """
+
+    origin: NodeId
+    destination: int
+    size_bytes: int = 64
+    ttl: int = 32
+    uid: int = field(default_factory=_next_uid)
+
+    def copy_for_forwarding(self) -> "Packet":
+        """Return a shallow copy with the TTL decremented by one."""
+        import copy
+
+        clone = copy.copy(self)
+        clone.ttl = self.ttl - 1
+        return clone
+
+
+@dataclass
+class Frame:
+    """A link-layer frame: one MAC-level transmission attempt."""
+
+    src: NodeId
+    dst: int
+    packet: Packet
+    #: Extra link-layer header bytes added on top of the packet size.
+    header_bytes: int = 34
+
+    @property
+    def size_bytes(self) -> int:
+        """Total on-air size of the frame."""
+        return self.packet.size_bytes + self.header_bytes
+
+    @property
+    def is_broadcast(self) -> bool:
+        """True when the frame is link-layer broadcast."""
+        return self.dst == BROADCAST_ADDRESS
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"Frame({self.src}->{self.dst}, {type(self.packet).__name__}, "
+            f"{self.size_bytes}B)"
+        )
+
+
+@dataclass
+class UnicastData(Packet):
+    """A network-layer envelope carrying an upper-layer packet to one node.
+
+    The AODV layer forwards :class:`UnicastData` hop by hop towards
+    ``destination`` and hands ``payload`` to the destination node's protocol
+    dispatcher.  Gossip replies and cached-gossip requests travel this way.
+    """
+
+    payload: Optional[Packet] = None
+
+    def __post_init__(self) -> None:
+        if self.payload is not None:
+            # The envelope adds a small IP-like header over the payload.
+            self.size_bytes = self.payload.size_bytes + 20

@@ -1,0 +1,79 @@
+"""The per-node radio.
+
+The :class:`Phy` is the thin adapter between a node's MAC and the shared
+:class:`~repro.net.medium.Medium`: it exposes carrier sensing, frame
+transmission and delivers received frames upward.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple, TYPE_CHECKING
+
+from repro.net.medium import Medium
+from repro.net.packet import Frame
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.net.node import Node
+
+
+class Phy:
+    """A half-duplex radio bound to one node and one medium."""
+
+    def __init__(self, node: "Node", medium: Medium):
+        self.node = node
+        self.medium = medium
+        self.transmitting = False
+        #: A powered-down radio neither transmits nor receives; used for
+        #: failure injection (node crashes) in tests and scenarios.
+        self.enabled = True
+        self._receive_callback: Optional[Callable[[Frame, int], None]] = None
+        medium.register(self)
+
+    @property
+    def node_id(self) -> int:
+        """Identifier of the owning node."""
+        return self.node.node_id
+
+    def position(self, at_time: float) -> Tuple[float, float]:
+        """Position of the owning node at ``at_time``."""
+        return self.node.position(at_time)
+
+    def set_receive_callback(self, callback: Callable[[Frame, int], None]) -> None:
+        """Register the function invoked for every successfully received frame."""
+        self._receive_callback = callback
+
+    def carrier_busy(self) -> bool:
+        """True when the channel is sensed busy at this node."""
+        return self.medium.is_busy_for(self)
+
+    def transmit(self, frame: Frame) -> float:
+        """Put ``frame`` on the air; returns its airtime in seconds.
+
+        A powered-down radio silently swallows the frame (it still reports
+        the airtime so the MAC state machine keeps functioning).
+        """
+        if not self.enabled:
+            return self.medium.config.airtime(frame.size_bytes)
+        if self.transmitting:
+            raise RuntimeError(f"node {self.node_id} radio is already transmitting")
+        self.transmitting = True
+        return self.medium.transmit(self, frame)
+
+    def transmission_finished(self) -> None:
+        """Called by the medium when this radio's transmission ends."""
+        self.transmitting = False
+
+    def power_down(self) -> None:
+        """Disable the radio (failure injection)."""
+        self.enabled = False
+
+    def power_up(self) -> None:
+        """Re-enable the radio after a simulated failure."""
+        self.enabled = True
+
+    def deliver(self, frame: Frame, sender_id: int) -> None:
+        """Called by the medium when a frame arrives intact at this radio."""
+        if not self.enabled:
+            return
+        if self._receive_callback is not None:
+            self._receive_callback(frame, sender_id)

@@ -1,0 +1,450 @@
+"""The AODV unicast router.
+
+One :class:`AodvRouter` instance is attached to every node.  It provides
+
+* on-demand route discovery (RREQ flood / RREP unicast),
+* hop-by-hop forwarding of :class:`~repro.net.packet.UnicastData` envelopes,
+* hello-beacon neighbour sensing with loss detection,
+* RERR propagation and route invalidation on link breaks,
+* an upper-layer API: :meth:`send_unicast`, :meth:`add_delivery_listener`,
+  :meth:`add_neighbor_loss_listener`.
+
+The gossip layer sends gossip replies and cached-gossip requests through
+:meth:`send_unicast`; MAODV subscribes to neighbour-loss events to detect
+broken tree links.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional
+
+from repro.net.addressing import BROADCAST_ADDRESS, NodeId
+from repro.net.node import Node
+from repro.net.packet import Packet, UnicastData
+from repro.routing.config import AodvConfig
+from repro.routing.messages import HelloMessage, RouteError, RouteReply, RouteRequest
+from repro.routing.route_table import RouteTable
+from repro.sim.timers import PeriodicTimer
+
+DeliveryListener = Callable[[Packet, NodeId], None]
+NeighborLossListener = Callable[[NodeId], None]
+
+
+@dataclass
+class AodvStats:
+    """Per-node AODV counters."""
+
+    rreq_originated: int = 0
+    rreq_forwarded: int = 0
+    rrep_originated: int = 0
+    rrep_forwarded: int = 0
+    rerr_sent: int = 0
+    hello_sent: int = 0
+    data_originated: int = 0
+    data_forwarded: int = 0
+    data_delivered: int = 0
+    data_dropped_no_route: int = 0
+    discovery_failures: int = 0
+    neighbor_losses: int = 0
+
+
+@dataclass
+class _PendingDiscovery:
+    """State of an in-progress route discovery."""
+
+    destination: NodeId
+    retries: int = 0
+    ttl: int = 0
+    buffered: Deque[UnicastData] = field(default_factory=deque)
+    timer_handle: Optional[object] = None
+
+
+class AodvRouter:
+    """AODV routing agent for a single node."""
+
+    def __init__(self, node: Node, config: Optional[AodvConfig] = None):
+        self.node = node
+        self.sim = node.sim
+        self.config = config or AodvConfig()
+        self.rng = node.streams.for_node("aodv", node.node_id)
+        self.stats = AodvStats()
+        self.route_table = RouteTable()
+
+        self.sequence_number = 0
+        self._rreq_id = 0
+        self._seen_rreqs: Dict[tuple, float] = {}
+        self._pending: Dict[NodeId, _PendingDiscovery] = {}
+        self._neighbors: Dict[NodeId, float] = {}
+        self._delivery_listeners: List[DeliveryListener] = []
+        self._neighbor_loss_listeners: List[NeighborLossListener] = []
+
+        node.register_handler(RouteRequest, self._on_rreq)
+        node.register_handler(RouteReply, self._on_rrep)
+        node.register_handler(RouteError, self._on_rerr)
+        node.register_handler(HelloMessage, self._on_hello)
+        node.register_handler(UnicastData, self._on_unicast_data)
+        node.add_sniffer(self._note_neighbor_activity)
+        node.add_link_failure_listener(self._on_mac_failure)
+
+        self._hello_timer = PeriodicTimer(
+            self.sim,
+            self.config.hello_interval_s,
+            self._send_hello,
+            delay=self.rng.uniform(0.0, self.config.hello_interval_s),
+            jitter=self.config.hello_interval_s * 0.1,
+            rng=self.rng,
+        )
+        self._neighbor_timer = PeriodicTimer(
+            self.sim,
+            self.config.hello_interval_s,
+            self._check_neighbors,
+            delay=self.config.neighbor_timeout_s,
+        )
+
+    # ------------------------------------------------------------------ setup
+    @property
+    def node_id(self) -> NodeId:
+        """Identifier of the owning node."""
+        return self.node.node_id
+
+    def start(self) -> None:
+        """Start hello beaconing and neighbour monitoring."""
+        self._hello_timer.start()
+        self._neighbor_timer.start()
+
+    def stop(self) -> None:
+        """Stop the periodic timers."""
+        self._hello_timer.stop()
+        self._neighbor_timer.stop()
+
+    def add_delivery_listener(self, listener: DeliveryListener) -> None:
+        """Subscribe to payloads delivered to this node via unicast envelopes."""
+        self._delivery_listeners.append(listener)
+
+    def add_neighbor_loss_listener(self, listener: NeighborLossListener) -> None:
+        """Subscribe to neighbour-loss events (hello timeouts and MAC failures)."""
+        self._neighbor_loss_listeners.append(listener)
+
+    # ------------------------------------------------------------- public API
+    def neighbors(self) -> List[NodeId]:
+        """Neighbours heard from within the neighbour timeout."""
+        now = self.sim.now
+        timeout = self.config.neighbor_timeout_s
+        return sorted(n for n, last in self._neighbors.items() if now - last <= timeout)
+
+    def has_route(self, destination: NodeId) -> bool:
+        """True when a usable route to ``destination`` exists right now."""
+        if destination == self.node_id:
+            return True
+        return self.route_table.lookup(destination, self.sim.now) is not None
+
+    def send_unicast(self, payload: Packet, destination: NodeId) -> None:
+        """Send ``payload`` to ``destination``, discovering a route if needed."""
+        self.stats.data_originated += 1
+        envelope = UnicastData(
+            origin=self.node_id,
+            destination=destination,
+            payload=payload,
+            ttl=self.config.rreq_max_ttl,
+        )
+        if destination == self.node_id:
+            self._deliver_locally(envelope)
+            return
+        self._forward_or_discover(envelope)
+
+    # ------------------------------------------------------------ hello layer
+    def _send_hello(self) -> None:
+        self.stats.hello_sent += 1
+        hello = HelloMessage(
+            origin=self.node_id,
+            destination=BROADCAST_ADDRESS,
+            size_bytes=self.config.hello_size_bytes,
+            seq=self.sequence_number,
+        )
+        self.node.send_frame(hello, BROADCAST_ADDRESS)
+
+    def _on_hello(self, hello: HelloMessage, from_node: NodeId) -> None:
+        # Neighbour activity is already recorded by the sniffer; a hello also
+        # refreshes the one-hop route to the neighbour.
+        self.route_table.update(
+            destination=from_node,
+            next_hop=from_node,
+            hop_count=1,
+            seq=hello.seq,
+            expiry_time=self.sim.now + self.config.neighbor_timeout_s,
+        )
+
+    def _note_neighbor_activity(self, packet: Packet, from_node: NodeId) -> None:
+        if from_node == self.node_id or from_node < 0:
+            return
+        self._neighbors[from_node] = self.sim.now
+
+    def _check_neighbors(self) -> None:
+        now = self.sim.now
+        timeout = self.config.neighbor_timeout_s
+        lost = [n for n, last in self._neighbors.items() if now - last > timeout]
+        for neighbor in lost:
+            del self._neighbors[neighbor]
+            self._handle_broken_link(neighbor)
+
+    def _on_mac_failure(self, packet: Packet, next_hop: NodeId) -> None:
+        # A unicast retry limit was exceeded: treat the link as broken.
+        if next_hop in self._neighbors:
+            del self._neighbors[next_hop]
+        self._handle_broken_link(next_hop)
+
+    def _handle_broken_link(self, neighbor: NodeId) -> None:
+        self.stats.neighbor_losses += 1
+        broken = self.route_table.invalidate_through(neighbor)
+        if broken:
+            self._send_rerr({entry.destination: entry.seq for entry in broken})
+        for listener in self._neighbor_loss_listeners:
+            listener(neighbor)
+
+    # --------------------------------------------------------- route discovery
+    def _forward_or_discover(self, envelope: UnicastData) -> None:
+        route = self.route_table.lookup(envelope.destination, self.sim.now)
+        if route is not None:
+            self._forward_envelope(envelope, route.next_hop)
+            return
+        self._buffer_and_discover(envelope)
+
+    def _buffer_and_discover(self, envelope: UnicastData) -> None:
+        destination = envelope.destination
+        pending = self._pending.get(destination)
+        if pending is None:
+            pending = _PendingDiscovery(destination=destination, ttl=self.config.rreq_initial_ttl)
+            self._pending[destination] = pending
+            self._originate_rreq(pending)
+        if len(pending.buffered) >= self.config.packet_buffer_limit:
+            self.stats.data_dropped_no_route += 1
+            return
+        pending.buffered.append(envelope)
+
+    def _originate_rreq(self, pending: _PendingDiscovery) -> None:
+        self.sequence_number += 1
+        self._rreq_id += 1
+        self.stats.rreq_originated += 1
+        known = self.route_table.entry(pending.destination)
+        rreq = RouteRequest(
+            origin=self.node_id,
+            destination=BROADCAST_ADDRESS,
+            size_bytes=self.config.rreq_size_bytes,
+            ttl=pending.ttl,
+            target=pending.destination,
+            target_seq=known.seq if known is not None else 0,
+            target_seq_known=known is not None,
+            origin_seq=self.sequence_number,
+            rreq_id=self._rreq_id,
+            hop_count=0,
+        )
+        self._seen_rreqs[rreq.key()] = self.sim.now + self.config.rreq_id_cache_s
+        self.node.send_frame(rreq, BROADCAST_ADDRESS)
+        pending.timer_handle = self.sim.schedule(
+            self.config.route_discovery_timeout_s, self._discovery_timeout, pending.destination
+        )
+
+    def _discovery_timeout(self, destination: NodeId) -> None:
+        pending = self._pending.get(destination)
+        if pending is None:
+            return
+        if self.route_table.lookup(destination, self.sim.now) is not None:
+            self._flush_pending(destination)
+            return
+        if pending.retries >= self.config.rreq_retries:
+            self.stats.discovery_failures += 1
+            self.stats.data_dropped_no_route += len(pending.buffered)
+            del self._pending[destination]
+            return
+        pending.retries += 1
+        pending.ttl = min(pending.ttl + self.config.rreq_ttl_increment, self.config.rreq_max_ttl)
+        self._originate_rreq(pending)
+
+    def _flush_pending(self, destination: NodeId) -> None:
+        pending = self._pending.pop(destination, None)
+        if pending is None:
+            return
+        route = self.route_table.lookup(destination, self.sim.now)
+        while pending.buffered:
+            envelope = pending.buffered.popleft()
+            if route is None:
+                self.stats.data_dropped_no_route += 1
+                continue
+            self._forward_envelope(envelope, route.next_hop)
+
+    # --------------------------------------------------------------- handlers
+    def _on_rreq(self, rreq: RouteRequest, from_node: NodeId) -> None:
+        now = self.sim.now
+        key = rreq.key()
+        expiry = self._seen_rreqs.get(key)
+        if expiry is not None and expiry > now:
+            return
+        self._seen_rreqs[key] = now + self.config.rreq_id_cache_s
+        self._purge_seen(now)
+
+        hop_count = rreq.hop_count + 1
+        # Install / refresh the reverse route towards the originator.
+        self.route_table.update(
+            destination=rreq.origin,
+            next_hop=from_node,
+            hop_count=hop_count,
+            seq=rreq.origin_seq,
+            expiry_time=now + self.config.active_route_timeout_s,
+        )
+        self._flush_pending_if_routable(rreq.origin)
+
+        if rreq.target == self.node_id:
+            self.sequence_number = max(self.sequence_number, rreq.target_seq) + 1
+            self._send_rrep(rreq.origin, self.node_id, self.sequence_number, 0, from_node)
+            return
+
+        route = self.route_table.lookup(rreq.target, now)
+        if (
+            route is not None
+            and rreq.target_seq_known
+            and route.seq >= rreq.target_seq
+        ):
+            # Intermediate node with a fresh-enough route replies on behalf of
+            # the target.
+            self._send_rrep(rreq.origin, rreq.target, route.seq, route.hop_count, from_node)
+            return
+
+        if rreq.ttl <= 1:
+            return
+        forwarded = RouteRequest(
+            origin=rreq.origin,
+            destination=BROADCAST_ADDRESS,
+            size_bytes=rreq.size_bytes,
+            ttl=rreq.ttl - 1,
+            target=rreq.target,
+            target_seq=rreq.target_seq,
+            target_seq_known=rreq.target_seq_known,
+            origin_seq=rreq.origin_seq,
+            rreq_id=rreq.rreq_id,
+            hop_count=hop_count,
+        )
+        self.stats.rreq_forwarded += 1
+        self._broadcast_jittered(forwarded)
+
+    def _send_rrep(
+        self,
+        requester: NodeId,
+        target: NodeId,
+        target_seq: int,
+        hop_count_to_target: int,
+        next_hop: NodeId,
+    ) -> None:
+        self.stats.rrep_originated += 1
+        rrep = RouteReply(
+            origin=self.node_id,
+            destination=requester,
+            size_bytes=self.config.rrep_size_bytes,
+            target=target,
+            target_seq=target_seq,
+            hop_count=hop_count_to_target,
+            lifetime_s=self.config.active_route_timeout_s,
+        )
+        self.node.send_frame(rrep, next_hop)
+
+    def _on_rrep(self, rrep: RouteReply, from_node: NodeId) -> None:
+        now = self.sim.now
+        hop_count = rrep.hop_count + 1
+        # Install / refresh the forward route towards the target.
+        self.route_table.update(
+            destination=rrep.target,
+            next_hop=from_node,
+            hop_count=hop_count,
+            seq=rrep.target_seq,
+            expiry_time=now + rrep.lifetime_s,
+        )
+        self._flush_pending_if_routable(rrep.target)
+
+        if rrep.destination == self.node_id:
+            return
+        # Forward the RREP towards the requester along the reverse route.
+        reverse = self.route_table.lookup(rrep.destination, now)
+        if reverse is None:
+            return
+        forwarded = RouteReply(
+            origin=rrep.origin,
+            destination=rrep.destination,
+            size_bytes=rrep.size_bytes,
+            target=rrep.target,
+            target_seq=rrep.target_seq,
+            hop_count=hop_count,
+            lifetime_s=rrep.lifetime_s,
+        )
+        self.stats.rrep_forwarded += 1
+        self.node.send_frame(forwarded, reverse.next_hop)
+
+    def _flush_pending_if_routable(self, destination: NodeId) -> None:
+        if destination in self._pending and self.route_table.lookup(destination, self.sim.now):
+            self._flush_pending(destination)
+
+    def _send_rerr(self, unreachable: Dict[NodeId, int]) -> None:
+        if not unreachable:
+            return
+        self.stats.rerr_sent += 1
+        rerr = RouteError(
+            origin=self.node_id,
+            destination=BROADCAST_ADDRESS,
+            size_bytes=self.config.rerr_size_bytes,
+            unreachable=dict(unreachable),
+        )
+        self.node.send_frame(rerr, BROADCAST_ADDRESS)
+
+    def _on_rerr(self, rerr: RouteError, from_node: NodeId) -> None:
+        invalidated: Dict[NodeId, int] = {}
+        for destination, seq in rerr.unreachable.items():
+            entry = self.route_table.entry(destination)
+            if entry is not None and entry.valid and entry.next_hop == from_node:
+                self.route_table.invalidate(destination)
+                invalidated[destination] = max(entry.seq, seq)
+        if invalidated:
+            self._send_rerr(invalidated)
+
+    # ------------------------------------------------------------- data plane
+    def _on_unicast_data(self, envelope: UnicastData, from_node: NodeId) -> None:
+        if envelope.destination == self.node_id:
+            self._deliver_locally(envelope)
+            return
+        if envelope.ttl <= 0:
+            self.stats.data_dropped_no_route += 1
+            return
+        forwarded = envelope.copy_for_forwarding()
+        self.stats.data_forwarded += 1
+        self._forward_or_discover(forwarded)
+
+    def _forward_envelope(self, envelope: UnicastData, next_hop: NodeId) -> None:
+        self.route_table.refresh(
+            envelope.destination, self.sim.now + self.config.active_route_timeout_s
+        )
+        self.node.send_frame(envelope, next_hop)
+
+    def _deliver_locally(self, envelope: UnicastData) -> None:
+        self.stats.data_delivered += 1
+        payload = envelope.payload
+        if payload is None:
+            return
+        for listener in self._delivery_listeners:
+            listener(payload, envelope.origin)
+        self.node.deliver(payload, envelope.origin)
+
+    # ----------------------------------------------------------------- helpers
+    def _broadcast_jittered(self, packet: Packet) -> None:
+        """Broadcast ``packet`` after a small random delay.
+
+        Flooded packets forwarded by several neighbours at the same instant
+        would otherwise collide systematically (hidden-terminal problem).
+        """
+        jitter = self.rng.uniform(0.0, self.config.broadcast_jitter_s)
+        self.sim.schedule(jitter, self.node.send_frame, packet, BROADCAST_ADDRESS)
+
+    def _purge_seen(self, now: float) -> None:
+        if len(self._seen_rreqs) < 512:
+            return
+        stale = [key for key, expiry in self._seen_rreqs.items() if expiry <= now]
+        for key in stale:
+            del self._seen_rreqs[key]

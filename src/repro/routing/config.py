@@ -1,0 +1,62 @@
+"""AODV protocol parameters.
+
+Defaults follow the paper's simulation settings where given (hello interval
+600 ms, allowed hello loss 4) and the IETF draft's recommended values
+otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class AodvConfig:
+    """Tunable AODV parameters."""
+
+    #: Interval between hello beacons (the paper uses 600 ms).
+    hello_interval_s: float = 0.6
+    #: Number of consecutive missed hellos after which a neighbour is
+    #: declared lost (the paper uses 4).
+    allowed_hello_loss: int = 4
+    #: Lifetime of an active route without traffic.
+    active_route_timeout_s: float = 10.0
+    #: Initial TTL of a route request.
+    rreq_initial_ttl: int = 8
+    #: TTL increment on each route-request retry.
+    rreq_ttl_increment: int = 8
+    #: Maximum TTL of a route request.
+    rreq_max_ttl: int = 32
+    #: Number of times a route request is retried before giving up.
+    rreq_retries: int = 2
+    #: Time to wait for a route reply before retrying the request.
+    route_discovery_timeout_s: float = 1.0
+    #: How long a (origin, rreq_id) pair is remembered for duplicate
+    #: suppression.
+    rreq_id_cache_s: float = 5.0
+    #: Maximum number of data packets buffered while waiting for a route.
+    packet_buffer_limit: int = 64
+    #: Random delay added before re-broadcasting flooded control packets
+    #: (RREQ), which prevents the synchronised-rebroadcast collisions of the
+    #: hidden-terminal problem.  Real AODV implementations use the same trick.
+    broadcast_jitter_s: float = 0.01
+    #: Wire sizes (bytes) of the control messages.
+    rreq_size_bytes: int = 24
+    rrep_size_bytes: int = 20
+    rerr_size_bytes: int = 20
+    hello_size_bytes: int = 12
+
+    def __post_init__(self) -> None:
+        if self.hello_interval_s <= 0:
+            raise ValueError("hello_interval_s must be positive")
+        if self.allowed_hello_loss < 1:
+            raise ValueError("allowed_hello_loss must be at least 1")
+        if self.rreq_retries < 0:
+            raise ValueError("rreq_retries must be non-negative")
+        if self.rreq_initial_ttl < 1 or self.rreq_max_ttl < self.rreq_initial_ttl:
+            raise ValueError("invalid RREQ TTL configuration")
+
+    @property
+    def neighbor_timeout_s(self) -> float:
+        """Silence interval after which a neighbour is considered gone."""
+        return self.hello_interval_s * self.allowed_hello_loss

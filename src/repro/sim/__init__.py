@@ -1,0 +1,29 @@
+"""Discrete-event simulation engine.
+
+This package replaces the GloMoSim/PARSEC substrate used by the paper with a
+pure-Python, sequential, deterministic discrete-event engine:
+
+* :class:`repro.sim.engine.Simulator` -- the event calendar and clock.
+* :class:`repro.sim.engine.EventHandle` -- cancellable handle returned by
+  ``schedule``.
+* :class:`repro.sim.timers.PeriodicTimer` -- repeating timers (hello beacons,
+  gossip rounds, group hellos, ...).
+* :class:`repro.sim.random.RandomStreams` -- named, independently seeded
+  random streams so every stochastic protocol decision is reproducible.
+
+The engine is sequential rather than parallel (as PARSEC is); protocol
+behaviour depends only on event order and timestamps, which are identical, so
+this substitution does not change any result shape (see DESIGN.md).
+"""
+
+from repro.sim.engine import EventHandle, Simulator, SimulationError
+from repro.sim.random import RandomStreams
+from repro.sim.timers import PeriodicTimer
+
+__all__ = [
+    "EventHandle",
+    "PeriodicTimer",
+    "RandomStreams",
+    "SimulationError",
+    "Simulator",
+]

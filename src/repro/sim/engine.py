@@ -1,0 +1,174 @@
+"""The discrete-event simulation core.
+
+The :class:`Simulator` keeps a priority queue (a binary heap) of scheduled
+callbacks keyed by ``(time, sequence_number)``.  The sequence number breaks
+ties between events scheduled for the same instant so that execution order is
+deterministic and matches scheduling order, which is important for
+reproducibility of the protocols built on top.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid uses of the simulation engine."""
+
+
+class EventHandle:
+    """A handle to a scheduled event.
+
+    The handle can be used to :meth:`cancel` the event before it fires and to
+    query whether it is still :attr:`pending`.
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "_cancelled", "_fired")
+
+    def __init__(self, time: float, seq: int, callback: Callable[..., None], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self._cancelled = False
+        self._fired = False
+
+    def cancel(self) -> None:
+        """Cancel the event.  Cancelling an already fired event is a no-op."""
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        """True when the event was cancelled before firing."""
+        return self._cancelled and not self._fired
+
+    @property
+    def fired(self) -> bool:
+        """True once the callback has run."""
+        return self._fired
+
+    @property
+    def pending(self) -> bool:
+        """True when the event is still waiting to fire."""
+        return not self._cancelled and not self._fired
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        state = "pending" if self.pending else ("cancelled" if self.cancelled else "fired")
+        return f"EventHandle(t={self.time:.6f}, seq={self.seq}, {state})"
+
+
+class Simulator:
+    """A sequential discrete-event simulator.
+
+    Example
+    -------
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> _ = sim.schedule(1.5, fired.append, "a")
+    >>> _ = sim.schedule(0.5, fired.append, "b")
+    >>> sim.run()
+    >>> fired
+    ['b', 'a']
+    >>> sim.now
+    1.5
+    """
+
+    def __init__(self, start_time: float = 0.0):
+        self._now = float(start_time)
+        self._queue: List[EventHandle] = []
+        self._seq = 0
+        self._running = False
+        self._stopped = False
+        self._events_processed = 0
+
+    # ------------------------------------------------------------------ time
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of callbacks executed so far."""
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events currently scheduled (including cancelled ones)."""
+        return sum(1 for event in self._queue if event.pending)
+
+    # -------------------------------------------------------------- schedule
+    def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule an event in the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback, *args)
+
+    def schedule_at(self, time: float, callback: Callable[..., None], *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` to run at absolute simulation ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule an event at t={time} before current time t={self._now}"
+            )
+        if not callable(callback):
+            raise SimulationError(f"callback {callback!r} is not callable")
+        event = EventHandle(float(time), self._seq, callback, args)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    # ------------------------------------------------------------------- run
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            Stop once the clock would advance past this time.  Events at
+            exactly ``until`` are executed.  When omitted the simulation runs
+            until the event queue drains.
+        max_events:
+            Optional safety valve limiting the number of callbacks executed
+            in this call.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running")
+        self._running = True
+        self._stopped = False
+        executed = 0
+        try:
+            while self._queue:
+                if self._stopped:
+                    break
+                if max_events is not None and executed >= max_events:
+                    break
+                event = self._queue[0]
+                if not event.pending:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and event.time > until:
+                    self._now = float(until)
+                    break
+                heapq.heappop(self._queue)
+                self._now = event.time
+                event._fired = True
+                event.callback(*event.args)
+                self._events_processed += 1
+                executed += 1
+            else:
+                if until is not None and until > self._now:
+                    self._now = float(until)
+        finally:
+            self._running = False
+
+    def stop(self) -> None:
+        """Stop the running simulation after the current event completes."""
+        self._stopped = True
+
+    def clear(self) -> None:
+        """Drop all pending events (the clock is left untouched)."""
+        self._queue.clear()

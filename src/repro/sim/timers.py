@@ -1,0 +1,94 @@
+"""Timer helpers built on top of the event calendar."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.sim.engine import EventHandle, Simulator
+
+
+class PeriodicTimer:
+    """A repeating timer.
+
+    The callback runs every ``interval`` seconds starting after an optional
+    initial ``delay``.  Optional per-tick ``jitter`` (drawn uniformly from
+    ``[-jitter, +jitter]``) desynchronises periodic protocol traffic, which is
+    how real MANET implementations avoid beacon synchronisation.
+
+    The timer is created stopped; call :meth:`start`.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        interval: float,
+        callback: Callable[[], None],
+        *,
+        delay: float = 0.0,
+        jitter: float = 0.0,
+        rng=None,
+    ):
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        if jitter < 0:
+            raise ValueError(f"jitter must be non-negative, got {jitter}")
+        if jitter > 0 and rng is None:
+            raise ValueError("jitter requires an rng")
+        self._sim = sim
+        self._interval = float(interval)
+        self._callback = callback
+        self._delay = float(delay)
+        self._jitter = float(jitter)
+        self._rng = rng
+        self._handle: Optional[EventHandle] = None
+        self._running = False
+        self.ticks = 0
+
+    @property
+    def running(self) -> bool:
+        """True while the timer is armed."""
+        return self._running
+
+    @property
+    def interval(self) -> float:
+        """Current firing interval in seconds."""
+        return self._interval
+
+    def start(self) -> None:
+        """Arm the timer.  Starting an already running timer is a no-op."""
+        if self._running:
+            return
+        self._running = True
+        self._schedule_next(self._delay + self._next_jitter())
+
+    def stop(self) -> None:
+        """Disarm the timer."""
+        self._running = False
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def restart(self, interval: Optional[float] = None) -> None:
+        """Stop and start again, optionally changing the interval."""
+        self.stop()
+        if interval is not None:
+            if interval <= 0:
+                raise ValueError(f"interval must be positive, got {interval}")
+            self._interval = float(interval)
+        self.start()
+
+    def _next_jitter(self) -> float:
+        if self._jitter == 0:
+            return 0.0
+        return self._rng.uniform(-self._jitter, self._jitter)
+
+    def _schedule_next(self, delay: float) -> None:
+        self._handle = self._sim.schedule(max(0.0, delay), self._fire)
+
+    def _fire(self) -> None:
+        if not self._running:
+            return
+        self.ticks += 1
+        self._callback()
+        if self._running:
+            self._schedule_next(self._interval + self._next_jitter())

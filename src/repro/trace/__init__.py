@@ -1,0 +1,11 @@
+"""Packet-level tracing for debugging and analysis.
+
+* :class:`~repro.trace.tracer.PacketTracer` -- records every packet received
+  by the nodes it is attached to, with timestamps and packet types; supports
+  filtering, per-type counts and plain-text dumps.
+* :class:`~repro.trace.tracer.TraceRecord` -- one recorded reception.
+"""
+
+from repro.trace.tracer import PacketTracer, TraceRecord
+
+__all__ = ["PacketTracer", "TraceRecord"]

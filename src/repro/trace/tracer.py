@@ -1,0 +1,152 @@
+"""Packet reception tracing.
+
+The tracer hooks into each node's sniffer interface, so it observes every
+packet a node's dispatcher handles (control and data, any protocol), without
+touching the protocols themselves.  It is the tool used to answer questions
+such as "did the join request ever reach node 7?" or "how much gossip traffic
+did this run generate?" when debugging protocol behaviour.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.net.node import Node
+from repro.net.packet import Packet
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One observed packet reception."""
+
+    time: float
+    node: int
+    from_node: int
+    packet_type: str
+    origin: int
+    destination: int
+    size_bytes: int
+    uid: int
+
+    def __str__(self) -> str:
+        return (
+            f"{self.time:10.4f}s node {self.node:3d} <- {self.from_node:3d}  "
+            f"{self.packet_type:<20s} origin={self.origin} dst={self.destination} "
+            f"{self.size_bytes}B"
+        )
+
+
+class PacketTracer:
+    """Records packet receptions at a set of nodes.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of records kept (oldest dropped first); ``None`` keeps
+        everything, which can be large for long runs.
+    packet_filter:
+        Optional predicate ``f(packet) -> bool``; only matching packets are
+        recorded.
+    """
+
+    def __init__(
+        self,
+        capacity: Optional[int] = 100_000,
+        packet_filter: Optional[Callable[[Packet], bool]] = None,
+    ):
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be positive (or None for unbounded)")
+        self.capacity = capacity
+        self.packet_filter = packet_filter
+        self.records: List[TraceRecord] = []
+        self.dropped = 0
+        self._attached: List[int] = []
+
+    # ------------------------------------------------------------- attachment
+    def attach(self, node: Node) -> None:
+        """Start tracing receptions at ``node``."""
+        node.add_sniffer(self._make_sniffer(node))
+        self._attached.append(node.node_id)
+
+    def attach_all(self, nodes: Iterable[Node]) -> None:
+        """Start tracing receptions at every node in ``nodes``."""
+        for node in nodes:
+            self.attach(node)
+
+    @property
+    def attached_nodes(self) -> List[int]:
+        """Identifiers of the nodes being traced."""
+        return list(self._attached)
+
+    def _make_sniffer(self, node: Node):
+        def sniffer(packet: Packet, from_node: int) -> None:
+            if self.packet_filter is not None and not self.packet_filter(packet):
+                return
+            record = TraceRecord(
+                time=node.sim.now,
+                node=node.node_id,
+                from_node=from_node,
+                packet_type=type(packet).__name__,
+                origin=packet.origin,
+                destination=packet.destination,
+                size_bytes=packet.size_bytes,
+                uid=packet.uid,
+            )
+            self.records.append(record)
+            if self.capacity is not None and len(self.records) > self.capacity:
+                del self.records[0]
+                self.dropped += 1
+
+        return sniffer
+
+    # ---------------------------------------------------------------- queries
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def filter(
+        self,
+        *,
+        node: Optional[int] = None,
+        packet_type: Optional[str] = None,
+        origin: Optional[int] = None,
+        since: Optional[float] = None,
+        until: Optional[float] = None,
+    ) -> List[TraceRecord]:
+        """Records matching every provided criterion."""
+        result = []
+        for record in self.records:
+            if node is not None and record.node != node:
+                continue
+            if packet_type is not None and record.packet_type != packet_type:
+                continue
+            if origin is not None and record.origin != origin:
+                continue
+            if since is not None and record.time < since:
+                continue
+            if until is not None and record.time > until:
+                continue
+            result.append(record)
+        return result
+
+    def counts_by_type(self) -> Dict[str, int]:
+        """Number of recorded receptions per packet type."""
+        return dict(Counter(record.packet_type for record in self.records))
+
+    def bytes_by_type(self) -> Dict[str, int]:
+        """Total received bytes per packet type (control-overhead breakdown)."""
+        totals: Dict[str, int] = {}
+        for record in self.records:
+            totals[record.packet_type] = totals.get(record.packet_type, 0) + record.size_bytes
+        return totals
+
+    def to_text(self, limit: Optional[int] = 50) -> str:
+        """A plain-text dump of the (most recent) trace records."""
+        records = self.records if limit is None else self.records[-limit:]
+        return "\n".join(str(record) for record in records)
+
+    def clear(self) -> None:
+        """Drop every recorded event."""
+        self.records.clear()
+        self.dropped = 0

@@ -1,0 +1,28 @@
+"""Workload generation and scenario construction.
+
+* :class:`~repro.workload.cbr.CbrSource` -- the paper's constant-bit-rate
+  multicast source (64-byte packets every 200 ms between t=120 s and
+  t=560 s).
+* :class:`~repro.workload.cbr.MulticastSink` -- a member application that
+  records every packet received (via the routing protocol or via gossip)
+  into a :class:`~repro.metrics.collectors.DeliveryCollector`.
+* :class:`~repro.workload.scenario.Scenario` /
+  :class:`~repro.workload.scenario.ScenarioConfig` -- build and run a
+  complete simulation of the paper's environment and return the measured
+  statistics.
+"""
+
+from repro.workload.cbr import CbrSource, MulticastSink
+from repro.workload.failures import FailureEvent, FailureSchedule, RandomFailureInjector
+from repro.workload.scenario import Scenario, ScenarioConfig, ScenarioResult
+
+__all__ = [
+    "CbrSource",
+    "FailureEvent",
+    "FailureSchedule",
+    "MulticastSink",
+    "RandomFailureInjector",
+    "Scenario",
+    "ScenarioConfig",
+    "ScenarioResult",
+]

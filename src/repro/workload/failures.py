@@ -1,0 +1,116 @@
+"""Failure injection: scripted and random node outages.
+
+MANET protocols must survive nodes disappearing abruptly (battery death,
+radio failure, leaving the field), which is distinct from mobility-induced
+link breaks.  :class:`FailureSchedule` crashes and recovers specific nodes at
+specific times; :class:`RandomFailureInjector` generates outages stochastically
+from a seeded stream so experiments remain reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.net.node import Node
+from repro.sim.engine import Simulator
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """One scheduled outage: the node fails at ``start_s`` and recovers at ``end_s``."""
+
+    node_id: int
+    start_s: float
+    end_s: float
+
+    def __post_init__(self) -> None:
+        if self.end_s < self.start_s:
+            raise ValueError("a failure cannot end before it starts")
+        if self.start_s < 0:
+            raise ValueError("failure times must be non-negative")
+
+    @property
+    def duration_s(self) -> float:
+        """Length of the outage in seconds."""
+        return self.end_s - self.start_s
+
+
+class FailureSchedule:
+    """Applies a fixed list of :class:`FailureEvent` to a set of nodes."""
+
+    def __init__(self, sim: Simulator, nodes: Sequence[Node], events: Iterable[FailureEvent]):
+        self.sim = sim
+        self._nodes = {node.node_id: node for node in nodes}
+        self.events: List[FailureEvent] = sorted(events, key=lambda e: e.start_s)
+        self.failures_applied = 0
+        self.recoveries_applied = 0
+        for event in self.events:
+            if event.node_id not in self._nodes:
+                raise ValueError(f"failure event references unknown node {event.node_id}")
+
+    def start(self) -> None:
+        """Schedule every outage on the simulator."""
+        for event in self.events:
+            self.sim.schedule_at(event.start_s, self._fail, event.node_id)
+            self.sim.schedule_at(event.end_s, self._recover, event.node_id)
+
+    def _fail(self, node_id: int) -> None:
+        self._nodes[node_id].fail()
+        self.failures_applied += 1
+
+    def _recover(self, node_id: int) -> None:
+        self._nodes[node_id].recover()
+        self.recoveries_applied += 1
+
+
+class RandomFailureInjector:
+    """Generates random outages for a node population.
+
+    Each node independently suffers outages: the time to the next failure is
+    exponential with mean ``mean_time_to_failure_s`` and each outage lasts a
+    uniform time in ``[min_outage_s, max_outage_s]``.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        nodes: Sequence[Node],
+        rng,
+        *,
+        mean_time_to_failure_s: float = 120.0,
+        min_outage_s: float = 5.0,
+        max_outage_s: float = 20.0,
+        protected: Iterable[int] = (),
+    ):
+        if mean_time_to_failure_s <= 0:
+            raise ValueError("mean_time_to_failure_s must be positive")
+        if not 0 <= min_outage_s <= max_outage_s:
+            raise ValueError("invalid outage duration bounds")
+        self.sim = sim
+        self.rng = rng
+        self.mean_time_to_failure_s = mean_time_to_failure_s
+        self.min_outage_s = min_outage_s
+        self.max_outage_s = max_outage_s
+        self._protected = set(protected)
+        self._nodes = [node for node in nodes if node.node_id not in self._protected]
+        self.outages: List[Tuple[int, float, float]] = []
+
+    def start(self) -> None:
+        """Arm the injector for every non-protected node."""
+        for node in self._nodes:
+            self._schedule_next_failure(node)
+
+    def _schedule_next_failure(self, node: Node) -> None:
+        delay = self.rng.expovariate(1.0 / self.mean_time_to_failure_s)
+        self.sim.schedule(delay, self._fail, node)
+
+    def _fail(self, node: Node) -> None:
+        outage = self.rng.uniform(self.min_outage_s, self.max_outage_s)
+        node.fail()
+        self.outages.append((node.node_id, self.sim.now, self.sim.now + outage))
+        self.sim.schedule(outage, self._recover, node)
+
+    def _recover(self, node: Node) -> None:
+        node.recover()
+        self._schedule_next_failure(node)

@@ -1,0 +1,315 @@
+"""Scenario construction: the paper's simulation environment in one object.
+
+:class:`ScenarioConfig` captures every knob of the evaluation (section 5.1):
+area, node count, transmission range, random-waypoint speeds, group size,
+traffic pattern and the gossip parameters.  :class:`Scenario` wires the full
+stack together -- medium, mobility, MAC, AODV, MAODV (or flooding), gossip
+agents, CBR source and measuring sinks -- runs the simulation and returns a
+:class:`ScenarioResult`.
+
+Two constructors cover the common cases:
+
+* :meth:`ScenarioConfig.paper` -- the exact parameters of the paper
+  (600 s runs, 2201 packets); these take minutes per run in pure Python.
+* :meth:`ScenarioConfig.quick` -- a scaled-down variant with identical
+  protocol parameters used by the test suite and the default benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
+
+from repro.core.config import GossipConfig
+from repro.core.gossip import GossipAgent
+from repro.metrics.collectors import DeliveryCollector, DeliverySummary
+from repro.mobility.base import RectangularArea
+from repro.mobility.random_waypoint import RandomWaypointMobility
+from repro.multicast.config import MaodvConfig
+from repro.multicast.flooding import FloodingConfig, FloodingRouter
+from repro.multicast.maodv import MaodvRouter
+from repro.multicast.odmrp import OdmrpConfig, OdmrpRouter
+from repro.net.addressing import make_group_address
+from repro.net.config import MacConfig, RadioConfig
+from repro.net.medium import Medium
+from repro.net.node import Node
+from repro.routing.aodv import AodvRouter
+from repro.routing.config import AodvConfig
+from repro.sim.engine import Simulator
+from repro.sim.random import RandomStreams
+from repro.workload.cbr import CbrSource, MulticastSink
+
+
+@dataclass
+class ScenarioConfig:
+    """Complete description of one simulation run."""
+
+    # Topology and radio.
+    num_nodes: int = 40
+    area_width_m: float = 200.0
+    area_height_m: float = 200.0
+    transmission_range_m: float = 75.0
+    bitrate_bps: float = 2_000_000.0
+
+    # Mobility (random waypoint).
+    min_speed_mps: float = 0.0
+    max_speed_mps: float = 0.2
+    max_pause_s: float = 80.0
+
+    # Group and traffic.
+    member_count: Optional[int] = None  # defaults to num_nodes // 3
+    join_window_s: float = 10.0
+    source_start_s: float = 120.0
+    source_stop_s: float = 560.0
+    packet_interval_s: float = 0.2
+    payload_bytes: int = 64
+    duration_s: float = 600.0
+
+    # Protocols.
+    protocol: str = "maodv"  # "maodv", "flooding" or "odmrp"
+    gossip_enabled: bool = True
+    gossip_config: GossipConfig = field(default_factory=GossipConfig)
+    aodv_config: AodvConfig = field(default_factory=AodvConfig)
+    maodv_config: MaodvConfig = field(default_factory=MaodvConfig)
+    flooding_config: FloodingConfig = field(default_factory=FloodingConfig)
+    odmrp_config: OdmrpConfig = field(default_factory=OdmrpConfig)
+    mac_config: MacConfig = field(default_factory=MacConfig)
+
+    # Reproducibility.
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 2:
+            raise ValueError("a scenario needs at least two nodes")
+        if self.protocol not in ("maodv", "flooding", "odmrp"):
+            raise ValueError(f"unknown protocol {self.protocol!r}")
+        if self.member_count is not None and not 1 <= self.member_count <= self.num_nodes:
+            raise ValueError("member_count must lie in [1, num_nodes]")
+        if self.duration_s <= self.source_start_s:
+            raise ValueError("duration_s must exceed source_start_s")
+
+    # ------------------------------------------------------------ constructors
+    @classmethod
+    def paper(cls, **overrides) -> "ScenarioConfig":
+        """The paper's full-scale settings (section 5.1)."""
+        return cls(**overrides)
+
+    @classmethod
+    def quick(cls, **overrides) -> "ScenarioConfig":
+        """A scaled-down scenario with identical protocol parameters.
+
+        Used by tests and the default benchmark runs: fewer nodes, a shorter
+        source phase and a smaller area so a run completes in seconds while
+        exercising exactly the same code paths.
+        """
+        defaults = dict(
+            num_nodes=16,
+            area_width_m=150.0,
+            area_height_m=150.0,
+            transmission_range_m=60.0,
+            member_count=6,
+            join_window_s=4.0,
+            source_start_s=15.0,
+            source_stop_s=55.0,
+            packet_interval_s=0.5,
+            duration_s=65.0,
+        )
+        defaults.update(overrides)
+        return cls(**defaults)
+
+    def with_gossip(self, enabled: bool) -> "ScenarioConfig":
+        """A copy of this config with gossip switched on or off."""
+        return replace(self, gossip_enabled=enabled)
+
+    @property
+    def resolved_member_count(self) -> int:
+        """Number of group members (defaults to one third of the nodes)."""
+        if self.member_count is not None:
+            return self.member_count
+        return max(2, self.num_nodes // 3)
+
+    @property
+    def expected_packets(self) -> int:
+        """Number of data packets the source will originate."""
+        return int((self.source_stop_s - self.source_start_s) / self.packet_interval_s) + 1
+
+
+@dataclass
+class ScenarioResult:
+    """Everything measured during one scenario run."""
+
+    config: ScenarioConfig
+    summary: DeliverySummary
+    member_counts: Dict[int, int]
+    goodput_by_member: Dict[int, float]
+    packets_sent: int
+    protocol_stats: Dict[str, float]
+    events_processed: int
+
+    @property
+    def delivery_ratio(self) -> float:
+        """Mean fraction of sent packets received per member."""
+        return self.summary.delivery_ratio
+
+    @property
+    def mean_goodput(self) -> float:
+        """Mean gossip goodput across members (100.0 when gossip is off)."""
+        if not self.goodput_by_member:
+            return 100.0
+        return sum(self.goodput_by_member.values()) / len(self.goodput_by_member)
+
+
+class Scenario:
+    """Builds and runs one simulation described by a :class:`ScenarioConfig`."""
+
+    def __init__(self, config: ScenarioConfig):
+        self.config = config
+        self.sim: Optional[Simulator] = None
+        self.medium: Optional[Medium] = None
+        self.nodes: List[Node] = []
+        self.aodv: Dict[int, AodvRouter] = {}
+        self.multicast: Dict[int, object] = {}
+        self.gossip: Dict[int, GossipAgent] = {}
+        self.members: List[int] = []
+        self.source_id: Optional[int] = None
+        self.group = make_group_address(0)
+        self.collector = DeliveryCollector()
+        self.source: Optional[CbrSource] = None
+        self.sinks: Dict[int, MulticastSink] = {}
+        self._built = False
+
+    # ----------------------------------------------------------------- building
+    def build(self) -> "Scenario":
+        """Instantiate the whole stack.  Returns ``self`` for chaining."""
+        if self._built:
+            return self
+        config = self.config
+        self.sim = Simulator()
+        streams = RandomStreams(config.seed)
+        radio = RadioConfig(
+            transmission_range_m=config.transmission_range_m,
+            bitrate_bps=config.bitrate_bps,
+        )
+        self.medium = Medium(self.sim, radio)
+        area = RectangularArea(config.area_width_m, config.area_height_m)
+
+        for node_id in range(config.num_nodes):
+            mobility = RandomWaypointMobility(
+                area,
+                streams.for_node("mobility", node_id),
+                min_speed_mps=config.min_speed_mps,
+                max_speed_mps=config.max_speed_mps,
+                max_pause_s=config.max_pause_s,
+            )
+            node = Node(
+                node_id,
+                self.sim,
+                self.medium,
+                mobility,
+                streams,
+                mac_config=config.mac_config,
+            )
+            self.nodes.append(node)
+            aodv = AodvRouter(node, config.aodv_config)
+            self.aodv[node_id] = aodv
+            if config.protocol == "maodv":
+                multicast = MaodvRouter(node, aodv, config.maodv_config)
+            elif config.protocol == "odmrp":
+                multicast = OdmrpRouter(node, aodv, config.odmrp_config)
+            else:
+                multicast = FloodingRouter(node, aodv, config.flooding_config)
+            self.multicast[node_id] = multicast
+            if config.gossip_enabled:
+                self.gossip[node_id] = GossipAgent(
+                    node, multicast, aodv, self.group, config.gossip_config
+                )
+
+        self._select_members(streams)
+        self._attach_applications(streams)
+        self._built = True
+        return self
+
+    def _select_members(self, streams: RandomStreams) -> None:
+        rng = streams.get("membership")
+        member_count = self.config.resolved_member_count
+        self.members = sorted(rng.sample(range(self.config.num_nodes), member_count))
+        self.source_id = rng.choice(self.members)
+
+    def _attach_applications(self, streams: RandomStreams) -> None:
+        config = self.config
+        join_rng = streams.get("joins")
+        for member in self.members:
+            node = self.nodes[member]
+            multicast = self.multicast[member]
+            gossip = self.gossip.get(member)
+            sink = MulticastSink(node, multicast, self.collector, gossip=gossip)
+            self.sinks[member] = sink
+            node.add_application(sink)
+            join_at = join_rng.uniform(0.0, config.join_window_s)
+            self.sim.schedule_at(join_at, multicast.join_group, self.group)
+        source_node = self.nodes[self.source_id]
+        self.source = CbrSource(
+            source_node,
+            self.multicast[self.source_id],
+            self.group,
+            start_s=config.source_start_s,
+            stop_s=config.source_stop_s,
+            interval_s=config.packet_interval_s,
+            payload_bytes=config.payload_bytes,
+            collector=self.collector,
+        )
+        source_node.add_application(self.source)
+
+    # ------------------------------------------------------------------ running
+    def run(self) -> ScenarioResult:
+        """Build (if needed), run to completion and return the results."""
+        self.build()
+        for node in self.nodes:
+            node.start()
+        for aodv in self.aodv.values():
+            aodv.start()
+        for gossip in self.gossip.values():
+            gossip.start()
+        self.sim.run(until=self.config.duration_s)
+        return self._collect_results()
+
+    def _collect_results(self) -> ScenarioResult:
+        summary = self.collector.summary()
+        goodput = {
+            member: self.gossip[member].stats.goodput_percent
+            for member in self.members
+            if member in self.gossip
+        }
+        return ScenarioResult(
+            config=self.config,
+            summary=summary,
+            member_counts=self.collector.counts(),
+            goodput_by_member=goodput,
+            packets_sent=self.collector.packets_sent,
+            protocol_stats=self._aggregate_protocol_stats(),
+            events_processed=self.sim.events_processed,
+        )
+
+    def _aggregate_protocol_stats(self) -> Dict[str, float]:
+        totals: Dict[str, float] = {}
+
+        def accumulate(prefix: str, stats_object) -> None:
+            for name, value in vars(stats_object).items():
+                if isinstance(value, (int, float)):
+                    totals[f"{prefix}.{name}"] = totals.get(f"{prefix}.{name}", 0) + value
+
+        for aodv in self.aodv.values():
+            accumulate("aodv", aodv.stats)
+        for multicast in self.multicast.values():
+            accumulate(self.config.protocol, multicast.stats)
+        for gossip in self.gossip.values():
+            accumulate("gossip", gossip.stats)
+        for node in self.nodes:
+            accumulate("mac", node.mac.stats)
+        accumulate("medium", self.medium.stats)
+        return totals
+
+
+def run_scenario(config: ScenarioConfig) -> ScenarioResult:
+    """Convenience wrapper: build and run a scenario in one call."""
+    return Scenario(config).run()

@@ -1,0 +1,116 @@
+"""Unit tests for the lost table (loss detection and the lost buffer)."""
+
+from repro.core.lost_table import LostTable
+
+
+class TestLossDetection:
+    def test_in_order_reception_records_no_losses(self):
+        table = LostTable()
+        for seq in range(1, 6):
+            table.observe(source=1, seq=seq)
+        assert len(table) == 0
+        assert table.expected_seq(1) == 6
+
+    def test_gap_records_missing_sequence_numbers(self):
+        table = LostTable()
+        table.observe(1, 1)
+        table.observe(1, 5)
+        assert table.is_lost(1, 2)
+        assert table.is_lost(1, 3)
+        assert table.is_lost(1, 4)
+        assert not table.is_lost(1, 5)
+        assert table.expected_seq(1) == 6
+
+    def test_initial_gap_counts_from_initial_expected(self):
+        table = LostTable(initial_expected_seq=1)
+        table.observe(1, 3)
+        assert table.is_lost(1, 1)
+        assert table.is_lost(1, 2)
+
+    def test_custom_initial_expected(self):
+        table = LostTable(initial_expected_seq=10)
+        table.observe(1, 12)
+        assert not table.is_lost(1, 9)
+        assert table.is_lost(1, 10)
+        assert table.is_lost(1, 11)
+
+    def test_late_arrival_clears_loss(self):
+        table = LostTable()
+        table.observe(1, 1)
+        table.observe(1, 3)
+        assert table.is_lost(1, 2)
+        was_new = table.observe(1, 2)
+        assert was_new
+        assert not table.is_lost(1, 2)
+
+    def test_duplicate_reception_reported_as_not_new(self):
+        table = LostTable()
+        table.observe(1, 1)
+        assert not table.observe(1, 1)
+
+    def test_sources_tracked_independently(self):
+        table = LostTable()
+        table.observe(1, 1)
+        table.observe(2, 4)
+        assert table.expected_seq(1) == 2
+        assert table.expected_seq(2) == 5
+        assert table.is_lost(2, 1)
+        assert not table.is_lost(1, 2)
+
+    def test_mark_recovered(self):
+        table = LostTable()
+        table.observe(1, 3)
+        assert table.mark_recovered(1, 2)
+        assert not table.mark_recovered(1, 2)
+        assert not table.is_lost(1, 2)
+
+    def test_has_received(self):
+        table = LostTable()
+        table.observe(1, 1)
+        table.observe(1, 4)
+        assert table.has_received(1, 1)
+        assert not table.has_received(1, 2)   # lost
+        assert not table.has_received(1, 5)   # not yet seen
+        table.observe(1, 2)
+        assert table.has_received(1, 2)
+
+
+class TestLostBuffer:
+    def test_most_recent_lost_returns_newest_first(self):
+        table = LostTable()
+        table.observe(1, 1)
+        table.observe(1, 6)   # loses 2, 3, 4, 5
+        recent = table.most_recent_lost(3)
+        assert recent == [(1, 5), (1, 4), (1, 3)]
+
+    def test_most_recent_lost_limit_larger_than_content(self):
+        table = LostTable()
+        table.observe(1, 3)
+        assert set(table.most_recent_lost(10)) == {(1, 1), (1, 2)}
+
+    def test_zero_limit_returns_empty(self):
+        table = LostTable()
+        table.observe(1, 3)
+        assert table.most_recent_lost(0) == []
+
+    def test_all_lost_oldest_first(self):
+        table = LostTable()
+        table.observe(1, 4)
+        assert table.all_lost() == [(1, 1), (1, 2), (1, 3)]
+
+
+class TestCapacity:
+    def test_capacity_bounds_lost_entries(self):
+        table = LostTable(capacity=5)
+        table.observe(1, 100)   # 99 losses, capacity 5
+        assert len(table) == 5
+        assert table.overflow_drops == 94
+        # The oldest losses were dropped, the newest kept.
+        assert table.is_lost(1, 99)
+        assert not table.is_lost(1, 1)
+
+    def test_capacity_validation(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            LostTable(capacity=0)

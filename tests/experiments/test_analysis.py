@@ -1,0 +1,118 @@
+"""Tests for experiment-result analysis helpers."""
+
+import pytest
+
+from repro.experiments.analysis import (
+    VariantComparison,
+    compare_variants,
+    crossover_points,
+    summarize,
+    trend,
+)
+from repro.experiments.runner import ExperimentPoint, ExperimentResult
+
+
+def _point(x, variant, mean, minimum=None, maximum=None):
+    minimum = mean - 10 if minimum is None else minimum
+    maximum = mean + 10 if maximum is None else maximum
+    return ExperimentPoint(
+        x=x, variant=variant, packets_sent=100, mean=mean, minimum=minimum,
+        maximum=maximum, delivery_ratio=mean / 100.0, goodput=99.0, runs=1,
+    )
+
+
+def _result(points):
+    return ExperimentResult(spec_figure="figX", title="test", x_label="x", points=points)
+
+
+class TestCompareVariants:
+    def test_improvement_and_spread(self):
+        result = _result([
+            _point(1, "maodv", 50, minimum=20, maximum=90),
+            _point(1, "gossip", 70, minimum=60, maximum=90),
+            _point(2, "maodv", 60, minimum=30, maximum=95),
+            _point(2, "gossip", 75, minimum=65, maximum=95),
+        ])
+        comparison = compare_variants(result)
+        assert isinstance(comparison, VariantComparison)
+        assert comparison.points_compared == 2
+        assert comparison.mean_improvement == pytest.approx(17.5)
+        assert comparison.mean_improvement_percent == pytest.approx(100 * 17.5 / 55.0)
+        assert comparison.spread_reduction == pytest.approx(((70 - 30) + (65 - 30)) / 2)
+        assert comparison.never_worse
+
+    def test_never_worse_flag_false_when_variant_dips(self):
+        result = _result([
+            _point(1, "maodv", 50),
+            _point(1, "gossip", 45),
+            _point(2, "maodv", 50),
+            _point(2, "gossip", 80),
+        ])
+        assert not compare_variants(result).never_worse
+
+    def test_no_common_points_rejected(self):
+        result = _result([_point(1, "maodv", 50), _point(2, "gossip", 60)])
+        with pytest.raises(ValueError):
+            compare_variants(result)
+
+    def test_str_mentions_both_variants(self):
+        result = _result([_point(1, "maodv", 50), _point(1, "gossip", 70)])
+        text = str(compare_variants(result))
+        assert "gossip vs maodv" in text
+
+
+class TestCrossover:
+    def test_no_crossover_when_one_variant_dominates(self):
+        result = _result([
+            _point(x, "maodv", 50) for x in (1, 2, 3)
+        ] + [
+            _point(x, "gossip", 70) for x in (1, 2, 3)
+        ])
+        assert crossover_points(result, "gossip", "maodv") == []
+
+    def test_single_crossover_detected(self):
+        result = _result([
+            _point(1, "flooding", 90), _point(1, "maodv", 50),
+            _point(2, "flooding", 70), _point(2, "maodv", 65),
+            _point(3, "flooding", 40), _point(3, "maodv", 60),
+        ])
+        assert crossover_points(result, "flooding", "maodv") == [3]
+
+    def test_ties_do_not_count_as_crossovers(self):
+        result = _result([
+            _point(1, "a", 50), _point(1, "b", 40),
+            _point(2, "a", 45), _point(2, "b", 45),
+            _point(3, "a", 50), _point(3, "b", 40),
+        ])
+        assert crossover_points(result, "a", "b") == []
+
+
+class TestTrend:
+    def test_increasing(self):
+        assert trend([10, 20, 30, 40]) == "increasing"
+
+    def test_decreasing(self):
+        assert trend([40, 35, 20, 10]) == "decreasing"
+
+    def test_flat(self):
+        assert trend([50, 50.4, 49.8, 50.1]) == "flat"
+
+    def test_short_series_is_flat(self):
+        assert trend([42]) == "flat"
+        assert trend([]) == "flat"
+
+    def test_noise_within_tolerance_is_flat(self):
+        assert trend([100, 100.5, 99.5, 100.2, 100.1]) == "flat"
+
+
+class TestSummarize:
+    def test_summary_contains_per_variant_trends_and_comparison(self):
+        result = _result([
+            _point(1, "maodv", 40), _point(2, "maodv", 50), _point(3, "maodv", 60),
+            _point(1, "gossip", 60), _point(2, "gossip", 70), _point(3, "gossip", 80),
+        ])
+        summary = summarize(result)
+        assert summary["figure"] == "figX"
+        assert summary["maodv"]["trend"] == "increasing"
+        assert summary["gossip"]["points"] == 3
+        assert "comparison" in summary

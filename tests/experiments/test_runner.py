@@ -1,0 +1,91 @@
+"""Tests for the experiment runner (sweep execution and aggregation)."""
+
+import pytest
+
+from repro.experiments.figures import figure2_range_slow, figure8_goodput
+from repro.experiments.runner import (
+    _variant_config,
+    run_experiment,
+    run_goodput_experiment,
+)
+from repro.workload.scenario import ScenarioConfig
+
+
+class TestVariantConfigs:
+    def test_maodv_variant_disables_gossip(self):
+        base = ScenarioConfig.quick()
+        config = _variant_config(base, "maodv")
+        assert not config.gossip_enabled
+        assert config.protocol == "maodv"
+
+    def test_gossip_variant_enables_gossip(self):
+        config = _variant_config(ScenarioConfig.quick(), "gossip")
+        assert config.gossip_enabled
+
+    def test_flooding_variant(self):
+        config = _variant_config(ScenarioConfig.quick(), "flooding")
+        assert config.protocol == "flooding"
+        assert not config.gossip_enabled
+
+    def test_ablation_variants(self):
+        base = ScenarioConfig.quick()
+        no_locality = _variant_config(base, "gossip-no-locality")
+        assert not no_locality.gossip_config.enable_locality
+        anonymous = _variant_config(base, "gossip-anonymous-only")
+        assert anonymous.gossip_config.p_anon == 1.0
+        cached = _variant_config(base, "gossip-cached-only")
+        assert cached.gossip_config.p_anon == 0.0
+
+    def test_odmrp_variants(self):
+        plain = _variant_config(ScenarioConfig.quick(), "odmrp")
+        assert plain.protocol == "odmrp" and not plain.gossip_enabled
+        with_gossip = _variant_config(ScenarioConfig.quick(), "odmrp-gossip")
+        assert with_gossip.protocol == "odmrp" and with_gossip.gossip_enabled
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ValueError):
+            _variant_config(ScenarioConfig.quick(), "amris")
+
+
+class TestRunExperiment:
+    def test_small_sweep_produces_points_for_each_variant(self):
+        spec = figure2_range_slow()
+        result = run_experiment(spec, scale="quick", seeds=1, x_values=[55, 75])
+        assert result.spec_figure == "fig2"
+        assert sorted(result.variants()) == ["gossip", "maodv"]
+        assert len(result.points) == 4
+        for point in result.points:
+            assert point.runs == 1
+            assert point.packets_sent > 0
+            assert 0 <= point.minimum <= point.mean <= point.maximum
+
+    def test_points_for_orders_by_x(self):
+        spec = figure2_range_slow()
+        result = run_experiment(spec, scale="quick", seeds=1, x_values=[75, 55])
+        xs = [point.x for point in result.points_for("maodv")]
+        assert xs == [55, 75]
+
+    def test_table_rendering_contains_all_points(self):
+        spec = figure2_range_slow()
+        result = run_experiment(spec, scale="quick", seeds=1, x_values=[60])
+        table = result.to_table()
+        assert spec.title in table
+        assert "maodv" in table and "gossip" in table
+
+    def test_gossip_variant_not_worse_than_maodv(self):
+        spec = figure2_range_slow()
+        result = run_experiment(spec, scale="quick", seeds=2, x_values=[55])
+        maodv = result.points_for("maodv")[0]
+        gossip = result.points_for("gossip")[0]
+        assert gossip.mean >= maodv.mean
+
+
+class TestGoodputExperiment:
+    def test_goodput_reported_per_member(self):
+        spec = figure8_goodput()
+        results = run_goodput_experiment(spec, scale="quick", seeds=1)
+        assert set(results) == {(45.0, 0.2), (75.0, 0.2), (45.0, 2.0), (75.0, 2.0)}
+        for per_member in results.values():
+            assert per_member, "every combination reports at least one member"
+            for goodput in per_member.values():
+                assert 0.0 <= goodput <= 100.0

@@ -1,0 +1,84 @@
+"""End-to-end checks of the paper's headline claims at quick scale.
+
+These tests run complete scenarios (mobility, MAC, AODV, MAODV, gossip,
+traffic) and assert the qualitative results reported in the paper's
+evaluation: Anonymous Gossip improves mean packet delivery over plain MAODV,
+reduces the spread between the luckiest and unluckiest member, keeps goodput
+high, and costs extra control traffic but no extra data-plane duplicates at
+the application layer.
+"""
+
+import pytest
+
+from repro.workload.scenario import ScenarioConfig, run_scenario
+
+
+@pytest.fixture(scope="module")
+def stressed_pair():
+    """One stressed scenario run with and without gossip on the same mobility."""
+    base = ScenarioConfig.quick(seed=9, transmission_range_m=52.0, max_speed_mps=2.0)
+    return run_scenario(base.with_gossip(False)), run_scenario(base.with_gossip(True))
+
+
+class TestHeadlineClaims:
+    def test_gossip_improves_mean_delivery(self, stressed_pair):
+        maodv, gossip = stressed_pair
+        assert maodv.summary.delivery_ratio < 1.0, "the scenario must actually lose packets"
+        assert gossip.summary.mean > maodv.summary.mean
+
+    def test_gossip_reduces_member_spread(self, stressed_pair):
+        maodv, gossip = stressed_pair
+        maodv_spread = maodv.summary.maximum - maodv.summary.minimum
+        gossip_spread = gossip.summary.maximum - gossip.summary.minimum
+        assert gossip_spread <= maodv_spread
+
+    def test_gossip_recovery_is_reported(self, stressed_pair):
+        _, gossip = stressed_pair
+        assert gossip.protocol_stats["gossip.recovered_messages"] > 0
+        assert gossip.protocol_stats["gossip.replies_received"] > 0
+
+    def test_goodput_stays_high(self, stressed_pair):
+        _, gossip = stressed_pair
+        assert gossip.mean_goodput >= 60.0
+
+    def test_gossip_costs_control_traffic(self, stressed_pair):
+        maodv, gossip = stressed_pair
+        maodv_tx = (maodv.protocol_stats["mac.data_transmissions"]
+                    + maodv.protocol_stats["mac.broadcast_transmissions"])
+        gossip_tx = (gossip.protocol_stats["mac.data_transmissions"]
+                     + gossip.protocol_stats["mac.broadcast_transmissions"])
+        assert gossip_tx > maodv_tx
+
+    def test_every_member_counted_exactly_once(self, stressed_pair):
+        maodv, gossip = stressed_pair
+        assert set(maodv.member_counts) == set(gossip.member_counts)
+        assert len(maodv.member_counts) == maodv.config.resolved_member_count
+
+    def test_no_member_exceeds_packets_sent(self, stressed_pair):
+        for result in stressed_pair:
+            for count in result.member_counts.values():
+                assert 0 <= count <= result.packets_sent
+
+
+class TestWellConnectedScenario:
+    def test_near_perfect_delivery_with_gossip_at_low_speed(self):
+        config = ScenarioConfig.quick(seed=4, transmission_range_m=80.0, max_speed_mps=0.2)
+        result = run_scenario(config)
+        assert result.summary.delivery_ratio >= 0.95
+
+    def test_maodv_alone_already_good_when_static_and_dense(self):
+        config = ScenarioConfig.quick(
+            seed=4, transmission_range_m=80.0, max_speed_mps=0.0, gossip_enabled=False
+        )
+        result = run_scenario(config)
+        assert result.summary.delivery_ratio >= 0.9
+
+
+class TestDeterminism:
+    def test_full_stack_run_is_bit_reproducible(self):
+        config = ScenarioConfig.quick(seed=21, max_speed_mps=1.0)
+        first = run_scenario(config)
+        second = run_scenario(config)
+        assert first.member_counts == second.member_counts
+        assert first.protocol_stats == second.protocol_stats
+        assert first.events_processed == second.events_processed

@@ -1,0 +1,96 @@
+"""Unit tests for the random-waypoint mobility model."""
+
+import math
+import random
+
+import pytest
+
+from repro.mobility.base import RectangularArea
+from repro.mobility.random_waypoint import RandomWaypointMobility
+
+AREA = RectangularArea(200.0, 200.0)
+
+
+def _model(seed=1, **kwargs):
+    defaults = dict(min_speed_mps=0.0, max_speed_mps=2.0, max_pause_s=10.0)
+    defaults.update(kwargs)
+    return RandomWaypointMobility(AREA, random.Random(seed), **defaults)
+
+
+class TestRandomWaypoint:
+    def test_positions_stay_inside_area(self):
+        model = _model(seed=5)
+        for t in range(0, 2000, 7):
+            assert AREA.contains(model.position(float(t)))
+
+    def test_position_is_deterministic_for_same_seed(self):
+        a = _model(seed=11)
+        b = _model(seed=11)
+        for t in (0.0, 13.7, 99.2, 512.0):
+            assert a.position(t) == b.position(t)
+
+    def test_different_seeds_give_different_trajectories(self):
+        a = _model(seed=1)
+        b = _model(seed=2)
+        samples_a = [a.position(t) for t in (50.0, 100.0, 150.0)]
+        samples_b = [b.position(t) for t in (50.0, 100.0, 150.0)]
+        assert samples_a != samples_b
+
+    def test_queries_can_go_backwards_in_time(self):
+        model = _model(seed=3)
+        late = model.position(500.0)
+        early = model.position(10.0)
+        assert AREA.contains(early)
+        # Re-querying the later time returns the identical position.
+        assert model.position(500.0) == late
+
+    def test_speed_bound_respected(self):
+        model = _model(seed=9, min_speed_mps=0.5, max_speed_mps=2.0, max_pause_s=0.0)
+        previous = model.position(0.0)
+        for step in range(1, 300):
+            current = model.position(float(step))
+            distance = math.hypot(current[0] - previous[0], current[1] - previous[1])
+            assert distance <= 2.0 + 1e-6
+            previous = current
+
+    def test_zero_max_speed_is_static(self):
+        model = _model(seed=4, max_speed_mps=0.0)
+        assert model.position(0.0) == model.position(1000.0)
+
+    def test_initial_position_honoured(self):
+        model = RandomWaypointMobility(
+            AREA, random.Random(1), max_speed_mps=1.0, initial_position=(10.0, 20.0)
+        )
+        assert model.position(0.0) == (10.0, 20.0)
+
+    def test_initial_position_outside_area_rejected(self):
+        with pytest.raises(ValueError):
+            RandomWaypointMobility(
+                AREA, random.Random(1), max_speed_mps=1.0, initial_position=(500.0, 0.0)
+            )
+
+    def test_invalid_speeds_rejected(self):
+        with pytest.raises(ValueError):
+            _model(min_speed_mps=-1.0)
+        with pytest.raises(ValueError):
+            _model(min_speed_mps=5.0, max_speed_mps=1.0)
+
+    def test_negative_pause_rejected(self):
+        with pytest.raises(ValueError):
+            _model(max_pause_s=-1.0)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            _model().position(-1.0)
+
+    def test_node_actually_moves(self):
+        model = _model(seed=6, max_speed_mps=5.0, max_pause_s=0.0)
+        start = model.position(0.0)
+        later = model.position(120.0)
+        assert start != later
+
+    def test_legs_are_generated_lazily(self):
+        model = _model(seed=8)
+        assert model.legs_generated <= 1
+        model.position(300.0)
+        assert model.legs_generated >= 1

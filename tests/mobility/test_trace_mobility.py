@@ -1,0 +1,48 @@
+"""Unit tests for waypoint-trace mobility."""
+
+import pytest
+
+from repro.mobility.trace import WaypointTraceMobility
+
+
+class TestWaypointTrace:
+    def test_interpolates_between_waypoints(self):
+        trace = WaypointTraceMobility([(0, 0, 0), (10, 100, 0)])
+        assert trace.position(5.0) == (50.0, 0.0)
+        assert trace.position(2.5) == (25.0, 0.0)
+
+    def test_holds_first_position_before_trace_starts(self):
+        trace = WaypointTraceMobility([(10, 5, 5), (20, 15, 5)])
+        assert trace.position(0.0) == (5.0, 5.0)
+
+    def test_holds_last_position_after_trace_ends(self):
+        trace = WaypointTraceMobility([(0, 0, 0), (10, 100, 50)])
+        assert trace.position(1000.0) == (100.0, 50.0)
+
+    def test_multi_segment_trace(self):
+        trace = WaypointTraceMobility([(0, 0, 0), (10, 100, 0), (20, 100, 100)])
+        assert trace.position(15.0) == (100.0, 50.0)
+
+    def test_instantaneous_jump_segment(self):
+        trace = WaypointTraceMobility([(0, 0, 0), (5, 10, 0), (5, 50, 0)])
+        assert trace.position(5.0) in ((10.0, 0.0), (50.0, 0.0))
+        assert trace.position(6.0) == (50.0, 0.0)
+
+    def test_single_waypoint_is_static(self):
+        trace = WaypointTraceMobility([(0, 7, 9)])
+        assert trace.position(0.0) == (7.0, 9.0)
+        assert trace.position(99.0) == (7.0, 9.0)
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            WaypointTraceMobility([])
+
+    def test_unsorted_trace_rejected(self):
+        with pytest.raises(ValueError):
+            WaypointTraceMobility([(10, 0, 0), (5, 1, 1)])
+
+    def test_waypoints_property_returns_copy(self):
+        trace = WaypointTraceMobility([(0, 0, 0), (10, 1, 1)])
+        waypoints = trace.waypoints
+        waypoints.append((20, 2, 2))
+        assert len(trace.waypoints) == 2

@@ -1,0 +1,84 @@
+"""Integration tests: MAODV tree repair, partition handling and merging."""
+
+from tests.conftest import GROUP, build_network, line_topology
+
+
+class TestTreeRepair:
+    def test_tree_repaired_through_alternate_router(self):
+        # Members 0 and 3.  Two parallel relays (1 and 2) connect them; when
+        # the active relay leaves, the tree must be repaired through the
+        # other one and data must flow again.
+        positions = [(0.0, 0.0), (60.0, 0.0), (60.0, 50.0), (120.0, 0.0)]
+        network = build_network(positions, range_m=80)
+        received = []
+        network.maodv[3].add_delivery_listener(lambda data: received.append(data.seq))
+        network.start()
+        network.join_all([0, 3], spacing_s=3.0)
+        network.run(15.0)
+        network.maodv[0].send_data(GROUP, 64)
+        network.run(3.0)
+        assert received == [1]
+        # Which relay carries the tree?
+        active_relay = next(n for n in (1, 2) if network.maodv[n].is_on_tree(GROUP))
+        network.move(active_relay, 5000.0, 5000.0)
+        # Give hello-loss detection and repair time to run.
+        network.run(20.0)
+        network.maodv[0].send_data(GROUP, 64)
+        network.run(5.0)
+        assert received == [1, 2]
+
+    def test_repair_statistics_recorded(self):
+        positions = [(0.0, 0.0), (60.0, 0.0), (60.0, 50.0), (120.0, 0.0)]
+        network = build_network(positions, range_m=80)
+        network.start()
+        network.join_all([0, 3], spacing_s=3.0)
+        network.run(15.0)
+        active_relay = next(n for n in (1, 2) if network.maodv[n].is_on_tree(GROUP))
+        network.move(active_relay, 5000.0, 5000.0)
+        network.run(20.0)
+        repairs = sum(network.maodv[n].stats.repairs_started for n in (0, 3))
+        assert repairs >= 1
+
+
+class TestPartitions:
+    def test_isolated_member_becomes_its_own_leader(self):
+        positions = [(0.0, 0.0), (60.0, 0.0), (5000.0, 5000.0)]
+        network = build_network(positions, range_m=80)
+        network.start()
+        network.join_all([0, 2], spacing_s=2.0)
+        network.run(15.0)
+        assert network.maodv[0].is_group_leader(GROUP)
+        assert network.maodv[2].is_group_leader(GROUP)
+
+    def test_partition_break_creates_second_leader(self):
+        network = build_network(line_topology(2, 60.0), range_m=80)
+        network.start()
+        network.join_all([0, 1], spacing_s=2.0)
+        network.run(10.0)
+        leaders_before = [n for n in (0, 1) if network.maodv[n].is_group_leader(GROUP)]
+        assert len(leaders_before) == 1
+        network.move(1, 5000.0, 5000.0)
+        network.run(30.0)
+        assert network.maodv[0].is_group_leader(GROUP)
+        assert network.maodv[1].is_group_leader(GROUP)
+
+    def test_partitions_merge_when_reconnected(self):
+        # Two members start far apart (two partitions, two leaders), then one
+        # walks back into range: group hellos must reconcile to one leader.
+        positions = [(0.0, 0.0), (1000.0, 0.0)]
+        network = build_network(positions, range_m=80)
+        received = []
+        network.maodv[1].add_delivery_listener(lambda data: received.append(data.seq))
+        network.start()
+        network.join_all([0, 1], spacing_s=2.0)
+        network.run(10.0)
+        assert network.maodv[0].is_group_leader(GROUP)
+        assert network.maodv[1].is_group_leader(GROUP)
+        network.move(1, 60.0, 0.0)
+        network.run(30.0)
+        leaders = [n for n in (0, 1) if network.maodv[n].is_group_leader(GROUP)]
+        assert len(leaders) == 1
+        # After the merge, data flows across the former partition boundary.
+        network.maodv[0].send_data(GROUP, 64)
+        network.run(5.0)
+        assert received == [1]

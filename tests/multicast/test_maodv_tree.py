@@ -1,0 +1,134 @@
+"""Integration tests: MAODV tree construction, leadership and pruning."""
+
+from tests.conftest import GROUP, build_network, line_topology
+
+
+class TestGroupCreation:
+    def test_first_member_becomes_group_leader(self):
+        network = build_network(line_topology(3, 60.0), range_m=100)
+        network.start()
+        network.sim.schedule_at(0.5, network.maodv[0].join_group, GROUP)
+        network.run(5.0)
+        assert network.maodv[0].is_member(GROUP)
+        assert network.maodv[0].is_group_leader(GROUP)
+
+    def test_second_member_grafts_instead_of_leading(self):
+        network = build_network(line_topology(2, 60.0), range_m=100)
+        network.start()
+        network.join_all([0, 1], spacing_s=4.0)
+        network.run(12.0)
+        leaders = [n for n in (0, 1) if network.maodv[n].is_group_leader(GROUP)]
+        assert len(leaders) == 1
+        assert network.maodv[0].tree_neighbors(GROUP) == [1]
+        assert network.maodv[1].tree_neighbors(GROUP) == [0]
+
+    def test_join_is_idempotent(self):
+        network = build_network(line_topology(2, 60.0), range_m=100)
+        network.start()
+        network.sim.schedule_at(0.5, network.maodv[0].join_group, GROUP)
+        network.sim.schedule_at(3.0, network.maodv[0].join_group, GROUP)
+        network.run(6.0)
+        assert network.maodv[0].stats.joins_initiated == 1
+
+
+class TestTreeConstruction:
+    def test_intermediate_routers_grafted_onto_tree(self):
+        # Members at the ends of a 4-node line; the middle nodes must become
+        # tree routers even though they are not members.
+        network = build_network(line_topology(4, 60.0), range_m=80)
+        network.start()
+        network.join_all([0, 3], spacing_s=4.0)
+        network.run(15.0)
+        assert network.maodv[1].is_on_tree(GROUP)
+        assert network.maodv[2].is_on_tree(GROUP)
+        assert not network.maodv[1].is_member(GROUP)
+        edges = set(network.tree_edges())
+        assert (0, 1) in edges and (1, 0) in edges
+        assert (1, 2) in edges and (2, 1) in edges
+        assert (2, 3) in edges and (3, 2) in edges
+
+    def test_tree_links_are_symmetric(self):
+        network = build_network(line_topology(5, 60.0), range_m=80)
+        network.start()
+        network.join_all([0, 2, 4], spacing_s=3.0)
+        network.run(20.0)
+        edges = set(network.tree_edges())
+        for a, b in edges:
+            assert (b, a) in edges
+
+    def test_all_members_connected_to_single_leader(self):
+        network = build_network(line_topology(5, 60.0), range_m=80)
+        network.start()
+        network.join_all([0, 2, 4], spacing_s=3.0)
+        network.run(25.0)
+        leaders = {
+            network.maodv[m].table.entry(GROUP).leader for m in (0, 2, 4)
+        }
+        assert len(leaders) == 1
+
+
+class TestNearestMemberMaintenance:
+    def test_router_learns_member_distances(self):
+        # Members 0 and 3; routers 1 and 2 in between (line, 60 m spacing).
+        network = build_network(line_topology(4, 60.0), range_m=80)
+        network.start()
+        network.join_all([0, 3], spacing_s=4.0)
+        network.run(20.0)
+        router = network.maodv[1]
+        # Through node 0 the nearest member (node 0) is 1 hop away; through
+        # node 2 the nearest member (node 3) is 2 hops away.
+        assert router.nearest_member_via(GROUP, 0) == 1
+        assert router.nearest_member_via(GROUP, 2) == 2
+
+    def test_member_advertises_distance_one(self):
+        network = build_network(line_topology(3, 60.0), range_m=80)
+        network.start()
+        network.join_all([0, 2], spacing_s=4.0)
+        network.run(15.0)
+        router = network.maodv[1]
+        assert router.nearest_member_via(GROUP, 0) == 1
+        assert router.nearest_member_via(GROUP, 2) == 1
+
+    def test_update_messages_are_sent(self):
+        network = build_network(line_topology(4, 60.0), range_m=80)
+        network.start()
+        network.join_all([0, 3], spacing_s=4.0)
+        network.run(20.0)
+        total_updates = sum(
+            network.maodv[n].stats.nearest_member_updates_sent for n in range(4)
+        )
+        assert total_updates > 0
+
+
+class TestLeaveAndPrune:
+    def test_leaf_member_prunes_itself(self):
+        network = build_network(line_topology(2, 60.0), range_m=100)
+        network.start()
+        network.join_all([0, 1], spacing_s=3.0)
+        network.run(10.0)
+        network.maodv[1].leave_group(GROUP)
+        network.run(5.0)
+        assert not network.maodv[1].is_member(GROUP)
+        assert network.maodv[1].table.entry(GROUP) is None
+        # The remaining member no longer lists the leaver as a next hop.
+        assert network.maodv[0].tree_neighbors(GROUP) == []
+
+    def test_orphaned_leaf_router_prunes_itself(self):
+        # 0 (member) - 1 (router) - 2 (member): when member 2 leaves, router 1
+        # becomes a non-member leaf and must prune itself too.
+        network = build_network(line_topology(3, 60.0), range_m=80)
+        network.start()
+        network.join_all([0, 2], spacing_s=3.0)
+        network.run(12.0)
+        assert network.maodv[1].is_on_tree(GROUP)
+        network.maodv[2].leave_group(GROUP)
+        network.run(8.0)
+        assert network.maodv[1].table.entry(GROUP) is None
+        assert network.maodv[0].tree_neighbors(GROUP) == []
+
+    def test_leave_without_membership_is_noop(self):
+        network = build_network(line_topology(2, 60.0), range_m=100)
+        network.start()
+        network.maodv[0].leave_group(GROUP)
+        network.run(1.0)
+        assert network.maodv[0].table.entry(GROUP) is None

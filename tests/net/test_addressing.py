@@ -1,0 +1,42 @@
+"""Unit tests for addressing helpers."""
+
+import pytest
+
+from repro.net.addressing import (
+    BROADCAST_ADDRESS,
+    MULTICAST_BASE,
+    is_broadcast,
+    is_multicast,
+    is_unicast,
+    make_group_address,
+)
+
+
+class TestAddressClassification:
+    def test_group_addresses_start_at_multicast_base(self):
+        assert make_group_address(0) == MULTICAST_BASE
+        assert make_group_address(3) == MULTICAST_BASE + 3
+
+    def test_negative_group_index_rejected(self):
+        with pytest.raises(ValueError):
+            make_group_address(-1)
+
+    def test_multicast_classification(self):
+        assert is_multicast(make_group_address(0))
+        assert not is_multicast(5)
+        assert not is_multicast(BROADCAST_ADDRESS)
+
+    def test_broadcast_classification(self):
+        assert is_broadcast(BROADCAST_ADDRESS)
+        assert not is_broadcast(0)
+
+    def test_unicast_classification(self):
+        assert is_unicast(0)
+        assert is_unicast(999_999)
+        assert not is_unicast(make_group_address(0))
+        assert not is_unicast(BROADCAST_ADDRESS)
+
+    def test_address_spaces_are_disjoint(self):
+        for address in (0, 17, BROADCAST_ADDRESS, make_group_address(2)):
+            kinds = [is_unicast(address), is_multicast(address), is_broadcast(address)]
+            assert sum(kinds) == 1

@@ -1,0 +1,136 @@
+"""Unit tests for the CSMA/CA MAC."""
+
+import pytest
+
+from repro.mobility.static import StaticMobility
+from repro.net.config import MacConfig, RadioConfig
+from repro.net.medium import Medium
+from repro.net.node import Node
+from repro.net.packet import Packet
+from repro.sim.engine import Simulator
+from repro.sim.random import RandomStreams
+
+
+def _make_nodes(positions, range_m=100.0, mac_config=None):
+    sim = Simulator()
+    streams = RandomStreams(7)
+    medium = Medium(sim, RadioConfig(transmission_range_m=range_m))
+    nodes = []
+    received = {}
+    for node_id, (x, y) in enumerate(positions):
+        node = Node(node_id, sim, medium, StaticMobility(x, y), streams,
+                    mac_config=mac_config or MacConfig())
+        received[node_id] = []
+        node.mac.on_receive = (
+            lambda packet, sender, nid=node_id: received[nid].append((packet, sender))
+        )
+        nodes.append(node)
+    return sim, medium, nodes, received
+
+
+class TestUnicast:
+    def test_unicast_delivery(self):
+        sim, medium, nodes, received = _make_nodes([(0, 0), (50, 0)])
+        nodes[0].mac.send(Packet(origin=0, destination=1, size_bytes=64), 1)
+        sim.run(until=1.0)
+        assert len(received[1]) == 1
+        assert received[1][0][1] == 0
+
+    def test_unicast_is_acknowledged(self):
+        sim, medium, nodes, received = _make_nodes([(0, 0), (50, 0)])
+        nodes[0].mac.send(Packet(origin=0, destination=1, size_bytes=64), 1)
+        sim.run(until=1.0)
+        assert nodes[1].mac.stats.ack_transmissions == 1
+        assert nodes[0].mac.stats.acks_received == 1
+        assert nodes[0].mac.stats.retransmissions == 0
+        assert nodes[0].mac.state == "idle"
+
+    def test_unicast_to_unreachable_node_fails_after_retries(self):
+        failures = []
+        sim, medium, nodes, received = _make_nodes([(0, 0), (500, 0)])
+        nodes[0].mac.on_unicast_failure = lambda packet, hop: failures.append((packet, hop))
+        nodes[0].mac.send(Packet(origin=0, destination=1, size_bytes=64), 1)
+        sim.run(until=2.0)
+        assert received[1] == []
+        assert len(failures) == 1
+        assert failures[0][1] == 1
+        assert nodes[0].mac.stats.unicast_failures == 1
+        assert nodes[0].mac.stats.retransmissions == nodes[0].mac.config.retry_limit
+
+    def test_frames_for_other_destinations_ignored(self):
+        sim, medium, nodes, received = _make_nodes([(0, 0), (50, 0), (80, 0)])
+        nodes[0].mac.send(Packet(origin=0, destination=1, size_bytes=64), 1)
+        sim.run(until=1.0)
+        assert len(received[1]) == 1
+        assert received[2] == []
+
+    def test_queued_frames_sent_in_order(self):
+        sim, medium, nodes, received = _make_nodes([(0, 0), (50, 0)])
+        for index in range(5):
+            nodes[0].mac.send(Packet(origin=0, destination=1, size_bytes=64, ttl=index + 1), 1)
+        sim.run(until=2.0)
+        ttls = [packet.ttl for packet, _ in received[1]]
+        assert ttls == [1, 2, 3, 4, 5]
+
+    def test_queue_overflow_drops_frames(self):
+        config = MacConfig(queue_limit=2)
+        sim, medium, nodes, received = _make_nodes([(0, 0), (50, 0)], mac_config=config)
+        accepted = [
+            nodes[0].mac.send(Packet(origin=0, destination=1, size_bytes=64), 1)
+            for _ in range(6)
+        ]
+        assert accepted.count(False) >= 1
+        assert nodes[0].mac.stats.queue_drops >= 1
+        sim.run(until=2.0)
+
+
+class TestBroadcast:
+    def test_broadcast_reaches_all_neighbors(self):
+        sim, medium, nodes, received = _make_nodes([(0, 0), (50, 0), (80, 0), (400, 0)])
+        nodes[0].mac.send(Packet(origin=0, destination=-1, size_bytes=64), -1)
+        sim.run(until=1.0)
+        assert len(received[1]) == 1
+        assert len(received[2]) == 1
+        assert received[3] == []
+
+    def test_broadcast_not_acknowledged_or_retried(self):
+        sim, medium, nodes, received = _make_nodes([(0, 0), (50, 0)])
+        nodes[0].mac.send(Packet(origin=0, destination=-1, size_bytes=64), -1)
+        sim.run(until=1.0)
+        assert nodes[1].mac.stats.ack_transmissions == 0
+        assert nodes[0].mac.stats.retransmissions == 0
+        assert nodes[0].mac.stats.broadcast_transmissions == 1
+
+
+class TestContention:
+    def test_many_senders_all_get_through_with_csma(self):
+        positions = [(i * 10.0, 0.0) for i in range(6)] + [(25.0, 30.0)]
+        sim, medium, nodes, received = _make_nodes(positions, range_m=200)
+        sink = len(positions) - 1
+        for sender in range(6):
+            nodes[sender].mac.send(Packet(origin=sender, destination=sink, size_bytes=64), sink)
+        sim.run(until=5.0)
+        assert len(received[sink]) == 6
+
+    def test_carrier_sense_defers_while_channel_busy(self):
+        sim, medium, nodes, received = _make_nodes([(0, 0), (50, 0), (25, 20)])
+        # Node 0 and node 1 both send a broadcast at the same instant; CSMA
+        # backoff must separate them so node 2 receives both.
+        nodes[0].mac.send(Packet(origin=0, destination=-1, size_bytes=500), -1)
+        nodes[1].mac.send(Packet(origin=1, destination=-1, size_bytes=500), -1)
+        sim.run(until=2.0)
+        assert len(received[2]) == 2
+
+
+class TestMacConfigValidation:
+    def test_invalid_contention_window_rejected(self):
+        with pytest.raises(ValueError):
+            MacConfig(cw_min=32, cw_max=16)
+
+    def test_negative_retry_limit_rejected(self):
+        with pytest.raises(ValueError):
+            MacConfig(retry_limit=-1)
+
+    def test_zero_queue_limit_rejected(self):
+        with pytest.raises(ValueError):
+            MacConfig(queue_limit=0)

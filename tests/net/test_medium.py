@@ -1,0 +1,179 @@
+"""Unit tests for the shared wireless medium (propagation and collisions)."""
+
+import pytest
+
+from repro.net.config import RadioConfig
+from repro.net.medium import Medium
+from repro.net.packet import Frame, Packet
+from repro.net.phy import Phy
+from repro.sim.engine import Simulator
+
+
+class _StubNode:
+    """Minimal node stand-in: an id and a fixed position."""
+
+    def __init__(self, node_id, x, y):
+        self.node_id = node_id
+        self._position = (x, y)
+
+    def position(self, at_time):
+        return self._position
+
+    def move(self, x, y):
+        self._position = (x, y)
+
+
+def _make_network(positions, range_m=100.0):
+    sim = Simulator()
+    medium = Medium(sim, RadioConfig(transmission_range_m=range_m))
+    phys = []
+    received = {}
+    for node_id, (x, y) in enumerate(positions):
+        phy = Phy(_StubNode(node_id, x, y), medium)
+        received[node_id] = []
+        phy.set_receive_callback(
+            lambda frame, sender, nid=node_id: received[nid].append((frame, sender))
+        )
+        phys.append(phy)
+    return sim, medium, phys, received
+
+
+def _frame(src, dst, size=100):
+    return Frame(src=src, dst=dst, packet=Packet(origin=src, destination=dst, size_bytes=size))
+
+
+class TestPropagation:
+    def test_frame_delivered_to_node_in_range(self):
+        sim, medium, phys, received = _make_network([(0, 0), (50, 0)])
+        phys[0].transmit(_frame(0, 1))
+        sim.run()
+        assert len(received[1]) == 1
+        assert received[1][0][1] == 0
+
+    def test_frame_not_delivered_out_of_range(self):
+        sim, medium, phys, received = _make_network([(0, 0), (150, 0)], range_m=100)
+        phys[0].transmit(_frame(0, 1))
+        sim.run()
+        assert received[1] == []
+        assert medium.stats.deliveries == 0
+
+    def test_broadcast_reaches_all_in_range(self):
+        sim, medium, phys, received = _make_network([(0, 0), (50, 0), (80, 0), (300, 0)])
+        phys[0].transmit(_frame(0, -1))
+        sim.run()
+        assert len(received[1]) == 1
+        assert len(received[2]) == 1
+        assert received[3] == []
+
+    def test_sender_does_not_receive_own_frame(self):
+        sim, medium, phys, received = _make_network([(0, 0), (50, 0)])
+        phys[0].transmit(_frame(0, -1))
+        sim.run()
+        assert received[0] == []
+
+    def test_airtime_scales_with_size(self):
+        config = RadioConfig(bitrate_bps=2_000_000.0, preamble_s=0.0)
+        assert config.airtime(250) == pytest.approx(0.001)
+        assert config.airtime(500) == pytest.approx(0.002)
+
+    def test_delivery_happens_after_airtime(self):
+        sim, medium, phys, received = _make_network([(0, 0), (50, 0)])
+        phys[0].transmit(_frame(0, 1, size=250))
+        sim.run()
+        expected = medium.config.airtime(_frame(0, 1, size=250).size_bytes)
+        assert sim.now == pytest.approx(expected)
+
+    def test_neighbors_of_respects_range(self):
+        sim, medium, phys, received = _make_network([(0, 0), (60, 0), (120, 0)], range_m=100)
+        assert medium.neighbors_of(0) == [1]
+        assert medium.neighbors_of(1) == [0, 2]
+
+    def test_distance_between(self):
+        sim, medium, phys, _ = _make_network([(0, 0), (30, 40)])
+        assert medium.distance_between(0, 1) == pytest.approx(50.0)
+
+    def test_duplicate_registration_rejected(self):
+        sim, medium, phys, _ = _make_network([(0, 0)])
+        with pytest.raises(ValueError):
+            medium.register(phys[0])
+
+
+class TestCollisions:
+    def test_overlapping_transmissions_collide_at_common_receiver(self):
+        # Nodes 0 and 2 both transmit to node 1 (in the middle) at once.
+        sim, medium, phys, received = _make_network([(0, 0), (50, 0), (100, 0)])
+        phys[0].transmit(_frame(0, 1))
+        phys[2].transmit(_frame(2, 1))
+        sim.run()
+        assert received[1] == []
+        assert medium.stats.collisions > 0
+
+    def test_spatial_reuse_no_collision_when_far_apart(self):
+        # Two disjoint pairs far from each other transmit simultaneously.
+        sim, medium, phys, received = _make_network(
+            [(0, 0), (50, 0), (1000, 0), (1050, 0)], range_m=100
+        )
+        phys[0].transmit(_frame(0, 1))
+        phys[2].transmit(_frame(2, 3))
+        sim.run()
+        assert len(received[1]) == 1
+        assert len(received[3]) == 1
+        assert medium.stats.collisions == 0
+
+    def test_half_duplex_receiver_transmitting_misses_frame(self):
+        sim, medium, phys, received = _make_network([(0, 0), (50, 0)])
+        phys[1].transmit(_frame(1, -1))
+        phys[0].transmit(_frame(0, 1))
+        sim.run()
+        assert received[1] == []
+        assert medium.stats.half_duplex_losses > 0
+
+    def test_staggered_transmissions_do_not_collide(self):
+        sim, medium, phys, received = _make_network([(0, 0), (50, 0), (100, 0)])
+        airtime = medium.config.airtime(_frame(0, 1).size_bytes)
+        phys[0].transmit(_frame(0, 1))
+        sim.schedule(airtime * 2, lambda: phys[2].transmit(_frame(2, 1)))
+        sim.run()
+        assert len(received[1]) == 2
+
+
+class TestCarrierSense:
+    def test_busy_while_neighbor_transmits(self):
+        sim, medium, phys, _ = _make_network([(0, 0), (50, 0)])
+        phys[0].transmit(_frame(0, 1))
+        assert medium.is_busy_for(phys[1])
+        sim.run()
+        assert not medium.is_busy_for(phys[1])
+
+    def test_not_busy_when_transmitter_out_of_sense_range(self):
+        sim, medium, phys, _ = _make_network([(0, 0), (500, 0)], range_m=100)
+        phys[0].transmit(_frame(0, -1))
+        assert not medium.is_busy_for(phys[1])
+        sim.run()
+
+    def test_own_transmission_counts_as_busy(self):
+        sim, medium, phys, _ = _make_network([(0, 0), (50, 0)])
+        phys[0].transmit(_frame(0, 1))
+        assert medium.is_busy_for(phys[0])
+        sim.run()
+
+    def test_radio_cannot_double_transmit(self):
+        sim, medium, phys, _ = _make_network([(0, 0), (50, 0)])
+        phys[0].transmit(_frame(0, 1))
+        with pytest.raises(RuntimeError):
+            phys[0].transmit(_frame(0, 1))
+        sim.run()
+
+
+class TestRadioConfigValidation:
+    def test_negative_range_rejected(self):
+        with pytest.raises(ValueError):
+            RadioConfig(transmission_range_m=-5)
+
+    def test_carrier_sense_below_transmission_range_rejected(self):
+        with pytest.raises(ValueError):
+            RadioConfig(transmission_range_m=100, carrier_sense_range_m=50)
+
+    def test_carrier_sense_defaults_to_transmission_range(self):
+        config = RadioConfig(transmission_range_m=80)
+        assert config.carrier_sense_range_m == 80

@@ -1,0 +1,120 @@
+"""Unit tests for the node's packet dispatcher and application plumbing."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.mobility.static import StaticMobility
+from repro.net.config import RadioConfig
+from repro.net.medium import Medium
+from repro.net.node import Node
+from repro.net.packet import Packet
+from repro.sim.engine import Simulator
+from repro.sim.random import RandomStreams
+
+
+@dataclass
+class _AppPacket(Packet):
+    payload: str = ""
+
+
+@dataclass
+class _OtherPacket(Packet):
+    pass
+
+
+def _make_node(node_id=0, position=(0.0, 0.0)):
+    sim = Simulator()
+    medium = Medium(sim, RadioConfig())
+    node = Node(node_id, sim, medium, StaticMobility(*position), RandomStreams(1))
+    return sim, node
+
+
+class TestDispatch:
+    def test_handler_receives_matching_packet_type(self):
+        _, node = _make_node()
+        seen = []
+        node.register_handler(_AppPacket, lambda packet, sender: seen.append((packet, sender)))
+        node.deliver(_AppPacket(origin=5, destination=0, payload="hi"), 5)
+        assert len(seen) == 1
+        assert seen[0][0].payload == "hi"
+        assert seen[0][1] == 5
+
+    def test_unhandled_packet_type_is_ignored(self):
+        _, node = _make_node()
+        node.register_handler(_AppPacket, lambda packet, sender: None)
+        # Must not raise even though no handler matches.
+        node.deliver(_OtherPacket(origin=1, destination=0), 1)
+
+    def test_duplicate_handler_registration_rejected(self):
+        _, node = _make_node()
+        node.register_handler(_AppPacket, lambda packet, sender: None)
+        with pytest.raises(ValueError):
+            node.register_handler(_AppPacket, lambda packet, sender: None)
+
+    def test_subclass_falls_back_to_base_handler(self):
+        @dataclass
+        class _Derived(_AppPacket):
+            pass
+
+        _, node = _make_node()
+        seen = []
+        node.register_handler(_AppPacket, lambda packet, sender: seen.append(packet))
+        node.deliver(_Derived(origin=1, destination=0), 1)
+        assert len(seen) == 1
+
+    def test_sniffers_see_every_packet(self):
+        _, node = _make_node()
+        sniffed = []
+        node.add_sniffer(lambda packet, sender: sniffed.append(type(packet)))
+        node.register_handler(_AppPacket, lambda packet, sender: None)
+        node.deliver(_AppPacket(origin=1, destination=0), 1)
+        node.deliver(_OtherPacket(origin=2, destination=0), 2)
+        assert sniffed == [_AppPacket, _OtherPacket]
+
+
+class TestLinkFailureListeners:
+    def test_listeners_invoked_on_mac_failure(self):
+        _, node = _make_node()
+        failures = []
+        node.add_link_failure_listener(lambda packet, hop: failures.append(hop))
+        node._on_unicast_failure(Packet(origin=0, destination=3), 3)
+        assert failures == [3]
+
+
+class TestApplications:
+    class _App:
+        def __init__(self):
+            self.started = 0
+
+        def start(self):
+            self.started += 1
+
+    def test_applications_started_with_node(self):
+        _, node = _make_node()
+        app = self._App()
+        node.add_application(app)
+        node.start()
+        assert app.started == 1
+
+    def test_start_is_idempotent(self):
+        _, node = _make_node()
+        app = self._App()
+        node.add_application(app)
+        node.start()
+        node.start()
+        assert app.started == 1
+
+    def test_application_added_after_start_is_started_immediately(self):
+        _, node = _make_node()
+        node.start()
+        app = self._App()
+        node.add_application(app)
+        assert app.started == 1
+
+
+class TestPosition:
+    def test_position_defaults_to_current_time(self):
+        sim, node = _make_node(position=(12.0, 8.0))
+        assert node.position() == (12.0, 8.0)
+        assert node.position(100.0) == (12.0, 8.0)

@@ -1,0 +1,49 @@
+"""Unit tests for packet and frame base types."""
+
+from repro.net.addressing import BROADCAST_ADDRESS
+from repro.net.packet import Frame, Packet, UnicastData
+
+
+class TestPacket:
+    def test_uids_are_unique_and_increasing(self):
+        first = Packet(origin=1, destination=2)
+        second = Packet(origin=1, destination=2)
+        assert first.uid != second.uid
+        assert second.uid > first.uid
+
+    def test_copy_for_forwarding_decrements_ttl(self):
+        packet = Packet(origin=1, destination=2, ttl=5)
+        forwarded = packet.copy_for_forwarding()
+        assert forwarded.ttl == 4
+        assert packet.ttl == 5
+
+    def test_copy_for_forwarding_preserves_identity_fields(self):
+        packet = Packet(origin=1, destination=2, size_bytes=99)
+        forwarded = packet.copy_for_forwarding()
+        assert forwarded.origin == 1
+        assert forwarded.destination == 2
+        assert forwarded.size_bytes == 99
+
+
+class TestFrame:
+    def test_frame_size_includes_header(self):
+        packet = Packet(origin=1, destination=2, size_bytes=100)
+        frame = Frame(src=1, dst=2, packet=packet, header_bytes=34)
+        assert frame.size_bytes == 134
+
+    def test_broadcast_detection(self):
+        packet = Packet(origin=1, destination=BROADCAST_ADDRESS)
+        assert Frame(src=1, dst=BROADCAST_ADDRESS, packet=packet).is_broadcast
+        assert not Frame(src=1, dst=2, packet=packet).is_broadcast
+
+
+class TestUnicastData:
+    def test_envelope_size_tracks_payload(self):
+        payload = Packet(origin=3, destination=7, size_bytes=50)
+        envelope = UnicastData(origin=3, destination=7, payload=payload)
+        assert envelope.size_bytes == 70
+
+    def test_envelope_without_payload_keeps_default_size(self):
+        envelope = UnicastData(origin=3, destination=7)
+        assert envelope.payload is None
+        assert envelope.size_bytes == 64

@@ -1,0 +1,117 @@
+"""Property-based tests for mobility models and the route table."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mobility.base import RectangularArea
+from repro.mobility.random_waypoint import RandomWaypointMobility
+from repro.mobility.trace import WaypointTraceMobility
+from repro.routing.route_table import RouteTable
+
+
+class TestRandomWaypointProperties:
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        max_speed=st.floats(min_value=0.1, max_value=20.0),
+        times=st.lists(st.floats(min_value=0.0, max_value=2000.0, allow_nan=False),
+                       min_size=1, max_size=30),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_positions_always_inside_area(self, seed, max_speed, times):
+        area = RectangularArea(200.0, 200.0)
+        model = RandomWaypointMobility(area, random.Random(seed), max_speed_mps=max_speed)
+        for t in times:
+            assert area.contains(model.position(t))
+
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        max_speed=st.floats(min_value=0.1, max_value=10.0),
+        start=st.floats(min_value=0.0, max_value=500.0),
+        step=st.floats(min_value=0.01, max_value=5.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_displacement_bounded_by_max_speed(self, seed, max_speed, start, step):
+        area = RectangularArea(200.0, 200.0)
+        model = RandomWaypointMobility(
+            area, random.Random(seed), max_speed_mps=max_speed, max_pause_s=5.0
+        )
+        x0, y0 = model.position(start)
+        x1, y1 = model.position(start + step)
+        displacement = ((x1 - x0) ** 2 + (y1 - y0) ** 2) ** 0.5
+        assert displacement <= max_speed * step + 1e-6
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_query_order_does_not_change_trajectory(self, seed):
+        area = RectangularArea(100.0, 100.0)
+        forward = RandomWaypointMobility(area, random.Random(seed), max_speed_mps=3.0)
+        shuffled = RandomWaypointMobility(area, random.Random(seed), max_speed_mps=3.0)
+        times = [10.0, 200.0, 5.0, 350.0, 42.0]
+        expected = {t: forward.position(t) for t in sorted(times)}
+        for t in times:
+            assert shuffled.position(t) == expected[t]
+
+
+class TestWaypointTraceProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+                st.floats(min_value=-50.0, max_value=50.0, allow_nan=False),
+                st.floats(min_value=-50.0, max_value=50.0, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=12,
+        ),
+        st.floats(min_value=-10.0, max_value=110.0, allow_nan=False),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_position_stays_within_waypoint_bounding_box(self, waypoints, query):
+        waypoints = sorted(waypoints, key=lambda w: w[0])
+        trace = WaypointTraceMobility(waypoints)
+        x, y = trace.position(query)
+        xs = [w[1] for w in waypoints]
+        ys = [w[2] for w in waypoints]
+        assert min(xs) - 1e-9 <= x <= max(xs) + 1e-9
+        assert min(ys) - 1e-9 <= y <= max(ys) + 1e-9
+
+
+_route_updates = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=8),    # destination
+        st.integers(min_value=0, max_value=8),    # next hop
+        st.integers(min_value=1, max_value=10),   # hop count
+        st.integers(min_value=0, max_value=20),   # seq
+    ),
+    max_size=60,
+)
+
+
+class TestRouteTableProperties:
+    @given(_route_updates)
+    @settings(max_examples=100, deadline=None)
+    def test_sequence_numbers_never_regress(self, updates):
+        table = RouteTable()
+        best_seq = {}
+        for destination, next_hop, hops, seq in updates:
+            table.update(destination, next_hop, hops, seq, expiry_time=100.0)
+            best_seq[destination] = max(best_seq.get(destination, -1), seq)
+            entry = table.entry(destination)
+            assert entry.seq >= seq or entry.seq == best_seq[destination]
+            assert entry.seq <= best_seq[destination]
+
+    @given(_route_updates)
+    @settings(max_examples=100, deadline=None)
+    def test_kept_route_is_shortest_among_freshest(self, updates):
+        table = RouteTable()
+        freshest = {}
+        for destination, next_hop, hops, seq in updates:
+            table.update(destination, next_hop, hops, seq, expiry_time=100.0)
+            current = freshest.get(destination)
+            if current is None or seq > current[0] or (seq == current[0] and hops < current[1]):
+                freshest[destination] = (seq, hops)
+        for destination, (seq, hops) in freshest.items():
+            entry = table.entry(destination)
+            assert (entry.seq, entry.hop_count) == (seq, hops)

@@ -1,0 +1,179 @@
+"""Integration tests for AODV on hand-built static topologies."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.net.packet import Packet
+from tests.conftest import build_network, line_topology
+
+
+@dataclass
+class _AppMessage(Packet):
+    text: str = ""
+
+
+def _attach_receiver(network, node_id):
+    received = []
+    network.nodes[node_id].register_handler(
+        _AppMessage, lambda packet, sender: received.append((packet, sender))
+    )
+    return received
+
+
+class TestRouteDiscovery:
+    def test_single_hop_delivery(self):
+        network = build_network(line_topology(2, 50.0), range_m=100)
+        received = _attach_receiver(network, 1)
+        network.start()
+        network.run(1.0)
+        network.aodv[0].send_unicast(_AppMessage(origin=0, destination=1, text="hello"), 1)
+        network.run(2.0)
+        assert len(received) == 1
+        assert received[0][0].text == "hello"
+        assert received[0][1] == 0
+
+    def test_multi_hop_delivery_over_line(self):
+        network = build_network(line_topology(5, 70.0), range_m=100)
+        received = _attach_receiver(network, 4)
+        network.start()
+        network.run(1.0)
+        network.aodv[0].send_unicast(_AppMessage(origin=0, destination=4, text="far"), 4)
+        network.run(5.0)
+        assert len(received) == 1
+        route = network.aodv[0].route_table.lookup(4, network.sim.now)
+        assert route is not None
+        assert route.hop_count == 4
+        assert route.next_hop == 1
+
+    def test_delivery_to_self_bypasses_network(self):
+        network = build_network(line_topology(2, 50.0), range_m=100)
+        received = _attach_receiver(network, 0)
+        network.start()
+        network.aodv[0].send_unicast(_AppMessage(origin=0, destination=0, text="loop"), 0)
+        network.run(0.5)
+        assert len(received) == 1
+
+    def test_intermediate_nodes_learn_routes(self):
+        network = build_network(line_topology(4, 70.0), range_m=100)
+        _attach_receiver(network, 3)
+        network.start()
+        network.run(1.0)
+        network.aodv[0].send_unicast(_AppMessage(origin=0, destination=3, text="x"), 3)
+        network.run(5.0)
+        # The middle node has forward and reverse routes from relaying.
+        middle = network.aodv[1].route_table
+        assert middle.lookup(0, network.sim.now) is not None
+        assert middle.lookup(3, network.sim.now) is not None
+
+    def test_packets_buffered_until_route_found(self):
+        network = build_network(line_topology(3, 70.0), range_m=100)
+        received = _attach_receiver(network, 2)
+        network.start()
+        network.run(1.0)
+        for index in range(3):
+            network.aodv[0].send_unicast(_AppMessage(origin=0, destination=2, text=str(index)), 2)
+        network.run(5.0)
+        assert sorted(packet.text for packet, _ in received) == ["0", "1", "2"]
+
+    def test_discovery_fails_for_unreachable_destination(self):
+        positions = line_topology(2, 50.0) + [(5000.0, 5000.0)]
+        network = build_network(positions, range_m=100)
+        received = _attach_receiver(network, 2)
+        network.start()
+        network.run(1.0)
+        network.aodv[0].send_unicast(_AppMessage(origin=0, destination=2, text="lost"), 2)
+        network.run(10.0)
+        assert received == []
+        assert network.aodv[0].stats.discovery_failures == 1
+        assert network.aodv[0].stats.data_dropped_no_route >= 1
+
+    def test_rreq_retries_respect_configuration(self):
+        positions = line_topology(1, 50.0) + [(5000.0, 5000.0)]
+        network = build_network(positions, range_m=100)
+        network.start()
+        network.aodv[0].send_unicast(_AppMessage(origin=0, destination=1, text="x"), 1)
+        network.run(10.0)
+        expected_attempts = network.aodv[0].config.rreq_retries + 1
+        assert network.aodv[0].stats.rreq_originated == expected_attempts
+
+
+class TestNeighborSensing:
+    def test_hello_beacons_populate_neighbor_sets(self):
+        network = build_network(line_topology(3, 70.0), range_m=100)
+        network.start()
+        network.run(3.0)
+        assert network.aodv[0].neighbors() == [1]
+        assert network.aodv[1].neighbors() == [0, 2]
+        assert network.aodv[2].neighbors() == [1]
+
+    def test_neighbor_loss_detected_after_silence(self):
+        network = build_network(line_topology(2, 50.0), range_m=100)
+        losses = []
+        network.aodv[0].add_neighbor_loss_listener(losses.append)
+        network.start()
+        network.run(3.0)
+        assert network.aodv[0].neighbors() == [1]
+        network.move(1, 5000.0, 5000.0)
+        network.run(6.0)
+        assert network.aodv[0].neighbors() == []
+        assert losses == [1]
+
+    def test_hello_installs_one_hop_route(self):
+        network = build_network(line_topology(2, 50.0), range_m=100)
+        network.start()
+        network.run(2.0)
+        route = network.aodv[0].route_table.lookup(1, network.sim.now)
+        assert route is not None
+        assert route.hop_count == 1
+
+
+class TestLinkBreakHandling:
+    def test_route_invalidated_when_next_hop_disappears(self):
+        network = build_network(line_topology(3, 70.0), range_m=100)
+        received = _attach_receiver(network, 2)
+        network.start()
+        network.run(1.0)
+        network.aodv[0].send_unicast(_AppMessage(origin=0, destination=2, text="a"), 2)
+        network.run(3.0)
+        assert len(received) == 1
+        # Break the relay: node 1 walks away.
+        network.move(1, 5000.0, 5000.0)
+        network.run(6.0)
+        assert network.aodv[0].route_table.lookup(2, network.sim.now) is None
+        assert network.aodv[0].stats.rerr_sent >= 1
+
+    def test_new_route_discovered_after_break(self):
+        # Square topology: 0-1-3 and 0-2-3 are both two-hop paths.
+        positions = [(0.0, 0.0), (70.0, 0.0), (0.0, 70.0), (70.0, 70.0)]
+        network = build_network(positions, range_m=90)
+        received = _attach_receiver(network, 3)
+        network.start()
+        network.run(1.0)
+        network.aodv[0].send_unicast(_AppMessage(origin=0, destination=3, text="first"), 3)
+        network.run(3.0)
+        assert len(received) == 1
+        first_hop = network.aodv[0].route_table.lookup(3, network.sim.now).next_hop
+        # Remove the relay that was used; the other one remains.
+        network.move(first_hop, 5000.0, 5000.0)
+        network.run(6.0)
+        network.aodv[0].send_unicast(_AppMessage(origin=0, destination=3, text="second"), 3)
+        network.run(5.0)
+        assert [packet.text for packet, _ in received] == ["first", "second"]
+        assert network.aodv[0].route_table.lookup(3, network.sim.now).next_hop != first_hop
+
+
+class TestStatistics:
+    def test_counters_track_traffic(self):
+        network = build_network(line_topology(3, 70.0), range_m=100)
+        _attach_receiver(network, 2)
+        network.start()
+        network.run(1.0)
+        network.aodv[0].send_unicast(_AppMessage(origin=0, destination=2, text="x"), 2)
+        network.run(3.0)
+        assert network.aodv[0].stats.rreq_originated == 1
+        assert network.aodv[0].stats.data_originated == 1
+        assert network.aodv[2].stats.rrep_originated == 1
+        assert network.aodv[2].stats.data_delivered == 1
+        assert network.aodv[1].stats.data_forwarded == 1
+        assert network.aodv[0].stats.hello_sent > 0

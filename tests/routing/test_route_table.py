@@ -1,0 +1,123 @@
+"""Unit tests for the AODV route table freshness rules."""
+
+from repro.routing.route_table import RouteTable
+
+
+class TestLookup:
+    def test_lookup_returns_usable_route(self):
+        table = RouteTable()
+        table.update(destination=5, next_hop=2, hop_count=3, seq=1, expiry_time=10.0)
+        entry = table.lookup(5, now=1.0)
+        assert entry is not None
+        assert entry.next_hop == 2
+        assert entry.hop_count == 3
+
+    def test_lookup_misses_unknown_destination(self):
+        assert RouteTable().lookup(9, now=0.0) is None
+
+    def test_expired_route_not_returned(self):
+        table = RouteTable()
+        table.update(destination=5, next_hop=2, hop_count=3, seq=1, expiry_time=10.0)
+        assert table.lookup(5, now=11.0) is None
+
+    def test_invalidated_route_not_returned_but_entry_kept(self):
+        table = RouteTable()
+        table.update(destination=5, next_hop=2, hop_count=3, seq=1, expiry_time=10.0)
+        table.invalidate(5)
+        assert table.lookup(5, now=1.0) is None
+        assert table.entry(5) is not None
+
+
+class TestFreshnessRules:
+    def test_newer_sequence_number_replaces_route(self):
+        table = RouteTable()
+        table.update(destination=5, next_hop=2, hop_count=3, seq=1, expiry_time=10.0)
+        changed = table.update(destination=5, next_hop=7, hop_count=9, seq=2, expiry_time=10.0)
+        assert changed
+        assert table.lookup(5, 0.0).next_hop == 7
+
+    def test_same_seq_shorter_route_replaces(self):
+        table = RouteTable()
+        table.update(destination=5, next_hop=2, hop_count=3, seq=1, expiry_time=10.0)
+        changed = table.update(destination=5, next_hop=7, hop_count=2, seq=1, expiry_time=10.0)
+        assert changed
+        assert table.lookup(5, 0.0).next_hop == 7
+
+    def test_same_seq_longer_route_ignored(self):
+        table = RouteTable()
+        table.update(destination=5, next_hop=2, hop_count=3, seq=1, expiry_time=10.0)
+        changed = table.update(destination=5, next_hop=7, hop_count=5, seq=1, expiry_time=10.0)
+        assert not changed
+        assert table.lookup(5, 0.0).next_hop == 2
+
+    def test_stale_seq_ignored(self):
+        table = RouteTable()
+        table.update(destination=5, next_hop=2, hop_count=3, seq=5, expiry_time=10.0)
+        changed = table.update(destination=5, next_hop=7, hop_count=1, seq=4, expiry_time=10.0)
+        assert not changed
+        assert table.lookup(5, 0.0).next_hop == 2
+
+    def test_confirming_update_extends_lifetime(self):
+        table = RouteTable()
+        table.update(destination=5, next_hop=2, hop_count=3, seq=1, expiry_time=10.0)
+        table.update(destination=5, next_hop=2, hop_count=3, seq=1, expiry_time=25.0)
+        assert table.entry(5).expiry_time == 25.0
+
+    def test_invalid_route_replaced_regardless_of_seq(self):
+        table = RouteTable()
+        table.update(destination=5, next_hop=2, hop_count=3, seq=5, expiry_time=10.0)
+        table.invalidate(5)
+        changed = table.update(destination=5, next_hop=9, hop_count=4, seq=3, expiry_time=10.0)
+        assert changed
+        assert table.lookup(5, 0.0).next_hop == 9
+
+
+class TestInvalidation:
+    def test_invalidate_bumps_sequence_number(self):
+        table = RouteTable()
+        table.update(destination=5, next_hop=2, hop_count=3, seq=7, expiry_time=10.0)
+        broken = table.invalidate(5)
+        assert broken.seq == 8
+
+    def test_invalidate_unknown_destination_returns_none(self):
+        assert RouteTable().invalidate(5) is None
+
+    def test_invalidate_through_next_hop(self):
+        table = RouteTable()
+        table.update(destination=5, next_hop=2, hop_count=3, seq=1, expiry_time=10.0)
+        table.update(destination=6, next_hop=2, hop_count=2, seq=1, expiry_time=10.0)
+        table.update(destination=7, next_hop=3, hop_count=2, seq=1, expiry_time=10.0)
+        broken = table.invalidate_through(2)
+        assert sorted(entry.destination for entry in broken) == [5, 6]
+        assert table.lookup(7, 0.0) is not None
+
+    def test_refresh_extends_active_route(self):
+        table = RouteTable()
+        table.update(destination=5, next_hop=2, hop_count=3, seq=1, expiry_time=10.0)
+        table.refresh(5, expiry_time=50.0)
+        assert table.lookup(5, 40.0) is not None
+
+    def test_refresh_ignores_invalid_route(self):
+        table = RouteTable()
+        table.update(destination=5, next_hop=2, hop_count=3, seq=1, expiry_time=10.0)
+        table.invalidate(5)
+        table.refresh(5, expiry_time=50.0)
+        assert table.lookup(5, 20.0) is None
+
+
+class TestHousekeeping:
+    def test_purge_expired_removes_old_entries(self):
+        table = RouteTable()
+        table.update(destination=5, next_hop=2, hop_count=3, seq=1, expiry_time=10.0)
+        table.update(destination=6, next_hop=2, hop_count=3, seq=1, expiry_time=100.0)
+        removed = table.purge_expired(now=80.0, grace_s=30.0)
+        assert removed == 1
+        assert table.entry(5) is None
+        assert table.entry(6) is not None
+
+    def test_destinations_and_len(self):
+        table = RouteTable()
+        table.update(destination=5, next_hop=2, hop_count=1, seq=1, expiry_time=10.0)
+        table.update(destination=3, next_hop=2, hop_count=1, seq=1, expiry_time=10.0)
+        assert table.destinations() == [3, 5]
+        assert len(table) == 2

@@ -1,0 +1,81 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.profile == "quick"
+        assert args.gossip is True
+        assert args.protocol == "maodv"
+
+    def test_run_no_gossip_flag(self):
+        args = build_parser().parse_args(["run", "--no-gossip"])
+        assert args.gossip is False
+
+    def test_figure_arguments(self):
+        args = build_parser().parse_args(
+            ["figure", "fig3", "--scale", "quick", "--seeds", "2", "--points", "55", "75"]
+        )
+        assert args.figure == "fig3"
+        assert args.points == [55.0, 75.0]
+        assert args.seeds == 2
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "fig99"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_list_figures_output(self, capsys):
+        assert main(["list-figures"]) == 0
+        output = capsys.readouterr().out
+        for figure in ("fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8"):
+            assert figure in output
+
+    def test_run_command_prints_summary(self, capsys):
+        exit_code = main([
+            "run", "--profile", "quick", "--nodes", "10", "--members", "4",
+            "--range", "70", "--speed", "0.5", "--seed", "2",
+        ])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "maodv + gossip" in output
+        assert "delivery" in output
+        assert "events processed" in output
+
+    def test_run_command_without_gossip(self, capsys):
+        exit_code = main([
+            "run", "--profile", "quick", "--nodes", "10", "--members", "4",
+            "--no-gossip", "--seed", "2",
+        ])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "maodv " in output
+        assert "+ gossip" not in output
+
+    def test_figure_command_prints_series(self, capsys):
+        exit_code = main([
+            "figure", "fig2", "--scale", "quick", "--seeds", "1", "--points", "65",
+        ])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "Packet delivery vs transmission range" in output
+        assert "maodv" in output and "gossip" in output
+
+    def test_figure_command_with_custom_variants(self, capsys):
+        exit_code = main([
+            "figure", "fig2", "--scale", "quick", "--seeds", "1", "--points", "65",
+            "--variants", "maodv",
+        ])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "maodv" in output
+        assert "gossip" not in output.replace("Anonymous Gossip", "")

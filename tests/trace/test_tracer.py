@@ -1,0 +1,110 @@
+"""Tests for the packet tracer."""
+
+import pytest
+
+from repro.multicast.messages import MulticastData
+from repro.routing.messages import HelloMessage
+from repro.trace.tracer import PacketTracer
+from tests.conftest import GROUP, build_network, line_topology
+
+
+class TestAttachment:
+    def test_records_receptions_at_attached_nodes(self):
+        network = build_network(line_topology(3, 60.0), range_m=80)
+        tracer = PacketTracer()
+        tracer.attach(network.nodes[1])
+        network.start()
+        network.run(3.0)
+        assert len(tracer) > 0
+        assert all(record.node == 1 for record in tracer.records)
+        assert tracer.attached_nodes == [1]
+
+    def test_attach_all_traces_every_node(self):
+        network = build_network(line_topology(3, 60.0), range_m=80)
+        tracer = PacketTracer()
+        tracer.attach_all(network.nodes)
+        network.start()
+        network.run(3.0)
+        assert {record.node for record in tracer.records} == {0, 1, 2}
+
+    def test_packet_filter_limits_recording(self):
+        network = build_network(line_topology(2, 60.0), range_m=80)
+        tracer = PacketTracer(packet_filter=lambda packet: isinstance(packet, MulticastData))
+        tracer.attach_all(network.nodes)
+        network.start()
+        network.run(3.0)
+        # Only hellos are flying; the filter excludes them all.
+        assert len(tracer) == 0
+
+
+class TestQueries:
+    def _traced_network(self):
+        network = build_network(line_topology(3, 60.0), range_m=80)
+        tracer = PacketTracer()
+        tracer.attach_all(network.nodes)
+        network.start()
+        network.join_all([0, 2], spacing_s=2.0)
+        network.run(10.0)
+        network.maodv[0].send_data(GROUP, 64)
+        network.run(2.0)
+        return network, tracer
+
+    def test_counts_by_type_include_protocol_traffic(self):
+        network, tracer = self._traced_network()
+        counts = tracer.counts_by_type()
+        assert counts.get("HelloMessage", 0) > 0
+        assert counts.get("MulticastData", 0) >= 1
+        assert counts.get("JoinRequest", 0) >= 1
+
+    def test_bytes_by_type_positive(self):
+        network, tracer = self._traced_network()
+        for packet_type, total in tracer.bytes_by_type().items():
+            assert total > 0
+
+    def test_filter_by_node_and_type(self):
+        network, tracer = self._traced_network()
+        hellos_at_1 = tracer.filter(node=1, packet_type="HelloMessage")
+        assert hellos_at_1
+        assert all(r.node == 1 and r.packet_type == "HelloMessage" for r in hellos_at_1)
+
+    def test_filter_by_time_window(self):
+        network, tracer = self._traced_network()
+        early = tracer.filter(until=1.0)
+        late = tracer.filter(since=5.0)
+        assert all(record.time <= 1.0 for record in early)
+        assert all(record.time >= 5.0 for record in late)
+
+    def test_to_text_renders_recent_records(self):
+        network, tracer = self._traced_network()
+        text = tracer.to_text(limit=5)
+        assert len(text.splitlines()) == 5
+        assert "node" in text
+
+    def test_clear_resets(self):
+        network, tracer = self._traced_network()
+        tracer.clear()
+        assert len(tracer) == 0
+        assert tracer.dropped == 0
+
+
+class TestCapacity:
+    def test_capacity_bounds_record_list(self):
+        network = build_network(line_topology(3, 60.0), range_m=80)
+        tracer = PacketTracer(capacity=10)
+        tracer.attach_all(network.nodes)
+        network.start()
+        network.run(10.0)
+        assert len(tracer) <= 10
+        assert tracer.dropped > 0
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            PacketTracer(capacity=0)
+
+    def test_unbounded_capacity(self):
+        network = build_network(line_topology(2, 60.0), range_m=80)
+        tracer = PacketTracer(capacity=None)
+        tracer.attach_all(network.nodes)
+        network.start()
+        network.run(5.0)
+        assert tracer.dropped == 0
