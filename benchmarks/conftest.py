@@ -11,8 +11,10 @@ Scale
 By default the sweeps run at ``quick`` scale (scaled-down node count and
 source phase, identical protocol parameters) so the whole harness finishes in
 minutes.  Set ``REPRO_BENCH_SCALE=paper`` to run the paper's full 600-second,
-10-seed configuration (hours of CPU), and ``REPRO_BENCH_SEEDS=<n>`` to
-override the number of seeds per point.
+10-seed configuration (hours of CPU), ``REPRO_BENCH_SEEDS=<n>`` to override
+the number of seeds per point, and ``REPRO_BENCH_JOBS=<n>`` to fan the
+independent trials of each sweep out over ``n`` worker processes through the
+campaign executor (aggregates are identical for every job count).
 """
 
 from __future__ import annotations
@@ -42,6 +44,14 @@ def bench_seeds(default: Optional[int] = None) -> Optional[int]:
     return int(value)
 
 
+def bench_jobs() -> int:
+    """Worker processes per sweep, overridable via REPRO_BENCH_JOBS."""
+    jobs = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+    if jobs < 1:
+        raise ValueError(f"REPRO_BENCH_JOBS must be at least 1, got {jobs}")
+    return jobs
+
+
 def run_figure_benchmark(
     benchmark,
     spec: ExperimentSpec,
@@ -56,9 +66,12 @@ def run_figure_benchmark(
     if scale == "paper":
         x_values = list(spec.x_values)
 
+    jobs = bench_jobs()
+
     def _run() -> ExperimentResult:
         return run_experiment(
-            spec, scale=scale, seeds=seeds, x_values=x_values, variants=variants
+            spec, scale=scale, seeds=seeds, x_values=x_values, variants=variants,
+            jobs=jobs,
         )
 
     result = benchmark.pedantic(_run, rounds=1, iterations=1)
@@ -71,6 +84,7 @@ def run_figure_benchmark(
 def _record(benchmark, result: ExperimentResult) -> None:
     benchmark.extra_info["figure"] = result.spec_figure
     benchmark.extra_info["scale"] = bench_scale()
+    benchmark.extra_info["jobs"] = bench_jobs()
     for point in result.points:
         key = f"{point.variant}@{point.x}"
         benchmark.extra_info[key] = {

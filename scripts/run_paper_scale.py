@@ -6,18 +6,25 @@ script runs a representative subset (a few x values, 1-2 seeds) at the exact
 paper-scale parameters (600 s, 40+ nodes, 2201 packets) so EXPERIMENTS.md can
 report measured paper-scale numbers next to the paper's own.
 
+Trials run through the campaign subsystem (:mod:`repro.campaign`): ``--jobs``
+fans the independent runs out over worker processes, and ``--store`` appends
+one JSONL record per completed trial so a killed run can be resumed by
+re-invoking the script with the same ``--store`` path (already-completed
+trials are skipped).
+
 Usage::
 
-    python scripts/run_paper_scale.py [output_path] [--seeds N]
+    python scripts/run_paper_scale.py [output_path] [--seeds N] [--jobs N]
+                                      [--store trials.jsonl]
 """
 
 from __future__ import annotations
 
 import argparse
 import json
-import sys
 import time
 
+from repro.campaign import ResultStore
 from repro.experiments.figures import all_figures
 from repro.experiments.runner import run_experiment, run_goodput_experiment
 
@@ -35,18 +42,24 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("output", nargs="?", default="paper_scale_results.json")
     parser.add_argument("--seeds", type=int, default=1)
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the campaign executor")
+    parser.add_argument("--store", default=None,
+                        help="JSONL trial store; re-running with the same "
+                             "path resumes an interrupted sweep")
     args = parser.parse_args()
 
+    store = ResultStore(args.store) if args.store else None
     figures = all_figures()
-    report = {"seeds": args.seeds, "figures": {}}
+    report = {"seeds": args.seeds, "jobs": args.jobs, "figures": {}}
     started = time.time()
     for figure, x_values in SUBSET.items():
         spec = figures[figure]
-        print(f"[{time.time() - started:7.1f}s] running {figure} at {x_values} ...",
-              flush=True)
+        print(f"[{time.time() - started:7.1f}s] running {figure} at {x_values} "
+              f"(jobs={args.jobs}) ...", flush=True)
         result = run_experiment(
             spec, scale="paper", seeds=args.seeds, x_values=x_values,
-            variants=("maodv", "gossip"),
+            variants=("maodv", "gossip"), jobs=args.jobs, store=store,
         )
         report["figures"][figure] = {
             "title": result.title,
@@ -67,7 +80,9 @@ def main() -> None:
         print(result.to_table(), flush=True)
 
     print(f"[{time.time() - started:7.1f}s] running fig8 goodput ...", flush=True)
-    goodput = run_goodput_experiment(figures["fig8"], scale="paper", seeds=args.seeds)
+    goodput = run_goodput_experiment(
+        figures["fig8"], scale="paper", seeds=args.seeds, jobs=args.jobs, store=store,
+    )
     report["figures"]["fig8"] = {
         "title": "Gossip goodput per member",
         "combinations": {

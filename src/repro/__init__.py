@@ -12,6 +12,8 @@ ICDCS 2001), including every substrate the paper's evaluation relies on:
 * ``repro.core`` -- the Anonymous Gossip protocol itself.
 * ``repro.workload`` / ``repro.metrics`` / ``repro.experiments`` -- the
   paper's traffic model, measurements and per-figure experiment sweeps.
+* ``repro.campaign`` -- parallel, resumable execution of experiment sweeps
+  (process-pool fan-out, JSONL trial store, resume, re-aggregation).
 
 Quickstart::
 

@@ -1,0 +1,61 @@
+"""Parallel, resumable experiment campaigns.
+
+A *campaign* turns any experiment sweep into a flat list of independent
+trials, runs them across CPU cores, persists one JSONL record per completed
+trial, and reconstitutes the usual experiment aggregates from the records:
+
+* :mod:`repro.campaign.trials` -- flatten sweeps into :class:`TrialSpec`
+  records (figure specs, the Fig. 8 goodput experiment, ad-hoc grids) with
+  deterministic per-trial seeds.
+* :mod:`repro.campaign.executor` -- :func:`run_campaign` executes trials
+  serially or on a process pool, skipping trials already in the store.
+* :mod:`repro.campaign.store` -- the append-only JSONL
+  :class:`ResultStore` that makes interrupted campaigns resumable.
+* :mod:`repro.campaign.aggregate` -- rebuild
+  :class:`~repro.experiments.runner.ExperimentResult` objects (and the
+  goodput mapping) from stored records, bit-identical to the serial path.
+
+Typical use::
+
+    from repro.campaign import (
+        ResultStore, aggregate_experiment, run_campaign, trials_for_spec,
+    )
+
+    trials = trials_for_spec(spec, scale="quick", seeds=2)
+    records = run_campaign(trials, jobs=4, store=ResultStore("fig2.jsonl"))
+    result = aggregate_experiment(spec, records)
+"""
+
+from repro.campaign.aggregate import (
+    aggregate_experiment,
+    aggregate_goodput,
+    aggregate_point,
+)
+from repro.campaign.executor import execute_trial, run_campaign
+from repro.campaign.store import ResultStore, TrialRecord
+from repro.campaign.trials import (
+    TrialSpec,
+    config_from_dict,
+    config_to_dict,
+    derive_seed,
+    trials_for_goodput,
+    trials_for_grid,
+    trials_for_spec,
+)
+
+__all__ = [
+    "TrialSpec",
+    "TrialRecord",
+    "ResultStore",
+    "aggregate_experiment",
+    "aggregate_goodput",
+    "aggregate_point",
+    "config_from_dict",
+    "config_to_dict",
+    "derive_seed",
+    "execute_trial",
+    "run_campaign",
+    "trials_for_goodput",
+    "trials_for_grid",
+    "trials_for_spec",
+]

@@ -1,0 +1,90 @@
+"""Aggregation: reconstitute experiment results from stored trial records.
+
+Given the flat :class:`~repro.campaign.store.TrialRecord` list of a campaign
+-- whether it was produced serially, in parallel, or stitched together from
+a resumed store -- this module rebuilds the exact
+:class:`~repro.experiments.runner.ExperimentPoint` /
+:class:`~repro.experiments.runner.ExperimentResult` objects the serial
+runner produces, so everything downstream (tables, figures, benchmarks) is
+unchanged.
+
+Bit-identical aggregation is guaranteed by recombining each (x, variant)
+group's records in ascending seed order -- the order the serial runner sums
+them in -- before averaging.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.campaign.store import TrialRecord
+from repro.experiments.figures import GOODPUT_COMBINATIONS, ExperimentSpec
+from repro.experiments.runner import ExperimentPoint, ExperimentResult
+
+
+def aggregate_point(x: float, variant: str, records: Sequence[TrialRecord]) -> ExperimentPoint:
+    """Average one (x, variant) group of records into an experiment point.
+
+    Records are sorted by seed so the floating-point additions happen in
+    replication order, making the aggregate independent of completion order
+    (and hence of the job count).
+    """
+    if not records:
+        raise ValueError(f"no records to aggregate for x={x!r} variant={variant!r}")
+    ordered = sorted(records, key=lambda record: record.seed)
+    runs = len(ordered)
+    return ExperimentPoint(
+        x=x,
+        variant=variant,
+        packets_sent=sum(r.metrics["packets_sent"] for r in ordered) / runs,
+        mean=sum(r.metrics["mean"] for r in ordered) / runs,
+        minimum=sum(r.metrics["minimum"] for r in ordered) / runs,
+        maximum=sum(r.metrics["maximum"] for r in ordered) / runs,
+        delivery_ratio=sum(r.metrics["delivery_ratio"] for r in ordered) / runs,
+        goodput=sum(r.metrics["goodput"] for r in ordered) / runs,
+        runs=runs,
+    )
+
+
+def aggregate_experiment(
+    spec: ExperimentSpec, records: Iterable[TrialRecord]
+) -> ExperimentResult:
+    """Rebuild the :class:`ExperimentResult` of ``spec`` from trial records.
+
+    Records are grouped by (x, variant) in first-seen order, which for
+    records returned by :func:`~repro.campaign.executor.run_campaign`
+    reproduces the serial runner's point order.
+    """
+    groups: Dict[Tuple[float, str], List[TrialRecord]] = {}
+    for record in records:
+        groups.setdefault((record.x, record.variant), []).append(record)
+    result = ExperimentResult(
+        spec_figure=spec.figure, title=spec.title, x_label=spec.x_label
+    )
+    for (x, variant), group in groups.items():
+        result.points.append(aggregate_point(x, variant, group))
+    return result
+
+
+def aggregate_goodput(
+    spec: ExperimentSpec, records: Iterable[TrialRecord]
+) -> Dict[tuple, Dict[int, float]]:
+    """Rebuild the Fig. 8 goodput mapping from trial records.
+
+    Returns ``(range_m, speed) -> {member -> mean goodput percent}``, the
+    exact shape of the serial ``run_goodput_experiment``.
+    """
+    combinations = spec.combinations if spec.combinations is not None else GOODPUT_COMBINATIONS
+    by_index: Dict[int, List[TrialRecord]] = {}
+    for record in records:
+        by_index.setdefault(int(record.x), []).append(record)
+    results: Dict[tuple, Dict[int, float]] = {}
+    for index, combination in enumerate(combinations):
+        accumulated: Dict[int, List[float]] = {}
+        for record in sorted(by_index.get(index, []), key=lambda r: r.seed):
+            for member, goodput in record.goodput_by_member.items():
+                accumulated.setdefault(member, []).append(goodput)
+        results[tuple(combination)] = {
+            member: sum(values) / len(values) for member, values in accumulated.items()
+        }
+    return results

@@ -1,0 +1,106 @@
+"""Campaign execution: run trials serially or across a process pool.
+
+:func:`run_campaign` is the single entry point.  It takes a flat trial list
+(see :mod:`repro.campaign.trials`), skips every trial already present in the
+optional :class:`~repro.campaign.store.ResultStore` (resume), executes the
+remainder -- in-process for ``jobs=1``, otherwise on a
+:class:`~concurrent.futures.ProcessPoolExecutor` -- and returns one
+:class:`~repro.campaign.store.TrialRecord` per input trial, in input order.
+
+Because every trial is an independent simulation with its own seed, and the
+aggregation layer recombines records in deterministic (seed) order, the
+parallel path produces aggregates bit-identical to the serial one.
+
+:func:`execute_trial` is a module-level function (not a closure or method) so
+it pickles under the ``spawn`` start method used on Windows and macOS.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.campaign.store import ResultStore, TrialRecord
+from repro.campaign.trials import TrialSpec
+from repro.workload.scenario import Scenario
+
+#: Progress callback: ``(completed_so_far, total, record)``.  ``record`` is
+#: ``None`` for the initial call that reports trials skipped via resume.
+ProgressCallback = Callable[[int, int, Optional[TrialRecord]], None]
+
+
+def execute_trial(trial: TrialSpec) -> TrialRecord:
+    """Run one trial to completion and package its record.
+
+    Top-level so worker processes can import it by reference; safe to call
+    in-process as well (the serial path does).
+    """
+    result = Scenario(trial.config).run()
+    return TrialRecord.from_result(trial, result)
+
+
+def run_campaign(
+    trials: Sequence[TrialSpec],
+    *,
+    jobs: int = 1,
+    store: Optional[ResultStore] = None,
+    progress: Optional[ProgressCallback] = None,
+) -> List[TrialRecord]:
+    """Execute ``trials`` and return their records in input order.
+
+    ``jobs`` selects the degree of parallelism: ``1`` runs everything
+    in-process (no pool, no pickling), ``>1`` fans trials out over a process
+    pool with ``jobs`` workers.  When ``store`` is given, trials whose key is
+    already stored are *not* re-run (their stored record is returned
+    instead), and every freshly completed trial is appended to the store
+    before the next result is awaited -- so an interrupted campaign loses at
+    most the in-flight trials.
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be at least 1")
+    records: Dict[str, TrialRecord] = {}
+    if store is not None:
+        stored = store.load()
+        for trial in trials:
+            if trial.key in stored:
+                records[trial.key] = stored[trial.key]
+
+    pending: List[TrialSpec] = []
+    queued = set(records)
+    for trial in trials:
+        if trial.key not in queued:
+            queued.add(trial.key)
+            pending.append(trial)
+
+    total = len(queued)
+    done = len(records)
+    if progress is not None:
+        progress(done, total, None)
+
+    def finish(record: TrialRecord) -> None:
+        nonlocal done
+        records[record.key] = record
+        if store is not None:
+            store.append(record)
+        done += 1
+        if progress is not None:
+            progress(done, total, record)
+
+    if jobs == 1 or len(pending) <= 1:
+        for trial in pending:
+            finish(execute_trial(trial))
+    else:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = {pool.submit(execute_trial, trial) for trial in pending}
+            while futures:
+                completed, futures = wait(futures, return_when=FIRST_COMPLETED)
+                for future in completed:
+                    finish(future.result())
+
+    seen = set()
+    ordered: List[TrialRecord] = []
+    for trial in trials:
+        if trial.key not in seen:
+            seen.add(trial.key)
+            ordered.append(records[trial.key])
+    return ordered

@@ -1,24 +1,39 @@
 """Command-line interface.
 
-Three subcommands cover the common workflows::
+Four subcommands cover the common workflows::
 
     python -m repro run --profile quick --range 55 --speed 2 --gossip
     python -m repro figure fig2 --scale quick --seeds 2
+    python -m repro campaign fig2 --jobs 4 --out fig2.jsonl --resume
     python -m repro list-figures
 
 ``run`` executes a single scenario and prints its delivery summary;
 ``figure`` regenerates one of the paper's figures (MAODV vs MAODV + AG
-series); ``list-figures`` shows which figures are available.
+series) serially and in-process; ``campaign`` runs the same sweeps through
+the parallel, resumable campaign subsystem (``--jobs`` worker processes, one
+JSONL record per trial in ``--out``, ``--resume`` to skip already-stored
+trials); ``list-figures`` shows which figures are available.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+import time
+from typing import List, Optional, Sequence
 
+from repro.campaign import (
+    ResultStore,
+    TrialRecord,
+    aggregate_experiment,
+    aggregate_goodput,
+    run_campaign,
+    trials_for_goodput,
+    trials_for_spec,
+)
 from repro.experiments.figures import all_figures
 from repro.experiments.runner import run_experiment
+from repro.experiments.variants import variant_names
 from repro.metrics.reporting import format_rows
 from repro.workload.scenario import Scenario, ScenarioConfig
 
@@ -48,20 +63,41 @@ def build_parser() -> argparse.ArgumentParser:
                               help="disable Anonymous Gossip")
 
     figure_parser = subparsers.add_parser("figure", help="reproduce one paper figure")
-    figure_parser.add_argument("figure", choices=sorted(all_figures()))
-    figure_parser.add_argument("--scale", choices=("quick", "paper"), default="quick")
-    figure_parser.add_argument("--seeds", type=int, default=None)
-    figure_parser.add_argument("--points", type=float, nargs="*", default=None,
-                               help="subset of x values to run")
-    figure_parser.add_argument(
-        "--variants", nargs="*", default=("maodv", "gossip"),
-        help="protocol variants to compare (maodv, gossip, flooding, odmrp, "
-             "odmrp-gossip, gossip-no-locality, gossip-anonymous-only, "
-             "gossip-cached-only)",
+    _add_sweep_arguments(figure_parser)
+
+    campaign_parser = subparsers.add_parser(
+        "campaign",
+        help="run a figure sweep as a parallel, resumable campaign",
+        description="Flatten one figure sweep into independent trials, run "
+                    "them across worker processes, and aggregate the results. "
+                    "With --out every completed trial is appended to a JSONL "
+                    "store; with --resume trials already in the store are "
+                    "skipped, so an interrupted campaign picks up where it "
+                    "left off.",
     )
+    _add_sweep_arguments(campaign_parser)
+    campaign_parser.add_argument("--jobs", type=int, default=1,
+                                 help="number of worker processes (default 1: serial)")
+    campaign_parser.add_argument("--out", default=None,
+                                 help="JSONL result store; one record per completed trial")
+    campaign_parser.add_argument("--resume", action="store_true",
+                                 help="skip trials already present in --out")
 
     subparsers.add_parser("list-figures", help="list the reproducible figures")
     return parser
+
+
+def _add_sweep_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("figure", choices=sorted(all_figures()))
+    parser.add_argument("--scale", choices=("quick", "paper"), default="quick")
+    parser.add_argument("--seeds", type=int, default=None)
+    parser.add_argument("--points", type=float, nargs="*", default=None,
+                        help="subset of x values to run")
+    parser.add_argument(
+        "--variants", nargs="*", default=None,
+        help="protocol variants to compare (default: maodv gossip): "
+             + ", ".join(variant_names()),
+    )
 
 
 def _command_run(args: argparse.Namespace) -> int:
@@ -99,16 +135,113 @@ def _command_run(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Variants compared when ``--variants`` is not given.
+DEFAULT_VARIANTS = ("maodv", "gossip")
+
+
+def _check_variants(variants: Sequence[str]) -> Optional[str]:
+    """Error message naming the known variants, or ``None`` when all valid."""
+    unknown = [variant for variant in variants if variant not in variant_names()]
+    if not unknown:
+        return None
+    bad = ", ".join(repr(variant) for variant in unknown)
+    return f"unknown variant(s) {bad}; known variants: {', '.join(variant_names())}"
+
+
 def _command_figure(args: argparse.Namespace) -> int:
+    variants = tuple(args.variants) if args.variants is not None else DEFAULT_VARIANTS
+    error = _check_variants(variants)
+    if error:
+        print(error, file=sys.stderr)
+        return 2
     spec = all_figures()[args.figure]
     result = run_experiment(
         spec,
         scale=args.scale,
         seeds=args.seeds,
         x_values=args.points,
-        variants=tuple(args.variants),
+        variants=variants,
     )
     print(result.to_table())
+    return 0
+
+
+def _command_campaign(args: argparse.Namespace) -> int:
+    error = _check_variants(args.variants if args.variants is not None else DEFAULT_VARIANTS)
+    if error:
+        print(error, file=sys.stderr)
+        return 2
+    if args.resume and not args.out:
+        print("--resume requires --out (the store to resume from)", file=sys.stderr)
+        return 2
+    if args.jobs < 1:
+        print("--jobs must be at least 1", file=sys.stderr)
+        return 2
+
+    spec = all_figures()[args.figure]
+    goodput_mode = spec.combinations is not None
+    if goodput_mode:
+        if args.points is not None or args.variants is not None:
+            print(f"{args.figure} is a goodput experiment; it always runs the "
+                  "gossip variant over its fixed (range, speed) combinations, "
+                  "so --points/--variants do not apply", file=sys.stderr)
+            return 2
+        trials = trials_for_goodput(spec, scale=args.scale, seeds=args.seeds)
+    else:
+        variants = tuple(args.variants) if args.variants is not None else DEFAULT_VARIANTS
+        trials = trials_for_spec(
+            spec,
+            scale=args.scale,
+            seeds=args.seeds,
+            x_values=args.points,
+            variants=variants,
+        )
+
+    store = None
+    if args.out:
+        store = ResultStore(args.out)
+        if store.exists() and not args.resume:
+            print(f"{args.out} already exists; pass --resume to continue it "
+                  "or choose a fresh --out path", file=sys.stderr)
+            return 2
+
+    started = time.time()
+
+    def progress(done: int, total: int, record: Optional[TrialRecord]) -> None:
+        elapsed = time.time() - started
+        if record is None:
+            if done:
+                print(f"[{elapsed:7.1f}s] resume: {done}/{total} trials already stored",
+                      flush=True)
+            return
+        print(
+            f"[{elapsed:7.1f}s] [{done}/{total}] {record.campaign} "
+            f"x={record.x:g} variant={record.variant} seed={record.seed} "
+            f"mean={record.metrics['mean']:.1f} "
+            f"ratio={record.metrics['delivery_ratio']:.3f}",
+            flush=True,
+        )
+
+    records = run_campaign(trials, jobs=args.jobs, store=store, progress=progress)
+
+    if goodput_mode:
+        goodput = aggregate_goodput(spec, records)
+        rows = []
+        for (range_m, speed), per_member in goodput.items():
+            values = list(per_member.values())
+            rows.append([
+                f"{range_m:g}m @ {speed:g}m/s",
+                f"{sum(values) / len(values):.2f}" if values else "n/a",
+                f"{min(values):.2f}" if values else "n/a",
+                f"{max(values):.2f}" if values else "n/a",
+                len(values),
+            ])
+        print(spec.title)
+        print(format_rows(["combination", "mean", "min", "max", "members"], rows))
+    else:
+        print(aggregate_experiment(spec, records).to_table())
+    if store is not None:
+        print(f"results stored in {args.out}")
     return 0
 
 
@@ -128,6 +261,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_run(args)
     if args.command == "figure":
         return _command_figure(args)
+    if args.command == "campaign":
+        return _command_campaign(args)
     if args.command == "list-figures":
         return _command_list_figures()
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

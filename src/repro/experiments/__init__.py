@@ -24,8 +24,12 @@ from repro.experiments.runner import (
     run_experiment,
     run_goodput_experiment,
 )
+from repro.experiments.variants import KNOWN_VARIANTS, variant_config, variant_names
 
 __all__ = [
+    "KNOWN_VARIANTS",
+    "variant_config",
+    "variant_names",
     "ExperimentPoint",
     "ExperimentResult",
     "ExperimentSpec",

@@ -22,9 +22,18 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.workload.scenario import ScenarioConfig
+
+#: The (transmission range, max speed) combinations of the Fig. 8 goodput
+#: experiment, in the order the paper plots them.
+GOODPUT_COMBINATIONS: List[Tuple[float, float]] = [
+    (45.0, 0.2),
+    (75.0, 0.2),
+    (45.0, 2.0),
+    (75.0, 2.0),
+]
 
 
 @dataclass
@@ -41,6 +50,10 @@ class ExperimentSpec:
     paper_seeds: int = 10
     #: Number of random seeds per point at quick scale.
     quick_seeds: int = 2
+    #: For goodput-style experiments the x values are indices into these
+    #: (transmission range, max speed) combinations; ``None`` for plain
+    #: single-parameter sweeps.
+    combinations: Optional[List[Tuple[float, float]]] = None
 
     def config_for(self, x: float, *, scale: str = "quick", seed: int = 1) -> ScenarioConfig:
         """The scenario config for swept value ``x`` at ``scale`` with ``seed``."""
@@ -245,7 +258,7 @@ def figure8_goodput() -> ExperimentSpec:
     (45 m, 2 m/s), (75 m, 2 m/s).
     """
 
-    combinations = [(45.0, 0.2), (75.0, 0.2), (45.0, 2.0), (75.0, 2.0)]
+    combinations = list(GOODPUT_COMBINATIONS)
 
     def build(x: float, scale: str) -> ScenarioConfig:
         range_m, speed = combinations[int(x)]
@@ -262,15 +275,14 @@ def figure8_goodput() -> ExperimentSpec:
             max_speed_mps=speed,
         )
 
-    spec = ExperimentSpec(
+    return ExperimentSpec(
         figure="fig8",
         title="Gossip goodput per member (range, speed combinations)",
         x_label="combination index",
         x_values=[0, 1, 2, 3],
         config_builder=build,
+        combinations=combinations,
     )
-    spec.combinations = combinations  # type: ignore[attr-defined]
-    return spec
 
 
 def all_figures() -> Dict[str, ExperimentSpec]:

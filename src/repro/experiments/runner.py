@@ -4,16 +4,28 @@ For every swept value the runner executes the scenario twice per seed --
 once with plain MAODV and once with MAODV + Anonymous Gossip on the *same*
 mobility pattern (same seed) -- and averages the per-member delivery counts
 across seeds, which is exactly how the paper produces each data point.
+
+Execution is delegated to :mod:`repro.campaign`: the sweep is flattened into
+independent trials, run serially or across a process pool (``jobs``),
+optionally persisted to a JSONL store for resume, and the records are
+aggregated back into the :class:`ExperimentResult` shape used everywhere
+downstream.  ``jobs=1`` without a store behaves exactly like the historic
+in-process loop and produces bit-identical aggregates.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from repro.experiments.figures import ExperimentSpec
+from repro.experiments.variants import variant_config
 from repro.metrics.reporting import format_rows
-from repro.workload.scenario import Scenario, ScenarioConfig, ScenarioResult
+from repro.workload.scenario import ScenarioConfig
+
+if TYPE_CHECKING:  # pragma: no cover - avoid an import cycle at runtime
+    from repro.campaign.executor import ProgressCallback
+    from repro.campaign.store import ResultStore
 
 
 @dataclass
@@ -74,31 +86,6 @@ class ExperimentResult:
         return f"{self.title}\n" + format_rows(headers, rows)
 
 
-def _run_single(config: ScenarioConfig) -> ScenarioResult:
-    return Scenario(config).run()
-
-
-def _aggregate(x: float, variant: str, results: Sequence[ScenarioResult]) -> ExperimentPoint:
-    runs = len(results)
-    mean = sum(result.summary.mean for result in results) / runs
-    minimum = sum(result.summary.minimum for result in results) / runs
-    maximum = sum(result.summary.maximum for result in results) / runs
-    ratio = sum(result.summary.delivery_ratio for result in results) / runs
-    goodput = sum(result.mean_goodput for result in results) / runs
-    sent = sum(result.packets_sent for result in results) / runs
-    return ExperimentPoint(
-        x=x,
-        variant=variant,
-        packets_sent=sent,
-        mean=mean,
-        minimum=minimum,
-        maximum=maximum,
-        delivery_ratio=ratio,
-        goodput=goodput,
-        runs=runs,
-    )
-
-
 def run_experiment(
     spec: ExperimentSpec,
     *,
@@ -106,63 +93,35 @@ def run_experiment(
     seeds: Optional[int] = None,
     x_values: Optional[Sequence[float]] = None,
     variants: Sequence[str] = ("maodv", "gossip"),
+    jobs: int = 1,
+    store: Optional["ResultStore"] = None,
+    progress: Optional["ProgressCallback"] = None,
 ) -> ExperimentResult:
     """Run every point of ``spec`` and aggregate across seeds.
 
     ``variants`` selects which protocol variants to run: ``"maodv"`` is the
     underlying protocol alone, ``"gossip"`` is MAODV + Anonymous Gossip,
-    ``"flooding"`` is the blind-flooding baseline.
+    ``"flooding"`` is the blind-flooding baseline (see
+    :data:`repro.experiments.variants.KNOWN_VARIANTS` for the full registry).
+
+    ``jobs`` fans the independent trials out over a process pool; ``store``
+    persists one JSONL record per completed trial and skips trials already
+    stored (resume).  Aggregates are identical for every ``jobs`` value.
     """
-    seeds = seeds if seeds is not None else spec.seeds_for(scale)
-    xs = list(x_values) if x_values is not None else list(spec.x_values)
-    result = ExperimentResult(spec_figure=spec.figure, title=spec.title, x_label=spec.x_label)
-    for x in xs:
-        per_variant: Dict[str, List[ScenarioResult]] = {variant: [] for variant in variants}
-        for seed in range(1, seeds + 1):
-            base = spec.config_for(x, scale=scale, seed=seed)
-            for variant in variants:
-                config = _variant_config(base, variant)
-                per_variant[variant].append(_run_single(config))
-        for variant, runs in per_variant.items():
-            result.points.append(_aggregate(x, variant, runs))
-    return result
+    from repro.campaign.aggregate import aggregate_experiment
+    from repro.campaign.executor import run_campaign
+    from repro.campaign.trials import trials_for_spec
+
+    trials = trials_for_spec(
+        spec, scale=scale, seeds=seeds, x_values=x_values, variants=variants
+    )
+    records = run_campaign(trials, jobs=jobs, store=store, progress=progress)
+    return aggregate_experiment(spec, records)
 
 
 def _variant_config(base: ScenarioConfig, variant: str) -> ScenarioConfig:
-    from dataclasses import replace
-
-    if variant == "maodv":
-        return replace(base, protocol="maodv", gossip_enabled=False)
-    if variant == "gossip":
-        return replace(base, protocol="maodv", gossip_enabled=True)
-    if variant == "flooding":
-        return replace(base, protocol="flooding", gossip_enabled=False)
-    if variant == "odmrp":
-        return replace(base, protocol="odmrp", gossip_enabled=False)
-    if variant == "odmrp-gossip":
-        return replace(base, protocol="odmrp", gossip_enabled=True)
-    if variant == "gossip-no-locality":
-        return replace(
-            base,
-            protocol="maodv",
-            gossip_enabled=True,
-            gossip_config=base.gossip_config.without_locality(),
-        )
-    if variant == "gossip-anonymous-only":
-        return replace(
-            base,
-            protocol="maodv",
-            gossip_enabled=True,
-            gossip_config=base.gossip_config.anonymous_only(),
-        )
-    if variant == "gossip-cached-only":
-        return replace(
-            base,
-            protocol="maodv",
-            gossip_enabled=True,
-            gossip_config=base.gossip_config.cached_only(),
-        )
-    raise ValueError(f"unknown experiment variant {variant!r}")
+    """Back-compat alias for :func:`repro.experiments.variants.variant_config`."""
+    return variant_config(base, variant)
 
 
 def run_goodput_experiment(
@@ -170,24 +129,22 @@ def run_goodput_experiment(
     *,
     scale: str = "quick",
     seeds: Optional[int] = None,
+    jobs: int = 1,
+    store: Optional["ResultStore"] = None,
+    progress: Optional["ProgressCallback"] = None,
 ) -> Dict[tuple, Dict[int, float]]:
     """Run the Fig. 8 goodput experiment.
 
     Returns a mapping ``(range_m, speed) -> {member -> goodput_percent}``
-    aggregated over seeds (per-member goodput averaged across runs).
+    aggregated over seeds (per-member goodput averaged across runs).  The
+    combinations come from the spec's explicit ``combinations`` field,
+    falling back to the paper's four (range, speed) pairs.  ``jobs`` and
+    ``store`` behave as in :func:`run_experiment`.
     """
-    seeds = seeds if seeds is not None else spec.seeds_for(scale)
-    combinations = getattr(spec, "combinations", [(45.0, 0.2), (75.0, 0.2), (45.0, 2.0), (75.0, 2.0)])
-    results: Dict[tuple, Dict[int, float]] = {}
-    for index, combination in enumerate(combinations):
-        accumulated: Dict[int, List[float]] = {}
-        for seed in range(1, seeds + 1):
-            config = spec.config_for(index, scale=scale, seed=seed)
-            config = _variant_config(config, "gossip")
-            run = _run_single(config)
-            for member, goodput in run.goodput_by_member.items():
-                accumulated.setdefault(member, []).append(goodput)
-        results[combination] = {
-            member: sum(values) / len(values) for member, values in accumulated.items()
-        }
-    return results
+    from repro.campaign.aggregate import aggregate_goodput
+    from repro.campaign.executor import run_campaign
+    from repro.campaign.trials import trials_for_goodput
+
+    trials = trials_for_goodput(spec, scale=scale, seeds=seeds)
+    records = run_campaign(trials, jobs=jobs, store=store, progress=progress)
+    return aggregate_goodput(spec, records)

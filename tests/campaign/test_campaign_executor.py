@@ -1,0 +1,130 @@
+"""Campaign executor tests: parallel determinism and resume semantics.
+
+These cover the ISSUE acceptance criteria: ``jobs=2`` produces aggregates
+identical to the serial path, and a killed-then-resumed campaign completes
+using only the trials missing from the store (verified by asserting stored
+trials are never re-executed).
+"""
+
+import pytest
+
+import repro.campaign.executor as executor_module
+from repro.campaign import (
+    ResultStore,
+    aggregate_experiment,
+    aggregate_goodput,
+    execute_trial,
+    run_campaign,
+    trials_for_goodput,
+    trials_for_spec,
+)
+from repro.experiments.figures import figure2_range_slow, figure8_goodput
+from repro.experiments.runner import run_experiment
+
+SPEC_KWARGS = dict(scale="quick", seeds=2, x_values=[55])
+
+
+class TestSerialExecution:
+    def test_records_returned_in_trial_order(self):
+        spec = figure2_range_slow()
+        trials = trials_for_spec(spec, **SPEC_KWARGS)
+        records = run_campaign(trials, jobs=1)
+        assert [r.key for r in records] == [t.key for t in trials]
+
+    def test_progress_reports_every_completion(self):
+        spec = figure2_range_slow()
+        trials = trials_for_spec(spec, scale="quick", seeds=1, x_values=[55])
+        calls = []
+        run_campaign(trials, jobs=1, progress=lambda d, t, r: calls.append((d, t, r)))
+        assert calls[0] == (0, len(trials), None)
+        assert [d for d, _, r in calls if r is not None] == list(range(1, len(trials) + 1))
+
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ValueError):
+            run_campaign([], jobs=0)
+
+
+class TestParallelDeterminism:
+    def test_parallel_aggregates_identical_to_serial_runner(self):
+        spec = figure2_range_slow()
+        serial = run_experiment(spec, **SPEC_KWARGS)
+        trials = trials_for_spec(spec, **SPEC_KWARGS)
+        parallel = aggregate_experiment(spec, run_campaign(trials, jobs=2))
+        assert parallel == serial
+
+    def test_parallel_goodput_identical_to_serial(self):
+        spec = figure8_goodput()
+        trials = trials_for_goodput(spec, scale="quick", seeds=1)
+        serial = aggregate_goodput(spec, run_campaign(trials, jobs=1))
+        parallel = aggregate_goodput(spec, run_campaign(trials, jobs=2))
+        assert parallel == serial
+
+    def test_store_round_trip_preserves_aggregates(self, tmp_path):
+        spec = figure2_range_slow()
+        trials = trials_for_spec(spec, scale="quick", seeds=1, x_values=[55])
+        store = ResultStore(tmp_path / "fig2.jsonl")
+        fresh = aggregate_experiment(spec, run_campaign(trials, jobs=1, store=store))
+        reloaded = aggregate_experiment(spec, store.records())
+        assert reloaded == fresh
+
+
+class TestResume:
+    def test_fully_stored_campaign_runs_no_trials(self, tmp_path, monkeypatch):
+        spec = figure2_range_slow()
+        trials = trials_for_spec(spec, scale="quick", seeds=1, x_values=[55])
+        store = ResultStore(tmp_path / "fig2.jsonl")
+        first = run_campaign(trials, jobs=1, store=store)
+
+        def explode(trial):
+            raise AssertionError(f"stored trial {trial.key} was re-executed")
+
+        monkeypatch.setattr(executor_module, "execute_trial", explode)
+        resumed = run_campaign(trials, jobs=1, store=store)
+        assert resumed == first
+
+    def test_interrupted_campaign_resumes_with_remaining_trials_only(
+        self, tmp_path, monkeypatch
+    ):
+        spec = figure2_range_slow()
+        trials = trials_for_spec(spec, **SPEC_KWARGS)
+        store = ResultStore(tmp_path / "fig2.jsonl")
+
+        # Simulate a campaign killed after the first two trials completed.
+        run_campaign(trials[:2], jobs=1, store=store)
+        assert store.completed_keys() == {t.key for t in trials[:2]}
+
+        executed = []
+
+        def counting(trial):
+            executed.append(trial.key)
+            return execute_trial(trial)
+
+        monkeypatch.setattr(executor_module, "execute_trial", counting)
+        records = run_campaign(trials, jobs=1, store=store)
+
+        assert executed == [t.key for t in trials[2:]]
+        assert store.completed_keys() == {t.key for t in trials}
+        # The stitched-together campaign matches an uninterrupted serial run.
+        assert aggregate_experiment(spec, records) == run_experiment(spec, **SPEC_KWARGS)
+
+    def test_resume_skip_count_reported_via_progress(self, tmp_path):
+        spec = figure2_range_slow()
+        trials = trials_for_spec(spec, scale="quick", seeds=1, x_values=[55])
+        store = ResultStore(tmp_path / "fig2.jsonl")
+        run_campaign(trials[:1], jobs=1, store=store)
+        calls = []
+        run_campaign(trials, jobs=1, store=store,
+                     progress=lambda d, t, r: calls.append((d, t, r)))
+        assert calls[0] == (1, len(trials), None)
+
+
+class TestRunExperimentIntegration:
+    def test_run_experiment_with_jobs_and_store(self, tmp_path):
+        spec = figure2_range_slow()
+        store = ResultStore(tmp_path / "fig2.jsonl")
+        with_store = run_experiment(
+            spec, scale="quick", seeds=1, x_values=[55], jobs=2, store=store
+        )
+        plain = run_experiment(spec, scale="quick", seeds=1, x_values=[55])
+        assert with_store == plain
+        assert len(store.records()) == 2

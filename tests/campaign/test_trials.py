@@ -1,0 +1,128 @@
+"""Tests for the campaign trial model (flattening, seeds, serialisation)."""
+
+import pytest
+
+from repro.campaign.trials import (
+    TrialSpec,
+    config_from_dict,
+    config_to_dict,
+    derive_seed,
+    trials_for_goodput,
+    trials_for_grid,
+    trials_for_spec,
+)
+from repro.experiments.figures import figure2_range_slow, figure8_goodput
+from repro.workload.scenario import ScenarioConfig
+
+
+class TestTrialsForSpec:
+    def test_flattens_x_seed_variant_in_serial_order(self):
+        spec = figure2_range_slow()
+        trials = trials_for_spec(spec, scale="quick", seeds=2, x_values=[55, 75])
+        coordinates = [(t.x, t.seed, t.variant) for t in trials]
+        assert coordinates == [
+            (55.0, 1, "maodv"), (55.0, 1, "gossip"),
+            (55.0, 2, "maodv"), (55.0, 2, "gossip"),
+            (75.0, 1, "maodv"), (75.0, 1, "gossip"),
+            (75.0, 2, "maodv"), (75.0, 2, "gossip"),
+        ]
+
+    def test_trial_configs_carry_variant_and_seed(self):
+        spec = figure2_range_slow()
+        trials = trials_for_spec(spec, scale="quick", seeds=1, x_values=[55])
+        by_variant = {t.variant: t for t in trials}
+        assert not by_variant["maodv"].config.gossip_enabled
+        assert by_variant["gossip"].config.gossip_enabled
+        assert all(t.config.seed == t.seed for t in trials)
+
+    def test_keys_unique_and_stable(self):
+        spec = figure2_range_slow()
+        trials = trials_for_spec(spec, scale="quick", seeds=2, x_values=[55, 75])
+        keys = [t.key for t in trials]
+        assert len(set(keys)) == len(keys)
+        again = trials_for_spec(spec, scale="quick", seeds=2, x_values=[55, 75])
+        assert [t.key for t in again] == keys
+
+    def test_int_and_float_x_produce_the_same_key(self):
+        spec = figure2_range_slow()
+        from_int = trials_for_spec(spec, scale="quick", seeds=1, x_values=[55])
+        from_float = trials_for_spec(spec, scale="quick", seeds=1, x_values=[55.0])
+        assert [t.key for t in from_int] == [t.key for t in from_float]
+
+    def test_unknown_variant_fails_with_known_list(self):
+        spec = figure2_range_slow()
+        with pytest.raises(ValueError, match="known variants"):
+            trials_for_spec(spec, scale="quick", seeds=1, x_values=[55],
+                            variants=("amris",))
+
+
+class TestTrialsForGoodput:
+    def test_one_trial_per_combination_and_seed(self):
+        spec = figure8_goodput()
+        trials = trials_for_goodput(spec, scale="quick", seeds=2)
+        assert len(trials) == 4 * 2
+        assert {t.x for t in trials} == {0.0, 1.0, 2.0, 3.0}
+        assert all(t.variant == "gossip" for t in trials)
+        assert all(t.config.gossip_enabled for t in trials)
+
+    def test_params_describe_the_combination(self):
+        spec = figure8_goodput()
+        trials = trials_for_goodput(spec, scale="quick", seeds=1)
+        assert trials[0].params == {"range_m": 45.0, "speed_mps": 0.2}
+        assert trials[1].params == {"range_m": 75.0, "speed_mps": 0.2}
+
+
+class TestTrialsForGrid:
+    def test_cartesian_product_with_replicates(self):
+        base = ScenarioConfig.quick()
+        trials = trials_for_grid(
+            "density-sweep",
+            base,
+            {"transmission_range_m": [50.0, 70.0], "max_speed_mps": [0.2, 2.0]},
+            variants=("gossip",),
+            replicates=2,
+        )
+        assert len(trials) == 2 * 2 * 2
+        points = {
+            tuple(sorted((k, v) for k, v in t.params.items() if k != "replicate"))
+            for t in trials
+        }
+        assert points == {
+            (("max_speed_mps", 0.2), ("transmission_range_m", 50.0)),
+            (("max_speed_mps", 0.2), ("transmission_range_m", 70.0)),
+            (("max_speed_mps", 2.0), ("transmission_range_m", 50.0)),
+            (("max_speed_mps", 2.0), ("transmission_range_m", 70.0)),
+        }
+        assert {t.params["replicate"] for t in trials} == {1, 2}
+        # The recorded seed is the seed the trial actually runs with.
+        assert all(t.seed == t.config.seed for t in trials)
+
+    def test_grid_seeds_deterministic_and_decorrelated(self):
+        base = ScenarioConfig.quick()
+        grid = {"transmission_range_m": [50.0, 70.0]}
+        first = trials_for_grid("g", base, grid, variants=("gossip",), replicates=2)
+        second = trials_for_grid("g", base, grid, variants=("gossip",), replicates=2)
+        assert [t.config.seed for t in first] == [t.config.seed for t in second]
+        assert len({t.config.seed for t in first}) == len(first)
+
+    def test_derive_seed_stable_and_positive(self):
+        seed = derive_seed("campaign", "range=50.0", 1)
+        assert seed == derive_seed("campaign", "range=50.0", 1)
+        assert seed >= 1
+        assert seed != derive_seed("campaign", "range=50.0", 2)
+        assert seed != derive_seed("other", "range=50.0", 1)
+
+
+class TestConfigSerialisation:
+    def test_round_trip_preserves_every_field(self):
+        config = ScenarioConfig.quick(
+            seed=7, transmission_range_m=62.5, gossip_enabled=False, protocol="odmrp"
+        )
+        assert config_from_dict(config_to_dict(config)) == config
+
+    def test_round_trip_through_json(self):
+        import json
+
+        config = ScenarioConfig.quick(seed=3)
+        data = json.loads(json.dumps(config_to_dict(config)))
+        assert config_from_dict(data) == config

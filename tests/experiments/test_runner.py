@@ -2,12 +2,13 @@
 
 import pytest
 
-from repro.experiments.figures import figure2_range_slow, figure8_goodput
+from repro.experiments.figures import GOODPUT_COMBINATIONS, figure2_range_slow, figure8_goodput
 from repro.experiments.runner import (
     _variant_config,
     run_experiment,
     run_goodput_experiment,
 )
+from repro.experiments.variants import KNOWN_VARIANTS, variant_config, variant_names
 from repro.workload.scenario import ScenarioConfig
 
 
@@ -45,6 +46,29 @@ class TestVariantConfigs:
     def test_unknown_variant_rejected(self):
         with pytest.raises(ValueError):
             _variant_config(ScenarioConfig.quick(), "amris")
+
+
+class TestVariantRegistry:
+    def test_registry_names_match_variant_names(self):
+        assert variant_names() == sorted(KNOWN_VARIANTS)
+        assert {"maodv", "gossip", "flooding", "odmrp"} <= set(KNOWN_VARIANTS)
+
+    def test_unknown_variant_error_lists_known_variants(self):
+        with pytest.raises(ValueError) as excinfo:
+            variant_config(ScenarioConfig.quick(), "amris")
+        message = str(excinfo.value)
+        for name in variant_names():
+            assert name in message
+
+    def test_every_registered_variant_builds_a_config(self):
+        base = ScenarioConfig.quick()
+        for name in KNOWN_VARIANTS:
+            config = variant_config(base, name)
+            assert config.protocol in ("maodv", "flooding", "odmrp")
+
+    def test_runner_alias_delegates_to_registry(self):
+        base = ScenarioConfig.quick()
+        assert _variant_config(base, "gossip") == variant_config(base, "gossip")
 
 
 class TestRunExperiment:
@@ -89,3 +113,8 @@ class TestGoodputExperiment:
             assert per_member, "every combination reports at least one member"
             for goodput in per_member.values():
                 assert 0.0 <= goodput <= 100.0
+
+    def test_combinations_is_an_explicit_spec_field(self):
+        spec = figure8_goodput()
+        assert spec.combinations == GOODPUT_COMBINATIONS
+        assert figure2_range_slow().combinations is None

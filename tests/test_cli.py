@@ -32,6 +32,23 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_campaign_defaults(self):
+        args = build_parser().parse_args(["campaign", "fig2"])
+        assert args.jobs == 1
+        assert args.out is None
+        assert args.resume is False
+        assert args.scale == "quick"
+
+    def test_campaign_arguments(self):
+        args = build_parser().parse_args([
+            "campaign", "fig3", "--jobs", "4", "--out", "fig3.jsonl", "--resume",
+            "--points", "55", "--seeds", "2",
+        ])
+        assert args.jobs == 4
+        assert args.out == "fig3.jsonl"
+        assert args.resume is True
+        assert args.points == [55.0]
+
 
 class TestCommands:
     def test_list_figures_output(self, capsys):
@@ -79,3 +96,80 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "maodv" in output
         assert "gossip" not in output.replace("Anonymous Gossip", "")
+
+    def test_figure_command_rejects_unknown_variant_with_list(self, capsys):
+        exit_code = main([
+            "figure", "fig2", "--seeds", "1", "--points", "65",
+            "--variants", "amris",
+        ])
+        assert exit_code == 2
+        err = capsys.readouterr().err
+        assert "'amris'" in err
+        assert "known variants" in err
+        assert "gossip-no-locality" in err
+
+
+class TestCampaignCommand:
+    def test_campaign_without_store_prints_table(self, capsys):
+        exit_code = main([
+            "campaign", "fig2", "--seeds", "1", "--points", "65", "--jobs", "1",
+        ])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "Packet delivery vs transmission range" in output
+        assert "[1/2]" in output and "[2/2]" in output
+
+    def test_campaign_matches_figure_aggregates(self, capsys):
+        assert main(["figure", "fig2", "--seeds", "1", "--points", "65"]) == 0
+        figure_table = capsys.readouterr().out
+        assert main([
+            "campaign", "fig2", "--seeds", "1", "--points", "65", "--jobs", "2",
+        ]) == 0
+        campaign_output = capsys.readouterr().out
+        # The campaign output ends with exactly the serial figure table.
+        assert figure_table.strip().splitlines()[-2:] == \
+            campaign_output.strip().splitlines()[-2:]
+
+    def test_campaign_with_store_and_resume(self, capsys, tmp_path):
+        out = str(tmp_path / "fig2.jsonl")
+        base = ["campaign", "fig2", "--seeds", "1", "--points", "65", "--out", out]
+        assert main(base) == 0
+        capsys.readouterr()
+        assert main(base + ["--resume"]) == 0
+        output = capsys.readouterr().out
+        assert "2/2 trials already stored" in output
+
+    def test_campaign_refuses_existing_store_without_resume(self, capsys, tmp_path):
+        out = str(tmp_path / "fig2.jsonl")
+        base = ["campaign", "fig2", "--seeds", "1", "--points", "65", "--out", out]
+        assert main(base) == 0
+        capsys.readouterr()
+        assert main(base) == 2
+        assert "--resume" in capsys.readouterr().err
+
+    def test_campaign_resume_requires_out(self, capsys):
+        exit_code = main(["campaign", "fig2", "--seeds", "1", "--resume"])
+        assert exit_code == 2
+        assert "--out" in capsys.readouterr().err
+
+    def test_campaign_rejects_unknown_variant(self, capsys):
+        exit_code = main([
+            "campaign", "fig2", "--seeds", "1", "--points", "65",
+            "--variants", "amris",
+        ])
+        assert exit_code == 2
+        assert "known variants" in capsys.readouterr().err
+
+    def test_campaign_fig8_prints_goodput_combinations(self, capsys):
+        exit_code = main(["campaign", "fig8", "--seeds", "1"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "Gossip goodput per member" in output
+        assert "45m @ 0.2m/s" in output
+        assert "75m @ 2m/s" in output
+
+    def test_campaign_fig8_rejects_points_and_variants(self, capsys):
+        assert main(["campaign", "fig8", "--seeds", "1", "--points", "0"]) == 2
+        assert "goodput experiment" in capsys.readouterr().err
+        assert main(["campaign", "fig8", "--seeds", "1", "--variants", "maodv"]) == 2
+        assert "goodput experiment" in capsys.readouterr().err
