@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Callable, Optional, Tuple
 
 Position = Tuple[float, float]
 
@@ -39,6 +39,47 @@ class MobilityModel(abc.ABC):
     @abc.abstractmethod
     def position(self, at_time: float) -> Position:
         """Return the ``(x, y)`` position in metres at ``at_time`` seconds."""
+
+    def position_hold(self, at_time: float) -> Tuple[Position, float]:
+        """Position at ``at_time`` plus how long it provably stays there.
+
+        Returns ``(position, hold_until)`` where the position is guaranteed
+        not to change for any time in ``[at_time, hold_until)``.  Models that
+        know they are paused (random waypoint between legs, static placement)
+        override this so spatial caches can reuse the position across events;
+        the default claims no hold at all (``hold_until == at_time``).
+        """
+        return self.position(at_time), at_time
+
+    @property
+    def speed_bound_mps(self) -> Optional[float]:
+        """Upper bound on the node's speed in m/s, or ``None`` when unknown.
+
+        Spatial indexes combine the bound with a position's age to obtain a
+        conservative distance interval without re-interpolating; ``None``
+        disables that caching for the node.  The bound must also cover
+        discontinuous jumps, so models that can teleport (``move_to``) must
+        report those through :meth:`add_position_listener` instead.
+        """
+        return None
+
+    def add_position_listener(self, listener: Callable[[], None]) -> None:
+        """Subscribe to discontinuous position changes (teleports).
+
+        Analytic motion needs no notifications; only scripted models that
+        can jump (e.g. :class:`~repro.mobility.static.StaticMobility.move_to`)
+        fire the listeners, letting spatial caches invalidate stale entries.
+        """
+        listeners = getattr(self, "_position_listeners", None)
+        if listeners is None:
+            listeners = []
+            self._position_listeners = listeners
+        listeners.append(listener)
+
+    def _position_changed(self) -> None:
+        """Notify subscribers that the position jumped discontinuously."""
+        for listener in getattr(self, "_position_listeners", ()):
+            listener()
 
     def distance_to(self, other: "MobilityModel", at_time: float) -> float:
         """Euclidean distance to another mobile node at ``at_time``."""

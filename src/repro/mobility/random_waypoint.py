@@ -143,8 +143,7 @@ class RandomWaypointMobility(MobilityModel):
             if guard > 1_000_000:  # pragma: no cover - defensive
                 raise RuntimeError("random waypoint model failed to advance time")
 
-    # -------------------------------------------------------------- interface
-    def position(self, at_time: float) -> Position:
+    def _leg_at(self, at_time: float) -> _Leg:
         if at_time < 0:
             raise ValueError("time must be non-negative")
         self._extend_until(at_time)
@@ -157,7 +156,23 @@ class RandomWaypointMobility(MobilityModel):
                 lo = mid + 1
             else:
                 hi = mid
-        return legs[lo].position(at_time)
+        return legs[lo]
+
+    # -------------------------------------------------------------- interface
+    def position(self, at_time: float) -> Position:
+        return self._leg_at(at_time).position(at_time)
+
+    def position_hold(self, at_time: float) -> tuple:
+        """Position plus hold: a pausing node stays put until its pause ends."""
+        leg = self._leg_at(at_time)
+        if at_time >= leg.travel_end_time:
+            return leg.end, leg.pause_end_time
+        return leg.position(at_time), at_time
+
+    @property
+    def speed_bound_mps(self) -> float:
+        """Travel speeds are drawn from ``[min_speed, max_speed]``."""
+        return self.max_speed_mps
 
     @property
     def legs_generated(self) -> int:

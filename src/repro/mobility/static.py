@@ -9,7 +9,7 @@ from repro.mobility.base import MobilityModel, Position
 
 
 class StaticMobility(MobilityModel):
-    """A node that never moves."""
+    """A node that never moves (except via scripted :meth:`move_to` jumps)."""
 
     def __init__(self, x: float, y: float):
         self._position: Position = (float(x), float(y))
@@ -17,9 +17,19 @@ class StaticMobility(MobilityModel):
     def position(self, at_time: float) -> Position:
         return self._position
 
+    def position_hold(self, at_time: float) -> tuple:
+        """A static position holds forever (teleports fire the listeners)."""
+        return self._position, math.inf
+
+    @property
+    def speed_bound_mps(self) -> float:
+        """Static nodes do not move; jumps are reported via listeners."""
+        return 0.0
+
     def move_to(self, x: float, y: float) -> None:
         """Teleport the node (useful to script topology changes in tests)."""
         self._position = (float(x), float(y))
+        self._position_changed()
 
 
 class GridMobility(StaticMobility):

@@ -7,7 +7,8 @@ mobility traces.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence, Tuple
+import math
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.mobility.base import MobilityModel, Position
 
@@ -34,6 +35,21 @@ class WaypointTraceMobility(MobilityModel):
             if later[0] < earlier[0]:
                 raise ValueError("waypoints must be sorted by non-decreasing time")
         self._waypoints = points
+        self._speed_bound = self._compute_speed_bound(points)
+
+    @staticmethod
+    def _compute_speed_bound(points: List[Waypoint]) -> Optional[float]:
+        """Max segment speed, or ``None`` when a zero-span segment jumps."""
+        bound = 0.0
+        for earlier, later in zip(points, points[1:]):
+            span = later[0] - earlier[0]
+            distance = math.hypot(later[1] - earlier[1], later[2] - earlier[2])
+            if span <= 0:
+                if distance > 0:
+                    return None  # instantaneous jump: speed is unbounded
+                continue
+            bound = max(bound, distance / span)
+        return bound
 
     def position(self, at_time: float) -> Position:
         points = self._waypoints
@@ -52,6 +68,25 @@ class WaypointTraceMobility(MobilityModel):
                 return (x, y)
         # Unreachable because of the boundary checks above.
         return (points[-1][1], points[-1][2])  # pragma: no cover
+
+    def position_hold(self, at_time: float) -> Tuple[Position, float]:
+        """Positions hold before the first, after the last and on flat segments."""
+        points = self._waypoints
+        if at_time <= points[0][0]:
+            return (points[0][1], points[0][2]), points[0][0]
+        if at_time >= points[-1][0]:
+            return (points[-1][1], points[-1][2]), math.inf
+        for earlier, later in zip(points, points[1:]):
+            if earlier[0] <= at_time <= later[0]:
+                if earlier[1:] == later[1:]:
+                    return (later[1], later[2]), later[0]
+                return self.position(at_time), at_time
+        return self.position(at_time), at_time  # pragma: no cover
+
+    @property
+    def speed_bound_mps(self) -> Optional[float]:
+        """Max segment speed; ``None`` when the trace contains a jump."""
+        return self._speed_bound
 
     @property
     def waypoints(self) -> List[Waypoint]:

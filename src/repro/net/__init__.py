@@ -7,7 +7,11 @@ evaluation relies on:
   group addresses.
 * :mod:`repro.net.packet` -- base packet / frame types shared by every layer.
 * :mod:`repro.net.medium` -- the shared wireless medium: unit-disk
-  propagation, carrier sensing and collision handling.
+  propagation, carrier sensing and collision handling, with all geometry
+  frozen at transmission start.
+* :mod:`repro.net.spatial` -- spatial indexing behind the medium: a uniform
+  grid over a bounded-drift position memo (O(k) candidate queries) and the
+  O(N) linear-scan reference implementation.
 * :mod:`repro.net.phy` -- per-node radio bound to the medium.
 * :mod:`repro.net.mac` -- a CSMA/CA MAC in the spirit of IEEE 802.11 DCF:
   carrier sense, binary-exponential backoff, unicast ACK + retransmission,
@@ -18,21 +22,26 @@ evaluation relies on:
 from repro.net.addressing import BROADCAST_ADDRESS, GroupAddress, NodeId, is_multicast
 from repro.net.config import MacConfig, RadioConfig
 from repro.net.mac import CsmaMac, MacStats
-from repro.net.medium import Medium
+from repro.net.medium import Medium, MediumStats
 from repro.net.node import Node
 from repro.net.packet import Frame, Packet
+from repro.net.spatial import LinearScanIndex, PositionMemo, UniformGridIndex
 
 __all__ = [
     "BROADCAST_ADDRESS",
     "CsmaMac",
     "Frame",
     "GroupAddress",
+    "LinearScanIndex",
     "MacConfig",
     "MacStats",
     "Medium",
+    "MediumStats",
     "Node",
     "NodeId",
     "Packet",
+    "PositionMemo",
     "RadioConfig",
+    "UniformGridIndex",
     "is_multicast",
 ]

@@ -26,12 +26,29 @@ class RadioConfig:
         Channel bit rate.  The paper assumes 2 Mbps.
     preamble_s:
         Fixed per-frame PHY overhead added to the transmission duration.
+    medium_index:
+        Spatial index used by the medium to find receivers/interferers:
+        ``"grid"`` (uniform grid + position memo, O(k) per transmission, the
+        default) or ``"naive"`` (the O(N) linear-scan reference).  Both
+        produce bit-identical results.
+    grid_cell_m:
+        Cell size of the uniform grid.  Defaults to half the carrier-sense
+        range: one transmission still touches O(1) cells, while cell-level
+        distance pruning discards most of the corner area.
+    grid_slack_m:
+        Staleness budget of the grid in metres: cached positions may drift
+        this far before being refreshed, and the grid is rebuilt once the
+        fleet may have moved this far.  Queries inflate their radius
+        accordingly, so results are unaffected.  Defaults to 1/8 cell.
     """
 
     transmission_range_m: float = 75.0
     carrier_sense_range_m: float | None = None
     bitrate_bps: float = 2_000_000.0
     preamble_s: float = 192e-6
+    medium_index: str = "grid"
+    grid_cell_m: float | None = None
+    grid_slack_m: float | None = None
 
     def __post_init__(self) -> None:
         if self.transmission_range_m <= 0:
@@ -42,6 +59,18 @@ class RadioConfig:
             self.carrier_sense_range_m = self.transmission_range_m
         if self.carrier_sense_range_m < self.transmission_range_m:
             raise ValueError("carrier_sense_range_m cannot be below transmission_range_m")
+        if self.medium_index not in ("grid", "naive"):
+            raise ValueError(
+                f"medium_index must be 'grid' or 'naive', got {self.medium_index!r}"
+            )
+        if self.grid_cell_m is None:
+            self.grid_cell_m = self.carrier_sense_range_m / 2.0
+        if self.grid_cell_m <= 0:
+            raise ValueError("grid_cell_m must be positive")
+        if self.grid_slack_m is None:
+            self.grid_slack_m = self.grid_cell_m / 8.0
+        if self.grid_slack_m < 0:
+            raise ValueError("grid_slack_m must be non-negative")
 
     def airtime(self, size_bytes: int) -> float:
         """Time in seconds to put ``size_bytes`` on the air."""

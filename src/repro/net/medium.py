@@ -13,16 +13,43 @@ The medium implements a unit-disk propagation model with collisions:
 
 This is the behaviour the paper depends on: finite bandwidth, spatial reuse,
 and congestion-induced loss.
+
+Snapshot semantics
+------------------
+All geometry of a transmission is evaluated **once, at transmission start**:
+the set of radios in carrier-sense range (the interference set) and the
+subset in reception range are frozen from the start-time positions.  Carrier
+sense (:meth:`Medium.is_busy_for`) is membership in that frozen interference
+set -- a radio senses the channel busy exactly when it holds an in-flight
+:class:`_Reception` -- so the channel can never present two inconsistent
+geometries for the same frame, no matter how nodes move during the airtime.
+
+Powered-down radios (``Phy.enabled == False``, used for failure injection)
+are invisible to the channel: they appear in no interference set, receive no
+frames, report an idle carrier and are excluded from ``neighbors_of``.  A
+radio that powers up (or registers) while frames are in flight joins their
+interference sets with corrupted copies -- it missed the head of each frame,
+so it senses energy but can never decode.
+
+Spatial index
+-------------
+Candidate receivers/interferers come from a pluggable spatial index
+(:mod:`repro.net.spatial`): a uniform grid over memoised positions (O(k) per
+transmission, the default) or a naive linear scan
+(``RadioConfig(medium_index="naive")``).  Both produce bit-identical
+statistics and delivery sequences; the naive index is kept as the reference
+for equivalence tests.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, TYPE_CHECKING
+from typing import Dict, List, Optional, TYPE_CHECKING, Union
 
 from repro.net.config import RadioConfig
 from repro.net.packet import Frame
+from repro.net.spatial import LinearScanIndex, UniformGridIndex, within_range
 from repro.sim.engine import Simulator
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -38,13 +65,18 @@ class MediumStats:
     collisions: int = 0
     out_of_range_discards: int = 0
     half_duplex_losses: int = 0
+    disabled_discards: int = 0
 
 
-@dataclass
+# eq=False: receptions/transmissions are removed from hot lists by identity;
+# the generated field-wise __eq__ would turn every list.remove into a deep
+# comparison of frames and radios.
+@dataclass(eq=False)
 class _Reception:
     """An in-flight copy of a frame heading for one receiver."""
 
     receiver: "Phy"
+    receiver_id: int
     frame: Frame
     sender_id: int
     end_time: float
@@ -52,7 +84,7 @@ class _Reception:
     corrupted: bool = False
 
 
-@dataclass
+@dataclass(eq=False)
 class _Transmission:
     """An in-flight transmission occupying the channel."""
 
@@ -60,6 +92,7 @@ class _Transmission:
     frame: Frame
     start_time: float
     end_time: float
+    sender_pos: tuple = (0.0, 0.0)
     receptions: List[_Reception] = field(default_factory=list)
 
 
@@ -73,14 +106,34 @@ class Medium:
         self._phys: Dict[int, "Phy"] = {}
         self._active: List[_Transmission] = []
         self._active_receptions: Dict[int, List[_Reception]] = {}
+        self._index: Union[UniformGridIndex, LinearScanIndex]
+        if self.config.medium_index == "grid":
+            self._index = UniformGridIndex(
+                cell_m=self.config.grid_cell_m, slack_m=self.config.grid_slack_m
+            )
+        else:
+            self._index = LinearScanIndex()
 
     # --------------------------------------------------------------- registry
     def register(self, phy: "Phy") -> None:
-        """Attach a radio to the channel."""
+        """Attach a radio to the channel.
+
+        Registering while frames are in flight is safe: the late joiner is
+        attached to every transmission it can sense (with corrupted copies --
+        it missed the heads of those frames) so carrier sense and collision
+        accounting stay consistent with the snapshot semantics.
+        """
         if phy.node_id in self._phys:
             raise ValueError(f"node {phy.node_id} already registered on this medium")
         self._phys[phy.node_id] = phy
         self._active_receptions[phy.node_id] = []
+        self._index.add(phy)
+        mobility = getattr(phy.node, "mobility", None)
+        subscribe = getattr(mobility, "add_position_listener", None)
+        if subscribe is not None:
+            subscribe(lambda node_id=phy.node_id: self.positions_changed(node_id))
+        if phy.enabled:
+            self._attach_to_active(phy)
 
     @property
     def node_ids(self) -> List[int]:
@@ -91,6 +144,15 @@ class Medium:
         """Return the radio registered for ``node_id``."""
         return self._phys[node_id]
 
+    def positions_changed(self, node_id: Optional[int] = None) -> None:
+        """Invalidate cached geometry after a non-analytic position change.
+
+        Mobility models that can teleport report jumps automatically through
+        their position listeners; call this manually only when positions are
+        mutated behind the mobility interface (e.g. ad-hoc test stubs).
+        """
+        self._index.invalidate(node_id)
+
     # --------------------------------------------------------------- geometry
     @staticmethod
     def _distance(a: tuple, b: tuple) -> float:
@@ -99,35 +161,66 @@ class Medium:
     def distance_between(self, node_a: int, node_b: int) -> float:
         """Current euclidean distance between two nodes."""
         now = self.sim.now
-        return self._distance(self._phys[node_a].position(now), self._phys[node_b].position(now))
+        index = self._index
+        return self._distance(
+            index.exact(self._phys[node_a], now), index.exact(self._phys[node_b], now)
+        )
 
     def neighbors_of(self, node_id: int) -> List[int]:
-        """Node ids currently within transmission range of ``node_id``."""
+        """Enabled node ids currently within transmission range of ``node_id``.
+
+        Powered-down radios neither have neighbours nor appear as one.
+        """
+        phy = self._phys[node_id]
+        if not phy.enabled:
+            return []
         now = self.sim.now
-        origin = self._phys[node_id].position(now)
         limit = self.config.transmission_range_m
+        limit_sq = limit * limit
+        origin = self._index.exact(phy, now)
+        ox, oy = origin
         result = []
-        for other_id, phy in self._phys.items():
-            if other_id == node_id:
+        for _, _, other in self._index.candidates(origin, limit, now):
+            if other is phy or not other.enabled:
                 continue
-            if self._distance(origin, phy.position(now)) <= limit:
-                result.append(other_id)
+            if self._within(other, ox, oy, now, limit, limit_sq):
+                result.append(other.node_id)
         return sorted(result)
+
+    def _within(
+        self, phy: "Phy", ox: float, oy: float, now: float, radius: float, radius_sq: float
+    ) -> bool:
+        """Exact test: is ``phy`` within ``radius`` of ``(ox, oy)`` at ``now``?"""
+        index = self._index
+        position, drift = index.bounded(phy, now)
+        dx = position[0] - ox
+        dy = position[1] - oy
+        distance_sq = dx * dx + dy * dy
+        if drift > 0.0:
+            verdict = within_range(distance_sq, radius, drift)
+            if verdict is not None:
+                return verdict
+            position = index.exact(phy, now)
+            dx = position[0] - ox
+            dy = position[1] - oy
+            distance_sq = dx * dx + dy * dy
+        return distance_sq <= radius_sq
 
     # ------------------------------------------------------------ busy sense
     def is_busy_for(self, phy: "Phy") -> bool:
-        """Carrier sense: is the channel busy as perceived by ``phy``?"""
+        """Carrier sense: is the channel busy as perceived by ``phy``?
+
+        Defined as membership in the interference set of any in-flight
+        transmission (frozen at transmission start), so it always agrees
+        with the reception bookkeeping.  A powered-down radio senses nothing.
+        """
+        if not phy.enabled:
+            return False
         if phy.transmitting:
             return True
         now = self.sim.now
-        position = phy.position(now)
-        cs_range = self.config.carrier_sense_range_m
-        for tx in self._active:
-            if tx.sender is phy:
-                continue
-            if tx.end_time <= now:
-                continue
-            if self._distance(position, tx.sender.position(tx.start_time)) <= cs_range:
+        for reception in self._active_receptions[phy.node_id]:
+            if reception.end_time > now:
                 return True
         return False
 
@@ -136,15 +229,22 @@ class Medium:
         """Start transmitting ``frame`` from ``sender``.
 
         Returns the airtime of the frame.  Reception outcomes are resolved
-        when the transmission ends.
+        when the transmission ends; all geometry is frozen now, at start.
         """
         now = self.sim.now
         duration = self.config.airtime(frame.size_bytes)
         end_time = now + duration
-        tx = _Transmission(sender=sender, frame=frame, start_time=now, end_time=end_time)
+        index = self._index
+        sender_pos = index.exact(sender, now)
+        tx = _Transmission(
+            sender=sender,
+            frame=frame,
+            start_time=now,
+            end_time=end_time,
+            sender_pos=sender_pos,
+        )
         self.stats.transmissions += 1
 
-        sender_pos = sender.position(now)
         cs_range = self.config.carrier_sense_range_m
         rx_range = self.config.transmission_range_m
 
@@ -154,21 +254,20 @@ class Medium:
                 reception.corrupted = True
                 self.stats.half_duplex_losses += 1
 
-        for node_id, phy in self._phys.items():
-            if phy is sender:
-                continue
-            distance = self._distance(sender_pos, phy.position(now))
-            if distance > cs_range:
-                continue
-            in_range = distance <= rx_range
+        active_receptions = self._active_receptions
+        sender_id = sender.node_id
+        for _, node_id, phy, in_range in index.interferers(
+            sender, sender_pos, cs_range, rx_range, now
+        ):
             reception = _Reception(
                 receiver=phy,
+                receiver_id=node_id,
                 frame=frame,
-                sender_id=sender.node_id,
+                sender_id=sender_id,
                 end_time=end_time,
                 in_range=in_range,
             )
-            ongoing = self._active_receptions[node_id]
+            ongoing = active_receptions[node_id]
             if ongoing:
                 # Overlapping energy at this receiver: everything is lost.
                 for other in ongoing:
@@ -190,16 +289,82 @@ class Medium:
     def _finish_transmission(self, tx: _Transmission) -> None:
         self._active.remove(tx)
         for reception in tx.receptions:
-            receiver_id = reception.receiver.node_id
-            self._active_receptions[receiver_id].remove(reception)
+            receiver = reception.receiver
+            self._active_receptions[reception.receiver_id].remove(reception)
+            if not receiver.enabled:
+                self.stats.disabled_discards += 1
+                continue
             if not reception.in_range:
                 self.stats.out_of_range_discards += 1
                 continue
             if reception.corrupted:
                 continue
-            if reception.receiver.transmitting:
+            if receiver.transmitting:
                 self.stats.half_duplex_losses += 1
                 continue
             self.stats.deliveries += 1
-            reception.receiver.deliver(reception.frame, reception.sender_id)
+            receiver.deliver(reception.frame, reception.sender_id)
         tx.sender.transmission_finished()
+
+    # ------------------------------------------------------- power transitions
+    def radio_powered_down(self, phy: "Phy") -> None:
+        """A radio went down mid-flight: it stops receiving *and* radiating.
+
+        Its pending incoming copies can never decode, and any transmission it
+        had on the air is truncated, so every receiver's copy of that frame
+        is undecodable too.  All copies are marked corrupted without counting
+        a collision: a dead radio stops inflating ``deliveries`` and
+        ``collisions``.
+        """
+        for reception in self._active_receptions.get(phy.node_id, ()):
+            reception.corrupted = True
+        now = self.sim.now
+        for tx in self._active:
+            if tx.sender is phy and tx.end_time > now:
+                for reception in tx.receptions:
+                    reception.corrupted = True
+
+    def radio_powered_up(self, phy: "Phy") -> None:
+        """A radio came (back) up: attach it to every in-flight transmission."""
+        self._attach_to_active(phy)
+
+    def _attach_to_active(self, phy: "Phy") -> None:
+        """Give ``phy`` corrupted copies of every transmission it can sense.
+
+        Used for radios that register or power up mid-flight: they missed
+        the head of each frame, so they sense energy (and participate in
+        collision bookkeeping) but can never decode the frame itself.
+        """
+        if not self._active:
+            return
+        now = self.sim.now
+        position = self._index.exact(phy, now)
+        cs_range = self.config.carrier_sense_range_m
+        rx_range = self.config.transmission_range_m
+        cs_sq = cs_range * cs_range
+        rx_sq = rx_range * rx_range
+        ongoing = self._active_receptions[phy.node_id]
+        for tx in self._active:
+            if tx.sender is phy or tx.end_time <= now:
+                continue
+            # A power cycle inside one airtime must not attach a second copy
+            # of a transmission the radio already holds (from before it went
+            # down) -- duplicates would double-count the discard statistics.
+            if any(reception.frame is tx.frame for reception in ongoing):
+                continue
+            dx = tx.sender_pos[0] - position[0]
+            dy = tx.sender_pos[1] - position[1]
+            distance_sq = dx * dx + dy * dy
+            if distance_sq > cs_sq:
+                continue
+            reception = _Reception(
+                receiver=phy,
+                receiver_id=phy.node_id,
+                frame=tx.frame,
+                sender_id=tx.sender.node_id,
+                end_time=tx.end_time,
+                in_range=distance_sq <= rx_sq,
+                corrupted=True,
+            )
+            ongoing.append(reception)
+            tx.receptions.append(reception)

@@ -78,14 +78,21 @@ class Node:
     def fail(self) -> None:
         """Crash the node: its radio stops transmitting and receiving.
 
-        Protocol state (route tables, gossip buffers) is intentionally kept,
-        modelling a transient outage rather than a reboot; neighbours detect
-        the failure through missed hellos and MAC-level delivery failures.
+        The medium drops the node from every interference set, so a crashed
+        node no longer appears as a neighbour or influences channel
+        statistics.  Protocol state (route tables, gossip buffers) is
+        intentionally kept, modelling a transient outage rather than a
+        reboot; neighbours detect the failure through missed hellos and
+        MAC-level delivery failures.
         """
         self.phy.power_down()
 
     def recover(self) -> None:
-        """Bring a crashed node back online."""
+        """Bring a crashed node back online.
+
+        The radio rejoins the channel immediately (including the
+        interference sets of any transmissions already in flight).
+        """
         self.phy.power_up()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper

@@ -64,12 +64,28 @@ class Phy:
         self.transmitting = False
 
     def power_down(self) -> None:
-        """Disable the radio (failure injection)."""
+        """Disable the radio (failure injection).
+
+        The medium marks any in-flight copies heading for this radio as
+        undecodable, so a dead radio stops influencing channel statistics.
+        Idempotent.
+        """
+        if not self.enabled:
+            return
         self.enabled = False
+        self.medium.radio_powered_down(self)
 
     def power_up(self) -> None:
-        """Re-enable the radio after a simulated failure."""
+        """Re-enable the radio after a simulated failure.
+
+        The radio rejoins the interference sets of in-flight transmissions
+        (with corrupted copies -- it missed the heads of those frames).
+        Idempotent.
+        """
+        if self.enabled:
+            return
         self.enabled = True
+        self.medium.radio_powered_up(self)
 
     def deliver(self, frame: Frame, sender_id: int) -> None:
         """Called by the medium when a frame arrives intact at this radio."""

@@ -1,0 +1,459 @@
+"""Spatial indexing for the wireless medium.
+
+The medium's hot path asks one question thousands of times per simulated
+second: *which radios lie within a given range of this point, right now?*
+The naive answer interpolates every registered node's mobility model and
+computes every distance -- O(N) per transmission, O(N^2) per beacon round --
+which dominates the wall-clock time of paper-scale sweeps.
+
+This module answers the same question in O(k) for the k nodes near the query
+point, without changing a single simulation outcome:
+
+:class:`PositionMemo`
+    A per-instant position cache over the analytic mobility models.  Each
+    node's position is interpolated at most once per simulation instant.  Two
+    mobility hooks stretch entries across instants:
+
+    * :meth:`~repro.mobility.base.MobilityModel.position_hold` lets pausing
+      models (random waypoint between legs, static placement) declare how
+      long a position provably stays constant, and
+    * :meth:`~repro.mobility.base.MobilityModel.speed_bound_mps` turns a
+      stale entry into a conservative distance *interval*: a node cached
+      ``d`` metres from a point at most ``drift`` metres ago is certainly
+      within range ``r`` when ``d + drift <= r`` and certainly outside when
+      ``d - drift > r``.  Only the rare boundary-ambiguous pairs fall back to
+      exact interpolation, so classification is exact while interpolation is
+      amortised away.
+
+    Scripted teleports (``StaticMobility.move_to``) invalidate entries
+    through the mobility position listeners, so cached bounds never lie.
+
+:class:`UniformGridIndex`
+    A uniform grid with cell size of the order of the carrier-sense range,
+    built lazily from memoised positions and kept until accumulated drift
+    (``speed bound x age``) exceeds a slack budget.  Queries inflate their
+    radius by the worst-case staleness, so the returned candidate set is a
+    guaranteed superset of the true in-range set; the medium then classifies
+    each candidate exactly through the memo.
+
+:class:`LinearScanIndex`
+    The O(N) reference implementation with the exact semantics of the
+    original medium: every registered radio is a candidate and every position
+    is interpolated on demand, uncached.  Selectable via
+    ``RadioConfig(medium_index="naive")`` so grid/naive equivalence stays
+    testable (see ``tests/properties/test_medium_equivalence.py``).
+
+Candidates are always reported in registration order, which is the order the
+naive implementation iterates radios in -- reception lists, delivery
+callbacks and therefore every downstream statistic are bit-identical between
+the two implementations.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.net.phy import Phy
+
+Position = Tuple[float, float]
+
+#: Safety margin added to drift bounds so a node moving at exactly its speed
+#: bound can never be misclassified by floating-point rounding of the bound
+#: arithmetic; pairs this close to a range boundary re-interpolate instead.
+_DRIFT_EPSILON_M = 1e-9
+
+
+def within_range(distance_sq: float, radius: float, drift: float) -> Optional[bool]:
+    """Classify a cached squared distance against ``radius`` under ``drift``.
+
+    ``distance_sq`` was computed from a position that may be up to ``drift``
+    metres away from the node's true position.  Returns ``True`` / ``False``
+    when the classification is certain either way and ``None`` when the pair
+    lies within ``drift`` of the boundary and needs an exact position.
+    """
+    outer = radius + drift
+    if distance_sq > outer * outer:
+        return False
+    inner = radius - drift
+    if inner >= 0.0 and distance_sq <= inner * inner:
+        return True
+    return None
+
+
+class PositionMemo:
+    """Bounded-drift position cache keyed by node id.
+
+    ``exact`` returns the true position at ``now`` (interpolating at most
+    once per node per instant); ``bounded`` returns a possibly stale cached
+    position together with a conservative bound on how far the node may have
+    drifted from it, refreshing the entry whenever the bound exceeds
+    ``refresh_cap_m``.
+    """
+
+    def __init__(self, refresh_cap_m: float = 0.0):
+        self.refresh_cap_m = refresh_cap_m
+        #: node_id -> (position, computed_at, hold_until)
+        self._entries: Dict[int, Tuple[Position, float, float]] = {}
+        self._holds: Dict[int, object] = {}
+        self._rates: Dict[int, Optional[float]] = {}
+        self._phys: Dict[int, "Phy"] = {}
+
+    def track(self, phy: "Phy") -> None:
+        """Start caching positions for ``phy``'s node."""
+        node_id = phy.node_id
+        mobility = getattr(phy.node, "mobility", None)
+        self._phys[node_id] = phy
+        self._holds[node_id] = getattr(mobility, "position_hold", None)
+        self._rates[node_id] = getattr(mobility, "speed_bound_mps", None)
+
+    def rate_of(self, node_id: int) -> Optional[float]:
+        """The node's speed bound (``None`` when unknown)."""
+        return self._rates[node_id]
+
+    def exact(self, node_id: int, now: float) -> Position:
+        """The true position at ``now``; interpolates at most once per instant."""
+        entry = self._entries.get(node_id)
+        if entry is not None:
+            position, computed_at, hold_until = entry
+            if now == computed_at or computed_at <= now < hold_until:
+                return position
+        hold = self._holds[node_id]
+        if hold is not None:
+            position, hold_until = hold(now)
+        else:
+            position, hold_until = self._phys[node_id].position(now), now
+        self._entries[node_id] = (position, now, hold_until)
+        return position
+
+    def bounded(self, node_id: int, now: float) -> Tuple[Position, float]:
+        """A cached position plus a conservative drift bound in metres.
+
+        A zero drift means the returned position is exact at ``now``.
+        """
+        entry = self._entries.get(node_id)
+        if entry is None:
+            return self.exact(node_id, now), 0.0
+        position, computed_at, hold_until = entry
+        if now == computed_at or computed_at <= now < hold_until:
+            return position, 0.0
+        rate = self._rates[node_id]
+        if rate is None or now < computed_at:
+            return self.exact(node_id, now), 0.0
+        drift = rate * (now - hold_until)
+        if drift > self.refresh_cap_m:
+            return self.exact(node_id, now), 0.0
+        if drift > 0.0:
+            drift += _DRIFT_EPSILON_M
+        return position, drift
+
+    def invalidate(self, node_id: Optional[int] = None) -> None:
+        """Drop one node's entry (or all of them after a bulk change)."""
+        if node_id is None:
+            self._entries.clear()
+        else:
+            self._entries.pop(node_id, None)
+
+
+class UniformGridIndex:
+    """Uniform-grid candidate index over memoised positions.
+
+    The grid buckets nodes by ``cell_m``-sized cells from positions that are
+    at most ``slack_m`` metres stale; it is rebuilt once accumulated motion
+    (the fleet speed bound times the grid's age) exceeds ``slack_m`` -- or on
+    every new timestamp when any node's speed is unbounded.  Queries inflate
+    their radius by both staleness terms, so candidate sets are supersets of
+    the truth and exact classification is delegated to the memo.
+    """
+
+    def __init__(self, cell_m: float, slack_m: float):
+        if cell_m <= 0:
+            raise ValueError("cell_m must be positive")
+        if slack_m < 0:
+            raise ValueError("slack_m must be non-negative")
+        self.cell_m = cell_m
+        self.slack_m = slack_m
+        self._inv_cell = 1.0 / cell_m
+        self.memo = PositionMemo(refresh_cap_m=slack_m)
+        #: (registration order, node id, phy) triples.
+        self._members: List[Tuple[int, int, "Phy"]] = []
+        self._cells: Dict[Tuple[int, int], List[Tuple[int, int, "Phy"]]] = {}
+        #: (origin cell, radius) -> concatenated buckets of the cells a query
+        #: from anywhere in that origin cell can reach; valid until rebuild.
+        self._window_cache: Dict[Tuple[int, int, float], List[Tuple[int, int, "Phy"]]] = {}
+        self._built_at: Optional[float] = None
+        self._dirty = True
+        #: Max speed bound over every tracked node; ``None`` once any node's
+        #: bound is unknown (degrades to rebuild-per-timestamp).
+        self._speed_bound: Optional[float] = 0.0
+        self.rebuilds = 0  # diagnostic counter
+
+    # --------------------------------------------------------------- members
+    def add(self, phy: "Phy") -> None:
+        """Track a radio; the grid is rebuilt lazily on the next query."""
+        self.memo.track(phy)
+        self._members.append((len(self._members), phy.node_id, phy))
+        rate = self.memo.rate_of(phy.node_id)
+        if rate is None or self._speed_bound is None:
+            self._speed_bound = None
+        else:
+            self._speed_bound = max(self._speed_bound, rate)
+        self._dirty = True
+
+    def invalidate(self, node_id: Optional[int] = None) -> None:
+        """Invalidate cached positions (and the grid) after a teleport."""
+        self.memo.invalidate(node_id)
+        self._dirty = True
+
+    # --------------------------------------------------------------- queries
+    def exact(self, phy: "Phy", now: float) -> Position:
+        return self.memo.exact(phy.node_id, now)
+
+    def bounded(self, phy: "Phy", now: float) -> Tuple[Position, float]:
+        return self.memo.bounded(phy.node_id, now)
+
+    def _grid_age_drift(self, now: float) -> Optional[float]:
+        """Worst-case motion since the grid was built; ``None`` = rebuild."""
+        if self._dirty or self._built_at is None:
+            return None
+        if now == self._built_at:
+            return 0.0
+        bound = self._speed_bound
+        if bound is None:
+            return None  # unknown speeds: the grid is only valid at build time
+        drift = bound * (now - self._built_at)
+        if drift > self.slack_m:
+            return None
+        return drift
+
+    def _rebuild(self, now: float) -> None:
+        cells: Dict[Tuple[int, int], List[Tuple[int, int, "Phy"]]] = {}
+        memo = self.memo
+        inv_cell = self._inv_cell
+        for member in self._members:
+            position, _ = memo.bounded(member[1], now)
+            key = (math.floor(position[0] * inv_cell), math.floor(position[1] * inv_cell))
+            bucket = cells.get(key)
+            if bucket is None:
+                cells[key] = [member]
+            else:
+                bucket.append(member)
+        self._cells = cells
+        self._window_cache.clear()
+        self._built_at = now
+        self._dirty = False
+        self.rebuilds += 1
+
+    def _ensure_current(self, now: float) -> None:
+        """Rebuild the grid if its accumulated drift exceeds the slack."""
+        if self._grid_age_drift(now) is None:
+            self._rebuild(now)
+
+    def _window(self, cx: int, cy: int, radius: float) -> List[Tuple[int, int, "Phy"]]:
+        """Members reachable within ``radius`` from anywhere in cell (cx, cy).
+
+        The reach is inflated by the full staleness budget (cached positions
+        up to ``refresh_cap`` stale at build plus up to ``slack_m`` of fleet
+        motion before the next rebuild), so the cached window stays a valid
+        superset for any query instant of the current grid epoch.  Cached per
+        (cell, radius) until the next rebuild -- senders in the same cell
+        share one bucket concatenation.
+        """
+        key = (cx, cy, radius)
+        cached = self._window_cache.get(key)
+        if cached is not None:
+            return cached
+        cell_m = self.cell_m
+        inv_cell = self._inv_cell
+        reach = radius + self.memo.refresh_cap_m + self.slack_m
+        x0 = cx * cell_m
+        x1 = x0 + cell_m
+        y0 = cy * cell_m
+        y1 = y0 + cell_m
+        gx_lo = math.floor((x0 - reach) * inv_cell)
+        gx_hi = math.floor((x1 + reach) * inv_cell)
+        gy_lo = math.floor((y0 - reach) * inv_cell)
+        gy_hi = math.floor((y1 + reach) * inv_cell)
+        reach_sq = reach * reach
+        cells = self._cells
+        out: List[Tuple[int, int, "Phy"]] = []
+        for gx in range(gx_lo, gx_hi + 1):
+            gx0 = gx * cell_m
+            if gx0 > x1:
+                dx = gx0 - x1
+            elif gx0 + cell_m < x0:
+                dx = x0 - gx0 - cell_m
+            else:
+                dx = 0.0
+            dx_sq = dx * dx
+            for gy in range(gy_lo, gy_hi + 1):
+                bucket = cells.get((gx, gy))
+                if not bucket:
+                    continue
+                gy0 = gy * cell_m
+                if gy0 > y1:
+                    dy = gy0 - y1
+                elif gy0 + cell_m < y0:
+                    dy = y0 - gy0 - cell_m
+                else:
+                    dy = 0.0
+                # Skip cells entirely beyond reach of the origin cell.
+                if dx_sq + dy * dy > reach_sq:
+                    continue
+                out.extend(bucket)
+        # Sort once here so every query that filters the window inherits
+        # registration order without re-sorting.
+        out.sort()
+        self._window_cache[key] = out
+        return out
+
+    def candidates(
+        self, origin: Position, radius: float, now: float
+    ) -> List[Tuple[int, int, "Phy"]]:
+        """Every radio possibly within ``radius`` of ``origin`` at ``now``.
+
+        Returned in registration order as ``(order, node_id, phy)`` triples;
+        a guaranteed superset of the true in-range set (callers classify each
+        candidate exactly).
+        """
+        self._ensure_current(now)
+        inv_cell = self._inv_cell
+        return self._window(
+            math.floor(origin[0] * inv_cell), math.floor(origin[1] * inv_cell), radius
+        )
+
+    def interferers(
+        self,
+        sender: "Phy",
+        origin: Position,
+        cs_range: float,
+        rx_range: float,
+        now: float,
+    ) -> List[Tuple[int, int, "Phy", bool]]:
+        """Classified interference set of a transmission starting at ``now``.
+
+        Returns ``(order, node_id, phy, in_reception_range)`` for every
+        *enabled* radio other than ``sender`` within ``cs_range`` of
+        ``origin``, in registration order -- exactly what
+        :class:`LinearScanIndex` computes by brute force.  The hot loop below
+        inlines :meth:`PositionMemo.bounded` (same logic, kept in sync) and
+        falls back to exact interpolation only for boundary-ambiguous
+        candidates.
+        """
+        self._ensure_current(now)
+        ox, oy = origin
+        cs_sq = cs_range * cs_range
+        rx_sq = rx_range * rx_range
+        memo = self.memo
+        entries = memo._entries
+        rates = memo._rates
+        refresh_cap = memo.refresh_cap_m
+        memo_exact = memo.exact
+        inv_cell = self._inv_cell
+        window = self._window(
+            math.floor(ox * inv_cell), math.floor(oy * inv_cell), cs_range
+        )
+        out: List[Tuple[int, int, "Phy", bool]] = []
+        for order, node_id, phy in window:
+            if phy is sender or not phy.enabled:
+                continue
+            # -- inline PositionMemo.bounded(node_id, now) ------------------
+            drift = 0.0
+            entry = entries.get(node_id)
+            if entry is None:
+                position = memo_exact(node_id, now)
+            else:
+                position, computed_at, hold_until = entry
+                if now != computed_at and not computed_at <= now < hold_until:
+                    rate = rates[node_id]
+                    if rate is None or now < computed_at:
+                        position = memo_exact(node_id, now)
+                    else:
+                        drift = rate * (now - hold_until)
+                        if drift > refresh_cap:
+                            position = memo_exact(node_id, now)
+                            drift = 0.0
+                        elif drift > 0.0:
+                            drift += _DRIFT_EPSILON_M
+            # -- classify against both radii --------------------------------
+            dx = position[0] - ox
+            dy = position[1] - oy
+            distance_sq = dx * dx + dy * dy
+            if drift > 0.0:
+                outer = cs_range + drift
+                if distance_sq > outer * outer:
+                    continue
+                in_range = within_range(distance_sq, rx_range, drift)
+                inner = cs_range - drift
+                if in_range is None or not (inner >= 0.0 and distance_sq <= inner * inner):
+                    # Within drift of a boundary: interpolate and retest.
+                    position = memo_exact(node_id, now)
+                    dx = position[0] - ox
+                    dy = position[1] - oy
+                    distance_sq = dx * dx + dy * dy
+                    if distance_sq > cs_sq:
+                        continue
+                    in_range = distance_sq <= rx_sq
+            else:
+                if distance_sq > cs_sq:
+                    continue
+                in_range = distance_sq <= rx_sq
+            out.append((order, node_id, phy, in_range))
+        # The window is pre-sorted, so `out` is already in registration order.
+        return out
+
+
+class LinearScanIndex:
+    """The O(N) reference: every radio is a candidate, nothing is cached.
+
+    This is the original medium semantics laid bare: every registered
+    radio's position is interpolated on demand and every distance is
+    computed, O(N) per query.  Kept selectable so the grid index can be
+    proven equivalent against it.
+    """
+
+    def __init__(self):
+        self._members: List[Tuple[int, int, "Phy"]] = []
+
+    def add(self, phy: "Phy") -> None:
+        self._members.append((len(self._members), phy.node_id, phy))
+
+    def invalidate(self, node_id: Optional[int] = None) -> None:
+        """Nothing is cached, so there is nothing to invalidate."""
+
+    def exact(self, phy: "Phy", now: float) -> Position:
+        return phy.position(now)
+
+    def bounded(self, phy: "Phy", now: float) -> Tuple[Position, float]:
+        return phy.position(now), 0.0
+
+    def candidates(
+        self, origin: Position, radius: float, now: float
+    ) -> List[Tuple[int, int, "Phy"]]:
+        return self._members
+
+    def interferers(
+        self,
+        sender: "Phy",
+        origin: Position,
+        cs_range: float,
+        rx_range: float,
+        now: float,
+    ) -> List[Tuple[int, int, "Phy", bool]]:
+        """Classified interference set, by exhaustive scan."""
+        ox, oy = origin
+        cs_sq = cs_range * cs_range
+        rx_sq = rx_range * rx_range
+        out: List[Tuple[int, int, "Phy", bool]] = []
+        for order, node_id, phy in self._members:
+            if phy is sender or not phy.enabled:
+                continue
+            position = phy.position(now)
+            dx = position[0] - ox
+            dy = position[1] - oy
+            distance_sq = dx * dx + dy * dy
+            if distance_sq > cs_sq:
+                continue
+            out.append((order, node_id, phy, distance_sq <= rx_sq))
+        return out

@@ -79,7 +79,9 @@ class Simulator:
 
     def __init__(self, start_time: float = 0.0):
         self._now = float(start_time)
-        self._queue: List[EventHandle] = []
+        # Heap of (time, seq, event): tuple ordering avoids calling
+        # EventHandle.__lt__ for every sift, which is measurable at scale.
+        self._queue: List[tuple] = []
         self._seq = 0
         self._running = False
         self._stopped = False
@@ -99,7 +101,7 @@ class Simulator:
     @property
     def pending_events(self) -> int:
         """Number of events currently scheduled (including cancelled ones)."""
-        return sum(1 for event in self._queue if event.pending)
+        return sum(1 for entry in self._queue if entry[2].pending)
 
     # -------------------------------------------------------------- schedule
     def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> EventHandle:
@@ -118,7 +120,7 @@ class Simulator:
             raise SimulationError(f"callback {callback!r} is not callable")
         event = EventHandle(float(time), self._seq, callback, args)
         self._seq += 1
-        heapq.heappush(self._queue, event)
+        heapq.heappush(self._queue, (event.time, event.seq, event))
         return event
 
     # ------------------------------------------------------------------- run
@@ -146,7 +148,7 @@ class Simulator:
                     break
                 if max_events is not None and executed >= max_events:
                     break
-                event = self._queue[0]
+                event = self._queue[0][2]
                 if not event.pending:
                     heapq.heappop(self._queue)
                     continue

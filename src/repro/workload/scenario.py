@@ -50,6 +50,9 @@ class ScenarioConfig:
     area_height_m: float = 200.0
     transmission_range_m: float = 75.0
     bitrate_bps: float = 2_000_000.0
+    #: Spatial index of the medium: "grid" (O(k), default) or "naive" (the
+    #: O(N) linear-scan reference).  Both produce bit-identical results.
+    medium_index: str = "grid"
 
     # Mobility (random waypoint).
     min_speed_mps: float = 0.0
@@ -83,6 +86,8 @@ class ScenarioConfig:
             raise ValueError("a scenario needs at least two nodes")
         if self.protocol not in ("maodv", "flooding", "odmrp"):
             raise ValueError(f"unknown protocol {self.protocol!r}")
+        if self.medium_index not in ("grid", "naive"):
+            raise ValueError(f"unknown medium_index {self.medium_index!r}")
         if self.member_count is not None and not 1 <= self.member_count <= self.num_nodes:
             raise ValueError("member_count must lie in [1, num_nodes]")
         if self.duration_s <= self.source_start_s:
@@ -189,6 +194,7 @@ class Scenario:
         radio = RadioConfig(
             transmission_range_m=config.transmission_range_m,
             bitrate_bps=config.bitrate_bps,
+            medium_index=config.medium_index,
         )
         self.medium = Medium(self.sim, radio)
         area = RectangularArea(config.area_width_m, config.area_height_m)

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.mobility.trace import WaypointTraceMobility
 from repro.net.config import RadioConfig
 from repro.net.medium import Medium
 from repro.net.packet import Frame, Packet
@@ -23,9 +24,22 @@ class _StubNode:
         self._position = (x, y)
 
 
-def _make_network(positions, range_m=100.0):
+class _TraceNode:
+    """Node stand-in whose position follows a waypoint trace."""
+
+    def __init__(self, node_id, waypoints):
+        self.node_id = node_id
+        self.mobility = WaypointTraceMobility(waypoints)
+
+    def position(self, at_time):
+        return self.mobility.position(at_time)
+
+
+def _make_network(positions, range_m=100.0, medium_index="grid"):
     sim = Simulator()
-    medium = Medium(sim, RadioConfig(transmission_range_m=range_m))
+    medium = Medium(
+        sim, RadioConfig(transmission_range_m=range_m, medium_index=medium_index)
+    )
     phys = []
     received = {}
     for node_id, (x, y) in enumerate(positions):
@@ -163,6 +177,226 @@ class TestCarrierSense:
         with pytest.raises(RuntimeError):
             phys[0].transmit(_frame(0, 1))
         sim.run()
+
+
+class TestFailureInjection:
+    def test_powered_down_receiver_gets_no_reception_entry(self):
+        sim, medium, phys, received = _make_network([(0, 0), (50, 0)])
+        phys[1].power_down()
+        phys[0].transmit(_frame(0, 1))
+        assert not medium.is_busy_for(phys[1])
+        sim.run()
+        assert received[1] == []
+        assert medium.stats.deliveries == 0
+        assert medium.stats.disabled_discards == 0  # never entered the set
+
+    def test_power_down_mid_transmission_discards_delivery(self):
+        sim, medium, phys, received = _make_network([(0, 0), (50, 0)])
+        airtime = phys[0].transmit(_frame(0, 1))
+        sim.schedule(airtime / 2, phys[1].power_down)
+        sim.run()
+        assert received[1] == []
+        assert medium.stats.deliveries == 0
+        assert medium.stats.disabled_discards == 1
+
+    def test_power_cycle_mid_transmission_corrupts_frame(self):
+        # Down and back up during the airtime: the radio is enabled when the
+        # frame ends but missed part of it, so it cannot decode.
+        sim, medium, phys, received = _make_network([(0, 0), (50, 0)])
+        airtime = phys[0].transmit(_frame(0, 1))
+        sim.schedule(airtime / 3, phys[1].power_down)
+        sim.schedule(airtime / 2, phys[1].power_up)
+        sim.schedule(airtime * 0.75, lambda: setattr(
+            self, "_busy_after_cycle", medium.is_busy_for(phys[1])
+        ))
+        sim.run()
+        assert self._busy_after_cycle  # rejoined the interference set
+        assert received[1] == []
+        assert medium.stats.deliveries == 0
+        assert medium.stats.disabled_discards == 0
+
+    def test_dead_radio_does_not_inflate_collisions(self):
+        # 0 and 2 are out of each other's range but both cover 1.
+        positions = [(0, 0), (90, 0), (180, 0)]
+        sim, medium, phys, received = _make_network(positions, range_m=100)
+        phys[0].transmit(_frame(0, 1))
+        phys[2].transmit(_frame(2, 1))
+        sim.run()
+        assert medium.stats.collisions == 2  # sanity: alive radio collides
+
+        sim, medium, phys, received = _make_network(positions, range_m=100)
+        phys[1].power_down()
+        phys[0].transmit(_frame(0, 1))
+        phys[2].transmit(_frame(2, 1))
+        sim.run()
+        assert medium.stats.collisions == 0
+        assert medium.stats.deliveries == 0
+
+    def test_neighbors_of_excludes_powered_down_radios(self):
+        sim, medium, phys, _ = _make_network([(0, 0), (50, 0), (60, 0)])
+        assert medium.neighbors_of(0) == [1, 2]
+        phys[1].power_down()
+        assert medium.neighbors_of(0) == [2]
+        assert medium.neighbors_of(1) == []
+        phys[1].power_up()
+        assert medium.neighbors_of(0) == [1, 2]
+        assert medium.neighbors_of(1) == [0, 2]
+
+    def test_sender_crash_mid_transmission_truncates_frame(self):
+        # A radio that dies while transmitting stops radiating: its frame is
+        # truncated and nobody can decode it.
+        sim, medium, phys, received = _make_network([(0, 0), (50, 0)])
+        airtime = phys[0].transmit(_frame(0, 1))
+        sim.schedule(airtime / 2, phys[0].power_down)
+        sim.run()
+        assert received[1] == []
+        assert medium.stats.deliveries == 0
+
+    def test_power_cycles_within_one_airtime_count_one_discard(self):
+        # down -> up -> down inside one airtime: the radio must not collect
+        # duplicate copies of the same in-flight frame.
+        sim, medium, phys, received = _make_network([(0, 0), (50, 0)])
+        airtime = phys[0].transmit(_frame(0, 1))
+        sim.schedule(airtime * 0.2, phys[1].power_down)
+        sim.schedule(airtime * 0.4, phys[1].power_up)
+        sim.schedule(airtime * 0.6, phys[1].power_down)
+        sim.run()
+        assert received[1] == []
+        assert medium.stats.disabled_discards == 1
+
+    def test_power_cycle_of_cs_only_neighbor_counts_one_discard(self):
+        sim = Simulator()
+        medium = Medium(
+            sim, RadioConfig(transmission_range_m=75, carrier_sense_range_m=150)
+        )
+        sender = Phy(_StubNode(0, 0, 0), medium)
+        neighbor = Phy(_StubNode(1, 100, 0), medium)  # cs range only
+        airtime = sender.transmit(_frame(0, -1))
+        sim.schedule(airtime * 0.3, neighbor.power_down)
+        sim.schedule(airtime * 0.6, neighbor.power_up)
+        sim.run()
+        assert medium.stats.out_of_range_discards == 1
+
+    def test_power_transitions_are_idempotent(self):
+        sim, medium, phys, _ = _make_network([(0, 0), (50, 0)])
+        phys[1].power_down()
+        phys[1].power_down()
+        phys[1].power_up()
+        phys[1].power_up()
+        assert phys[1].enabled
+        phys[0].transmit(_frame(0, 1))
+        sim.run()
+        assert medium.stats.deliveries == 1
+
+
+class TestSnapshotGeometry:
+    """All geometry is frozen at transmission start."""
+
+    def _network_with_mover(self, waypoints, range_m=100.0):
+        sim = Simulator()
+        medium = Medium(sim, RadioConfig(transmission_range_m=range_m))
+        sender = Phy(_StubNode(0, 0, 0), medium)
+        mover = Phy(_TraceNode(1, waypoints), medium)
+        received = []
+        mover.set_receive_callback(lambda frame, src: received.append((frame, src)))
+        return sim, medium, sender, mover, received
+
+    def test_node_leaving_range_mid_airtime_still_receives(self):
+        # In range at transmission start, far out of range by the end.
+        sim, medium, sender, mover, received = self._network_with_mover(
+            [(0.0, 90.0, 0.0), (3e-4, 250.0, 0.0)]
+        )
+        airtime = sender.transmit(_frame(0, 1))
+        probes = []
+        sim.schedule(airtime * 0.75, lambda: probes.append(medium.is_busy_for(mover)))
+        sim.run()
+        assert probes == [True]  # still senses the frame it is receiving
+        assert len(received) == 1
+        assert medium.stats.deliveries == 1
+
+    def test_node_entering_range_mid_airtime_hears_nothing(self):
+        sim, medium, sender, mover, received = self._network_with_mover(
+            [(0.0, 250.0, 0.0), (3e-4, 50.0, 0.0)]
+        )
+        airtime = sender.transmit(_frame(0, 1))
+        probes = []
+        sim.schedule(airtime * 0.75, lambda: probes.append(medium.is_busy_for(mover)))
+        sim.run()
+        assert probes == [False]  # was outside the start-time interference set
+        assert received == []
+        assert medium.stats.deliveries == 0
+        assert medium.stats.out_of_range_discards == 0
+
+    def test_carrier_sense_agrees_with_reception_set(self):
+        # The satellite invariant: is_busy_for == membership in the frozen
+        # interference set, no matter where the node has moved since.
+        for waypoints in (
+            [(0.0, 90.0, 0.0), (3e-4, 250.0, 0.0)],  # leaves mid-airtime
+            [(0.0, 250.0, 0.0), (3e-4, 50.0, 0.0)],  # enters mid-airtime
+        ):
+            sim, medium, sender, mover, _ = self._network_with_mover(waypoints)
+            airtime = sender.transmit(_frame(0, 1))
+            checks = []
+
+            def check():
+                expected = any(
+                    r.end_time > sim.now
+                    for r in medium._active_receptions[mover.node_id]
+                )
+                checks.append(medium.is_busy_for(mover) == expected)
+
+            for fraction in (0.25, 0.5, 0.9):
+                sim.schedule(airtime * fraction, check)
+            sim.run()
+            assert checks == [True, True, True]
+
+
+class TestLateRegistration:
+    def test_register_mid_transmission_senses_busy_but_cannot_decode(self):
+        sim, medium, phys, received = _make_network([(0, 0), (50, 0)])
+        airtime = phys[0].transmit(_frame(0, 1))
+        late = {}
+
+        def join():
+            phy = Phy(_StubNode(2, 30, 0), medium)
+            phy.set_receive_callback(lambda f, s: late.setdefault("rx", []).append(f))
+            late["phy"] = phy
+            late["busy"] = medium.is_busy_for(phy)
+
+        sim.schedule(airtime / 2, join)
+        sim.run()
+        assert late["busy"]  # joined the in-flight interference set
+        assert "rx" not in late  # but missed the head of the frame
+        assert medium.stats.deliveries == 1  # node 1 still got its copy
+        assert medium._active_receptions[2] == []  # cleaned up at the end
+
+    def test_register_out_of_range_mid_transmission_stays_idle(self):
+        sim, medium, phys, received = _make_network([(0, 0), (50, 0)])
+        airtime = phys[0].transmit(_frame(0, 1))
+        late = {}
+
+        def join():
+            phy = Phy(_StubNode(2, 500, 0), medium)
+            late["busy"] = medium.is_busy_for(phy)
+
+        sim.schedule(airtime / 2, join)
+        sim.run()
+        assert late["busy"] is False
+
+    def test_late_joiner_transmission_collides_with_in_flight_frame(self):
+        sim, medium, phys, received = _make_network([(0, 0), (50, 0)])
+        airtime = phys[0].transmit(_frame(0, 1))
+
+        def join_and_transmit():
+            phy = Phy(_StubNode(2, 30, 0), medium)
+            phy.transmit(_frame(2, -1))
+
+        sim.schedule(airtime / 2, join_and_transmit)
+        sim.run()
+        # Node 1's copy of frame 0 was corrupted by the overlapping energy.
+        assert received[1] == []
+        assert medium.stats.collisions >= 1
+        assert medium.stats.deliveries == 0
 
 
 class TestRadioConfigValidation:

@@ -1,0 +1,286 @@
+"""Unit tests for the medium's spatial index (memo, grid, linear scan)."""
+
+import math
+
+import pytest
+
+from repro.mobility.random_waypoint import RandomWaypointMobility
+from repro.mobility.base import RectangularArea
+from repro.mobility.static import StaticMobility
+from repro.mobility.trace import WaypointTraceMobility
+from repro.net.spatial import (
+    LinearScanIndex,
+    PositionMemo,
+    UniformGridIndex,
+    within_range,
+)
+from repro.sim.random import RandomStreams
+
+
+class _FakeNode:
+    def __init__(self, node_id, mobility):
+        self.node_id = node_id
+        self.mobility = mobility
+
+    def position(self, at_time):
+        return self.mobility.position(at_time)
+
+
+class _FakePhy:
+    """Just enough of a Phy for the index: node, node_id, position, enabled."""
+
+    def __init__(self, node_id, mobility):
+        self.node = _FakeNode(node_id, mobility)
+        self.enabled = True
+
+    @property
+    def node_id(self):
+        return self.node.node_id
+
+    def position(self, at_time):
+        return self.node.position(at_time)
+
+
+def _static_phy(node_id, x, y):
+    return _FakePhy(node_id, StaticMobility(x, y))
+
+
+class TestMobilityHooks:
+    def test_static_holds_forever(self):
+        mobility = StaticMobility(3.0, 4.0)
+        position, hold_until = mobility.position_hold(10.0)
+        assert position == (3.0, 4.0)
+        assert hold_until == math.inf
+        assert mobility.speed_bound_mps == 0.0
+
+    def test_static_move_fires_listeners(self):
+        mobility = StaticMobility(0.0, 0.0)
+        fired = []
+        mobility.add_position_listener(lambda: fired.append(True))
+        mobility.move_to(5.0, 5.0)
+        assert fired == [True]
+
+    def test_random_waypoint_hold_matches_position(self):
+        area = RectangularArea(100.0, 100.0)
+        rng = RandomStreams(7).for_node("mobility", 0)
+        mobility = RandomWaypointMobility(area, rng, max_speed_mps=2.0, max_pause_s=10.0)
+        for t in [0.0, 1.0, 3.7, 12.4, 55.0, 200.0]:
+            position, hold_until = mobility.position_hold(t)
+            assert position == mobility.position(t)
+            assert hold_until >= t or hold_until == t
+            if hold_until > t:
+                # The node claims it is pausing: probe inside the hold window.
+                probe = t + (hold_until - t) * 0.5
+                assert mobility.position(probe) == position
+        assert mobility.speed_bound_mps == 2.0
+
+    def test_trace_speed_bound_and_holds(self):
+        trace = WaypointTraceMobility([(0, 0, 0), (10, 100, 0), (20, 100, 0)])
+        assert trace.speed_bound_mps == pytest.approx(10.0)
+        # Flat segment between t=10 and t=20 holds.
+        position, hold_until = trace.position_hold(14.0)
+        assert position == (100.0, 0.0)
+        assert hold_until == 20.0
+        # After the last waypoint the position holds forever.
+        _, hold_until = trace.position_hold(25.0)
+        assert hold_until == math.inf
+
+    def test_trace_with_jump_has_no_speed_bound(self):
+        trace = WaypointTraceMobility([(0, 0, 0), (5, 10, 0), (5, 500, 0)])
+        assert trace.speed_bound_mps is None
+
+
+class TestWithinRange:
+    def test_certainly_inside(self):
+        assert within_range(10.0 * 10.0, 20.0, 5.0) is True
+
+    def test_certainly_outside(self):
+        assert within_range(30.0 * 30.0, 20.0, 5.0) is False
+
+    def test_ambiguous_near_boundary(self):
+        assert within_range(18.0 * 18.0, 20.0, 5.0) is None
+
+    def test_drift_larger_than_radius_is_ambiguous_inside(self):
+        assert within_range(1.0, 2.0, 5.0) is None
+
+
+class TestPositionMemo:
+    def test_exact_matches_mobility(self):
+        memo = PositionMemo()
+        phy = _FakePhy(0, StaticMobility(1.0, 2.0))
+        memo.track(phy)
+        assert memo.exact(0, 5.0) == (1.0, 2.0)
+
+    def test_interpolates_once_per_instant(self):
+        calls = []
+
+        class _Counting(StaticMobility):
+            def position_hold(self, at_time):
+                calls.append(at_time)
+                return self._position, at_time  # claim no hold
+
+        memo = PositionMemo()
+        memo.track(_FakePhy(0, _Counting(0.0, 0.0)))
+        memo.exact(0, 1.0)
+        memo.exact(0, 1.0)
+        memo.exact(0, 1.0)
+        assert calls == [1.0]
+        memo.exact(0, 2.0)
+        assert calls == [1.0, 2.0]
+
+    def test_hold_survives_across_instants(self):
+        memo = PositionMemo()
+        memo.track(_FakePhy(0, StaticMobility(0.0, 0.0)))
+        assert memo.exact(0, 1.0) == (0.0, 0.0)
+        # Static holds forever: no recomputation, same object back.
+        assert memo.bounded(0, 100.0) == ((0.0, 0.0), 0.0)
+
+    def test_bounded_reports_drift_for_moving_node(self):
+        trace = WaypointTraceMobility([(0, 0, 0), (100, 100, 0)])  # 1 m/s
+        memo = PositionMemo(refresh_cap_m=10.0)
+        memo.track(_FakePhy(0, trace))
+        position = memo.exact(0, 10.0)
+        assert position == (10.0, 0.0)
+        cached, drift = memo.bounded(0, 15.0)
+        assert cached == (10.0, 0.0)
+        assert drift == pytest.approx(5.0, abs=1e-6)
+        # True position stays within the reported bound.
+        true = trace.position(15.0)
+        assert math.hypot(true[0] - cached[0], true[1] - cached[1]) <= drift
+
+    def test_bounded_refreshes_past_cap(self):
+        trace = WaypointTraceMobility([(0, 0, 0), (100, 100, 0)])
+        memo = PositionMemo(refresh_cap_m=10.0)
+        memo.track(_FakePhy(0, trace))
+        memo.exact(0, 0.0)
+        position, drift = memo.bounded(0, 50.0)  # would be 50 m stale
+        assert drift == 0.0
+        assert position == (50.0, 0.0)
+
+    def test_unknown_speed_bound_recomputes(self):
+        class _NoHints:
+            """Mobility without speed_bound_mps/position_hold attributes."""
+
+            def __init__(self):
+                self._position = (0.0, 0.0)
+
+            def position(self, at_time):
+                return self._position
+
+        phy = _FakePhy(0, _NoHints())
+        phy.node.mobility.position_hold = None  # force the fallback path
+        memo = PositionMemo(refresh_cap_m=10.0)
+        memo.track(phy)
+        memo.exact(0, 0.0)
+        phy.node.mobility._position = (99.0, 0.0)
+        position, drift = memo.bounded(0, 1.0)
+        assert drift == 0.0
+        assert position == (99.0, 0.0)
+
+    def test_invalidate_drops_entry(self):
+        mobility = StaticMobility(0.0, 0.0)
+        memo = PositionMemo()
+        memo.track(_FakePhy(0, mobility))
+        memo.exact(0, 0.0)
+        mobility.move_to(50.0, 0.0)
+        memo.invalidate(0)
+        assert memo.exact(0, 0.0) == (50.0, 0.0)
+
+
+class TestUniformGridIndex:
+    def _index(self, phys, cell_m=50.0, slack_m=5.0):
+        index = UniformGridIndex(cell_m=cell_m, slack_m=slack_m)
+        for phy in phys:
+            index.add(phy)
+        return index
+
+    def test_candidates_cover_all_in_radius(self):
+        phys = [_static_phy(i, 17.0 * i, 3.0 * i) for i in range(30)]
+        index = self._index(phys)
+        origin = (100.0, 20.0)
+        got = {phy.node_id for _, _, phy in index.candidates(origin, 60.0, 0.0)}
+        for phy in phys:
+            x, y = phy.position(0.0)
+            if math.hypot(x - origin[0], y - origin[1]) <= 60.0:
+                assert phy.node_id in got
+
+    def test_candidates_prune_far_nodes(self):
+        phys = [_static_phy(0, 0.0, 0.0), _static_phy(1, 1000.0, 1000.0)]
+        index = self._index(phys)
+        got = {phy.node_id for _, _, phy in index.candidates((0.0, 0.0), 60.0, 0.0)}
+        assert got == {0}
+
+    def test_candidates_in_registration_order(self):
+        phys = [_static_phy(5, 0.0, 0.0), _static_phy(2, 1.0, 0.0), _static_phy(9, 2.0, 0.0)]
+        index = self._index(phys)
+        ids = [phy.node_id for _, _, phy in index.candidates((0.0, 0.0), 60.0, 0.0)]
+        assert ids == [5, 2, 9]
+
+    def test_grid_rebuilds_after_teleport(self):
+        mobility = StaticMobility(0.0, 0.0)
+        phy = _FakePhy(0, mobility)
+        index = self._index([phy])
+        assert [p.node_id for _, _, p in index.candidates((0.0, 0.0), 10.0, 0.0)] == [0]
+        mobility.move_to(500.0, 0.0)
+        index.invalidate(0)
+        assert index.candidates((0.0, 0.0), 10.0, 0.0) == []
+        assert [p.node_id for _, _, p in index.candidates((500.0, 0.0), 10.0, 0.0)] == [0]
+
+    def test_grid_stays_valid_within_slack_budget(self):
+        phys = [_static_phy(i, 10.0 * i, 0.0) for i in range(5)]
+        index = self._index(phys)
+        index.candidates((0.0, 0.0), 20.0, 0.0)
+        rebuilds = index.rebuilds
+        # Static fleet: no amount of elapsed time forces a rebuild.
+        index.candidates((0.0, 0.0), 20.0, 1000.0)
+        assert index.rebuilds == rebuilds
+
+    def test_moving_fleet_rebuilds_once_drift_exceeds_slack(self):
+        trace = WaypointTraceMobility([(0, 0, 0), (1000, 1000, 0)])  # 1 m/s
+        index = UniformGridIndex(cell_m=50.0, slack_m=5.0)
+        index.add(_FakePhy(0, trace))
+        index.candidates((0.0, 0.0), 20.0, 0.0)
+        rebuilds = index.rebuilds
+        index.candidates((0.0, 0.0), 20.0, 1.0)  # 1 m of drift: within slack
+        assert index.rebuilds == rebuilds
+        index.candidates((0.0, 0.0), 20.0, 100.0)  # 100 m: must rebuild
+        assert index.rebuilds == rebuilds + 1
+
+    def test_interferers_match_linear_scan(self):
+        streams = RandomStreams(3)
+        area = RectangularArea(200.0, 200.0)
+        mobilities = [
+            RandomWaypointMobility(
+                area, streams.for_node("mobility", i), max_speed_mps=2.0, max_pause_s=5.0
+            )
+            for i in range(25)
+        ]
+        grid_phys = [_FakePhy(i, m) for i, m in enumerate(mobilities)]
+        grid = UniformGridIndex(cell_m=30.0, slack_m=4.0)
+        naive = LinearScanIndex()
+        for phy in grid_phys:
+            grid.add(phy)
+            naive.add(phy)
+        for now in [0.0, 3.5, 7.25, 11.0, 30.0, 31.0]:
+            sender = grid_phys[0]
+            origin = grid.exact(sender, now)
+            got = [
+                (order, node_id, in_range)
+                for order, node_id, _, in_range in grid.interferers(
+                    sender, origin, 60.0, 45.0, now
+                )
+            ]
+            want = [
+                (order, node_id, in_range)
+                for order, node_id, _, in_range in naive.interferers(
+                    sender, origin, 60.0, 45.0, now
+                )
+            ]
+            assert got == want, f"diverged at t={now}"
+
+    def test_interferers_skip_disabled(self):
+        phys = [_static_phy(0, 0.0, 0.0), _static_phy(1, 10.0, 0.0), _static_phy(2, 20.0, 0.0)]
+        phys[1].enabled = False
+        index = self._index(phys)
+        hit = [phy.node_id for _, _, phy, _ in index.interferers(phys[0], (0.0, 0.0), 60.0, 60.0, 0.0)]
+        assert hit == [2]

@@ -1,0 +1,128 @@
+"""Grid and naive medium implementations are bit-identical.
+
+The spatial-index medium (`RadioConfig(medium_index="grid")`, the default)
+must be indistinguishable from the O(N) linear-scan reference
+(`medium_index="naive"`): same `MediumStats`, same delivered-frame sequence,
+same aggregated experiment metrics, on full scenarios with random-waypoint
+mobility and real protocol stacks.  Any divergence -- however small -- means
+the index returned a wrong candidate set or classified a distance
+differently, so everything is compared for exact equality, not approximate.
+"""
+
+import pytest
+
+from repro.campaign.executor import execute_trial
+from repro.campaign.trials import TrialSpec
+from repro.workload.scenario import Scenario, ScenarioConfig
+
+
+def _small_config(seed, **overrides):
+    defaults = dict(
+        num_nodes=14,
+        member_count=5,
+        area_width_m=150.0,
+        area_height_m=150.0,
+        transmission_range_m=60.0,
+        max_speed_mps=2.0,
+        max_pause_s=10.0,
+        join_window_s=3.0,
+        source_start_s=8.0,
+        source_stop_s=24.0,
+        packet_interval_s=0.5,
+        duration_s=28.0,
+        protocol="flooding",
+        gossip_enabled=True,
+        seed=seed,
+    )
+    defaults.update(overrides)
+    return ScenarioConfig.quick(**defaults)
+
+
+def _run_with_delivery_log(config):
+    """Run a scenario recording every packet delivery in order.
+
+    Packet uids come from a process-global counter, so they differ between
+    runs; they are canonicalised to first-seen indexes to make the logs
+    comparable.
+    """
+    scenario = Scenario(config).build()
+    log = []
+    for node in scenario.nodes:
+        node.add_sniffer(
+            lambda packet, from_node, nid=node.node_id: log.append(
+                (scenario.sim.now, nid, from_node, packet.uid, type(packet).__name__)
+            )
+        )
+    result = scenario.run()
+    canonical = {}
+    canonical_log = [
+        (now, nid, from_node, canonical.setdefault(uid, len(canonical)), kind)
+        for now, nid, from_node, uid, kind in log
+    ]
+    return result, canonical_log
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_grid_and_naive_media_are_bit_identical(seed):
+    results = {}
+    for index in ("naive", "grid"):
+        results[index] = _run_with_delivery_log(
+            _small_config(seed, medium_index=index)
+        )
+    naive_result, naive_log = results["naive"]
+    grid_result, grid_log = results["grid"]
+
+    # MediumStats (and every other protocol counter) must match exactly.
+    assert naive_result.protocol_stats == grid_result.protocol_stats
+    # Delivered-frame sequence: same packets, same receivers, same instants,
+    # same order.
+    assert naive_log == grid_log
+    # Aggregate outcomes.
+    assert naive_result.member_counts == grid_result.member_counts
+    assert naive_result.goodput_by_member == grid_result.goodput_by_member
+    assert naive_result.packets_sent == grid_result.packets_sent
+    assert naive_result.events_processed == grid_result.events_processed
+
+
+@pytest.mark.parametrize("protocol", ["maodv", "flooding"])
+def test_experiment_metrics_identical_across_media(protocol):
+    """The numbers that feed ExperimentPoint aggregation match exactly."""
+    records = {}
+    for index in ("naive", "grid"):
+        config = _small_config(5, protocol=protocol, medium_index=index)
+        trial = TrialSpec(
+            campaign="equivalence",
+            x=0.0,
+            variant="gossip",
+            seed=config.seed,
+            scale="quick",
+            config=config,
+        )
+        records[index] = execute_trial(trial)
+    naive, grid = records["naive"], records["grid"]
+    assert naive.metrics == grid.metrics
+    assert naive.goodput_by_member == grid.goodput_by_member
+    assert naive.member_counts == grid.member_counts
+    # protocol_stats embeds every MediumStats counter (medium.* keys).
+    assert naive.protocol_stats == grid.protocol_stats
+    assert any(key.startswith("medium.") for key in naive.protocol_stats)
+
+
+def test_equivalence_survives_failure_injection():
+    """Crashing and recovering nodes mid-run keeps both media in lockstep."""
+    from repro.workload.failures import FailureEvent, FailureSchedule
+
+    results = {}
+    for index in ("naive", "grid"):
+        config = _small_config(7, medium_index=index)
+        scenario = Scenario(config).build()
+        events = [
+            FailureEvent(node_id=2, start_s=10.0, end_s=16.0),
+            FailureEvent(node_id=5, start_s=12.0, end_s=20.0),
+            FailureEvent(node_id=9, start_s=9.0, end_s=26.0),
+        ]
+        schedule = FailureSchedule(scenario.sim, scenario.nodes, events)
+        schedule.start()
+        results[index] = scenario.run()
+    assert results["naive"].protocol_stats == results["grid"].protocol_stats
+    assert results["naive"].member_counts == results["grid"].member_counts
