@@ -82,6 +82,10 @@ class _Reception:
     end_time: float
     in_range: bool
     corrupted: bool = False
+    #: Index of this record in its receiver's ``_active_receptions`` list
+    #: (intrusive membership), so removal at end-of-flight is O(1) swap-pop
+    #: instead of a linear scan.
+    node_slot: int = -1
 
 
 @dataclass(eq=False)
@@ -279,6 +283,7 @@ class Medium:
             if phy.transmitting:
                 reception.corrupted = True
                 self.stats.half_duplex_losses += 1
+            reception.node_slot = len(ongoing)
             ongoing.append(reception)
             tx.receptions.append(reception)
 
@@ -288,9 +293,17 @@ class Medium:
 
     def _finish_transmission(self, tx: _Transmission) -> None:
         self._active.remove(tx)
+        active_receptions = self._active_receptions
         for reception in tx.receptions:
             receiver = reception.receiver
-            self._active_receptions[reception.receiver_id].remove(reception)
+            # O(1) intrusive removal: swap the list tail into this record's
+            # slot (per-node reception lists are order-insensitive).
+            ongoing = active_receptions[reception.receiver_id]
+            tail = ongoing.pop()
+            if tail is not reception:
+                slot = reception.node_slot
+                ongoing[slot] = tail
+                tail.node_slot = slot
             if not receiver.enabled:
                 self.stats.disabled_discards += 1
                 continue
@@ -365,6 +378,7 @@ class Medium:
                 end_time=tx.end_time,
                 in_range=distance_sq <= rx_sq,
                 corrupted=True,
+                node_slot=len(ongoing),
             )
             ongoing.append(reception)
             tx.receptions.append(reception)
