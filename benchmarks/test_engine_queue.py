@@ -1,0 +1,80 @@
+"""Benchmark: raw throughput of the slot-pooled event calendar.
+
+Two synthetic workloads isolate the engine from the protocol stack:
+
+* ``schedule_fire``: a self-sustaining cascade of timer events (the shape of
+  hello beacons and MAC timers) -- every fired event schedules the next.
+* ``cancel_churn``: the MAC's pattern -- arm a one-shot, cancel it, re-arm --
+  exercising lazy cancellation, tombstone pops and heap compaction.
+
+Both record ``events_per_sec`` in ``extra_info``; that number is compared
+against the committed ``benchmarks/bench_baseline.json`` by
+``scripts/check_bench_regression.py`` in CI (the engine benchmark is the
+stablest regression signal: no geometry, no RNG-dependent protocol load).
+"""
+
+import time
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.timers import OneShotTimer
+
+_EVENTS = 200_000
+
+
+def _run_schedule_fire() -> float:
+    sim = Simulator()
+    state = {"left": _EVENTS}
+
+    def tick():
+        remaining = state["left"] = state["left"] - 1
+        if remaining > 0:
+            sim.call_in(0.001, tick)
+
+    # 64 concurrent chains give the heap a realistic width.
+    for _ in range(64):
+        state["left"] += 1
+        sim.call_in(0.001, tick)
+    start = time.perf_counter()
+    sim.run()
+    elapsed = time.perf_counter() - start
+    assert sim.events_processed >= _EVENTS
+    return sim.events_processed / elapsed
+
+
+def _run_cancel_churn() -> float:
+    sim = Simulator()
+    shots = [OneShotTimer(sim) for _ in range(64)]
+    state = {"left": _EVENTS}
+
+    def tick(shot):
+        remaining = state["left"] = state["left"] - 1
+        if remaining > 0:
+            # Arm a decoy far in the future, then replace it immediately:
+            # every tick produces one tombstone plus one live event.
+            shot.arm(1000.0, tick, (shot,))
+            shot.arm(0.001, tick, (shot,))
+
+    for shot in shots:
+        state["left"] += 1
+        shot.arm(0.001, tick, (shot,))
+    start = time.perf_counter()
+    sim.run()
+    elapsed = time.perf_counter() - start
+    assert sim.events_processed >= _EVENTS
+    return sim.events_processed / elapsed
+
+
+@pytest.mark.benchmark(group="engine-queue")
+def test_engine_schedule_fire_throughput(benchmark):
+    rate = benchmark.pedantic(_run_schedule_fire, rounds=1, iterations=1)
+    benchmark.extra_info["events_per_sec"] = round(rate)
+    print(f"\nschedule/fire: {rate:,.0f} events/s")
+
+
+@pytest.mark.benchmark(group="engine-queue")
+def test_engine_cancel_churn_throughput(benchmark):
+    rate = benchmark.pedantic(_run_cancel_churn, rounds=1, iterations=1)
+    benchmark.extra_info["events_per_sec"] = round(rate)
+    print(f"\ncancel churn: {rate:,.0f} events/s")

@@ -70,6 +70,9 @@ def _compare_media(benchmark, range_m, speedup_floor):
     benchmark.extra_info["naive_s"] = round(naive_s, 3)
     benchmark.extra_info["grid_s"] = round(grid_s, 3)
     benchmark.extra_info["speedup"] = round(speedup, 2)
+    # Events/sec of the grid run: the throughput number gated by
+    # scripts/check_bench_regression.py against benchmarks/bench_baseline.json.
+    benchmark.extra_info["events_per_sec"] = round(grid.events_processed / grid_s)
     benchmark.extra_info["identical"] = naive.protocol_stats == grid.protocol_stats
 
     # Equivalence is exact, always.

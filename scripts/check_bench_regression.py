@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Gate benchmark throughput against the committed baseline.
+
+Usage::
+
+    python scripts/check_bench_regression.py BENCH_<run>.json \
+        [--baseline benchmarks/bench_baseline.json] [--max-regression 0.2]
+
+Reads a pytest-benchmark JSON file, extracts every benchmark's
+``extra_info.events_per_sec``, and fails (exit 1) when any benchmark that
+also appears in the baseline file dropped more than ``--max-regression``
+(default 20%, overridable via the ``BENCH_REGRESSION_MAX`` environment
+variable) below its baseline events/sec.
+
+The committed baseline is deliberately conservative (well below warm
+developer-machine numbers) so shared CI runners do not flap; it exists to
+catch real structural regressions -- an accidental O(N) scan, a lost cache
+-- not few-percent noise.  Re-pin it from CI artifact history after
+intentional performance changes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+
+def extract_rates(bench_json: dict) -> dict:
+    """benchmark name -> events_per_sec from a pytest-benchmark report."""
+    rates = {}
+    for bench in bench_json.get("benchmarks", []):
+        rate = bench.get("extra_info", {}).get("events_per_sec")
+        if rate:
+            rates[bench["name"]] = float(rate)
+    return rates
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("bench_json", help="pytest-benchmark JSON report")
+    parser.add_argument(
+        "--baseline",
+        default=os.path.join(os.path.dirname(__file__), "..", "benchmarks", "bench_baseline.json"),
+        help="committed baseline file (benchmark name -> events_per_sec)",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=float(os.environ.get("BENCH_REGRESSION_MAX", "0.2")),
+        help="maximum tolerated fractional drop vs baseline (default 0.2)",
+    )
+    args = parser.parse_args()
+
+    with open(args.bench_json) as handle:
+        rates = extract_rates(json.load(handle))
+    with open(args.baseline) as handle:
+        baseline = json.load(handle)
+
+    if not rates:
+        print("no events_per_sec entries found in the benchmark report")
+        return 1
+
+    failures = []
+    for name, measured in sorted(rates.items()):
+        reference = baseline.get(name)
+        if reference is None:
+            print(f"SKIP  {name}: not in baseline ({measured:,.0f} ev/s measured)")
+            continue
+        floor = reference * (1.0 - args.max_regression)
+        status = "FAIL" if measured < floor else "ok"
+        print(
+            f"{status:>4}  {name}: {measured:,.0f} ev/s "
+            f"(baseline {reference:,.0f}, floor {floor:,.0f})"
+        )
+        if measured < floor:
+            failures.append(name)
+
+    missing = sorted(set(baseline) - set(rates))
+    for name in missing:
+        print(f"WARN  {name}: in baseline but not measured this run")
+
+    if failures:
+        print(f"\n{len(failures)} benchmark(s) regressed more than "
+              f"{args.max_regression:.0%} below baseline")
+        return 1
+    print("\nthroughput gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

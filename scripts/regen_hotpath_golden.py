@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Regenerate the hot-path golden digests.
+
+Usage::
+
+    PYTHONPATH=src python scripts/regen_hotpath_golden.py [--check]
+
+Writes ``tests/properties/golden_hotpath.json`` from the current
+implementation (or, with ``--check``, verifies the stored digests without
+writing).  The goldens pin simulator behaviour across refactors -- only
+regenerate them for an *intended, reviewed* behaviour change.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), ".."))
+
+from tests.properties import hotpath_golden  # noqa: E402
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--check", action="store_true",
+        help="verify the stored digests instead of rewriting them",
+    )
+    args = parser.parse_args()
+
+    digests = hotpath_golden.compute_all()
+    if args.check:
+        stored = hotpath_golden.load_golden()
+        failures = [name for name in digests if digests[name] != stored.get(name)]
+        stale = sorted(set(stored) - set(digests))
+        for name in failures:
+            print(f"MISMATCH: {name}")
+        for name in stale:
+            print(f"STALE: {name} (stored but no longer computed)")
+        print(f"{len(digests) - len(failures)}/{len(digests)} digests match")
+        return 1 if failures or stale else 0
+
+    with open(hotpath_golden.GOLDEN_PATH, "w") as handle:
+        json.dump(digests, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {len(digests)} digests to {hotpath_golden.GOLDEN_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

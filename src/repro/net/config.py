@@ -40,6 +40,15 @@ class RadioConfig:
         this far before being refreshed, and the grid is rebuilt once the
         fleet may have moved this far.  Queries inflate their radius
         accordingly, so results are unaffected.  Defaults to 1/8 cell.
+    area_topology:
+        Geometry of the radio area: ``"flat"`` (the paper's bounded
+        rectangle, the default) or ``"torus"`` (opposite edges identified;
+        distances use the minimum-image convention).  The torus removes the
+        paper's edge effects -- border nodes have the same expected degree
+        as interior ones -- and needs the area dimensions below.
+    area_width_m / area_height_m:
+        Dimensions of the (periodic) area; required for ``"torus"`` and
+        ignored for ``"flat"``.
     """
 
     transmission_range_m: float = 75.0
@@ -49,6 +58,9 @@ class RadioConfig:
     medium_index: str = "grid"
     grid_cell_m: float | None = None
     grid_slack_m: float | None = None
+    area_topology: str = "flat"
+    area_width_m: float | None = None
+    area_height_m: float | None = None
 
     def __post_init__(self) -> None:
         if self.transmission_range_m <= 0:
@@ -63,6 +75,15 @@ class RadioConfig:
             raise ValueError(
                 f"medium_index must be 'grid' or 'naive', got {self.medium_index!r}"
             )
+        if self.area_topology not in ("flat", "torus"):
+            raise ValueError(
+                f"area_topology must be 'flat' or 'torus', got {self.area_topology!r}"
+            )
+        if self.area_topology == "torus":
+            if not self.area_width_m or not self.area_height_m:
+                raise ValueError("a torus area needs area_width_m and area_height_m")
+            if self.area_width_m <= 0 or self.area_height_m <= 0:
+                raise ValueError("torus area dimensions must be positive")
         if self.grid_cell_m is None:
             self.grid_cell_m = self.carrier_sense_range_m / 2.0
         if self.grid_cell_m <= 0:

@@ -10,20 +10,27 @@ The MAC models the parts of IEEE 802.11 DCF that shape the paper's results:
 
 A failed unicast (retry limit exceeded) is reported to the upper layer, which
 is how AODV/MAODV detect broken links in addition to missed hello beacons.
+
+Hot path: the MAC's state machine has at most one pending timer at any time
+(backoff, transmission-done or ACK-timeout -- they are mutually exclusive),
+so all three share a single :class:`~repro.sim.timers.OneShotTimer` slot and
+every transition re-arms it with a bound method.  Nothing on the per-frame
+path allocates beyond the frame itself.
 """
 
 from __future__ import annotations
 
 import enum
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Deque, Optional
 
 from repro.net.addressing import BROADCAST_ADDRESS, NodeId
 from repro.net.config import MacConfig
 from repro.net.packet import Frame, Packet
 from repro.net.phy import Phy
-from repro.sim.engine import EventHandle, Simulator
+from repro.sim.engine import Simulator
+from repro.sim.timers import OneShotTimer
 
 
 @dataclass
@@ -58,11 +65,15 @@ class _MacState(enum.Enum):
     WAIT_ACK = "wait_ack"
 
 
-@dataclass
 class _OutgoingFrame:
-    frame: Frame
-    retries: int = 0
-    cw: int = 0
+    """One queued frame plus its retry/backoff state."""
+
+    __slots__ = ("frame", "retries", "cw")
+
+    def __init__(self, frame: Frame, cw: int):
+        self.frame = frame
+        self.retries = 0
+        self.cw = cw
 
 
 class CsmaMac:
@@ -99,22 +110,33 @@ class CsmaMac:
         self.on_receive = on_receive
         self.on_unicast_failure = on_unicast_failure
 
+        self._node_id = phy.node_id
+        # Per-frame hot-path copies of the (immutable) config scalars.
+        self._difs_s = config.difs_s
+        self._slot_time_s = config.slot_time_s
+        self._sifs_s = config.sifs_s
+        self._ack_timeout_s = config.ack_timeout_s
+        self._cw_min = config.cw_min
+        self._queue_limit = config.queue_limit
         self._state = _MacState.IDLE
         self._queue: Deque[_OutgoingFrame] = deque()
         self._current: Optional[_OutgoingFrame] = None
-        self._pending_event: Optional[EventHandle] = None
+        #: The single pending state-machine event (backoff, transmission-done
+        #: or ACK-timeout; mutually exclusive by construction).
+        self._pending = OneShotTimer(sim)
         # Recently received unicast frame ids, used to suppress duplicate
         # deliveries caused by lost ACKs + retransmission (802.11 does the
         # same with its retry bit and sequence-number cache).
         self._recent_unicast: Deque[tuple] = deque(maxlen=32)
 
         phy.set_receive_callback(self._on_phy_receive)
+        phy.on_transmission_finished = self._on_phy_tx_finished
 
     # ----------------------------------------------------------------- public
     @property
     def node_id(self) -> NodeId:
         """Identifier of the owning node."""
-        return self.phy.node_id
+        return self._node_id
 
     @property
     def state(self) -> str:
@@ -132,12 +154,12 @@ class CsmaMac:
         Returns ``False`` when the frame was dropped because the transmit
         queue is full.
         """
-        frame = Frame(src=self.node_id, dst=next_hop, packet=packet)
-        if len(self._queue) >= self.config.queue_limit:
+        frame = Frame(src=self._node_id, dst=next_hop, packet=packet)
+        if len(self._queue) >= self._queue_limit:
             self.stats.queue_drops += 1
             return False
         self.stats.enqueued += 1
-        self._queue.append(_OutgoingFrame(frame=frame, cw=self.config.cw_min))
+        self._queue.append(_OutgoingFrame(frame, self._cw_min))
         if self._state is _MacState.IDLE:
             self._dequeue_next()
         return True
@@ -151,40 +173,54 @@ class CsmaMac:
 
     def _start_contention(self) -> None:
         self._state = _MacState.CONTEND
-        backoff = self._backoff_delay(self._current.cw)
-        self._pending_event = self.sim.schedule(backoff, self._attempt_transmission)
+        self._pending.arm(self._backoff_delay(self._current.cw), self._attempt_transmission)
 
     def _backoff_delay(self, cw: int) -> float:
         slots = self.rng.randrange(cw)
-        return self.config.difs_s + slots * self.config.slot_time_s
+        return self._difs_s + slots * self._slot_time_s
 
     def _attempt_transmission(self) -> None:
         if self._state is not _MacState.CONTEND or self._current is None:
             return
         if self.phy.transmitting or self.phy.carrier_busy():
             # Defer: redraw the backoff and try again when it expires.
-            backoff = self._backoff_delay(self._current.cw)
-            self._pending_event = self.sim.schedule(backoff, self._attempt_transmission)
+            self._pending.arm(self._backoff_delay(self._current.cw), self._attempt_transmission)
             return
         self._state = _MacState.TRANSMIT
         frame = self._current.frame
-        if frame.is_broadcast:
+        if frame.dst == BROADCAST_ADDRESS:
             self.stats.broadcast_transmissions += 1
         else:
             self.stats.data_transmissions += 1
-        duration = self.phy.transmit(frame)
-        self._pending_event = self.sim.schedule(duration, self._transmission_done)
+        self.phy.transmit(frame)
+        # No "transmission done" event: the phy signals the end of flight
+        # through _on_phy_tx_finished, saving one scheduled event per frame.
+
+    def _on_phy_tx_finished(self, frame: Frame) -> None:
+        """End-of-flight hook from the radio.
+
+        Fires, with the frame, for every transmission this radio started.
+        Only the end of the *current* data frame advances the state machine:
+        ACK flights (and stale disabled-radio fake flights, which can end
+        out of order) carry a different frame and are ignored.
+        """
+        if (
+            self._state is _MacState.TRANSMIT
+            and self._current is not None
+            and frame is self._current.frame
+        ):
+            self._transmission_done()
 
     def _transmission_done(self) -> None:
         if self._current is None:
             self._state = _MacState.IDLE
             return
         frame = self._current.frame
-        if frame.is_broadcast:
+        if frame.dst == BROADCAST_ADDRESS:
             self._finish_current()
         else:
             self._state = _MacState.WAIT_ACK
-            self._pending_event = self.sim.schedule(self.config.ack_timeout_s, self._ack_timeout)
+            self._pending.arm(self._ack_timeout_s, self._ack_timeout)
 
     def _ack_timeout(self) -> None:
         if self._state is not _MacState.WAIT_ACK or self._current is None:
@@ -205,20 +241,19 @@ class CsmaMac:
     def _finish_current(self) -> None:
         self._current = None
         self._state = _MacState.IDLE
-        if self._pending_event is not None:
-            self._pending_event.cancel()
-            self._pending_event = None
+        self._pending.disarm()
         self._dequeue_next()
 
     # ------------------------------------------------------------ receive path
     def _on_phy_receive(self, frame: Frame, sender_id: NodeId) -> None:
-        if frame.dst not in (self.node_id, BROADCAST_ADDRESS):
+        dst = frame.dst
+        if dst != self._node_id and dst != BROADCAST_ADDRESS:
             return
         packet = frame.packet
         if isinstance(packet, MacAck):
             self._handle_ack(packet, sender_id)
             return
-        if not frame.is_broadcast:
+        if dst != BROADCAST_ADDRESS:
             self._send_ack(packet, sender_id)
             key = (sender_id, packet.uid)
             if key in self._recent_unicast:
@@ -238,24 +273,22 @@ class CsmaMac:
             and ack.acked_uid == self._current.frame.packet.uid
             and sender_id == self._current.frame.dst
         ):
-            if self._pending_event is not None:
-                self._pending_event.cancel()
             self._finish_current()
 
     def _send_ack(self, packet: Packet, sender_id: NodeId) -> None:
         ack = MacAck(
-            origin=self.node_id,
+            origin=self._node_id,
             destination=sender_id,
             size_bytes=self.config.ack_size_bytes,
             acked_uid=packet.uid,
         )
-        self.sim.schedule(self.config.sifs_s, self._transmit_ack, ack, sender_id)
+        self.sim.call_in(self._sifs_s, self._transmit_ack, (ack, sender_id))
 
     def _transmit_ack(self, ack: MacAck, sender_id: NodeId) -> None:
         if self.phy.transmitting:
             # Half-duplex: we started another transmission in the meantime,
             # the data sender will retransmit.
             return
-        frame = Frame(src=self.node_id, dst=sender_id, packet=ack)
+        frame = Frame(src=self._node_id, dst=sender_id, packet=ack)
         self.stats.ack_transmissions += 1
         self.phy.transmit(frame)

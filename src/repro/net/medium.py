@@ -39,17 +39,32 @@ transmission, the default) or a naive linear scan
 (``RadioConfig(medium_index="naive")``).  Both produce bit-identical
 statistics and delivery sequences; the naive index is kept as the reference
 for equivalence tests.
+
+Hot-path bookkeeping
+--------------------
+A paper-scale run starts tens of thousands of transmissions, each fanning
+out to every radio in carrier-sense range, so the per-reception bookkeeping
+is allocation-free in steady state: :class:`_Reception` and
+:class:`_Transmission` records are slotted objects recycled through free
+lists, the classified interference set is materialised into one reused
+buffer, per-node reception lists use intrusive slot indexes for O(1)
+removal, and delivery dispatches straight to each radio's receive callback.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, TYPE_CHECKING, Union
 
 from repro.net.config import RadioConfig
 from repro.net.packet import Frame
-from repro.net.spatial import LinearScanIndex, UniformGridIndex, within_range
+from repro.net.spatial import (
+    LinearScanIndex,
+    TorusGridIndex,
+    UniformGridIndex,
+    within_range,
+)
 from repro.sim.engine import Simulator
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -68,36 +83,45 @@ class MediumStats:
     disabled_discards: int = 0
 
 
-# eq=False: receptions/transmissions are removed from hot lists by identity;
-# the generated field-wise __eq__ would turn every list.remove into a deep
-# comparison of frames and radios.
-@dataclass(eq=False)
 class _Reception:
-    """An in-flight copy of a frame heading for one receiver."""
+    """An in-flight copy of a frame heading for one receiver.
 
-    receiver: "Phy"
-    receiver_id: int
-    frame: Frame
-    sender_id: int
-    end_time: float
-    in_range: bool
-    corrupted: bool = False
-    #: Index of this record in its receiver's ``_active_receptions`` list
-    #: (intrusive membership), so removal at end-of-flight is O(1) swap-pop
-    #: instead of a linear scan.
-    node_slot: int = -1
+    Slotted and pooled: the medium recycles records through a free list, so
+    steady-state transmission fan-out allocates nothing.  ``node_slot`` is
+    the record's index in its receiver's ``_active_receptions`` list
+    (intrusive membership), making end-of-flight removal an O(1) swap-pop.
+    """
+
+    __slots__ = ("receiver", "tx", "end_time", "in_range", "corrupted", "node_slot")
+
+    def __init__(self, receiver: "Phy", tx: "_Transmission", end_time: float,
+                 in_range: bool, corrupted: bool = False):
+        self.receiver = receiver
+        #: The transmission this copy belongs to; the shared frame and sender
+        #: are read through it, so the per-receiver record stays small.
+        self.tx = tx
+        self.end_time = end_time
+        self.in_range = in_range
+        self.corrupted = corrupted
+        self.node_slot = -1
 
 
-@dataclass(eq=False)
 class _Transmission:
-    """An in-flight transmission occupying the channel."""
+    """An in-flight transmission occupying the channel (slotted, pooled)."""
 
-    sender: "Phy"
-    frame: Frame
-    start_time: float
-    end_time: float
-    sender_pos: tuple = (0.0, 0.0)
-    receptions: List[_Reception] = field(default_factory=list)
+    __slots__ = ("sender", "frame", "start_time", "end_time", "sender_pos",
+                 "receptions", "active_slot")
+
+    def __init__(self, sender: "Phy", frame: Frame, start_time: float,
+                 end_time: float, sender_pos: tuple):
+        self.sender = sender
+        self.frame = frame
+        self.start_time = start_time
+        self.end_time = end_time
+        self.sender_pos = sender_pos
+        self.receptions: List[_Reception] = []
+        #: Index in ``Medium._active`` (intrusive membership, O(1) removal).
+        self.active_slot = -1
 
 
 class Medium:
@@ -110,13 +134,36 @@ class Medium:
         self._phys: Dict[int, "Phy"] = {}
         self._active: List[_Transmission] = []
         self._active_receptions: Dict[int, List[_Reception]] = {}
+        self._airtime = self.config.airtime
+        self._cs_range = self.config.carrier_sense_range_m
+        self._rx_range = self.config.transmission_range_m
+        # Free lists and the reused interference buffer (see module docstring).
+        self._reception_pool: List[_Reception] = []
+        self._transmission_pool: List[_Transmission] = []
+        self._interferer_buf: List[tuple] = []
+        #: (width, height) of the periodic area, or ``None`` on the flat
+        #: rectangle; every direct distance below applies the minimum-image
+        #: convention when set.
+        self._wrap = (
+            (self.config.area_width_m, self.config.area_height_m)
+            if self.config.area_topology == "torus"
+            else None
+        )
         self._index: Union[UniformGridIndex, LinearScanIndex]
         if self.config.medium_index == "grid":
-            self._index = UniformGridIndex(
-                cell_m=self.config.grid_cell_m, slack_m=self.config.grid_slack_m
-            )
+            if self._wrap is not None:
+                self._index = TorusGridIndex(
+                    cell_m=self.config.grid_cell_m,
+                    slack_m=self.config.grid_slack_m,
+                    width_m=self._wrap[0],
+                    height_m=self._wrap[1],
+                )
+            else:
+                self._index = UniformGridIndex(
+                    cell_m=self.config.grid_cell_m, slack_m=self.config.grid_slack_m
+                )
         else:
-            self._index = LinearScanIndex()
+            self._index = LinearScanIndex(wrap=self._wrap)
 
     # --------------------------------------------------------------- registry
     def register(self, phy: "Phy") -> None:
@@ -130,7 +177,10 @@ class Medium:
         if phy.node_id in self._phys:
             raise ValueError(f"node {phy.node_id} already registered on this medium")
         self._phys[phy.node_id] = phy
-        self._active_receptions[phy.node_id] = []
+        # One list per radio, shared by the registry dict (API surface,
+        # tests) and the phy attribute (hot-path access).
+        phy._rx_ongoing = bucket = []
+        self._active_receptions[phy.node_id] = bucket
         self._index.add(phy)
         mobility = getattr(phy.node, "mobility", None)
         subscribe = getattr(mobility, "add_position_listener", None)
@@ -158,12 +208,23 @@ class Medium:
         self._index.invalidate(node_id)
 
     # --------------------------------------------------------------- geometry
-    @staticmethod
-    def _distance(a: tuple, b: tuple) -> float:
-        return math.hypot(a[0] - b[0], a[1] - b[1])
+    def _deltas(self, ax: float, ay: float, bx: float, by: float) -> tuple:
+        """Coordinate deltas ``a - b``, wrapped on a torus topology."""
+        dx = ax - bx
+        dy = ay - by
+        wrap = self._wrap
+        if wrap is not None:
+            w, h = wrap
+            dx -= w * round(dx / w)
+            dy -= h * round(dy / h)
+        return dx, dy
+
+    def _distance(self, a: tuple, b: tuple) -> float:
+        dx, dy = self._deltas(a[0], a[1], b[0], b[1])
+        return math.hypot(dx, dy)
 
     def distance_between(self, node_a: int, node_b: int) -> float:
-        """Current euclidean distance between two nodes."""
+        """Current distance between two nodes (wrapped on a torus)."""
         now = self.sim.now
         index = self._index
         return self._distance(
@@ -179,7 +240,7 @@ class Medium:
         if not phy.enabled:
             return []
         now = self.sim.now
-        limit = self.config.transmission_range_m
+        limit = self._rx_range
         limit_sq = limit * limit
         origin = self._index.exact(phy, now)
         ox, oy = origin
@@ -197,16 +258,14 @@ class Medium:
         """Exact test: is ``phy`` within ``radius`` of ``(ox, oy)`` at ``now``?"""
         index = self._index
         position, drift = index.bounded(phy, now)
-        dx = position[0] - ox
-        dy = position[1] - oy
+        dx, dy = self._deltas(position[0], position[1], ox, oy)
         distance_sq = dx * dx + dy * dy
         if drift > 0.0:
             verdict = within_range(distance_sq, radius, drift)
             if verdict is not None:
                 return verdict
             position = index.exact(phy, now)
-            dx = position[0] - ox
-            dy = position[1] - oy
+            dx, dy = self._deltas(position[0], position[1], ox, oy)
             distance_sq = dx * dx + dy * dy
         return distance_sq <= radius_sq
 
@@ -223,7 +282,7 @@ class Medium:
         if phy.transmitting:
             return True
         now = self.sim.now
-        for reception in self._active_receptions[phy.node_id]:
+        for reception in phy._rx_ongoing:
             if reception.end_time > now:
                 return True
         return False
@@ -236,88 +295,116 @@ class Medium:
         when the transmission ends; all geometry is frozen now, at start.
         """
         now = self.sim.now
-        duration = self.config.airtime(frame.size_bytes)
+        duration = self._airtime(frame.size_bytes)
         end_time = now + duration
         index = self._index
         sender_pos = index.exact(sender, now)
-        tx = _Transmission(
-            sender=sender,
-            frame=frame,
-            start_time=now,
-            end_time=end_time,
-            sender_pos=sender_pos,
-        )
-        self.stats.transmissions += 1
-
-        cs_range = self.config.carrier_sense_range_m
-        rx_range = self.config.transmission_range_m
+        tpool = self._transmission_pool
+        if tpool:
+            tx = tpool.pop()
+            tx.sender = sender
+            tx.frame = frame
+            tx.start_time = now
+            tx.end_time = end_time
+            tx.sender_pos = sender_pos
+        else:
+            tx = _Transmission(sender, frame, now, end_time, sender_pos)
+        stats = self.stats
+        stats.transmissions += 1
 
         # A node that starts transmitting corrupts anything it was receiving.
-        for reception in self._active_receptions[sender.node_id]:
+        for reception in sender._rx_ongoing:
             if not reception.corrupted:
                 reception.corrupted = True
-                self.stats.half_duplex_losses += 1
+                stats.half_duplex_losses += 1
 
-        active_receptions = self._active_receptions
-        sender_id = sender.node_id
+        pool = self._reception_pool
+        receptions = tx.receptions
         for _, node_id, phy, in_range in index.interferers(
-            sender, sender_pos, cs_range, rx_range, now
+            sender, sender_pos, self._cs_range, self._rx_range, now,
+            out=self._interferer_buf,
         ):
-            reception = _Reception(
-                receiver=phy,
-                receiver_id=node_id,
-                frame=frame,
-                sender_id=sender_id,
-                end_time=end_time,
-                in_range=in_range,
-            )
-            ongoing = active_receptions[node_id]
+            if pool:
+                reception = pool.pop()
+                reception.receiver = phy
+                reception.tx = tx
+                reception.end_time = end_time
+                reception.in_range = in_range
+                reception.corrupted = False
+            else:
+                reception = _Reception(phy, tx, end_time, in_range)
+            ongoing = phy._rx_ongoing
             if ongoing:
                 # Overlapping energy at this receiver: everything is lost.
                 for other in ongoing:
                     if not other.corrupted:
                         other.corrupted = True
-                        self.stats.collisions += 1
+                        stats.collisions += 1
                 reception.corrupted = True
-                self.stats.collisions += 1
+                stats.collisions += 1
             if phy.transmitting:
                 reception.corrupted = True
-                self.stats.half_duplex_losses += 1
+                stats.half_duplex_losses += 1
             reception.node_slot = len(ongoing)
             ongoing.append(reception)
-            tx.receptions.append(reception)
+            receptions.append(reception)
 
+        tx.active_slot = len(self._active)
         self._active.append(tx)
-        self.sim.schedule(duration, self._finish_transmission, tx)
+        self.sim.call_in(duration, self._finish_transmission, (tx,))
         return duration
 
     def _finish_transmission(self, tx: _Transmission) -> None:
-        self._active.remove(tx)
-        active_receptions = self._active_receptions
+        # O(1) intrusive removal from the in-flight list.
+        active = self._active
+        tail = active.pop()
+        if tail is not tx:
+            slot = tx.active_slot
+            active[slot] = tail
+            tail.active_slot = slot
+        stats = self.stats
+        pool_append = self._reception_pool.append
+        frame = tx.frame
+        sender_id = tx.sender.node_id
         for reception in tx.receptions:
             receiver = reception.receiver
             # O(1) intrusive removal: swap the list tail into this record's
             # slot (per-node reception lists are order-insensitive).
-            ongoing = active_receptions[reception.receiver_id]
-            tail = ongoing.pop()
-            if tail is not reception:
+            ongoing = receiver._rx_ongoing
+            last = ongoing.pop()
+            if last is not reception:
                 slot = reception.node_slot
-                ongoing[slot] = tail
-                tail.node_slot = slot
+                ongoing[slot] = last
+                last.node_slot = slot
+            # Capture the outcome fields, then recycle the record before the
+            # delivery callback: everything below uses the locals, so even a
+            # callback that pops the pool cannot clash with this record.
+            in_range = reception.in_range
+            corrupted = reception.corrupted
+            reception.receiver = None
+            reception.tx = None
+            pool_append(reception)
             if not receiver.enabled:
-                self.stats.disabled_discards += 1
+                stats.disabled_discards += 1
                 continue
-            if not reception.in_range:
-                self.stats.out_of_range_discards += 1
+            if not in_range:
+                stats.out_of_range_discards += 1
                 continue
-            if reception.corrupted:
+            if corrupted:
                 continue
             if receiver.transmitting:
-                self.stats.half_duplex_losses += 1
+                stats.half_duplex_losses += 1
                 continue
-            self.stats.deliveries += 1
-            receiver.deliver(reception.frame, reception.sender_id)
-        tx.sender.transmission_finished()
+            stats.deliveries += 1
+            callback = receiver.receive_callback
+            if callback is not None:
+                callback(frame, sender_id)
+        tx.receptions.clear()
+        sender = tx.sender
+        tx.sender = None
+        tx.frame = None
+        self._transmission_pool.append(tx)
+        sender.transmission_finished()
 
     # ------------------------------------------------------- power transitions
     def radio_powered_down(self, phy: "Phy") -> None:
@@ -352,8 +439,8 @@ class Medium:
             return
         now = self.sim.now
         position = self._index.exact(phy, now)
-        cs_range = self.config.carrier_sense_range_m
-        rx_range = self.config.transmission_range_m
+        cs_range = self._cs_range
+        rx_range = self._rx_range
         cs_sq = cs_range * cs_range
         rx_sq = rx_range * rx_range
         ongoing = self._active_receptions[phy.node_id]
@@ -363,22 +450,19 @@ class Medium:
             # A power cycle inside one airtime must not attach a second copy
             # of a transmission the radio already holds (from before it went
             # down) -- duplicates would double-count the discard statistics.
-            if any(reception.frame is tx.frame for reception in ongoing):
+            if any(reception.tx is tx for reception in ongoing):
                 continue
-            dx = tx.sender_pos[0] - position[0]
-            dy = tx.sender_pos[1] - position[1]
+            dx, dy = self._deltas(tx.sender_pos[0], tx.sender_pos[1], position[0], position[1])
             distance_sq = dx * dx + dy * dy
             if distance_sq > cs_sq:
                 continue
             reception = _Reception(
-                receiver=phy,
-                receiver_id=phy.node_id,
-                frame=tx.frame,
-                sender_id=tx.sender.node_id,
-                end_time=tx.end_time,
-                in_range=distance_sq <= rx_sq,
+                phy,
+                tx,
+                tx.end_time,
+                distance_sq <= rx_sq,
                 corrupted=True,
-                node_slot=len(ongoing),
             )
+            reception.node_slot = len(ongoing)
             ongoing.append(reception)
             tx.receptions.append(reception)

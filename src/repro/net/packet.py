@@ -59,15 +59,22 @@ class Packet:
         return clone
 
 
-@dataclass
 class Frame:
-    """A link-layer frame: one MAC-level transmission attempt."""
+    """A link-layer frame: one MAC-level transmission attempt.
 
-    src: NodeId
-    dst: int
-    packet: Packet
-    #: Extra link-layer header bytes added on top of the packet size.
-    header_bytes: int = 34
+    A plain slotted class rather than a dataclass: one is created per MAC
+    transmission attempt and its fields are read in every per-receiver loop
+    of the medium, so cheap construction and attribute access matter.
+    """
+
+    __slots__ = ("src", "dst", "packet", "header_bytes")
+
+    def __init__(self, src: NodeId, dst: int, packet: Packet, header_bytes: int = 34):
+        self.src = src
+        self.dst = dst
+        self.packet = packet
+        #: Extra link-layer header bytes added on top of the packet size.
+        self.header_bytes = header_bytes
 
     @property
     def size_bytes(self) -> int:

@@ -3,6 +3,11 @@
 The :class:`Phy` is the thin adapter between a node's MAC and the shared
 :class:`~repro.net.medium.Medium`: it exposes carrier sensing, frame
 transmission and delivers received frames upward.
+
+The radio is on the per-frame hot path, so it is slotted and its two upward
+callbacks (:attr:`receive_callback`, :attr:`on_transmission_finished`) are
+plain attributes the medium dispatches to directly -- no per-frame closures,
+no intermediate method hops.
 """
 
 from __future__ import annotations
@@ -19,20 +24,40 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 class Phy:
     """A half-duplex radio bound to one node and one medium."""
 
+    __slots__ = ("node", "node_id", "medium", "transmitting", "enabled",
+                 "receive_callback", "on_transmission_finished", "_tx_frame",
+                 "_rx_ongoing")
+
     def __init__(self, node: "Node", medium: Medium):
         self.node = node
+        #: Identifier of the owning node (node ids are immutable, so the
+        #: lookup is flattened out of the per-frame paths).
+        self.node_id: int = node.node_id
         self.medium = medium
         self.transmitting = False
         #: A powered-down radio neither transmits nor receives; used for
         #: failure injection (node crashes) in tests and scenarios.
         self.enabled = True
-        self._receive_callback: Optional[Callable[[Frame, int], None]] = None
+        #: Invoked for every successfully received frame.  Public so the
+        #: medium's delivery loop can dispatch straight to the MAC without an
+        #: intermediate method call per frame.
+        self.receive_callback: Optional[Callable[[Frame, int], None]] = None
+        #: Invoked with the frame whenever a transmission started by this
+        #: radio ends.  The MAC keys its state machine off this hook instead
+        #: of scheduling a twin "transmission done" event next to the
+        #: medium's own end-of-flight event (they always fired back to
+        #: back); the frame identifies *which* flight ended, so a stale
+        #: notification (e.g. from a disabled-radio fake flight) can never
+        #: be mistaken for the current one.
+        self.on_transmission_finished: Optional[Callable[[Frame], None]] = None
+        #: Frame currently on the air (bookkeeping for the hook above).
+        self._tx_frame: Optional[Frame] = None
+        #: In-flight receptions heading for this radio; the same list object
+        #: as ``Medium._active_receptions[node_id]``, hung here so the
+        #: medium's per-frame loops skip the dict lookup.  Owned by the
+        #: medium (set during registration).
+        self._rx_ongoing = []
         medium.register(self)
-
-    @property
-    def node_id(self) -> int:
-        """Identifier of the owning node."""
-        return self.node.node_id
 
     def position(self, at_time: float) -> Tuple[float, float]:
         """Position of the owning node at ``at_time``."""
@@ -40,7 +65,7 @@ class Phy:
 
     def set_receive_callback(self, callback: Callable[[Frame, int], None]) -> None:
         """Register the function invoked for every successfully received frame."""
-        self._receive_callback = callback
+        self.receive_callback = callback
 
     def carrier_busy(self) -> bool:
         """True when the channel is sensed busy at this node."""
@@ -49,19 +74,31 @@ class Phy:
     def transmit(self, frame: Frame) -> float:
         """Put ``frame`` on the air; returns its airtime in seconds.
 
-        A powered-down radio silently swallows the frame (it still reports
-        the airtime so the MAC state machine keeps functioning).
+        A powered-down radio silently swallows the frame; it still reports
+        the airtime and still signals :attr:`on_transmission_finished` at the
+        end of it, so the MAC state machine keeps functioning.
         """
         if not self.enabled:
-            return self.medium.config.airtime(frame.size_bytes)
+            duration = self.medium.config.airtime(frame.size_bytes)
+            self.medium.sim.call_in(duration, self._notify_finished, (frame,))
+            return duration
         if self.transmitting:
             raise RuntimeError(f"node {self.node_id} radio is already transmitting")
         self.transmitting = True
+        self._tx_frame = frame
         return self.medium.transmit(self, frame)
 
     def transmission_finished(self) -> None:
         """Called by the medium when this radio's transmission ends."""
         self.transmitting = False
+        frame = self._tx_frame
+        self._tx_frame = None
+        self._notify_finished(frame)
+
+    def _notify_finished(self, frame: Frame) -> None:
+        callback = self.on_transmission_finished
+        if callback is not None:
+            callback(frame)
 
     def power_down(self) -> None:
         """Disable the radio (failure injection).
@@ -88,8 +125,13 @@ class Phy:
         self.medium.radio_powered_up(self)
 
     def deliver(self, frame: Frame, sender_id: int) -> None:
-        """Called by the medium when a frame arrives intact at this radio."""
+        """Deliver a frame that arrived intact at this radio.
+
+        The medium's hot loop dispatches straight to
+        :attr:`receive_callback` (it has already checked ``enabled``); this
+        method is the equivalent safe entry point for tests and tools.
+        """
         if not self.enabled:
             return
-        if self._receive_callback is not None:
-            self._receive_callback(frame, sender_id)
+        if self.receive_callback is not None:
+            self.receive_callback(frame, sender_id)

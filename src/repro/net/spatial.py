@@ -94,8 +94,10 @@ class PositionMemo:
 
     def __init__(self, refresh_cap_m: float = 0.0):
         self.refresh_cap_m = refresh_cap_m
-        #: node_id -> (position, computed_at, hold_until)
-        self._entries: Dict[int, Tuple[Position, float, float]] = {}
+        #: node_id -> (position, computed_at, hold_until, speed bound); the
+        #: static per-node speed bound rides inside the entry so the hot
+        #: classification loops resolve one dict lookup instead of two.
+        self._entries: Dict[int, Tuple[Position, float, float, Optional[float]]] = {}
         self._holds: Dict[int, object] = {}
         self._rates: Dict[int, Optional[float]] = {}
         self._phys: Dict[int, "Phy"] = {}
@@ -116,7 +118,7 @@ class PositionMemo:
         """The true position at ``now``; interpolates at most once per instant."""
         entry = self._entries.get(node_id)
         if entry is not None:
-            position, computed_at, hold_until = entry
+            position, computed_at, hold_until, _ = entry
             if now == computed_at or computed_at <= now < hold_until:
                 return position
         hold = self._holds[node_id]
@@ -124,7 +126,7 @@ class PositionMemo:
             position, hold_until = hold(now)
         else:
             position, hold_until = self._phys[node_id].position(now), now
-        self._entries[node_id] = (position, now, hold_until)
+        self._entries[node_id] = (position, now, hold_until, self._rates[node_id])
         return position
 
     def bounded(self, node_id: int, now: float) -> Tuple[Position, float]:
@@ -135,10 +137,9 @@ class PositionMemo:
         entry = self._entries.get(node_id)
         if entry is None:
             return self.exact(node_id, now), 0.0
-        position, computed_at, hold_until = entry
+        position, computed_at, hold_until, rate = entry
         if now == computed_at or computed_at <= now < hold_until:
             return position, 0.0
-        rate = self._rates[node_id]
         if rate is None or now < computed_at:
             return self.exact(node_id, now), 0.0
         drift = rate * (now - hold_until)
@@ -182,6 +183,16 @@ class UniformGridIndex:
         #: (origin cell, radius) -> concatenated buckets of the cells a query
         #: from anywhere in that origin cell can reach; valid until rebuild.
         self._window_cache: Dict[Tuple[int, int, float], List[Tuple[int, int, "Phy"]]] = {}
+        #: (origin cell, cs range, rx range) -> window pre-classified per
+        #: member for the whole grid epoch (see :meth:`_iwindow`).
+        self._iwindow_cache: Dict[tuple, List[tuple]] = {}
+        #: (sender id, exact position, cs, rx) -> window pre-classified
+        #: against that exact point (much tighter than the cell bounds; built
+        #: only for senders sitting still, see :meth:`interferers`).
+        self._sender_cache: Dict[tuple, List[tuple]] = {}
+        #: node_id -> (memo position used to bucket it at the last rebuild,
+        #: that position's staleness bound in metres at build time).
+        self._build_pos: Dict[int, Tuple[Position, float]] = {}
         self._built_at: Optional[float] = None
         self._dirty = True
         #: Max speed bound over every tracked node; ``None`` once any node's
@@ -227,20 +238,30 @@ class UniformGridIndex:
             return None
         return drift
 
+    def _cell_key(self, x: float, y: float) -> Tuple[int, int]:
+        """Grid cell containing ``(x, y)`` (overridden by the torus variant)."""
+        inv_cell = self._inv_cell
+        return (math.floor(x * inv_cell), math.floor(y * inv_cell))
+
     def _rebuild(self, now: float) -> None:
         cells: Dict[Tuple[int, int], List[Tuple[int, int, "Phy"]]] = {}
+        build_pos: Dict[int, Tuple[Position, float]] = {}
         memo = self.memo
-        inv_cell = self._inv_cell
+        cell_key = self._cell_key
         for member in self._members:
-            position, _ = memo.bounded(member[1], now)
-            key = (math.floor(position[0] * inv_cell), math.floor(position[1] * inv_cell))
+            position, drift = memo.bounded(member[1], now)
+            build_pos[member[1]] = (position, drift)
+            key = cell_key(position[0], position[1])
             bucket = cells.get(key)
             if bucket is None:
                 cells[key] = [member]
             else:
                 bucket.append(member)
         self._cells = cells
+        self._build_pos = build_pos
         self._window_cache.clear()
+        self._iwindow_cache.clear()
+        self._sender_cache.clear()
         self._built_at = now
         self._dirty = False
         self.rebuilds += 1
@@ -308,6 +329,41 @@ class UniformGridIndex:
         self._window_cache[key] = out
         return out
 
+    def _sender_window(self, sender: "Phy", ox: float, oy: float,
+                       cs_range: float, rx_range: float) -> List[tuple]:
+        """The interference window pre-classified against an exact point.
+
+        Same verdicts and epoch-validity argument as :meth:`_iwindow`, but
+        the distance bounds are taken from the point ``(ox, oy)`` instead of
+        the whole origin cell, so far more members become certain (the
+        boundary band shrinks from cell-diagonal width to the error budget).
+        The sender itself is excluded while building.
+        """
+        inv_cell = self._inv_cell
+        slack = self.slack_m + _DRIFT_EPSILON_M
+        build_pos = self._build_pos
+        hypot = math.hypot
+        out: List[tuple] = []
+        for member in self._iwindow(
+            math.floor(ox * inv_cell), math.floor(oy * inv_cell), cs_range, rx_range
+        ):
+            phy = member[2]
+            if phy is sender:
+                continue
+            certain = member[3]
+            if certain is None:
+                (px, py), build_drift = build_pos[member[1]]
+                budget = build_drift + slack
+                d = hypot(px - ox, py - oy)
+                if d - budget > cs_range:
+                    continue
+                if d + budget <= rx_range:
+                    certain = True
+                elif rx_range < cs_range and d - budget > rx_range and d + budget <= cs_range:
+                    certain = False
+            out.append(member if certain is member[3] else (member[0], member[1], phy, certain))
+        return out
+
     def candidates(
         self, origin: Position, radius: float, now: float
     ) -> List[Tuple[int, int, "Phy"]]:
@@ -323,6 +379,63 @@ class UniformGridIndex:
             math.floor(origin[0] * inv_cell), math.floor(origin[1] * inv_cell), radius
         )
 
+    def _iwindow(self, cx: int, cy: int, cs_range: float, rx_range: float) -> List[tuple]:
+        """The interference window pre-classified per member for this epoch.
+
+        For every member of the plain window the build-time position is
+        compared against the origin *cell rectangle* under the full epoch
+        error budget (position staleness at build plus fleet motion before
+        the next rebuild).  That yields, per member, a verdict valid for any
+        transmission from this cell at any instant of the grid epoch:
+
+        * provably beyond carrier-sense reach -> dropped from the window,
+        * provably within reception range -> ``certain = True``,
+        * provably sensed but out of reception range -> ``certain = False``
+          (only possible when the carrier-sense range exceeds the reception
+          range),
+        * anything else -> ``certain = None`` (classified per query).
+
+        Returned as ``(order, node_id, phy, certain)`` tuples in registration
+        order and cached until the next rebuild, so the per-transmission loop
+        does distance work only for the boundary band.
+        """
+        key = (cx, cy, cs_range, rx_range)
+        cached = self._iwindow_cache.get(key)
+        if cached is not None:
+            return cached
+        # Per-member error budget: the member's actual staleness at build
+        # (often zero, and never above the memo's refresh cap) plus the
+        # fleet-motion slack before the next rebuild.
+        slack = self.slack_m + _DRIFT_EPSILON_M
+        cell_m = self.cell_m
+        x0 = cx * cell_m
+        x1 = x0 + cell_m
+        y0 = cy * cell_m
+        y1 = y0 + cell_m
+        build_pos = self._build_pos
+        hypot = math.hypot
+        out: List[tuple] = []
+        for order, node_id, phy in self._window(cx, cy, cs_range):
+            (px, py), build_drift = build_pos[node_id]
+            budget = build_drift + slack
+            dx_out = x0 - px if px < x0 else (px - x1 if px > x1 else 0.0)
+            dy_out = y0 - py if py < y0 else (py - y1 if py > y1 else 0.0)
+            dmin = hypot(dx_out, dy_out)
+            if dmin - budget > cs_range:
+                continue
+            dx_far = px - x0 if px - x0 > x1 - px else x1 - px
+            dy_far = py - y0 if py - y0 > y1 - py else y1 - py
+            dmax = hypot(dx_far, dy_far)
+            if dmax + budget <= rx_range:
+                certain = True
+            elif rx_range < cs_range and dmin - budget > rx_range and dmax + budget <= cs_range:
+                certain = False
+            else:
+                certain = None
+            out.append((order, node_id, phy, certain))
+        self._iwindow_cache[key] = out
+        return out
+
     def interferers(
         self,
         sender: "Phy",
@@ -330,6 +443,7 @@ class UniformGridIndex:
         cs_range: float,
         rx_range: float,
         now: float,
+        out: Optional[List[Tuple[int, int, "Phy", bool]]] = None,
     ) -> List[Tuple[int, int, "Phy", bool]]:
         """Classified interference set of a transmission starting at ``now``.
 
@@ -339,7 +453,8 @@ class UniformGridIndex:
         :class:`LinearScanIndex` computes by brute force.  The hot loop below
         inlines :meth:`PositionMemo.bounded` (same logic, kept in sync) and
         falls back to exact interpolation only for boundary-ambiguous
-        candidates.
+        candidates.  Passing ``out`` reuses the caller's buffer (cleared
+        first) instead of materialising a fresh list per transmission.
         """
         self._ensure_current(now)
         ox, oy = origin
@@ -347,26 +462,51 @@ class UniformGridIndex:
         rx_sq = rx_range * rx_range
         memo = self.memo
         entries = memo._entries
-        rates = memo._rates
         refresh_cap = memo.refresh_cap_m
         memo_exact = memo.exact
         inv_cell = self._inv_cell
-        window = self._window(
-            math.floor(ox * inv_cell), math.floor(oy * inv_cell), cs_range
-        )
-        out: List[Tuple[int, int, "Phy", bool]] = []
-        for order, node_id, phy in window:
+        # A sender that is provably sitting still (its memo entry holds past
+        # ``now``) classifies against a window bound to its *exact* position:
+        # far tighter than the cell-rectangle bounds, and stable across the
+        # many transmissions a paused node makes from one spot.
+        sender_entry = entries.get(sender.node_id)
+        window = None
+        if sender_entry is not None and sender_entry[2] > now:
+            skey = (sender.node_id, ox, oy, cs_range, rx_range)
+            window = self._sender_cache.get(skey)
+            if window is None:
+                window = self._sender_window(sender, ox, oy, cs_range, rx_range)
+                self._sender_cache[skey] = window
+        if window is None:
+            window = self._iwindow(
+                math.floor(ox * inv_cell), math.floor(oy * inv_cell), cs_range, rx_range
+            )
+        if out is None:
+            out = []
+        else:
+            out.clear()
+        append = out.append
+        # The paper's default geometry has carrier-sense range == reception
+        # range; then "kept" implies "in range" and the per-candidate
+        # classification needs a single radius.
+        equal_ranges = cs_sq == rx_sq
+        for member in window:
+            phy = member[2]
             if phy is sender or not phy.enabled:
                 continue
+            certain = member[3]
+            if certain is not None:
+                append((member[0], member[1], phy, certain))
+                continue
+            node_id = member[1]
             # -- inline PositionMemo.bounded(node_id, now) ------------------
             drift = 0.0
             entry = entries.get(node_id)
             if entry is None:
                 position = memo_exact(node_id, now)
             else:
-                position, computed_at, hold_until = entry
+                position, computed_at, hold_until, rate = entry
                 if now != computed_at and not computed_at <= now < hold_until:
-                    rate = rates[node_id]
                     if rate is None or now < computed_at:
                         position = memo_exact(node_id, now)
                     else:
@@ -384,9 +524,24 @@ class UniformGridIndex:
                 outer = cs_range + drift
                 if distance_sq > outer * outer:
                     continue
-                in_range = within_range(distance_sq, rx_range, drift)
                 inner = cs_range - drift
-                if in_range is None or not (inner >= 0.0 and distance_sq <= inner * inner):
+                certain_cs = inner >= 0.0 and distance_sq <= inner * inner
+                if equal_ranges:
+                    in_range = True if certain_cs else None
+                else:
+                    # Inline within_range(distance_sq, rx_range, drift) (same
+                    # logic, kept in sync): True/False when certain, None
+                    # when within drift of the reception boundary.
+                    rx_outer = rx_range + drift
+                    if distance_sq > rx_outer * rx_outer:
+                        in_range = False
+                    else:
+                        rx_inner = rx_range - drift
+                        if rx_inner >= 0.0 and distance_sq <= rx_inner * rx_inner:
+                            in_range = True
+                        else:
+                            in_range = None
+                if in_range is None or not certain_cs:
                     # Within drift of a boundary: interpolate and retest.
                     position = memo_exact(node_id, now)
                     dx = position[0] - ox
@@ -399,8 +554,127 @@ class UniformGridIndex:
                 if distance_sq > cs_sq:
                     continue
                 in_range = distance_sq <= rx_sq
-            out.append((order, node_id, phy, in_range))
+            append((member[0], node_id, phy, in_range))
         # The window is pre-sorted, so `out` is already in registration order.
+        return out
+
+
+class TorusGridIndex(UniformGridIndex):
+    """Uniform grid over a torus: opposite area edges are identified.
+
+    Cell sizes are chosen per axis so the grid period equals the area
+    exactly (otherwise wrapped cell indexes and wrapped distances would
+    disagree near the seam), window enumeration wraps cell coordinates
+    modulo the grid dimensions, and every distance uses the minimum-image
+    convention.  Classification goes through the memo's drift bounds like
+    the flat grid (the torus metric is 1-Lipschitz in node displacement, so
+    the same conservative intervals apply); the flat grid's cell-rectangle
+    pre-classification is not carried over.
+    """
+
+    def __init__(self, cell_m: float, slack_m: float, width_m: float, height_m: float):
+        super().__init__(cell_m=cell_m, slack_m=slack_m)
+        if width_m <= 0 or height_m <= 0:
+            raise ValueError("torus dimensions must be positive")
+        self.width_m = width_m
+        self.height_m = height_m
+        #: Cells per axis; cell sizes divide the area exactly.
+        self._nx = max(1, int(width_m // cell_m))
+        self._ny = max(1, int(height_m // cell_m))
+        self._cell_x = width_m / self._nx
+        self._cell_y = height_m / self._ny
+
+    def _cell_key(self, x: float, y: float) -> Tuple[int, int]:
+        # floor, not int(): truncation would bucket coordinates in
+        # (-cell, 0) into cell 0 instead of the seam cell n-1, and the
+        # window enumeration would miss in-range interferers there.
+        return (
+            math.floor(x / self._cell_x) % self._nx,
+            math.floor(y / self._cell_y) % self._ny,
+        )
+
+    def _window(self, cx: int, cy: int, radius: float) -> List[Tuple[int, int, "Phy"]]:
+        """Members of every cell within wrapped reach of cell ``(cx, cy)``."""
+        key = (cx, cy, radius)
+        cached = self._window_cache.get(key)
+        if cached is not None:
+            return cached
+        reach = radius + self.memo.refresh_cap_m + self.slack_m
+        nx, ny = self._nx, self._ny
+        kx = int(reach / self._cell_x) + 1
+        ky = int(reach / self._cell_y) + 1
+        xs = range(nx) if 2 * kx + 1 >= nx else [(cx + j) % nx for j in range(-kx, kx + 1)]
+        ys = range(ny) if 2 * ky + 1 >= ny else [(cy + j) % ny for j in range(-ky, ky + 1)]
+        cells = self._cells
+        out: List[Tuple[int, int, "Phy"]] = []
+        for gx in xs:
+            for gy in ys:
+                bucket = cells.get((gx, gy))
+                if bucket:
+                    out.extend(bucket)
+        out.sort()
+        self._window_cache[key] = out
+        return out
+
+    def candidates(
+        self, origin: Position, radius: float, now: float
+    ) -> List[Tuple[int, int, "Phy"]]:
+        self._ensure_current(now)
+        cx, cy = self._cell_key(origin[0], origin[1])
+        return self._window(cx, cy, radius)
+
+    def interferers(
+        self,
+        sender: "Phy",
+        origin: Position,
+        cs_range: float,
+        rx_range: float,
+        now: float,
+        out: Optional[List[Tuple[int, int, "Phy", bool]]] = None,
+    ) -> List[Tuple[int, int, "Phy", bool]]:
+        """Classified interference set under the minimum-image metric."""
+        self._ensure_current(now)
+        ox, oy = origin
+        w, h = self.width_m, self.height_m
+        cs_sq = cs_range * cs_range
+        rx_sq = rx_range * rx_range
+        memo = self.memo
+        cx, cy = self._cell_key(ox, oy)
+        window = self._window(cx, cy, cs_range)
+        if out is None:
+            out = []
+        else:
+            out.clear()
+        append = out.append
+        for order, node_id, phy in window:
+            if phy is sender or not phy.enabled:
+                continue
+            position, drift = memo.bounded(node_id, now)
+            dx = position[0] - ox
+            dx -= w * round(dx / w)
+            dy = position[1] - oy
+            dy -= h * round(dy / h)
+            distance_sq = dx * dx + dy * dy
+            if drift > 0.0:
+                in_cs = within_range(distance_sq, cs_range, drift)
+                if in_cs is False:
+                    continue
+                in_range = within_range(distance_sq, rx_range, drift)
+                if in_cs is None or in_range is None:
+                    position = memo.exact(node_id, now)
+                    dx = position[0] - ox
+                    dx -= w * round(dx / w)
+                    dy = position[1] - oy
+                    dy -= h * round(dy / h)
+                    distance_sq = dx * dx + dy * dy
+                    if distance_sq > cs_sq:
+                        continue
+                    in_range = distance_sq <= rx_sq
+            else:
+                if distance_sq > cs_sq:
+                    continue
+                in_range = distance_sq <= rx_sq
+            append((order, node_id, phy, in_range))
         return out
 
 
@@ -410,11 +684,13 @@ class LinearScanIndex:
     This is the original medium semantics laid bare: every registered
     radio's position is interpolated on demand and every distance is
     computed, O(N) per query.  Kept selectable so the grid index can be
-    proven equivalent against it.
+    proven equivalent against it -- on the flat rectangle and, via ``wrap``,
+    on the torus (wrapped distances by brute force).
     """
 
-    def __init__(self):
+    def __init__(self, wrap: Optional[Tuple[float, float]] = None):
         self._members: List[Tuple[int, int, "Phy"]] = []
+        self._wrap = wrap
 
     def add(self, phy: "Phy") -> None:
         self._members.append((len(self._members), phy.node_id, phy))
@@ -440,18 +716,27 @@ class LinearScanIndex:
         cs_range: float,
         rx_range: float,
         now: float,
+        out: Optional[List[Tuple[int, int, "Phy", bool]]] = None,
     ) -> List[Tuple[int, int, "Phy", bool]]:
         """Classified interference set, by exhaustive scan."""
         ox, oy = origin
         cs_sq = cs_range * cs_range
         rx_sq = rx_range * rx_range
-        out: List[Tuple[int, int, "Phy", bool]] = []
+        wrap = self._wrap
+        if out is None:
+            out = []
+        else:
+            out.clear()
         for order, node_id, phy in self._members:
             if phy is sender or not phy.enabled:
                 continue
             position = phy.position(now)
             dx = position[0] - ox
             dy = position[1] - oy
+            if wrap is not None:
+                w, h = wrap
+                dx -= w * round(dx / w)
+                dy -= h * round(dy / h)
             distance_sq = dx * dx + dy * dy
             if distance_sq > cs_sq:
                 continue

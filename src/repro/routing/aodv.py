@@ -68,6 +68,10 @@ class AodvRouter:
         self.node = node
         self.sim = node.sim
         self.config = config or AodvConfig()
+        # Hot-path copies: the sniffer and hello handler run for every
+        # received frame.
+        self._node_id = node.node_id
+        self._neighbor_timeout_s = self.config.neighbor_timeout_s
         self.rng = node.streams.for_node("aodv", node.node_id)
         self.stats = AodvStats()
         self.route_table = RouteTable()
@@ -173,11 +177,11 @@ class AodvRouter:
             next_hop=from_node,
             hop_count=1,
             seq=hello.seq,
-            expiry_time=self.sim.now + self.config.neighbor_timeout_s,
+            expiry_time=self.sim.now + self._neighbor_timeout_s,
         )
 
     def _note_neighbor_activity(self, packet: Packet, from_node: NodeId) -> None:
-        if from_node == self.node_id or from_node < 0:
+        if from_node == self._node_id or from_node < 0:
             return
         self._neighbors[from_node] = self.sim.now
 

@@ -10,22 +10,28 @@ when the existing entry is invalid.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional
 
 from repro.net.addressing import NodeId
 
 
-@dataclass
 class RouteEntry:
-    """One unicast route."""
+    """One unicast route.
 
-    destination: NodeId
-    next_hop: NodeId
-    hop_count: int
-    seq: int
-    expiry_time: float
-    valid: bool = True
+    Slotted: every received hello refreshes an entry, so construction and
+    field access sit on the per-beacon path.
+    """
+
+    __slots__ = ("destination", "next_hop", "hop_count", "seq", "expiry_time", "valid")
+
+    def __init__(self, destination: NodeId, next_hop: NodeId, hop_count: int,
+                 seq: int, expiry_time: float, valid: bool = True):
+        self.destination = destination
+        self.next_hop = next_hop
+        self.hop_count = hop_count
+        self.seq = seq
+        self.expiry_time = expiry_time
+        self.valid = valid
 
     def is_usable(self, now: float) -> bool:
         """True when the route may be used to forward traffic right now."""
@@ -65,15 +71,25 @@ class RouteTable:
     ) -> bool:
         """Install or refresh a route; returns True when the table changed."""
         current = self._entries.get(destination)
-        if current is not None and current.valid:
-            newer = seq > current.seq
-            same_but_shorter = seq == current.seq and hop_count < current.hop_count
-            if not (newer or same_but_shorter):
-                # Keep the existing route but extend its lifetime if the
-                # information confirms the same next hop.
-                if current.next_hop == next_hop and current.seq == seq:
-                    current.expiry_time = max(current.expiry_time, expiry_time)
-                return False
+        if current is not None:
+            if current.valid:
+                newer = seq > current.seq
+                same_but_shorter = seq == current.seq and hop_count < current.hop_count
+                if not (newer or same_but_shorter):
+                    # Keep the existing route but extend its lifetime if the
+                    # information confirms the same next hop.
+                    if current.next_hop == next_hop and current.seq == seq:
+                        current.expiry_time = max(current.expiry_time, expiry_time)
+                    return False
+            # Overwrite the existing record in place: every hello refreshes
+            # the one-hop route with a fresher sequence number, so this is a
+            # per-received-beacon path and the allocation matters.
+            current.next_hop = next_hop
+            current.hop_count = hop_count
+            current.seq = seq
+            current.expiry_time = expiry_time
+            current.valid = True
+            return True
         self._entries[destination] = RouteEntry(
             destination=destination,
             next_hop=next_hop,

@@ -8,6 +8,8 @@ pure-Python, sequential, deterministic discrete-event engine:
   ``schedule``.
 * :class:`repro.sim.timers.PeriodicTimer` -- repeating timers (hello beacons,
   gossip rounds, group hellos, ...).
+* :class:`repro.sim.timers.OneShotTimer` -- a re-armable one-shot slot over
+  the pooled calendar (MAC backoff/ACK timers).
 * :class:`repro.sim.random.RandomStreams` -- named, independently seeded
   random streams so every stochastic protocol decision is reproducible.
 
@@ -18,10 +20,11 @@ this substitution does not change any result shape (see DESIGN.md).
 
 from repro.sim.engine import EventHandle, Simulator, SimulationError
 from repro.sim.random import RandomStreams
-from repro.sim.timers import PeriodicTimer
+from repro.sim.timers import OneShotTimer, PeriodicTimer
 
 __all__ = [
     "EventHandle",
+    "OneShotTimer",
     "PeriodicTimer",
     "RandomStreams",
     "SimulationError",

@@ -5,12 +5,42 @@ callbacks keyed by ``(time, sequence_number)``.  The sequence number breaks
 ties between events scheduled for the same instant so that execution order is
 deterministic and matches scheduling order, which is important for
 reproducibility of the protocols built on top.
+
+Internals: the slot pool
+------------------------
+Scheduling is the single hottest operation of a paper-scale run (about one
+schedule per two events fired), so the calendar is allocation-free on its hot
+path.  Event state lives in a *slot pool* -- parallel lists holding each
+event's sequence number, lifecycle state, callback and argument tuple --
+recycled through a free list, and the heap orders plain ``(time, seq, slot)``
+tuples, which compare on the first two fields without ever calling back into
+Python-level ``__lt__``.
+
+Cancellation is O(1) and lazy: the slot is released immediately (its stored
+sequence number no longer matches the heap entry's, which is what marks the
+entry dead) and the heap entry remains behind as a *tombstone* that is
+discarded when it surfaces.  A tombstone counter triggers a periodic in-place
+compaction so a cancel-heavy workload cannot grow the heap unboundedly.
+
+:class:`EventHandle` is a thin façade kept for the public API: it is only
+allocated by :meth:`Simulator.schedule` / :meth:`Simulator.schedule_at`.
+Internal hot paths (the MAC, the medium, the timer helpers) use the raw slot
+API -- :meth:`Simulator.call_in` and friends -- which returns plain slot
+indexes and allocates nothing beyond the heap tuple.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, List, Optional, Tuple
+
+#: Detached-handle states (EventHandle._state; ``None`` while still pending).
+_FIRED = "fired"
+_CANCELLED = "cancelled"
+
+#: Compaction policy: rebuild the heap in place once tombstones outnumber
+#: live entries and there are enough of them for the rebuild to pay off.
+_COMPACT_MIN_TOMBSTONES = 64
 
 
 class SimulationError(RuntimeError):
@@ -21,43 +51,49 @@ class EventHandle:
     """A handle to a scheduled event.
 
     The handle can be used to :meth:`cancel` the event before it fires and to
-    query whether it is still :attr:`pending`.
+    query whether it is still :attr:`pending`.  Handles are a façade over the
+    simulator's internal slot pool: they are only created by the public
+    ``schedule``/``schedule_at`` API, so hot paths that never look at the
+    handle pay nothing for it.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "_cancelled", "_fired")
+    __slots__ = ("_sim", "_slot", "_state", "time", "seq", "callback", "args")
 
-    def __init__(self, time: float, seq: int, callback: Callable[..., None], args: tuple):
+    def __init__(self, sim: "Simulator", slot: int, time: float, seq: int,
+                 callback: Callable[..., None], args: tuple):
+        self._sim = sim
+        self._slot = slot
+        self._state: Optional[str] = None
         self.time = time
         self.seq = seq
         self.callback = callback
         self.args = args
-        self._cancelled = False
-        self._fired = False
 
     def cancel(self) -> None:
         """Cancel the event.  Cancelling an already fired event is a no-op."""
-        self._cancelled = True
+        if self._state is None:
+            self._sim._cancel_slot(self._slot, self.seq)
 
     @property
     def cancelled(self) -> bool:
         """True when the event was cancelled before firing."""
-        return self._cancelled and not self._fired
+        return self._state is _CANCELLED
 
     @property
     def fired(self) -> bool:
         """True once the callback has run."""
-        return self._fired
+        return self._state is _FIRED
 
     @property
     def pending(self) -> bool:
         """True when the event is still waiting to fire."""
-        return not self._cancelled and not self._fired
+        return self._state is None
 
     def __lt__(self, other: "EventHandle") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
-        state = "pending" if self.pending else ("cancelled" if self.cancelled else "fired")
+        state = self._state or "pending"
         return f"EventHandle(t={self.time:.6f}, seq={self.seq}, {state})"
 
 
@@ -78,21 +114,29 @@ class Simulator:
     """
 
     def __init__(self, start_time: float = 0.0):
-        self._now = float(start_time)
-        # Heap of (time, seq, event): tuple ordering avoids calling
-        # EventHandle.__lt__ for every sift, which is measurable at scale.
-        self._queue: List[tuple] = []
+        #: Current simulation time in seconds.  A plain attribute (not a
+        #: property) because protocol hot paths read it millions of times;
+        #: treat it as read-only outside the engine.
+        self.now = float(start_time)
+        #: Heap of plain (time, seq, slot) tuples; seq is globally unique so
+        #: comparisons never reach the third element.
+        self._heap: List[Tuple[float, int, int]] = []
         self._seq = 0
+        #: Slot pool (parallel lists) plus its free list.  A free slot is
+        #: marked by seq -1, so "is this heap entry live" is a single
+        #: comparison against the slot's stored seq.
+        self._slot_seq: List[int] = []
+        self._slot_cb: List[Optional[Callable[..., None]]] = []
+        self._slot_args: List[Optional[tuple]] = []
+        self._slot_handle: List[Optional[EventHandle]] = []
+        self._free: List[int] = []
+        #: Cancelled entries still sitting in the heap.
+        self._tombstones = 0
         self._running = False
         self._stopped = False
         self._events_processed = 0
 
     # ------------------------------------------------------------------ time
-    @property
-    def now(self) -> float:
-        """Current simulation time in seconds."""
-        return self._now
-
     @property
     def events_processed(self) -> int:
         """Number of callbacks executed so far."""
@@ -100,28 +144,175 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of events currently scheduled (including cancelled ones)."""
-        return sum(1 for entry in self._queue if entry[2].pending)
+        """Number of events currently scheduled and still live."""
+        return len(self._heap) - self._tombstones
+
+    # ----------------------------------------------------------- slot pool
+    def _alloc(self, time: float, callback: Callable[..., None], args: tuple) -> int:
+        """Allocate a slot for one event and push its heap entry."""
+        seq = self._seq
+        self._seq = seq + 1
+        free = self._free
+        if free:
+            slot = free.pop()
+            self._slot_seq[slot] = seq
+            self._slot_cb[slot] = callback
+            self._slot_args[slot] = args
+        else:
+            slot = len(self._slot_seq)
+            self._slot_seq.append(seq)
+            self._slot_cb.append(callback)
+            self._slot_args.append(args)
+            self._slot_handle.append(None)
+        heapq.heappush(self._heap, (time, seq, slot))
+        return slot
+
+    def _cancel_slot(self, slot: int, seq: int) -> bool:
+        """O(1) lazy cancellation of the event occupying ``slot``.
+
+        A no-op (returning False) when the slot no longer holds the event
+        with sequence number ``seq`` -- it already fired or was cancelled.
+        """
+        if self._slot_seq[slot] != seq:
+            return False
+        self._release(slot, _CANCELLED)
+        self._tombstones += 1
+        tombstones = self._tombstones
+        if tombstones >= _COMPACT_MIN_TOMBSTONES and tombstones * 2 > len(self._heap):
+            self._compact()
+        return True
+
+    def _release(self, slot: int, final_state: str) -> None:
+        """Return a slot to the free list, detaching its handle (if any)."""
+        self._slot_seq[slot] = -1
+        self._slot_cb[slot] = None
+        self._slot_args[slot] = None
+        handle = self._slot_handle[slot]
+        if handle is not None:
+            handle._state = final_state
+            self._slot_handle[slot] = None
+        self._free.append(slot)
+
+    def _compact(self) -> None:
+        """Drop tombstones from the heap, in place.
+
+        In place matters: ``run`` holds a local reference to the heap list,
+        and a callback may trigger compaction mid-run.
+        """
+        slot_seq = self._slot_seq
+        self._heap[:] = [
+            entry for entry in self._heap if slot_seq[entry[2]] == entry[1]
+        ]
+        heapq.heapify(self._heap)
+        self._tombstones = 0
+
+    def _seq_of(self, slot: int) -> int:
+        """Sequence number currently occupying ``slot`` (for timer helpers)."""
+        return self._slot_seq[slot]
 
     # -------------------------------------------------------------- schedule
     def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> EventHandle:
         """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule an event in the past (delay={delay})")
-        return self.schedule_at(self._now + delay, callback, *args)
+        return self.schedule_at(self.now + delay, callback, *args)
 
     def schedule_at(self, time: float, callback: Callable[..., None], *args: Any) -> EventHandle:
         """Schedule ``callback(*args)`` to run at absolute simulation ``time``."""
-        if time < self._now:
+        if time < self.now:
             raise SimulationError(
-                f"cannot schedule an event at t={time} before current time t={self._now}"
+                f"cannot schedule an event at t={time} before current time t={self.now}"
             )
         if not callable(callback):
             raise SimulationError(f"callback {callback!r} is not callable")
-        event = EventHandle(float(time), self._seq, callback, args)
-        self._seq += 1
-        heapq.heappush(self._queue, (event.time, event.seq, event))
-        return event
+        time = float(time)
+        seq = self._seq  # _alloc consumes exactly this sequence number
+        slot = self._alloc(time, callback, args)
+        handle = EventHandle(self, slot, time, seq, callback, args)
+        self._slot_handle[slot] = handle
+        return handle
+
+    def call_in(self, delay: float, callback: Callable[..., None], args: tuple = ()) -> int:
+        """Raw hot-path scheduling: no handle, no ``*args`` repacking.
+
+        Returns the slot index; fire-and-forget callers ignore it, and timer
+        helpers pair it with the slot's sequence number for safe cancellation
+        (see :class:`repro.sim.timers.OneShotTimer`).
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule an event in the past (delay={delay})")
+        # _alloc inlined: this is the hottest scheduling entry point (every
+        # MAC timer, ACK and end-of-flight event goes through here).
+        seq = self._seq
+        self._seq = seq + 1
+        free = self._free
+        if free:
+            slot = free.pop()
+            self._slot_seq[slot] = seq
+            self._slot_cb[slot] = callback
+            self._slot_args[slot] = args
+        else:
+            slot = len(self._slot_seq)
+            self._slot_seq.append(seq)
+            self._slot_cb.append(callback)
+            self._slot_args.append(args)
+            self._slot_handle.append(None)
+        heapq.heappush(self._heap, (self.now + delay, seq, slot))
+        return slot
+
+    def call_at(self, time: float, callback: Callable[..., None], args: tuple = ()) -> int:
+        """Absolute-time variant of :meth:`call_in`."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule an event at t={time} before current time t={self.now}"
+            )
+        return self._alloc(float(time), callback, args)
+
+    def schedule_many(self, calls, *, absolute: bool = False) -> int:
+        """Batch-schedule ``(when, callback, args)`` triples; returns the count.
+
+        ``when`` is a delay from now, or an absolute simulation time with
+        ``absolute=True`` (use absolute times when the batch must tie-break
+        identically with ``schedule_at`` callers -- converting through a
+        delay would reintroduce float rounding).  Equivalent to ``call_in`` /
+        ``call_at`` per triple (same sequence numbering, so the same
+        tie-break order), but when the calendar is empty the batch is
+        heapified in one pass instead of pushed entry by entry.
+        """
+        heap = self._heap
+        bulk = not heap
+        now = self.now
+        count = 0
+        try:
+            for when, callback, args in calls:
+                if absolute:
+                    if when < now:
+                        raise SimulationError(
+                            f"cannot schedule an event at t={when} before current time t={now}"
+                        )
+                    time = float(when)
+                else:
+                    if when < 0:
+                        raise SimulationError(
+                            f"cannot schedule an event in the past (delay={when})"
+                        )
+                    time = now + when
+                if bulk:
+                    seq = self._seq
+                    self._seq = seq + 1
+                    slot = len(self._slot_seq)
+                    self._slot_seq.append(seq)
+                    self._slot_cb.append(callback)
+                    self._slot_args.append(args)
+                    self._slot_handle.append(None)
+                    heap.append((time, seq, slot))
+                else:
+                    self._alloc(time, callback, args)
+                count += 1
+        finally:
+            if bulk:
+                heapq.heapify(heap)
+        return count
 
     # ------------------------------------------------------------------- run
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
@@ -141,29 +332,52 @@ class Simulator:
             raise SimulationError("simulator is already running")
         self._running = True
         self._stopped = False
+        if until is not None:
+            until = float(until)
         executed = 0
+        heap = self._heap
+        slot_seq = self._slot_seq
+        slot_cb = self._slot_cb
+        slot_args = self._slot_args
+        slot_handle = self._slot_handle
+        free = self._free
+        pop = heapq.heappop
         try:
-            while self._queue:
+            while heap:
                 if self._stopped:
                     break
                 if max_events is not None and executed >= max_events:
                     break
-                event = self._queue[0][2]
-                if not event.pending:
-                    heapq.heappop(self._queue)
+                entry = pop(heap)
+                time, seq, slot = entry
+                if slot_seq[slot] != seq:
+                    # Tombstone left behind by a lazy cancellation.
+                    self._tombstones -= 1
                     continue
-                if until is not None and event.time > until:
-                    self._now = float(until)
+                if until is not None and time > until:
+                    # Beyond the horizon: put the event back and stop.
+                    heapq.heappush(heap, entry)
+                    self.now = until
                     break
-                heapq.heappop(self._queue)
-                self._now = event.time
-                event._fired = True
-                event.callback(*event.args)
+                self.now = time
+                callback = slot_cb[slot]
+                args = slot_args[slot]
+                # Release the slot before running the callback so whatever
+                # the callback schedules can reuse it immediately.
+                handle = slot_handle[slot]
+                if handle is not None:
+                    handle._state = _FIRED
+                    slot_handle[slot] = None
+                slot_seq[slot] = -1
+                slot_cb[slot] = None
+                slot_args[slot] = None
+                free.append(slot)
+                callback(*args)
                 self._events_processed += 1
                 executed += 1
             else:
-                if until is not None and until > self._now:
-                    self._now = float(until)
+                if until is not None and until > self.now:
+                    self.now = until
         finally:
             self._running = False
 
@@ -172,5 +386,13 @@ class Simulator:
         self._stopped = True
 
     def clear(self) -> None:
-        """Drop all pending events (the clock is left untouched)."""
-        self._queue.clear()
+        """Drop all pending events (the clock is left untouched).
+
+        Outstanding :class:`EventHandle` objects are detached as cancelled.
+        """
+        slot_seq = self._slot_seq
+        for _, seq, slot in self._heap:
+            if slot_seq[slot] == seq:
+                self._release(slot, _CANCELLED)
+        del self._heap[:]
+        self._tombstones = 0

@@ -1,10 +1,58 @@
-"""Timer helpers built on top of the event calendar."""
+"""Timer helpers built on top of the event calendar.
+
+Both helpers are *reusable slots* over the engine's pooled calendar: arming
+schedules a raw pool event (no :class:`~repro.sim.engine.EventHandle`
+allocation), and the ``(slot, seq)`` pair they retain makes disarming safe
+even after the event fired and its slot was recycled -- a stale sequence
+number turns the cancel into a no-op, exactly like cancelling a fired
+handle.
+"""
 
 from __future__ import annotations
 
 from typing import Callable, Optional
 
-from repro.sim.engine import EventHandle, Simulator
+from repro.sim.engine import Simulator
+
+
+class OneShotTimer:
+    """A re-armable one-shot timer occupying a single logical slot.
+
+    Used by the MAC (backoff / transmission-done / ACK-timeout share one
+    pending event) and by :class:`PeriodicTimer`; arming allocates nothing
+    beyond the engine's pooled event.  Re-arming cancels any still-pending
+    shot first.
+    """
+
+    __slots__ = ("_sim", "_slot", "_seq")
+
+    def __init__(self, sim: Simulator):
+        self._sim = sim
+        self._slot = -1
+        self._seq = -1
+
+    def arm(self, delay: float, callback: Callable[..., None], args: tuple = ()) -> None:
+        """Fire ``callback(*args)`` after ``delay`` seconds (replacing any
+        still-pending shot)."""
+        sim = self._sim
+        slot = self._slot
+        if slot >= 0 and sim._slot_seq[slot] == self._seq:
+            sim._cancel_slot(slot, self._seq)
+        self._slot = sim.call_in(delay, callback, args)
+        # The engine hands out sequence numbers monotonically and call_in
+        # consumed exactly one, so the shot's seq is the last one issued.
+        self._seq = sim._seq - 1
+
+    def disarm(self) -> None:
+        """Cancel the pending shot; a no-op when it already fired."""
+        if self._slot >= 0:
+            self._sim._cancel_slot(self._slot, self._seq)
+            self._slot = -1
+
+    @property
+    def armed(self) -> bool:
+        """True while a shot is scheduled and has not fired."""
+        return self._slot >= 0 and self._sim._seq_of(self._slot) == self._seq
 
 
 class PeriodicTimer:
@@ -40,7 +88,7 @@ class PeriodicTimer:
         self._delay = float(delay)
         self._jitter = float(jitter)
         self._rng = rng
-        self._handle: Optional[EventHandle] = None
+        self._shot = OneShotTimer(sim)
         self._running = False
         self.ticks = 0
 
@@ -64,9 +112,7 @@ class PeriodicTimer:
     def stop(self) -> None:
         """Disarm the timer."""
         self._running = False
-        if self._handle is not None:
-            self._handle.cancel()
-            self._handle = None
+        self._shot.disarm()
 
     def restart(self, interval: Optional[float] = None) -> None:
         """Stop and start again, optionally changing the interval."""
@@ -83,7 +129,7 @@ class PeriodicTimer:
         return self._rng.uniform(-self._jitter, self._jitter)
 
     def _schedule_next(self, delay: float) -> None:
-        self._handle = self._sim.schedule(max(0.0, delay), self._fire)
+        self._shot.arm(delay if delay > 0.0 else 0.0, self._fire)
 
     def _fire(self) -> None:
         if not self._running:

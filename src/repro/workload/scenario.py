@@ -53,6 +53,9 @@ class ScenarioConfig:
     #: Spatial index of the medium: "grid" (O(k), default) or "naive" (the
     #: O(N) linear-scan reference).  Both produce bit-identical results.
     medium_index: str = "grid"
+    #: Radio-area geometry: "flat" (the paper's bounded rectangle) or
+    #: "torus" (wrap-around edges, no border effects).
+    area_topology: str = "flat"
 
     # Mobility (random waypoint).
     min_speed_mps: float = 0.0
@@ -88,6 +91,8 @@ class ScenarioConfig:
             raise ValueError(f"unknown protocol {self.protocol!r}")
         if self.medium_index not in ("grid", "naive"):
             raise ValueError(f"unknown medium_index {self.medium_index!r}")
+        if self.area_topology not in ("flat", "torus"):
+            raise ValueError(f"unknown area_topology {self.area_topology!r}")
         if self.member_count is not None and not 1 <= self.member_count <= self.num_nodes:
             raise ValueError("member_count must lie in [1, num_nodes]")
         if self.duration_s <= self.source_start_s:
@@ -195,6 +200,9 @@ class Scenario:
             transmission_range_m=config.transmission_range_m,
             bitrate_bps=config.bitrate_bps,
             medium_index=config.medium_index,
+            area_topology=config.area_topology,
+            area_width_m=config.area_width_m,
+            area_height_m=config.area_height_m,
         )
         self.medium = Medium(self.sim, radio)
         area = RectangularArea(config.area_width_m, config.area_height_m)

@@ -134,3 +134,33 @@ class TestMacConfigValidation:
     def test_zero_queue_limit_rejected(self):
         with pytest.raises(ValueError):
             MacConfig(queue_limit=0)
+
+
+class TestEndOfFlightHook:
+    """The phy's end-of-flight notification is frame-tagged."""
+
+    def test_foreign_flight_end_does_not_advance_data_state_machine(self):
+        # Regression for the fused "transmission done" event: an end-of-
+        # flight notification for a different frame (an ACK, or a stale
+        # disabled-radio fake flight ending out of order) must not be
+        # mistaken for the current data frame's end.
+        from repro.net.packet import Frame
+
+        sim, medium, nodes, received = _make_nodes([(0, 0), (50, 0)])
+        mac = nodes[0].mac
+        # A disabled radio still walks the whole state machine on fake
+        # flights, which is where out-of-order notifications can happen.
+        nodes[0].phy.power_down()
+        mac.send(Packet(origin=0, destination=1, size_bytes=64), 1)
+        while mac.state != "transmit":
+            sim.run(max_events=1)
+        data_frame = mac._current.frame
+        # A foreign flight (e.g. an ACK queued before the data frame) ends
+        # while the data frame is still in the air.
+        stale = Frame(src=0, dst=1, packet=Packet(origin=0, destination=1, size_bytes=14))
+        nodes[0].phy._notify_finished(stale)
+        assert mac.state == "transmit"
+        assert mac._current is not None and mac._current.frame is data_frame
+        # The real end of flight still advances the machine.
+        sim.run(until=sim.now + 0.01)
+        assert mac.state == "wait_ack"

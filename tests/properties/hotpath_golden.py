@@ -1,0 +1,203 @@
+"""Golden-digest harness pinning the simulator's observable behaviour.
+
+The engine / medium / MAC hot-path refactor (slot-pooled event queue,
+reception pooling, flattened receive chain) must be *behaviour preserving*:
+every protocol counter, every delivered frame, every aggregate metric has to
+come out bit-identical to the pre-refactor implementation.  Grid-vs-naive
+equivalence (``test_medium_equivalence.py``) proves the two spatial indexes
+agree with each other, but it cannot catch a regression that shifts *both*
+implementations the same way -- an engine that fires ties in a different
+order, a MAC that cancels a timer it previously let fire, a pooled reception
+that leaks state between frames.
+
+This module pins the absolute behaviour instead: a table of small seeded
+scenarios covering the geometries of the paper's figures 2-8 (range sweeps,
+speed sweeps, both node-count sweeps, the goodput setting), every protocol
+stack (MAODV, flooding, ODMRP) and failure injection.  Each scenario's full
+observable output is reduced to a digest -- every protocol/MAC/medium
+counter, per-member delivery counts, goodputs, the engine's event count and
+a hash of the canonicalised packet-delivery log -- and compared against
+digests recorded from the pre-refactor implementation
+(``golden_hotpath.json``, regenerated via
+``scripts/regen_hotpath_golden.py``).
+
+Digest mismatches mean the refactor changed simulation behaviour; they are
+never to be "fixed" by regenerating the goldens unless the behaviour change
+itself is intended and reviewed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import os
+from typing import Dict
+
+from repro.workload.scenario import Scenario, ScenarioConfig
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "golden_hotpath.json")
+
+#: Quick-scale timing shared by every golden scenario: a short but complete
+#: run (joins, source phase, gossip recovery tail) that finishes in about a
+#: second per scenario.
+_TIMING = dict(
+    join_window_s=3.0,
+    source_start_s=8.0,
+    source_stop_s=22.0,
+    packet_interval_s=0.5,
+    duration_s=26.0,
+)
+
+
+def _config(**overrides) -> ScenarioConfig:
+    params = dict(_TIMING)
+    params.update(overrides)
+    return ScenarioConfig.quick(**params)
+
+
+def _fig6_range(nodes: int) -> float:
+    """Fig. 6's constant-degree law: 55 m at the reference 40 nodes."""
+    return 55.0 * math.sqrt(40.0 / nodes)
+
+
+#: name -> ScenarioConfig covering each figure's geometry and every stack.
+GOLDEN_SCENARIOS: Dict[str, ScenarioConfig] = {
+    # Fig. 2: sparse range, slow nodes.
+    "fig2_range_slow": _config(
+        num_nodes=14, member_count=5, transmission_range_m=52.0,
+        max_speed_mps=0.2, max_pause_s=20.0, seed=11,
+    ),
+    # Fig. 3: same range sweep at 2 m/s.
+    "fig3_range_fast": _config(
+        num_nodes=14, member_count=5, transmission_range_m=60.0,
+        max_speed_mps=2.0, max_pause_s=5.0, seed=12,
+    ),
+    # Fig. 4 / Fig. 5: speed sweeps at fixed range (slow and fast points).
+    "fig4_speed_low": _config(
+        num_nodes=14, member_count=5, transmission_range_m=75.0,
+        max_speed_mps=0.5, max_pause_s=10.0, seed=13,
+    ),
+    "fig5_speed_high": _config(
+        num_nodes=14, member_count=5, transmission_range_m=60.0,
+        max_speed_mps=5.0, max_pause_s=2.0, seed=14,
+    ),
+    # Fig. 6 / Fig. 7: node-count sweeps on the paper's 200 m x 200 m area,
+    # constant-degree and fixed-range geometries.
+    "fig6_nodes_const_degree": _config(
+        num_nodes=22, member_count=7, area_width_m=200.0, area_height_m=200.0,
+        transmission_range_m=_fig6_range(22), max_speed_mps=1.0, max_pause_s=10.0,
+        seed=15,
+    ),
+    "fig7_nodes_const_range": _config(
+        num_nodes=22, member_count=7, area_width_m=200.0, area_height_m=200.0,
+        transmission_range_m=55.0, max_speed_mps=1.0, max_pause_s=10.0, seed=16,
+    ),
+    # Fig. 8: the goodput setting (sparse + fast, gossip under stress).
+    "fig8_goodput": _config(
+        num_nodes=14, member_count=5, transmission_range_m=45.0,
+        max_speed_mps=2.0, max_pause_s=5.0, seed=17,
+    ),
+    # Alternate stacks: flooding and ODMRP exercise different MAC mixes
+    # (broadcast-heavy vs query/reply unicast).
+    "flooding_stack": _config(
+        num_nodes=14, member_count=5, transmission_range_m=60.0,
+        max_speed_mps=2.0, max_pause_s=5.0, protocol="flooding", seed=18,
+    ),
+    "odmrp_stack": _config(
+        num_nodes=14, member_count=5, transmission_range_m=60.0,
+        max_speed_mps=1.0, max_pause_s=10.0, protocol="odmrp", seed=19,
+    ),
+    # The naive linear-scan medium must be pinned too: the refactor touches
+    # both index paths, and grid-vs-naive equivalence alone cannot see a
+    # change that shifts both the same way.
+    "fig7_naive_medium": _config(
+        num_nodes=22, member_count=7, area_width_m=200.0, area_height_m=200.0,
+        transmission_range_m=55.0, max_speed_mps=1.0, max_pause_s=10.0,
+        medium_index="naive", seed=16,
+    ),
+}
+
+#: Deterministic failure-injection overlays: name -> (scenario name, events).
+GOLDEN_FAILURES: Dict[str, tuple] = {
+    "fig7_with_outages": (
+        "fig7_nodes_const_range",
+        [(3, 9.0, 15.0), (8, 11.0, 19.0), (14, 10.0, 24.0)],
+    ),
+    "flooding_with_outages": (
+        "flooding_stack",
+        [(2, 9.5, 14.0), (6, 12.0, 21.0)],
+    ),
+}
+
+
+def run_with_delivery_log(config: ScenarioConfig, failure_events=None):
+    """Run a scenario recording every packet delivery in order.
+
+    Returns ``(result, canonical_log)`` where the log holds one
+    ``(time, receiver, sender, canonical uid, packet type)`` tuple per packet
+    any node receives.  Packet uids come from a process-global counter, so
+    they differ between runs; they are canonicalised to first-seen indexes to
+    make logs comparable across runs.  Shared by the grid-vs-naive
+    equivalence suite and the golden digests so both pin the same notion of
+    "delivered-frame sequence".
+    """
+    scenario = Scenario(config).build()
+    log = []
+    for node in scenario.nodes:
+        node.add_sniffer(
+            lambda packet, from_node, nid=node.node_id: log.append(
+                (scenario.sim.now, nid, from_node, packet.uid, type(packet).__name__)
+            )
+        )
+    if failure_events:
+        from repro.workload.failures import FailureEvent, FailureSchedule
+
+        schedule = FailureSchedule(
+            scenario.sim,
+            scenario.nodes,
+            [FailureEvent(node_id=n, start_s=s, end_s=e) for n, s, e in failure_events],
+        )
+        schedule.start()
+    result = scenario.run()
+    canonical = {}
+    canonical_log = [
+        (now, nid, from_node, canonical.setdefault(uid, len(canonical)), kind)
+        for now, nid, from_node, uid, kind in log
+    ]
+    return result, canonical_log
+
+
+def run_digest(config: ScenarioConfig, failure_events=None) -> dict:
+    """Run ``config`` and reduce every observable output to a digest.
+
+    The delivery log is hashed; everything else is recorded verbatim so
+    mismatches are diagnosable.
+    """
+    result, canonical_log = run_with_delivery_log(config, failure_events)
+    log_hash = hashlib.sha256(repr(canonical_log).encode()).hexdigest()
+    return {
+        "protocol_stats": {key: result.protocol_stats[key] for key in sorted(result.protocol_stats)},
+        "member_counts": {str(k): v for k, v in sorted(result.member_counts.items())},
+        "goodput_by_member": {str(k): v for k, v in sorted(result.goodput_by_member.items())},
+        "packets_sent": result.packets_sent,
+        "events_processed": result.events_processed,
+        "deliveries_logged": len(canonical_log),
+        "delivery_log_sha256": log_hash,
+    }
+
+
+def compute_all() -> Dict[str, dict]:
+    """Digests for every golden scenario and failure overlay."""
+    digests = {}
+    for name, config in GOLDEN_SCENARIOS.items():
+        digests[name] = run_digest(config)
+    for name, (base, events) in GOLDEN_FAILURES.items():
+        digests[name] = run_digest(GOLDEN_SCENARIOS[base], failure_events=events)
+    return digests
+
+
+def load_golden() -> Dict[str, dict]:
+    """The recorded digests (see module docstring for regeneration)."""
+    with open(GOLDEN_PATH) as handle:
+        return json.load(handle)

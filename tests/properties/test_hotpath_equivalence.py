@@ -1,0 +1,53 @@
+"""Engine/medium/MAC hot path is bit-identical to the recorded goldens.
+
+See :mod:`tests.properties.hotpath_golden` for what is pinned and why.  One
+parametrised test per golden scenario (figures 2-8 geometries, all three
+protocol stacks, the naive medium, failure injection) compares the full
+behavioural digest -- every protocol counter, delivery counts, goodputs,
+event count and the delivery-log hash -- against the stored value.
+"""
+
+import pytest
+
+from tests.properties.hotpath_golden import (
+    GOLDEN_FAILURES,
+    GOLDEN_SCENARIOS,
+    load_golden,
+    run_digest,
+)
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return load_golden()
+
+
+def test_golden_file_has_no_stale_entries(golden):
+    """Every stored digest corresponds to a scenario that still runs."""
+    expected = set(GOLDEN_SCENARIOS) | set(GOLDEN_FAILURES)
+    assert set(golden) == expected
+
+
+def _assert_digest_matches(observed, expected, name):
+    assert expected is not None, (
+        f"no golden recorded for {name!r}; run scripts/regen_hotpath_golden.py"
+    )
+    # Compare the cheap-to-read fields first so a mismatch names the exact
+    # counter instead of just reporting different hashes.
+    for key in ("protocol_stats", "member_counts", "goodput_by_member",
+                "packets_sent", "events_processed", "deliveries_logged",
+                "delivery_log_sha256"):
+        assert observed[key] == expected[key], f"{name}: {key} diverged from golden"
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_SCENARIOS))
+def test_scenario_matches_golden(name, golden):
+    observed = run_digest(GOLDEN_SCENARIOS[name])
+    _assert_digest_matches(observed, golden.get(name), name)
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_FAILURES))
+def test_failure_injection_matches_golden(name, golden):
+    base, events = GOLDEN_FAILURES[name]
+    observed = run_digest(GOLDEN_SCENARIOS[base], failure_events=events)
+    _assert_digest_matches(observed, golden.get(name), name)

@@ -14,6 +14,7 @@ import pytest
 from repro.campaign.executor import execute_trial
 from repro.campaign.trials import TrialSpec
 from repro.workload.scenario import Scenario, ScenarioConfig
+from tests.properties.hotpath_golden import run_with_delivery_log
 
 
 def _small_config(seed, **overrides):
@@ -38,35 +39,11 @@ def _small_config(seed, **overrides):
     return ScenarioConfig.quick(**defaults)
 
 
-def _run_with_delivery_log(config):
-    """Run a scenario recording every packet delivery in order.
-
-    Packet uids come from a process-global counter, so they differ between
-    runs; they are canonicalised to first-seen indexes to make the logs
-    comparable.
-    """
-    scenario = Scenario(config).build()
-    log = []
-    for node in scenario.nodes:
-        node.add_sniffer(
-            lambda packet, from_node, nid=node.node_id: log.append(
-                (scenario.sim.now, nid, from_node, packet.uid, type(packet).__name__)
-            )
-        )
-    result = scenario.run()
-    canonical = {}
-    canonical_log = [
-        (now, nid, from_node, canonical.setdefault(uid, len(canonical)), kind)
-        for now, nid, from_node, uid, kind in log
-    ]
-    return result, canonical_log
-
-
 @pytest.mark.parametrize("seed", [1, 2, 3])
 def test_grid_and_naive_media_are_bit_identical(seed):
     results = {}
     for index in ("naive", "grid"):
-        results[index] = _run_with_delivery_log(
+        results[index] = run_with_delivery_log(
             _small_config(seed, medium_index=index)
         )
     naive_result, naive_log = results["naive"]

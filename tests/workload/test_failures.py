@@ -4,7 +4,13 @@ import random
 
 import pytest
 
-from repro.workload.failures import FailureEvent, FailureSchedule, RandomFailureInjector
+from repro.mobility.base import RectangularArea
+from repro.workload.failures import (
+    FailureEvent,
+    FailureSchedule,
+    RandomFailureInjector,
+    RegionalFailureInjector,
+)
 from tests.conftest import GROUP, build_network, line_topology
 
 
@@ -147,3 +153,95 @@ class TestRandomFailureInjector:
         with pytest.raises(ValueError):
             RandomFailureInjector(network.sim, network.nodes, random.Random(1),
                                   min_outage_s=5.0, max_outage_s=1.0)
+
+
+class TestRegionalFailureInjector:
+    def _injector(self, network, **overrides):
+        params = dict(
+            area=RectangularArea(200.0, 200.0),
+            mean_time_between_outages_s=5.0,
+            radius_m=80.0,
+            min_outage_s=1.0,
+            max_outage_s=2.0,
+        )
+        params.update(overrides)
+        return RegionalFailureInjector(
+            network.sim, network.nodes, random.Random(7), **params
+        )
+
+    def test_strikes_fail_whole_regions_and_recover_together(self):
+        network = build_network(line_topology(5, 40.0), range_m=100)
+        injector = self._injector(network)
+        injector.start()
+        network.start()
+        network.run(40.0)
+        assert injector.outages, "strikes should have occurred"
+        populated = [o for o in injector.outages if o.node_ids]
+        assert populated, "at least one strike should hit nodes"
+        for outage in populated:
+            # Every hit node lies inside the disc at strike time (static
+            # topology, so positions are stable).
+            for node_id in outage.node_ids:
+                x, y = network.nodes[node_id].position(outage.start_s)
+                distance_sq = (x - outage.center[0]) ** 2 + (y - outage.center[1]) ** 2
+                assert distance_sq <= outage.radius_m ** 2 + 1e-9
+            assert 1.0 <= outage.end_s - outage.start_s <= 2.0
+        # Everyone is back up once strikes stop and pending windows close.
+        injector.stop()
+        network.run(5.0)
+        assert all(node.alive for node in network.nodes)
+
+    def test_correlated_outage_hits_colocated_nodes_together(self):
+        # All nodes sit within one disc: any populated strike takes out the
+        # entire (non-protected) population at once.
+        network = build_network([(10.0, 10.0), (12.0, 10.0), (14.0, 10.0)], range_m=100)
+        injector = self._injector(
+            network, area=RectangularArea(20.0, 20.0), radius_m=30.0
+        )
+        injector.start()
+        network.start()
+        network.run(30.0)
+        populated = [o for o in injector.outages if o.node_ids]
+        assert populated
+        assert all(len(o.node_ids) == 3 for o in populated)
+
+    def test_protected_nodes_survive_strikes(self):
+        network = build_network([(5.0, 5.0), (6.0, 5.0)], range_m=100)
+        injector = self._injector(
+            network, area=RectangularArea(10.0, 10.0), radius_m=20.0, protected=[0]
+        )
+        injector.start()
+        network.start()
+        network.run(30.0)
+        assert all(0 not in outage.node_ids for outage in injector.outages)
+
+    def test_overlapping_strikes_leave_original_recovery_schedule(self):
+        # A node already down is skipped by later strikes, so its recovery
+        # is driven by the first outage only; it must be up again at the end.
+        network = build_network([(5.0, 5.0)], range_m=100)
+        injector = self._injector(
+            network, area=RectangularArea(10.0, 10.0), radius_m=20.0,
+            mean_time_between_outages_s=0.5,
+        )
+        injector.start()
+        network.start()
+        network.run(60.0)
+        injector.stop()
+        network.run(5.0)
+        assert network.nodes[0].alive
+        hits = [o for o in injector.outages if o.node_ids]
+        misses_due_to_down = [o for o in injector.outages if not o.node_ids]
+        assert hits and misses_due_to_down
+
+    def test_invalid_parameters_rejected(self):
+        network = build_network(line_topology(2, 50.0), range_m=100)
+        area = RectangularArea(100.0, 100.0)
+        with pytest.raises(ValueError):
+            RegionalFailureInjector(network.sim, network.nodes, random.Random(1),
+                                    area=area, mean_time_between_outages_s=0.0)
+        with pytest.raises(ValueError):
+            RegionalFailureInjector(network.sim, network.nodes, random.Random(1),
+                                    area=area, radius_m=0.0)
+        with pytest.raises(ValueError):
+            RegionalFailureInjector(network.sim, network.nodes, random.Random(1),
+                                    area=area, min_outage_s=3.0, max_outage_s=1.0)
