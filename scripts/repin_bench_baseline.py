@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Re-pin ``benchmarks/bench_baseline.json`` from CI benchmark artifacts.
+
+Usage::
+
+    python scripts/repin_bench_baseline.py BENCH_*.json \
+        [--out benchmarks/bench_baseline.json] [--last 10] \
+        [--headroom 0.6] [--dry-run]
+
+Every CI ``bench-smoke`` run uploads a ``BENCH_<run_id>.json``
+pytest-benchmark artifact.  After downloading a batch of them (e.g. with
+``gh run download``), this script aggregates the per-benchmark
+``extra_info.events_per_sec`` rates and rewrites the committed baseline:
+
+1. artifacts are ordered oldest-to-newest (by the numeric run id in the
+   filename, falling back to file modification time),
+2. only the ``--last`` most recent runs per benchmark are kept,
+3. the **median** rate over those runs is taken (robust to one slow or
+   lucky runner), and
+4. the median is multiplied by ``--headroom`` (default 0.6) so the pinned
+   floor sits safely below typical CI throughput -- the regression gate
+   (``scripts/check_bench_regression.py``, default 20% tolerance) exists to
+   catch structural regressions, not scheduler noise.
+
+Benchmarks present in the current baseline but absent from every artifact
+are kept unchanged (with a warning), so a partial artifact download never
+silently drops a gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import statistics
+import sys
+from typing import Dict, List, Tuple
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_BASELINE = os.path.join(_REPO_ROOT, "benchmarks", "bench_baseline.json")
+
+_RUN_ID = re.compile(r"BENCH_(\d+)\.json$")
+
+
+def artifact_order_key(path: str) -> Tuple[int, float]:
+    """Sort key placing artifacts oldest first (run id, then mtime)."""
+    match = _RUN_ID.search(os.path.basename(path))
+    run_id = int(match.group(1)) if match else 0
+    try:
+        mtime = os.path.getmtime(path)
+    except OSError:
+        mtime = 0.0
+    return (run_id, mtime)
+
+
+def extract_rates(bench_json: dict) -> Dict[str, float]:
+    """benchmark name -> events_per_sec from one pytest-benchmark report."""
+    rates: Dict[str, float] = {}
+    for bench in bench_json.get("benchmarks", []):
+        rate = bench.get("extra_info", {}).get("events_per_sec")
+        if rate:
+            rates[bench["name"]] = float(rate)
+    return rates
+
+
+def collect_series(paths: List[str]) -> Dict[str, List[float]]:
+    """Per-benchmark rate series over the artifacts, oldest first."""
+    series: Dict[str, List[float]] = {}
+    for path in sorted(paths, key=artifact_order_key):
+        try:
+            with open(path) as handle:
+                report = json.load(handle)
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"WARN  skipping unreadable artifact {path}: {error}", file=sys.stderr)
+            continue
+        for name, rate in extract_rates(report).items():
+            series.setdefault(name, []).append(rate)
+    return series
+
+
+def repin(
+    series: Dict[str, List[float]],
+    current: Dict[str, float],
+    *,
+    last: int,
+    headroom: float,
+) -> Dict[str, int]:
+    """The new baseline: headroom-scaled medians, carrying unknowns over."""
+    baseline: Dict[str, int] = {}
+    for name in sorted(set(series) | set(current)):
+        rates = series.get(name)
+        if not rates:
+            print(f"WARN  {name}: not measured in any artifact; keeping "
+                  f"current pin {current[name]:,.0f} ev/s")
+            baseline[name] = int(current[name])
+            continue
+        window = rates[-last:]
+        median = statistics.median(window)
+        pinned = int(median * headroom)
+        previous = current.get(name)
+        delta = (
+            f" ({(pinned - previous) / previous:+.1%} vs current)"
+            if previous
+            else " (new)"
+        )
+        print(f"pin   {name}: median {median:,.0f} ev/s over {len(window)} "
+              f"run(s) -> {pinned:,} ev/s{delta}")
+        baseline[name] = pinned
+    return baseline
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("artifacts", nargs="+", help="BENCH_*.json artifact files")
+    parser.add_argument("--out", default=DEFAULT_BASELINE,
+                        help="baseline file to rewrite (default: the committed one)")
+    parser.add_argument("--last", type=int, default=10,
+                        help="use at most the N most recent runs per benchmark")
+    parser.add_argument("--headroom", type=float, default=0.6,
+                        help="fraction of the median to pin (default 0.6)")
+    parser.add_argument("--dry-run", action="store_true",
+                        help="print the new baseline without writing it")
+    args = parser.parse_args()
+    if args.last < 1:
+        parser.error("--last must be at least 1")
+    if not 0.0 < args.headroom <= 1.0:
+        parser.error("--headroom must lie in (0, 1]")
+
+    current: Dict[str, float] = {}
+    if os.path.exists(args.out):
+        with open(args.out) as handle:
+            current = {name: float(rate) for name, rate in json.load(handle).items()}
+
+    series = collect_series(args.artifacts)
+    if not series:
+        print("no events_per_sec entries found in any artifact", file=sys.stderr)
+        return 1
+
+    baseline = repin(series, current, last=args.last, headroom=args.headroom)
+    payload = json.dumps(baseline, indent=2, sort_keys=True) + "\n"
+    if args.dry_run:
+        print(payload, end="")
+        return 0
+    with open(args.out, "w") as handle:
+        handle.write(payload)
+    print(f"wrote {len(baseline)} pin(s) to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -57,13 +57,20 @@ class TrialRecord:
     params: Dict[str, object] = field(default_factory=dict)
     #: The materialised scenario config the trial ran (plain dict).
     config: Dict[str, object] = field(default_factory=dict)
+    #: Per-group delivery metrics (group index -> metric dict); populated for
+    #: multi-group and churn runs, empty for the static single-group case.
+    groups: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: Membership churn telemetry (``{"events": n}``); empty without churn.
+    membership: Dict[str, float] = field(default_factory=dict)
 
     @classmethod
     def from_result(cls, trial: "TrialSpec", result: "ScenarioResult") -> "TrialRecord":
         """Build the record of ``trial`` from its scenario result."""
         from repro.campaign.trials import config_to_dict
+        from repro.membership.summary import group_metrics
 
         summary = result.summary
+        multi = len(result.group_summaries) > 1 or result.membership_events > 0
         return cls(
             key=trial.key,
             campaign=trial.campaign,
@@ -86,6 +93,12 @@ class TrialRecord:
             protocol_stats=dict(result.protocol_stats),
             params=dict(trial.params),
             config=config_to_dict(trial.config),
+            groups=group_metrics(result.group_summaries) if multi else {},
+            membership=(
+                {"events": float(result.membership_events)}
+                if result.membership_events
+                else {}
+            ),
         )
 
     # ----------------------------------------------------------- JSON codec
@@ -105,6 +118,8 @@ class TrialRecord:
             "protocol_stats": self.protocol_stats,
             "params": self.params,
             "config": self.config,
+            "groups": self.groups,
+            "membership": self.membership,
         }
         return json.dumps(payload, separators=(",", ":"))
 
@@ -125,6 +140,8 @@ class TrialRecord:
             protocol_stats=dict(payload.get("protocol_stats", {})),
             params=dict(payload.get("params", {})),
             config=dict(payload.get("config", {})),
+            groups=dict(payload.get("groups", {})),
+            membership=dict(payload.get("membership", {})),
         )
 
 

@@ -28,6 +28,7 @@ from typing import Dict, List, Mapping, Optional, Sequence
 from repro.core.config import GossipConfig
 from repro.experiments.figures import GOODPUT_COMBINATIONS, ExperimentSpec
 from repro.experiments.variants import variant_config
+from repro.membership.config import ChurnConfig
 from repro.multicast.config import MaodvConfig
 from repro.multicast.flooding import FloodingConfig
 from repro.multicast.odmrp import OdmrpConfig
@@ -183,6 +184,7 @@ def config_to_dict(config: ScenarioConfig) -> Dict[str, object]:
 
 
 _NESTED_CONFIG_TYPES = {
+    "churn_config": ChurnConfig,
     "gossip_config": GossipConfig,
     "aodv_config": AodvConfig,
     "maodv_config": MaodvConfig,

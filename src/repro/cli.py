@@ -18,6 +18,7 @@ trials); ``list-figures`` shows which figures are available.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 import time
 from typing import List, Optional, Sequence
@@ -34,6 +35,7 @@ from repro.campaign import (
 from repro.experiments.figures import all_figures
 from repro.experiments.runner import run_experiment
 from repro.experiments.variants import variant_names
+from repro.membership.config import ChurnConfig
 from repro.metrics.reporting import format_rows
 from repro.workload.scenario import Scenario, ScenarioConfig
 
@@ -56,6 +58,14 @@ def build_parser() -> argparse.ArgumentParser:
                             help="maximum node speed in m/s")
     run_parser.add_argument("--seed", type=int, default=1)
     run_parser.add_argument("--protocol", choices=("maodv", "flooding", "odmrp"), default="maodv")
+    run_parser.add_argument("--groups", type=int, default=1,
+                            help="number of concurrent multicast groups (default 1)")
+    run_parser.add_argument("--churn", choices=("none", "poisson", "onoff", "flash"),
+                            default="none",
+                            help="dynamic-membership model (default none: static members)")
+    run_parser.add_argument("--churn-rate", type=float, default=6.0,
+                            help="membership events per minute: per group for "
+                                 "poisson, per member for onoff (ignored by flash)")
     gossip_group = run_parser.add_mutually_exclusive_group()
     gossip_group.add_argument("--gossip", dest="gossip", action="store_true", default=True,
                               help="enable Anonymous Gossip (default)")
@@ -102,6 +112,8 @@ def _add_sweep_arguments(parser: argparse.ArgumentParser) -> None:
 
 def _command_run(args: argparse.Namespace) -> int:
     overrides = {"seed": args.seed, "protocol": args.protocol, "gossip_enabled": args.gossip}
+    if args.groups != 1:
+        overrides["group_count"] = args.groups
     if args.nodes is not None:
         overrides["num_nodes"] = args.nodes
     if args.members is not None:
@@ -114,6 +126,38 @@ def _command_run(args: argparse.Namespace) -> int:
         config = ScenarioConfig.paper(**overrides)
     else:
         config = ScenarioConfig.quick(**overrides)
+    if args.churn != "none":
+        if args.churn in ("poisson", "onoff") and args.churn_rate <= 0:
+            print(f"--churn-rate must be positive for {args.churn} churn",
+                  file=sys.stderr)
+            return 2
+        # Churn starts once the scenario's initial joins are done, so the
+        # models sample real membership state.
+        start_s = config.join_window_s
+        if args.churn == "flash":
+            # A sensible default flash crowd: a quarter of the fleet joins
+            # mid-way through the source phase (the flash instant is explicit,
+            # so no churn window applies).
+            churn = ChurnConfig(
+                model="flash",
+                flash_at_s=(config.source_start_s + config.source_stop_s) / 2.0,
+                flash_joiners=max(2, config.num_nodes // 4),
+                min_members=2,
+            )
+        elif args.churn == "onoff":
+            # ~churn-rate membership events per member per minute: a node in
+            # symmetric on/off sessions of mean m toggles 60/m times a minute.
+            session_s = 60.0 / args.churn_rate
+            churn = ChurnConfig(
+                model="onoff", start_s=start_s, mean_on_s=session_s,
+                mean_off_s=session_s, min_members=2,
+            )
+        else:
+            churn = ChurnConfig(
+                model="poisson", start_s=start_s,
+                events_per_minute=args.churn_rate, min_members=2,
+            )
+        config = dataclasses.replace(config, churn_config=churn)
 
     result = Scenario(config).run()
     summary = result.summary
@@ -131,6 +175,24 @@ def _command_run(args: argparse.Namespace) -> int:
             f"{result.mean_goodput:.1f}%",
         ]],
     ))
+    if len(result.group_summaries) > 1:
+        # "members seen": every node that held a subscription at some point
+        # during the run (grows with churn, not the configured group size).
+        print(format_rows(
+            ["group", "sent", "mean", "delivery", "members seen"],
+            [
+                [
+                    group_index,
+                    group_summary.packets_sent,
+                    f"{group_summary.mean:.1f}",
+                    f"{100 * group_summary.delivery_ratio:.1f}%",
+                    len(group_summary.member_counts),
+                ]
+                for group_index, group_summary in sorted(result.group_summaries.items())
+            ],
+        ))
+    if result.membership_events:
+        print(f"membership events applied: {result.membership_events}")
     print(f"events processed: {result.events_processed}")
     return 0
 

@@ -43,6 +43,52 @@ RecoveryListener = Callable[[MulticastData], None]
 _UNKNOWN_HOPS = 8
 
 
+class GossipGroupDispatcher:
+    """Per-node demultiplexer routing gossip packets to their group's agent.
+
+    A node can carry one :class:`GossipAgent` per multicast group, but only
+    one packet handler per packet type can be registered on the node.  The
+    dispatcher registers the :class:`GossipRequest` / :class:`GossipReply`
+    handlers exactly once per node and forwards each packet to the agent of
+    ``packet.group``; packets of groups without a local agent are dropped
+    silently, exactly as a lone agent used to drop foreign-group packets.
+    """
+
+    def __init__(self, node: Node):
+        self._agents: Dict[GroupAddress, "GossipAgent"] = {}
+        node.register_handler(GossipRequest, self._on_request)
+        node.register_handler(GossipReply, self._on_reply)
+
+    @classmethod
+    def for_node(cls, node: Node) -> "GossipGroupDispatcher":
+        """The node's dispatcher, created (and registered) on first use."""
+        dispatcher = getattr(node, "gossip_dispatcher", None)
+        if dispatcher is None:
+            dispatcher = cls(node)
+            node.gossip_dispatcher = dispatcher
+        return dispatcher
+
+    def register(self, group: GroupAddress, agent: "GossipAgent") -> None:
+        """Attach ``agent`` as the handler of ``group``'s gossip packets."""
+        if group in self._agents:
+            raise ValueError(f"node already has a gossip agent for group {group}")
+        self._agents[group] = agent
+
+    def agent_for(self, group: GroupAddress) -> Optional["GossipAgent"]:
+        """The agent handling ``group`` on this node, if any."""
+        return self._agents.get(group)
+
+    def _on_request(self, request: GossipRequest, from_node: NodeId) -> None:
+        agent = self._agents.get(request.group)
+        if agent is not None:
+            agent._on_request(request, from_node)
+
+    def _on_reply(self, reply: GossipReply, from_node: NodeId) -> None:
+        agent = self._agents.get(reply.group)
+        if agent is not None:
+            agent._on_reply(reply, from_node)
+
+
 @dataclass
 class GossipStats:
     """Per-node gossip counters (goodput is derived from the reply counters)."""
@@ -84,6 +130,8 @@ class GossipAgent:
         aodv: AodvRouter,
         group: GroupAddress,
         config: Optional[GossipConfig] = None,
+        *,
+        rng=None,
     ):
         self.node = node
         self.sim = node.sim
@@ -91,7 +139,7 @@ class GossipAgent:
         self.aodv = aodv
         self.group = group
         self.config = config or GossipConfig()
-        self.rng = node.streams.for_node("gossip", node.node_id)
+        self.rng = rng if rng is not None else node.streams.for_node("gossip", node.node_id)
         self.stats = GossipStats()
 
         self.lost_table = LostTable(
@@ -101,9 +149,11 @@ class GossipAgent:
         self.history = HistoryTable(capacity=self.config.history_size)
         self.member_cache = MemberCache(capacity=self.config.member_cache_size)
         self._recovery_listeners: List[RecoveryListener] = []
+        #: False after a mid-run join: requests then refuse history bootstrap
+        #: so the member is never back-filled with pre-subscription packets.
+        self._bootstrap = True
 
-        node.register_handler(GossipRequest, self._on_request)
-        node.register_handler(GossipReply, self._on_reply)
+        GossipGroupDispatcher.for_node(node).register(group, self)
         multicast.add_delivery_listener(self._on_multicast_delivery)
 
         self._timer = PeriodicTimer(
@@ -137,6 +187,49 @@ class GossipAgent:
     def stop(self) -> None:
         """Stop gossiping."""
         self._timer.stop()
+
+    # -------------------------------------------------------- membership churn
+    def on_membership_join(self) -> None:
+        """Start a fresh membership epoch after a *mid-run* join.
+
+        The agent drops any recovery state from a previous subscription and
+        switches to no-credit-for-the-past mode: the new lost table baselines
+        every source at the first packet observed after the join, and gossip
+        requests go out with ``bootstrap=False``, so packets multicast before
+        the join are neither recorded as lost nor served by responders.
+
+        Deliberate tradeoff: data packets carry no timestamps, so responders
+        cannot distinguish "sent before the join" from "sent after the join
+        but never delivered".  Disabling bootstrap therefore also disables
+        gossip's cut-off self-healing for a joiner that has not yet received
+        its *first* post-join packet -- until that first reception, recovery
+        of a broken branch is MAODV's job (re-join / repair), not gossip's.
+        Once any packet arrives, normal pull recovery resumes from that
+        baseline.
+        """
+        self.lost_table = LostTable(
+            capacity=self.config.lost_table_size,
+            initial_expected_seq=self.config.initial_expected_seq,
+            baseline_first_observation=True,
+        )
+        self.history = HistoryTable(capacity=self.config.history_size)
+        self._bootstrap = False
+
+    def on_membership_leave(self) -> None:
+        """Drop member state on leave.
+
+        Gossip rounds stop on their own (``is_member`` turns False once the
+        multicast layer processes the leave) and ``_accept`` already refuses
+        to serve pulls for non-members; clearing the tables models a leaver
+        that also discards its buffered history rather than serving stale
+        replies after a quick re-join.
+        """
+        self.lost_table = LostTable(
+            capacity=self.config.lost_table_size,
+            initial_expected_seq=self.config.initial_expected_seq,
+        )
+        self.history = HistoryTable(capacity=self.config.history_size)
+        self.member_cache = MemberCache(capacity=self.config.member_cache_size)
 
     # ------------------------------------------------------- reception tracking
     def _on_multicast_delivery(self, data: MulticastData) -> None:
@@ -200,6 +293,7 @@ class GossipAgent:
             lost=list(lost),
             expected=expected,
             hops_remaining=self.config.max_gossip_hops,
+            bootstrap=self._bootstrap,
         )
 
     def _send_anonymous(self, request: GossipRequest) -> None:
@@ -288,6 +382,7 @@ class GossipAgent:
             expected=request.expected,
             hops_remaining=request.hops_remaining - 1,
             direct=False,
+            bootstrap=request.bootstrap,
         )
         self.stats.requests_forwarded += 1
         self.node.send_frame(forwarded, next_hop)
@@ -337,10 +432,13 @@ class GossipAgent:
         # Sources the initiator has never heard from at all: everything in the
         # history is news to it.  This is what lets gossip bootstrap a member
         # that was cut off from the tree before receiving its first packet.
-        known_sources = set(request.expected)
-        for source in {message_id[0] for message_id in self.history.message_ids()}:
-            if source not in known_sources:
-                offer(source, self.config.initial_expected_seq)
+        # Mid-run joiners opt out (bootstrap=False): packets from before
+        # their subscription must not be pushed at them.
+        if request.bootstrap:
+            known_sources = set(request.expected)
+            for source in {message_id[0] for message_id in self.history.message_ids()}:
+                if source not in known_sources:
+                    offer(source, self.config.initial_expected_seq)
         return messages[:limit]
 
     def _on_reply(self, reply: GossipReply, from_node: NodeId) -> None:

@@ -19,11 +19,22 @@ MessageId = Tuple[int, int]
 class LostTable:
     """Tracks missing (source, sequence-number) pairs for one member."""
 
-    def __init__(self, capacity: int = 200, initial_expected_seq: int = 1):
+    def __init__(
+        self,
+        capacity: int = 200,
+        initial_expected_seq: int = 1,
+        baseline_first_observation: bool = False,
+    ):
         if capacity < 1:
             raise ValueError("capacity must be at least 1")
         self.capacity = capacity
         self.initial_expected_seq = initial_expected_seq
+        #: When True, the first packet observed from a source sets that
+        #: source's baseline instead of marking ``initial_expected_seq..seq-1``
+        #: as lost.  Members joining a group mid-run use this so packets sent
+        #: before their subscription are never recorded (or requested) as
+        #: losses.
+        self.baseline_first_observation = baseline_first_observation
         self._expected: Dict[int, int] = {}
         self._lost: "OrderedDict[MessageId, None]" = OrderedDict()
         self.overflow_drops = 0
@@ -41,7 +52,12 @@ class LostTable:
         Returns True when the message was new (not a duplicate of something
         already received or already known lost-and-recovered).
         """
-        expected = self._expected.get(source, self.initial_expected_seq)
+        expected = self._expected.get(source)
+        if expected is None:
+            if self.baseline_first_observation:
+                self._expected[source] = seq + 1
+                return True
+            expected = self.initial_expected_seq
         if seq < expected:
             # Either a duplicate or a recovery of a previously lost message.
             return self.mark_recovered(source, seq)

@@ -38,6 +38,11 @@ class GossipRequest(Packet):
     #: True for cached gossip: the request was unicast straight to a known
     #: member and must be accepted rather than propagated.
     direct: bool = False
+    #: When True (the default) the responder may also serve messages from
+    #: sources the initiator has never heard of (history bootstrap).  Members
+    #: that joined mid-run send False so they are not back-filled with
+    #: packets from before their subscription started.
+    bootstrap: bool = True
 
     @property
     def number_lost(self) -> int:

@@ -24,6 +24,7 @@ import math
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.membership.config import ChurnConfig
 from repro.workload.scenario import ScenarioConfig
 
 #: The (transmission range, max speed) combinations of the Fig. 8 goodput
@@ -285,8 +286,82 @@ def figure8_goodput() -> ExperimentSpec:
     )
 
 
+# ----------------------------------------------------- beyond-the-paper sweeps
+def churn_rate_sweep() -> ExperimentSpec:
+    """Churn sweep: packet delivery vs membership churn rate.
+
+    A workload family the paper never measured: Poisson membership churn
+    joins and leaves group members *during* the source phase at ``x``
+    membership events per minute per group (``x = 0`` is the paper's static
+    membership).  Delivery ratios are membership-interval-aware -- a packet
+    counts against a member only when it was sent while that member was
+    subscribed -- so the MAODV and MAODV+AG series stay comparable across
+    churn rates.
+    """
+
+    def build(x: float, scale: str) -> ScenarioConfig:
+        if scale == "paper":
+            base = _base_config(
+                scale, num_nodes=40, transmission_range_m=75.0, max_speed_mps=0.2
+            )
+            window = (60.0, base.source_stop_s)
+        else:
+            base = _base_config(scale, max_speed_mps=0.2)
+            window = (8.0, base.source_stop_s)
+        if x <= 0:
+            return base
+        churn = ChurnConfig(
+            model="poisson",
+            events_per_minute=float(x),
+            start_s=window[0],
+            stop_s=window[1],
+            min_members=2,
+        )
+        return replace(base, churn_config=churn)
+
+    return ExperimentSpec(
+        figure="churn",
+        title="Packet delivery vs membership churn rate (Poisson joins/leaves)",
+        x_label="membership events / min / group",
+        x_values=[0.0, 2.0, 6.0, 12.0],
+        config_builder=build,
+    )
+
+
+def group_count_sweep() -> ExperimentSpec:
+    """Multi-group sweep: packet delivery vs concurrent multicast groups.
+
+    ``x`` groups share one protocol stack; each has its own (possibly
+    overlapping) member set and its own CBR source over the same window, so
+    contention grows with the group count.  The reported delivery ratio
+    averages the per-(group, member) ratios; per-group summaries ride along
+    in the trial records.
+    """
+
+    def build(x: float, scale: str) -> ScenarioConfig:
+        groups = max(1, int(x))
+        if scale == "paper":
+            return _base_config(
+                scale,
+                num_nodes=40,
+                transmission_range_m=75.0,
+                max_speed_mps=0.2,
+                member_count=10,
+                group_count=groups,
+            )
+        return _base_config(scale, member_count=4, group_count=groups)
+
+    return ExperimentSpec(
+        figure="groups",
+        title="Packet delivery vs number of concurrent multicast groups",
+        x_label="# groups",
+        x_values=[1, 2, 3, 4],
+        config_builder=build,
+    )
+
+
 def all_figures() -> Dict[str, ExperimentSpec]:
-    """All experiment specs keyed by figure id."""
+    """All experiment specs keyed by figure id (paper figures + extensions)."""
     specs = [
         figure2_range_slow(),
         figure3_range_fast(),
@@ -295,5 +370,7 @@ def all_figures() -> Dict[str, ExperimentSpec]:
         figure6_nodes_constant_degree(),
         figure7_nodes_constant_range(),
         figure8_goodput(),
+        churn_rate_sweep(),
+        group_count_sweep(),
     ]
     return {spec.figure: spec for spec in specs}

@@ -1,0 +1,41 @@
+"""Dynamic group membership: churn models, directory, controller, summaries.
+
+The paper evaluates one multicast group with a member set fixed at startup.
+This package makes membership a first-class workload dimension: seeded churn
+models (:mod:`~repro.membership.churn`) propose joins and leaves, the
+:class:`~repro.membership.controller.MembershipController` applies them to a
+live scenario, and the :class:`~repro.membership.directory.MembershipDirectory`
+keeps the subscription intervals that make delivery metrics churn-aware.
+With churn disabled (the default) the scenario builds and runs the exact
+static-membership code path the goldens pin.
+"""
+
+from repro.membership.config import CHURN_MODELS, ChurnConfig
+from repro.membership.controller import MembershipController, MembershipStats
+from repro.membership.churn import (
+    ChurnModel,
+    FlashCrowdChurn,
+    OnOffChurn,
+    PoissonChurn,
+    ScriptedChurn,
+    build_churn_model,
+)
+from repro.membership.directory import MembershipDirectory, MembershipEvent
+from repro.membership.summary import combine_summaries, group_metrics
+
+__all__ = [
+    "CHURN_MODELS",
+    "ChurnConfig",
+    "ChurnModel",
+    "FlashCrowdChurn",
+    "MembershipController",
+    "MembershipDirectory",
+    "MembershipEvent",
+    "MembershipStats",
+    "OnOffChurn",
+    "PoissonChurn",
+    "ScriptedChurn",
+    "build_churn_model",
+    "combine_summaries",
+    "group_metrics",
+]

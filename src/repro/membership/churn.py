@@ -1,0 +1,181 @@
+"""Seeded churn models: arrival processes for join/leave events.
+
+Each model turns a :class:`~repro.membership.config.ChurnConfig` into
+scheduled calls against a :class:`~repro.membership.controller.MembershipController`.
+Models only *propose* events -- the controller enforces the membership floor
+and ceiling, skips no-op joins/leaves, and keeps the directory, the metrics
+intervals and the protocol stack in sync.
+
+All stochastic models draw exclusively from the single ``rng`` they are given
+(the scenario's ``"churn"`` stream), so a seed fully determines the event
+sequence and the rest of the simulation's randomness is untouched -- running
+the same scenario with churn on or off leaves every other stream identical.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+from repro.membership.config import ChurnConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.membership.controller import MembershipController
+
+
+class ChurnModel:
+    """Base class: a generator of membership events for one scenario run."""
+
+    def start(self, controller: "MembershipController") -> None:
+        """Begin proposing events against ``controller``."""
+        raise NotImplementedError
+
+
+class ScriptedChurn(ChurnModel):
+    """Applies an explicit ``[time, group, node, kind]`` schedule verbatim."""
+
+    def __init__(self, config: ChurnConfig):
+        self.script = [tuple(row) for row in config.script]
+
+    def start(self, controller: "MembershipController") -> None:
+        for time_s, group_index, node_id, kind in self.script:
+            apply = controller.join if kind == "join" else controller.leave
+            controller.sim.schedule_at(float(time_s), apply, int(group_index), int(node_id))
+
+
+class PoissonChurn(ChurnModel):
+    """Memoryless churn: events arrive per group at ``events_per_minute``.
+
+    Each arrival flips a fair coin between a join (of a uniformly random
+    non-member from the pool) and a leave (of a uniformly random member).
+    A proposal with no eligible candidate -- the pool is exhausted, or the
+    group sits at its floor/ceiling -- is counted as skipped and the clock
+    simply advances to the next arrival.
+    """
+
+    def __init__(self, config: ChurnConfig, rng):
+        self.rng = rng
+        self.rate_per_s = config.events_per_minute / 60.0
+
+    def start(self, controller: "MembershipController") -> None:
+        start, _ = controller.window
+        for group_index in range(controller.group_count):
+            self._schedule_next(controller, group_index, start)
+
+    def _schedule_next(self, controller: "MembershipController", group_index: int,
+                       not_before: float) -> None:
+        at = max(not_before, controller.sim.now) + self.rng.expovariate(self.rate_per_s)
+        if at >= controller.window[1]:
+            return
+        controller.sim.schedule_at(at, self._event, controller, group_index)
+
+    def _event(self, controller: "MembershipController", group_index: int) -> None:
+        if self.rng.random() < 0.5:
+            candidates = controller.join_candidates(group_index)
+            if candidates:
+                controller.join(group_index, self.rng.choice(candidates))
+            else:
+                controller.stats.events_skipped += 1
+        else:
+            candidates = controller.leave_candidates(group_index)
+            if candidates:
+                controller.leave(group_index, self.rng.choice(candidates))
+            else:
+                controller.stats.events_skipped += 1
+        self._schedule_next(controller, group_index, controller.sim.now)
+
+
+class OnOffChurn(ChurnModel):
+    """Session churn: every pool node alternates on/off sessions per group.
+
+    Initial on/off states are sampled *at the churn window start* (a
+    simulation event, so joins scheduled before the window -- the scenario's
+    startup joins -- are already applied): members at that instant begin
+    *on* (first toggle is a leave after an exponential ``mean_on_s``),
+    everyone else begins *off* (first toggle is a join after
+    ``mean_off_s``).  Configure ``start_s`` at or after the scenario's join
+    window, otherwise initial members are still off when sampled.  Toggles
+    the controller rejects (floor/ceiling) are skipped; the session clock
+    keeps running either way.
+    """
+
+    def __init__(self, config: ChurnConfig, rng):
+        self.rng = rng
+        self.mean_on_s = config.mean_on_s
+        self.mean_off_s = config.mean_off_s
+
+    def start(self, controller: "MembershipController") -> None:
+        start, _ = controller.window
+        controller.sim.schedule_at(start, self._arm, controller)
+
+    def _arm(self, controller: "MembershipController") -> None:
+        now = controller.sim.now
+        for group_index in range(controller.group_count):
+            for node_id in controller.pool:
+                on = controller.directory.is_member(group_index, node_id)
+                self._schedule_toggle(controller, group_index, node_id, on, now)
+
+    def _schedule_toggle(self, controller: "MembershipController", group_index: int,
+                         node_id: int, currently_on: bool, not_before: float) -> None:
+        mean = self.mean_on_s if currently_on else self.mean_off_s
+        at = max(not_before, controller.sim.now) + self.rng.expovariate(1.0 / mean)
+        if at >= controller.window[1]:
+            return
+        controller.sim.schedule_at(at, self._toggle, controller, group_index, node_id)
+
+    def _toggle(self, controller: "MembershipController", group_index: int, node_id: int) -> None:
+        # Re-read the *actual* state at toggle time: a rejected proposal (or a
+        # competing model) may have left the node in either state.
+        if controller.directory.is_member(group_index, node_id):
+            controller.leave(group_index, node_id)
+        else:
+            controller.join(group_index, node_id)
+        on = controller.directory.is_member(group_index, node_id)
+        self._schedule_toggle(controller, group_index, node_id, on, controller.sim.now)
+
+
+class FlashCrowdChurn(ChurnModel):
+    """A burst of ``flash_joiners`` joins per group at ``flash_at_s``.
+
+    Like the scripted model, the flash instant (and the stay-driven
+    departures) are explicit times and ignore the churn window.
+    """
+
+    def __init__(self, config: ChurnConfig, rng):
+        self.rng = rng
+        self.flash_at_s = config.flash_at_s
+        self.flash_joiners = config.flash_joiners
+        self.flash_stay_s = config.flash_stay_s
+
+    def start(self, controller: "MembershipController") -> None:
+        controller.sim.schedule_at(self.flash_at_s, self._flash, controller)
+
+    def _flash(self, controller: "MembershipController") -> None:
+        for group_index in range(controller.group_count):
+            candidates = controller.join_candidates(group_index)
+            count = min(self.flash_joiners, len(candidates))
+            if count == 0:
+                controller.stats.events_skipped += 1
+                continue
+            joiners: List[int] = sorted(self.rng.sample(candidates, count))
+            for node_id in joiners:
+                if controller.join(group_index, node_id) and self.flash_stay_s is not None:
+                    stay = self.rng.expovariate(1.0 / self.flash_stay_s)
+                    controller.sim.schedule(stay, controller.leave, group_index, node_id)
+
+
+def build_churn_model(config: ChurnConfig, rng) -> ChurnModel:
+    """Instantiate the churn model described by ``config``.
+
+    ``rng`` is only consumed by the stochastic models; ``scripted`` runs are
+    fully deterministic.  Raises :class:`ValueError` for ``model="none"`` --
+    a disabled config has no model to build.
+    """
+    if config.model == "scripted":
+        return ScriptedChurn(config)
+    if config.model == "poisson":
+        return PoissonChurn(config, rng)
+    if config.model == "onoff":
+        return OnOffChurn(config, rng)
+    if config.model == "flash":
+        return FlashCrowdChurn(config, rng)
+    raise ValueError(f"no churn model to build for {config.model!r}")

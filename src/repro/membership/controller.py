@@ -1,0 +1,188 @@
+"""The membership controller: applies churn to a live scenario.
+
+:class:`MembershipController` sits between a churn model (which *proposes*
+joins and leaves) and the protocol stack (which must react to them).  For
+every accepted event it
+
+1. updates the :class:`~repro.membership.directory.MembershipDirectory`,
+2. opens/closes the member's subscription interval in the group's
+   :class:`~repro.metrics.collectors.DeliveryCollector` (so delivery ratios
+   only charge a member for packets sent while it was subscribed), and
+3. invokes the scenario-provided ``join_hook`` / ``leave_hook`` that drives
+   the actual protocol machinery (MAODV join/prune, gossip state reset,
+   sink attachment).
+
+The controller also enforces the policy knobs -- the eligible ``pool``, the
+``min_members`` floor, the ``max_members`` ceiling and the ``protected``
+nodes (multicast sources, which must stay subscribed for the paper's
+delivery accounting to make sense) -- so every churn model gets them for
+free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.membership.churn import ChurnModel
+from repro.membership.directory import MembershipDirectory
+
+Protected = Union[Iterable[int], Mapping[int, Iterable[int]]]
+
+#: Hook signature: ``(group_index, node_id, initial)``; ``initial`` is True
+#: for the scenario's startup joins (which must behave exactly like the
+#: static path) and False for mid-run churn events.
+MembershipHook = Callable[[int, int, bool], None]
+
+
+@dataclass
+class MembershipStats:
+    """Counters of applied and rejected membership events."""
+
+    #: Startup joins of the scenario's initial members (not churn).
+    initial_joins: int = 0
+    #: Mid-run joins / leaves applied by the churn model.
+    joins_applied: int = 0
+    leaves_applied: int = 0
+    events_skipped: int = 0
+
+    @property
+    def churn_events(self) -> int:
+        """Mid-run membership events applied (initial joins excluded)."""
+        return self.joins_applied + self.leaves_applied
+
+
+class MembershipController:
+    """Applies membership events proposed by a churn model to one scenario."""
+
+    def __init__(
+        self,
+        sim,
+        directory: MembershipDirectory,
+        *,
+        pool: Sequence[int],
+        window: Tuple[float, float],
+        churn: Optional[ChurnModel] = None,
+        min_members: int = 1,
+        max_members: Optional[int] = None,
+        protected: Protected = (),
+        collectors: Optional[Dict[int, object]] = None,
+        join_hook: Optional[MembershipHook] = None,
+        leave_hook: Optional[MembershipHook] = None,
+    ):
+        self.sim = sim
+        self.directory = directory
+        self.churn = churn
+        self.pool = sorted(set(pool))
+        self._pool_set = frozenset(self.pool)
+        self.window = window
+        self.min_members = min_members
+        self.max_members = max_members
+        # ``protected`` is per group: a mapping group_index -> node ids, or a
+        # flat iterable applied to every group.  A node sourcing group 0 can
+        # still churn in and out of group 1.
+        if isinstance(protected, Mapping):
+            self._protected: Dict[int, frozenset] = {
+                group_index: frozenset(nodes)
+                for group_index, nodes in protected.items()
+            }
+        else:
+            everywhere = frozenset(protected)
+            self._protected = {
+                group_index: everywhere
+                for group_index in range(directory.group_count)
+            }
+        self._collectors = collectors or {}
+        self._join_hook = join_hook
+        self._leave_hook = leave_hook
+        self.stats = MembershipStats()
+
+    @property
+    def group_count(self) -> int:
+        """Number of groups under management."""
+        return self.directory.group_count
+
+    def start(self) -> None:
+        """Arm the churn model (if any)."""
+        if self.churn is not None:
+            self.churn.start(self)
+
+    # ------------------------------------------------------------- candidates
+    def join_candidates(self, group_index: int) -> List[int]:
+        """Pool nodes that could join the group right now (sorted)."""
+        if (
+            self.max_members is not None
+            and self.directory.member_count(group_index) >= self.max_members
+        ):
+            return []
+        return [n for n in self.pool if not self.directory.is_member(group_index, n)]
+
+    def leave_candidates(self, group_index: int) -> List[int]:
+        """Members that could leave the group right now (sorted).
+
+        Empty while the group sits at its ``min_members`` floor; protected
+        nodes (sources) never appear.
+        """
+        if self.directory.member_count(group_index) <= self.min_members:
+            return []
+        protected = self._protected.get(group_index, frozenset())
+        return [
+            n for n in self.directory.members(group_index) if n not in protected
+        ]
+
+    # ----------------------------------------------------------------- events
+    def schedule_initial_join(self, group_index: int, node_id: int, at: float) -> None:
+        """Schedule a startup join at ``at`` (mirrors the static join path)."""
+        self.sim.schedule_at(at, self._apply_join, group_index, node_id, True)
+
+    def join(self, group_index: int, node_id: int) -> bool:
+        """Apply a mid-run join; returns False when rejected or a no-op."""
+        return self._apply_join(group_index, node_id, False)
+
+    def leave(self, group_index: int, node_id: int) -> bool:
+        """Apply a mid-run leave; returns False when rejected or a no-op."""
+        now = self.sim.now
+        if node_id in self._protected.get(group_index, frozenset()):
+            self.stats.events_skipped += 1
+            return False
+        if not self.directory.is_member(group_index, node_id):
+            self.stats.events_skipped += 1
+            return False
+        if self.directory.member_count(group_index) <= self.min_members:
+            self.stats.events_skipped += 1
+            return False
+        self.directory.record_leave(group_index, node_id, now)
+        collector = self._collectors.get(group_index)
+        if collector is not None:
+            collector.close_interval(node_id, now)
+        if self._leave_hook is not None:
+            self._leave_hook(group_index, node_id, False)
+        self.stats.leaves_applied += 1
+        return True
+
+    def _apply_join(self, group_index: int, node_id: int, initial: bool) -> bool:
+        now = self.sim.now
+        if not initial and node_id not in self._pool_set:
+            self.stats.events_skipped += 1
+            return False
+        if self.directory.is_member(group_index, node_id):
+            self.stats.events_skipped += 1
+            return False
+        if (
+            not initial
+            and self.max_members is not None
+            and self.directory.member_count(group_index) >= self.max_members
+        ):
+            self.stats.events_skipped += 1
+            return False
+        self.directory.record_join(group_index, node_id, now)
+        collector = self._collectors.get(group_index)
+        if collector is not None:
+            collector.open_interval(node_id, now)
+        if self._join_hook is not None:
+            self._join_hook(group_index, node_id, initial)
+        if initial:
+            self.stats.initial_joins += 1
+        else:
+            self.stats.joins_applied += 1
+        return True

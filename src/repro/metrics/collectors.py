@@ -6,13 +6,21 @@ across members, the line the mean).  :class:`DeliveryCollector` gathers
 exactly that: sources register the packets they send, members register the
 packets they receive -- whether the packet arrived through MAODV or through a
 gossip reply -- and duplicates are counted once.
+
+With dynamic membership (see :mod:`repro.membership`) the collector becomes
+*interval-aware*: :meth:`DeliveryCollector.open_interval` /
+:meth:`~DeliveryCollector.close_interval` record a member's subscription
+spans, and a packet then counts for (and against) that member only when it
+was **sent while the member was subscribed**.  Members without recorded
+intervals keep the paper's static accounting -- every sent packet counts --
+so scenarios without churn are bit-identical to the original collector.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 MessageId = Tuple[int, int]
 
@@ -43,6 +51,11 @@ class DeliverySummary:
     maximum: int
     std: float
     delivery_ratio: float
+    #: Number of members the delivery ratio averaged over.  ``None`` means
+    #: every member in ``member_counts`` (the static accounting); with
+    #: subscription intervals, members whose expected-packet set is empty
+    #: are excluded from the ratio and from this count.
+    ratio_members: Optional[int] = None
 
     def __str__(self) -> str:
         return (
@@ -57,16 +70,21 @@ class DeliveryCollector:
 
     def __init__(self) -> None:
         self._sent: Set[MessageId] = set()
+        self._sent_at: Dict[MessageId, float] = {}
         self._members: Dict[int, MemberDelivery] = {}
+        #: member -> subscription spans ``[start, end]`` (``end`` None while open).
+        self._intervals: Dict[int, List[List[Optional[float]]]] = {}
 
     # ------------------------------------------------------------------ inputs
     def register_member(self, member: int) -> None:
         """Declare ``member`` as a group member (so zero counts appear too)."""
         self._members.setdefault(member, MemberDelivery(member=member))
 
-    def note_sent(self, source: int, seq: int) -> None:
-        """Record that the source multicast packet (source, seq)."""
+    def note_sent(self, source: int, seq: int, at: Optional[float] = None) -> None:
+        """Record that the source multicast packet (source, seq) at ``at``."""
         self._sent.add((source, seq))
+        if at is not None:
+            self._sent_at[(source, seq)] = at
 
     def note_delivered(self, member: int, source: int, seq: int, *, via_gossip: bool = False) -> None:
         """Record that ``member`` received packet (source, seq).
@@ -84,6 +102,59 @@ class DeliveryCollector:
         else:
             record.via_routing += 1
 
+    # ----------------------------------------------------- membership intervals
+    def open_interval(self, member: int, at: float) -> None:
+        """Start a subscription span for ``member`` at time ``at``.
+
+        From the first opened interval on, the member's delivery accounting
+        only covers packets sent inside one of its spans.  Opening while a
+        span is already open is a no-op (idempotent joins).
+        """
+        self.register_member(member)
+        spans = self._intervals.setdefault(member, [])
+        if spans and spans[-1][1] is None:
+            return
+        spans.append([at, None])
+
+    def close_interval(self, member: int, at: float) -> None:
+        """End the member's open subscription span at time ``at``."""
+        spans = self._intervals.get(member)
+        if not spans or spans[-1][1] is not None:
+            return
+        spans[-1][1] = at
+
+    def intervals_of(self, member: int) -> List[Tuple[float, Optional[float]]]:
+        """The member's recorded subscription spans (empty = always subscribed)."""
+        return [tuple(span) for span in self._intervals.get(member, [])]
+
+    @property
+    def has_intervals(self) -> bool:
+        """True once any member has recorded subscription intervals."""
+        return bool(self._intervals)
+
+    def _subscribed_at(self, member: int, at: float) -> bool:
+        for start, end in self._intervals.get(member, []):
+            if start <= at and (end is None or at < end):
+                return True
+        return False
+
+    def expected_for(self, member: int) -> Set[MessageId]:
+        """Packets that count for ``member``: sent while it was subscribed.
+
+        Members without recorded intervals expect every sent packet (the
+        paper's static accounting).  A sent packet without a recorded send
+        time falls back to "expected" so legacy callers of
+        :meth:`note_sent` keep the static behaviour.
+        """
+        if member not in self._intervals:
+            return set(self._sent)
+        expected = set()
+        for message_id in self._sent:
+            sent_at = self._sent_at.get(message_id)
+            if sent_at is None or self._subscribed_at(member, sent_at):
+                expected.add(message_id)
+        return expected
+
     # ----------------------------------------------------------------- queries
     @property
     def packets_sent(self) -> int:
@@ -96,21 +167,47 @@ class DeliveryCollector:
         return sorted(self._members)
 
     def received_by(self, member: int) -> int:
-        """Number of distinct packets received by ``member``."""
+        """Number of distinct (expected) packets received by ``member``."""
         record = self._members.get(member)
-        return record.count if record is not None else 0
+        if record is None:
+            return 0
+        return self._count_of(record)
 
     def member_record(self, member: int) -> MemberDelivery:
         """Full reception record of ``member``."""
         return self._members.setdefault(member, MemberDelivery(member=member))
 
+    def _count_of(self, record: MemberDelivery) -> int:
+        if record.member not in self._intervals:
+            return record.count
+        return len(record.received & self.expected_for(record.member))
+
     def counts(self) -> Dict[int, int]:
-        """Mapping member -> number of packets received."""
-        return {member: record.count for member, record in sorted(self._members.items())}
+        """Mapping member -> number of packets received (interval-aware)."""
+        return {
+            member: self._count_of(record)
+            for member, record in sorted(self._members.items())
+        }
 
     def summary(self) -> DeliverySummary:
-        """Aggregate statistics over all registered members."""
-        counts = self.counts()
+        """Aggregate statistics over all registered members.
+
+        Without recorded intervals this is the paper's computation verbatim.
+        With intervals, each member's count covers only packets sent while it
+        was subscribed and the delivery ratio averages the per-member ratios
+        (each against the member's own expected-packet denominator).
+        """
+        # One expected-set computation per interval member, shared by the
+        # count and the per-member ratio denominator.
+        counts: Dict[int, int] = {}
+        expected_sizes: Dict[int, int] = {}
+        for member, record in sorted(self._members.items()):
+            if member in self._intervals:
+                expected = self.expected_for(member)
+                counts[member] = len(record.received & expected)
+                expected_sizes[member] = len(expected)
+            else:
+                counts[member] = record.count
         values = list(counts.values())
         if not values:
             return DeliverySummary(
@@ -125,6 +222,17 @@ class DeliveryCollector:
         mean = sum(values) / len(values)
         variance = sum((value - mean) ** 2 for value in values) / len(values)
         sent = self.packets_sent
+        ratio_members: Optional[int] = None
+        if not self._intervals:
+            ratio = (mean / sent) if sent else 0.0
+        else:
+            per_member: List[float] = []
+            for member, count in counts.items():
+                expected_size = expected_sizes.get(member, sent)
+                if expected_size:
+                    per_member.append(count / expected_size)
+            ratio = (sum(per_member) / len(per_member)) if per_member else 0.0
+            ratio_members = len(per_member)
         return DeliverySummary(
             packets_sent=sent,
             member_counts=counts,
@@ -132,5 +240,6 @@ class DeliveryCollector:
             minimum=min(values),
             maximum=max(values),
             std=math.sqrt(variance),
-            delivery_ratio=(mean / sent) if sent else 0.0,
+            delivery_ratio=ratio,
+            ratio_members=ratio_members,
         )

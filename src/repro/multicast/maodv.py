@@ -180,13 +180,35 @@ class MaodvRouter:
         self._start_join(group)
 
     def leave_group(self, group: GroupAddress) -> None:
-        """Leave ``group``; a leaf node prunes itself off the tree."""
+        """Leave ``group``: a leaf prunes itself, the last member dissolves it.
+
+        * A join/repair still in flight for the group is abandoned (late
+          replies are ignored through the pending-join bookkeeping).
+        * A leaf member MACT-prunes its single tree link and forgets the
+          group.
+        * The group leader keeps leading (and routing) while other tree
+          branches remain -- leadership hand-off happens through the normal
+          partition/merge machinery -- but when it is the last tree node the
+          group dissolves here: hellos stop and the entry is removed, so a
+          later :meth:`join_group` re-creates the group from scratch.
+        * Any other non-leaf member keeps routing for the tree, only its
+          membership flag (and nearest-member advertisement) changes.
+        """
         entry = self.table.entry(group)
         if entry is None or not entry.is_member:
             return
         entry.is_member = False
+        self._pending_joins.pop(group, None)
         neighbors = entry.tree_neighbors()
-        if len(neighbors) <= 1 and not self.is_group_leader(group):
+        if self.is_group_leader(group):
+            if not neighbors:
+                # Last member of its partition: the group dissolves.
+                self._stop_group_hello(group)
+                self.table.remove(group)
+                return
+            self._propagate_nearest_member(group)
+            return
+        if len(neighbors) <= 1:
             if neighbors:
                 self._send_prune(group, neighbors[0])
                 entry.remove_next_hop(neighbors[0])

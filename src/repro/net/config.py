@@ -32,9 +32,16 @@ class RadioConfig:
         default) or ``"naive"`` (the O(N) linear-scan reference).  Both
         produce bit-identical results.
     grid_cell_m:
-        Cell size of the uniform grid.  Defaults to half the carrier-sense
-        range: one transmission still touches O(1) cells, while cell-level
-        distance pruning discards most of the corner area.
+        Cell size of the uniform grid.  The default is speed-aware: a third
+        of the carrier-sense range for slow fleets (``speed_bound_mps``
+        below 2 m/s, where finer cells prune more candidates and rebuilds
+        are rare) and half the carrier-sense range otherwise (fast fleets
+        rebuild the grid often, so fewer, larger cells win).  Cell size is a
+        pure performance knob -- queries classify candidates exactly, so
+        results are identical for any value.
+    speed_bound_mps:
+        Upper bound on node speed, used only to pick the default grid cell
+        size.  ``None`` (unknown) selects the conservative half-range cell.
     grid_slack_m:
         Staleness budget of the grid in metres: cached positions may drift
         this far before being refreshed, and the grid is rebuilt once the
@@ -58,6 +65,7 @@ class RadioConfig:
     medium_index: str = "grid"
     grid_cell_m: float | None = None
     grid_slack_m: float | None = None
+    speed_bound_mps: float | None = None
     area_topology: str = "flat"
     area_width_m: float | None = None
     area_height_m: float | None = None
@@ -84,14 +92,33 @@ class RadioConfig:
                 raise ValueError("a torus area needs area_width_m and area_height_m")
             if self.area_width_m <= 0 or self.area_height_m <= 0:
                 raise ValueError("torus area dimensions must be positive")
+        if self.speed_bound_mps is not None and self.speed_bound_mps < 0:
+            raise ValueError("speed_bound_mps must be non-negative")
         if self.grid_cell_m is None:
-            self.grid_cell_m = self.carrier_sense_range_m / 2.0
+            self.grid_cell_m = self.carrier_sense_range_m / self.grid_cell_divisor(
+                self.speed_bound_mps
+            )
         if self.grid_cell_m <= 0:
             raise ValueError("grid_cell_m must be positive")
         if self.grid_slack_m is None:
             self.grid_slack_m = self.grid_cell_m / 8.0
         if self.grid_slack_m < 0:
             raise ValueError("grid_slack_m must be non-negative")
+
+    #: Fleets at or above this speed bound use the coarser cs/2 grid cell.
+    FAST_FLEET_MPS = 2.0
+
+    @staticmethod
+    def grid_cell_divisor(speed_bound_mps: float | None) -> float:
+        """Carrier-sense-range divisor for the default grid cell size.
+
+        Slow fleets (bound below :data:`FAST_FLEET_MPS`) get cs/3 -- finer
+        cells prune more of the candidate window and the grid rarely needs a
+        rebuild; fast or unknown-speed fleets get the rebuild-friendly cs/2.
+        """
+        if speed_bound_mps is None or speed_bound_mps >= RadioConfig.FAST_FLEET_MPS:
+            return 2.0
+        return 3.0
 
     def airtime(self, size_bytes: int) -> float:
         """Time in seconds to put ``size_bytes`` on the air."""

@@ -57,7 +57,16 @@ class Node:
             on_unicast_failure=self._on_unicast_failure,
         )
         self._handlers: Dict[Type[Packet], PacketHandler] = {}
-        self._sniffers: List[PacketHandler] = []
+        #: (sniffer, packet types it wants or None for all), registration order.
+        self._sniffers: List[Tuple[PacketHandler, Optional[Tuple[Type[Packet], ...]]]] = []
+        #: Per-concrete-packet-type dispatch chain: the matching sniffers (in
+        #: registration order) followed by the resolved handler.  Built lazily
+        #: on first delivery of each type; invalidated whenever a handler or
+        #: sniffer is added.  This turns the per-packet "loop all sniffers,
+        #: dict-lookup plus isinstance-scan for the handler" dispatch into a
+        #: single dict hit -- the hello fan-out's dispatch cost no longer
+        #: scales with the number of registered protocols or groups.
+        self._dispatch_cache: Dict[Type[Packet], Tuple[PacketHandler, ...]] = {}
         self._link_failure_listeners: List[LinkFailureListener] = []
         self.applications: List = []
         self._started = False
@@ -106,27 +115,55 @@ class Node:
                 f"node {self.node_id}: handler for {packet_type.__name__} already registered"
             )
         self._handlers[packet_type] = handler
+        self._dispatch_cache.clear()
 
-    def add_sniffer(self, sniffer: PacketHandler) -> None:
-        """Register a callback invoked for *every* packet this node receives.
+    def add_sniffer(
+        self,
+        sniffer: PacketHandler,
+        packet_types: Optional[Tuple[Type[Packet], ...]] = None,
+    ) -> None:
+        """Register a callback invoked for packets this node receives.
 
-        Protocols use this for passive observations such as neighbour
-        liveness (AODV) and member-cache population (cached gossip).
+        With the default ``packet_types=None`` the sniffer sees *every*
+        packet; protocols use this for passive observations such as neighbour
+        liveness (AODV).  Passing a tuple of packet classes restricts the
+        sniffer to those types (and their subclasses), so type-specific
+        observers stop taxing the dispatch of every other packet.
         """
-        self._sniffers.append(sniffer)
+        self._sniffers.append((sniffer, tuple(packet_types) if packet_types else None))
+        self._dispatch_cache.clear()
 
     def deliver(self, packet: Packet, from_node: NodeId) -> None:
         """Dispatch a packet received from the MAC (or from a local protocol)."""
-        for sniffer in self._sniffers:
-            sniffer(packet, from_node)
-        handler = self._handlers.get(type(packet))
+        chain = self._dispatch_cache.get(type(packet))
+        if chain is None:
+            chain = self._build_dispatch_chain(type(packet))
+        for callback in chain:
+            callback(packet, from_node)
+
+    def _build_dispatch_chain(self, packet_type: Type[Packet]) -> Tuple[PacketHandler, ...]:
+        """Resolve and cache the full delivery chain of one packet type.
+
+        The chain preserves the historic call order exactly: sniffers in
+        registration order first, then the handler (exact type match, falling
+        back to the first registered base class).
+        """
+        callbacks = [
+            sniffer
+            for sniffer, wanted in self._sniffers
+            if wanted is None or issubclass(packet_type, wanted)
+        ]
+        handler = self._handlers.get(packet_type)
         if handler is None:
-            for packet_type, candidate in self._handlers.items():
-                if isinstance(packet, packet_type):
+            for registered_type, candidate in self._handlers.items():
+                if issubclass(packet_type, registered_type):
                     handler = candidate
                     break
         if handler is not None:
-            handler(packet, from_node)
+            callbacks.append(handler)
+        chain = tuple(callbacks)
+        self._dispatch_cache[packet_type] = chain
+        return chain
 
     # ------------------------------------------------------------- link layer
     def send_frame(self, packet: Packet, next_hop: NodeId) -> bool:

@@ -55,7 +55,7 @@ class CbrSource:
         data = self.multicast.send_data(self.group, self.payload_bytes)
         self.packets_sent += 1
         if self.collector is not None:
-            self.collector.note_sent(data.source, data.seq)
+            self.collector.note_sent(data.source, data.seq, at=now)
         self.node.sim.schedule(self.interval_s, self._send)
 
     @property
@@ -65,7 +65,12 @@ class CbrSource:
 
 
 class MulticastSink:
-    """Member-side application recording every received packet."""
+    """Member-side application recording every received packet.
+
+    ``group`` restricts the sink to one multicast group's packets; ``None``
+    (the historic default) records every delivery the multicast layer hands
+    up, which is equivalent whenever the node subscribes to a single group.
+    """
 
     def __init__(
         self,
@@ -74,9 +79,11 @@ class MulticastSink:
         collector: DeliveryCollector,
         *,
         gossip=None,
+        group: Optional[GroupAddress] = None,
     ):
         self.node = node
         self.collector = collector
+        self.group = group
         self.packets_received = 0
         self.packets_recovered = 0
         collector.register_member(node.node_id)
@@ -88,12 +95,16 @@ class MulticastSink:
         """Sinks are passive; nothing to start."""
 
     def _on_routing_delivery(self, data: MulticastData) -> None:
+        if self.group is not None and data.group != self.group:
+            return
         self.packets_received += 1
         self.collector.note_delivered(
             self.node.node_id, data.source, data.seq, via_gossip=False
         )
 
     def _on_gossip_recovery(self, data: MulticastData) -> None:
+        if self.group is not None and data.group != self.group:
+            return
         self.packets_recovered += 1
         self.collector.note_delivered(
             self.node.node_id, data.source, data.seq, via_gossip=True

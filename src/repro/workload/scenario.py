@@ -7,6 +7,16 @@ stack together -- medium, mobility, MAC, AODV, MAODV (or flooding), gossip
 agents, CBR source and measuring sinks -- runs the simulation and returns a
 :class:`ScenarioResult`.
 
+Beyond the paper's setting, a scenario can run **multiple concurrent
+multicast groups** (``group_count``) -- each with its own member set,
+CBR source(s), per-group delivery collector and gossip agents sharing one
+protocol stack -- and **dynamic membership** (``churn_config``): a seeded
+churn model joins and leaves members mid-run through the
+:mod:`repro.membership` subsystem, with delivery ratios accounted per
+subscription interval.  With ``group_count=1`` and churn disabled (the
+defaults) the build and run path is bit-identical to the paper's static
+single-group reproduction.
+
 Two constructors cover the common cases:
 
 * :meth:`ScenarioConfig.paper` -- the exact parameters of the paper
@@ -18,10 +28,15 @@ Two constructors cover the common cases:
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.config import GossipConfig
 from repro.core.gossip import GossipAgent
+from repro.membership.config import ChurnConfig
+from repro.membership.churn import build_churn_model
+from repro.membership.controller import MembershipController
+from repro.membership.directory import MembershipDirectory
+from repro.membership.summary import combine_summaries
 from repro.metrics.collectors import DeliveryCollector, DeliverySummary
 from repro.mobility.base import RectangularArea
 from repro.mobility.random_waypoint import RandomWaypointMobility
@@ -29,7 +44,7 @@ from repro.multicast.config import MaodvConfig
 from repro.multicast.flooding import FloodingConfig, FloodingRouter
 from repro.multicast.maodv import MaodvRouter
 from repro.multicast.odmrp import OdmrpConfig, OdmrpRouter
-from repro.net.addressing import make_group_address
+from repro.net.addressing import GroupAddress, make_group_address
 from repro.net.config import MacConfig, RadioConfig
 from repro.net.medium import Medium
 from repro.net.node import Node
@@ -63,13 +78,21 @@ class ScenarioConfig:
     max_pause_s: float = 80.0
 
     # Group and traffic.
-    member_count: Optional[int] = None  # defaults to num_nodes // 3
+    member_count: Optional[int] = None  # per group; defaults to num_nodes // 3
     join_window_s: float = 10.0
     source_start_s: float = 120.0
     source_stop_s: float = 560.0
     packet_interval_s: float = 0.2
     payload_bytes: int = 64
     duration_s: float = 600.0
+    #: Number of concurrent multicast groups; each gets its own member set,
+    #: source(s) and collector over the one shared protocol stack.
+    group_count: int = 1
+    #: CBR sources per group (members; 1 reproduces the paper's setup).
+    sources_per_group: int = 1
+    #: Dynamic-membership model; the default (``model="none"``) keeps the
+    #: member sets fixed for the whole run exactly as the paper does.
+    churn_config: ChurnConfig = field(default_factory=ChurnConfig)
 
     # Protocols.
     protocol: str = "maodv"  # "maodv", "flooding" or "odmrp"
@@ -97,6 +120,10 @@ class ScenarioConfig:
             raise ValueError("member_count must lie in [1, num_nodes]")
         if self.duration_s <= self.source_start_s:
             raise ValueError("duration_s must exceed source_start_s")
+        if self.group_count < 1:
+            raise ValueError("group_count must be at least 1")
+        if not 1 <= self.sources_per_group <= self.resolved_member_count:
+            raise ValueError("sources_per_group must lie in [1, member_count]")
 
     # ------------------------------------------------------------ constructors
     @classmethod
@@ -133,14 +160,19 @@ class ScenarioConfig:
 
     @property
     def resolved_member_count(self) -> int:
-        """Number of group members (defaults to one third of the nodes)."""
+        """Number of members per group (defaults to one third of the nodes)."""
         if self.member_count is not None:
             return self.member_count
         return max(2, self.num_nodes // 3)
 
     @property
+    def churn_enabled(self) -> bool:
+        """True when a dynamic-membership model is configured."""
+        return self.churn_config.enabled
+
+    @property
     def expected_packets(self) -> int:
-        """Number of data packets the source will originate."""
+        """Number of data packets one source will originate."""
         return int((self.source_stop_s - self.source_start_s) / self.packet_interval_s) + 1
 
 
@@ -155,6 +187,13 @@ class ScenarioResult:
     packets_sent: int
     protocol_stats: Dict[str, float]
     events_processed: int
+    #: Per-group delivery summaries (group index -> summary; ``{0: summary}``
+    #: for the single-group case).
+    group_summaries: Dict[int, DeliverySummary] = field(default_factory=dict)
+    #: Per-group gossip goodput (group index -> member -> percent).
+    goodput_by_group: Dict[int, Dict[int, float]] = field(default_factory=dict)
+    #: Number of membership events (joins + leaves) applied by churn.
+    membership_events: int = 0
 
     @property
     def delivery_ratio(self) -> float:
@@ -179,13 +218,31 @@ class Scenario:
         self.nodes: List[Node] = []
         self.aodv: Dict[int, AodvRouter] = {}
         self.multicast: Dict[int, object] = {}
-        self.gossip: Dict[int, GossipAgent] = {}
+        self.groups: List[GroupAddress] = [
+            make_group_address(index) for index in range(config.group_count)
+        ]
+        self.group = self.groups[0]
+        #: group index -> node id -> agent; ``self.gossip`` aliases group 0.
+        self.gossip_by_group: Dict[int, Dict[int, GossipAgent]] = {
+            index: {} for index in range(config.group_count)
+        }
+        self.gossip: Dict[int, GossipAgent] = self.gossip_by_group[0]
+        self.members_by_group: Dict[int, List[int]] = {}
+        self.sources_by_group: Dict[int, List[int]] = {}
         self.members: List[int] = []
         self.source_id: Optional[int] = None
-        self.group = make_group_address(0)
-        self.collector = DeliveryCollector()
+        self.collectors: Dict[int, DeliveryCollector] = {
+            index: DeliveryCollector() for index in range(config.group_count)
+        }
+        self.collector = self.collectors[0]
         self.source: Optional[CbrSource] = None
+        self.sources: Dict[Tuple[int, int], CbrSource] = {}
         self.sinks: Dict[int, MulticastSink] = {}
+        self.sinks_by_group: Dict[int, Dict[int, MulticastSink]] = {
+            index: {} for index in range(config.group_count)
+        }
+        self.directory: Optional[MembershipDirectory] = None
+        self.controller: Optional[MembershipController] = None
         self._built = False
 
     # ----------------------------------------------------------------- building
@@ -203,6 +260,7 @@ class Scenario:
             area_topology=config.area_topology,
             area_width_m=config.area_width_m,
             area_height_m=config.area_height_m,
+            speed_bound_mps=config.max_speed_mps,
         )
         self.medium = Medium(self.sim, radio)
         area = RectangularArea(config.area_width_m, config.area_height_m)
@@ -234,45 +292,140 @@ class Scenario:
                 multicast = FloodingRouter(node, aodv, config.flooding_config)
             self.multicast[node_id] = multicast
             if config.gossip_enabled:
-                self.gossip[node_id] = GossipAgent(
-                    node, multicast, aodv, self.group, config.gossip_config
-                )
+                for group_index, group in enumerate(self.groups):
+                    # Group 0 draws the exact per-node stream the single-group
+                    # scenario always used; extra groups get their own.
+                    rng = (
+                        None
+                        if group_index == 0
+                        else streams.for_node(f"gossip.g{group_index}", node_id)
+                    )
+                    self.gossip_by_group[group_index][node_id] = GossipAgent(
+                        node, multicast, aodv, group, config.gossip_config, rng=rng
+                    )
 
         self._select_members(streams)
+        self._build_membership(streams)
         self._attach_applications(streams)
         self._built = True
         return self
 
     def _select_members(self, streams: RandomStreams) -> None:
         rng = streams.get("membership")
-        member_count = self.config.resolved_member_count
-        self.members = sorted(rng.sample(range(self.config.num_nodes), member_count))
-        self.source_id = rng.choice(self.members)
+        config = self.config
+        member_count = config.resolved_member_count
+        for group_index in range(config.group_count):
+            members = sorted(rng.sample(range(config.num_nodes), member_count))
+            if config.sources_per_group == 1:
+                sources = [rng.choice(members)]
+            else:
+                sources = sorted(rng.sample(members, config.sources_per_group))
+            self.members_by_group[group_index] = members
+            self.sources_by_group[group_index] = sources
+        self.members = self.members_by_group[0]
+        self.source_id = self.sources_by_group[0][0]
+
+    def _build_membership(self, streams: RandomStreams) -> None:
+        """Create the churn subsystem (only when a churn model is configured)."""
+        config = self.config
+        churn_config = config.churn_config
+        if not churn_config.enabled:
+            return
+        self.directory = MembershipDirectory(config.group_count)
+        churn_rng = streams.get("churn")
+        pool = (
+            list(churn_config.pool)
+            if churn_config.pool is not None
+            else list(range(config.num_nodes))
+        )
+        # Protect each group's sources from leaving *that* group only; a
+        # source of group 0 may still churn in and out of other groups.
+        protected = {
+            group_index: set(sources)
+            for group_index, sources in self.sources_by_group.items()
+        }
+        self.controller = MembershipController(
+            self.sim,
+            self.directory,
+            pool=pool,
+            window=churn_config.window(config.duration_s),
+            churn=build_churn_model(churn_config, churn_rng),
+            min_members=churn_config.min_members,
+            max_members=churn_config.max_members,
+            protected=protected,
+            collectors=self.collectors,
+            join_hook=self._apply_membership_join,
+            leave_hook=self._apply_membership_leave,
+        )
 
     def _attach_applications(self, streams: RandomStreams) -> None:
         config = self.config
         join_rng = streams.get("joins")
-        for member in self.members:
-            node = self.nodes[member]
-            multicast = self.multicast[member]
-            gossip = self.gossip.get(member)
-            sink = MulticastSink(node, multicast, self.collector, gossip=gossip)
-            self.sinks[member] = sink
-            node.add_application(sink)
-            join_at = join_rng.uniform(0.0, config.join_window_s)
-            self.sim.schedule_at(join_at, multicast.join_group, self.group)
-        source_node = self.nodes[self.source_id]
-        self.source = CbrSource(
-            source_node,
-            self.multicast[self.source_id],
-            self.group,
-            start_s=config.source_start_s,
-            stop_s=config.source_stop_s,
-            interval_s=config.packet_interval_s,
-            payload_bytes=config.payload_bytes,
-            collector=self.collector,
+        for group_index, group in enumerate(self.groups):
+            collector = self.collectors[group_index]
+            for member in self.members_by_group[group_index]:
+                self._ensure_sink(group_index, member)
+                join_at = join_rng.uniform(0.0, config.join_window_s)
+                if self.controller is not None:
+                    self.controller.schedule_initial_join(group_index, member, join_at)
+                else:
+                    self.sim.schedule_at(
+                        join_at, self.multicast[member].join_group, group
+                    )
+            for source_id in self.sources_by_group[group_index]:
+                source_node = self.nodes[source_id]
+                source = CbrSource(
+                    source_node,
+                    self.multicast[source_id],
+                    group,
+                    start_s=config.source_start_s,
+                    stop_s=config.source_stop_s,
+                    interval_s=config.packet_interval_s,
+                    payload_bytes=config.payload_bytes,
+                    collector=collector,
+                )
+                self.sources[(group_index, source_id)] = source
+                source_node.add_application(source)
+        self.source = self.sources[(0, self.sources_by_group[0][0])]
+
+    def _ensure_sink(self, group_index: int, node_id: int) -> MulticastSink:
+        """The (group, node) measuring sink, created on first need.
+
+        Initial members get their sinks at build time; churn joiners of
+        previously-unsubscribed nodes get one lazily at their first join.
+        """
+        sink = self.sinks_by_group[group_index].get(node_id)
+        if sink is not None:
+            return sink
+        node = self.nodes[node_id]
+        sink = MulticastSink(
+            node,
+            self.multicast[node_id],
+            self.collectors[group_index],
+            gossip=self.gossip_by_group[group_index].get(node_id),
+            group=self.groups[group_index],
         )
-        source_node.add_application(self.source)
+        self.sinks_by_group[group_index][node_id] = sink
+        if group_index == 0:
+            self.sinks[node_id] = sink
+        node.add_application(sink)
+        return sink
+
+    # ------------------------------------------------------- membership hooks
+    def _apply_membership_join(self, group_index: int, node_id: int, initial: bool) -> None:
+        group = self.groups[group_index]
+        self.multicast[node_id].join_group(group)
+        if not initial:
+            agent = self.gossip_by_group[group_index].get(node_id)
+            if agent is not None:
+                agent.on_membership_join()
+        self._ensure_sink(group_index, node_id)
+
+    def _apply_membership_leave(self, group_index: int, node_id: int, initial: bool) -> None:
+        agent = self.gossip_by_group[group_index].get(node_id)
+        if agent is not None:
+            agent.on_membership_leave()
+        self.multicast[node_id].leave_group(self.groups[group_index])
 
     # ------------------------------------------------------------------ running
     def run(self) -> ScenarioResult:
@@ -282,27 +435,57 @@ class Scenario:
             node.start()
         for aodv in self.aodv.values():
             aodv.start()
-        for gossip in self.gossip.values():
-            gossip.start()
+        for agents in self.gossip_by_group.values():
+            for agent in agents.values():
+                agent.start()
+        if self.controller is not None:
+            self.controller.start()
         self.sim.run(until=self.config.duration_s)
         return self._collect_results()
 
     def _collect_results(self) -> ScenarioResult:
-        summary = self.collector.summary()
-        goodput = {
-            member: self.gossip[member].stats.goodput_percent
-            for member in self.members
-            if member in self.gossip
+        group_summaries = {
+            group_index: collector.summary()
+            for group_index, collector in self.collectors.items()
         }
+        summary = (
+            group_summaries[0]
+            if self.config.group_count == 1
+            else combine_summaries(group_summaries)
+        )
+        goodput_by_group = {
+            group_index: {
+                member: agents[member].stats.goodput_percent
+                for member in self._ever_members(group_index)
+                if member in agents
+            }
+            for group_index, agents in self.gossip_by_group.items()
+        }
+        member_counts = (
+            self.collector.counts()
+            if self.config.group_count == 1
+            else dict(summary.member_counts)
+        )
         return ScenarioResult(
             config=self.config,
             summary=summary,
-            member_counts=self.collector.counts(),
-            goodput_by_member=goodput,
-            packets_sent=self.collector.packets_sent,
+            member_counts=member_counts,
+            goodput_by_member=goodput_by_group.get(0, {}),
+            packets_sent=sum(c.packets_sent for c in self.collectors.values()),
             protocol_stats=self._aggregate_protocol_stats(),
             events_processed=self.sim.events_processed,
+            group_summaries=group_summaries,
+            goodput_by_group=goodput_by_group,
+            membership_events=(
+                self.controller.stats.churn_events if self.controller else 0
+            ),
         )
+
+    def _ever_members(self, group_index: int) -> List[int]:
+        """Every node that was a member of the group at some point."""
+        if self.directory is not None:
+            return self.directory.ever_members(group_index)
+        return self.members_by_group[group_index]
 
     def _aggregate_protocol_stats(self) -> Dict[str, float]:
         totals: Dict[str, float] = {}
@@ -316,11 +499,14 @@ class Scenario:
             accumulate("aodv", aodv.stats)
         for multicast in self.multicast.values():
             accumulate(self.config.protocol, multicast.stats)
-        for gossip in self.gossip.values():
-            accumulate("gossip", gossip.stats)
+        for agents in self.gossip_by_group.values():
+            for agent in agents.values():
+                accumulate("gossip", agent.stats)
         for node in self.nodes:
             accumulate("mac", node.mac.stats)
         accumulate("medium", self.medium.stats)
+        if self.controller is not None:
+            accumulate("membership", self.controller.stats)
         return totals
 
 

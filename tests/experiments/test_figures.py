@@ -17,7 +17,10 @@ from repro.experiments.figures import (
 class TestSpecCatalogue:
     def test_every_paper_figure_has_a_spec(self):
         figures = all_figures()
-        assert set(figures) == {"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8"}
+        assert set(figures) == {
+            "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+            "churn", "groups",
+        }
 
     def test_specs_have_paper_seed_counts(self):
         for spec in all_figures().values():
@@ -100,3 +103,31 @@ class TestGoodputSpec:
         config = spec.config_for(3, scale="paper")
         assert config.transmission_range_m == 75.0
         assert config.max_speed_mps == 2.0
+
+
+class TestMembershipSweeps:
+    def test_churn_sweep_builds_poisson_configs(self):
+        from repro.experiments.figures import churn_rate_sweep
+
+        spec = churn_rate_sweep()
+        assert spec.x_values[0] == 0.0
+        static = spec.config_for(0.0, scale="quick")
+        assert not static.churn_enabled
+        churny = spec.config_for(6.0, scale="paper", seed=4)
+        assert churny.churn_config.model == "poisson"
+        assert churny.churn_config.events_per_minute == 6.0
+        assert churny.seed == 4
+        # Churn runs inside the source window, after the initial joins.
+        assert churny.churn_config.start_s < churny.source_stop_s
+        assert churny.churn_config.stop_s <= churny.source_stop_s
+
+    def test_group_sweep_builds_multi_group_configs(self):
+        from repro.experiments.figures import group_count_sweep
+
+        spec = group_count_sweep()
+        assert spec.x_values == [1, 2, 3, 4]
+        single = spec.config_for(1, scale="quick")
+        assert single.group_count == 1
+        multi = spec.config_for(3, scale="paper")
+        assert multi.group_count == 3
+        assert multi.member_count == 10

@@ -1,0 +1,276 @@
+"""Unit tests for the churn models and the membership controller."""
+
+import random
+
+import pytest
+
+from repro.membership.config import ChurnConfig
+from repro.membership.churn import (
+    FlashCrowdChurn,
+    OnOffChurn,
+    PoissonChurn,
+    ScriptedChurn,
+    build_churn_model,
+)
+from repro.membership.controller import MembershipController
+from repro.membership.directory import MembershipDirectory
+from repro.sim.engine import Simulator
+
+
+def make_controller(
+    sim,
+    *,
+    groups=1,
+    pool=range(10),
+    window=(0.0, 100.0),
+    churn=None,
+    min_members=1,
+    max_members=None,
+    protected=(),
+    initial=(),
+):
+    directory = MembershipDirectory(groups)
+    controller = MembershipController(
+        sim,
+        directory,
+        pool=pool,
+        window=window,
+        churn=churn,
+        min_members=min_members,
+        max_members=max_members,
+        protected=protected,
+    )
+    for group_index, node_id in initial:
+        controller.schedule_initial_join(group_index, node_id, 0.0)
+    return controller
+
+
+class TestConfigValidation:
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError):
+            ChurnConfig(model="earthquake")
+
+    def test_bad_script_row_rejected(self):
+        with pytest.raises(ValueError):
+            ChurnConfig(model="scripted", script=[[1.0, 0, 3, "explode"]])
+
+    def test_window_defaults_to_duration(self):
+        assert ChurnConfig().window(65.0) == (0.0, 65.0)
+        assert ChurnConfig(start_s=5.0, stop_s=50.0).window(65.0) == (5.0, 50.0)
+        assert ChurnConfig(stop_s=500.0).window(65.0) == (0.0, 65.0)
+
+    def test_enabled_flag(self):
+        assert not ChurnConfig().enabled
+        assert ChurnConfig(model="poisson").enabled
+
+    def test_build_rejects_disabled_model(self):
+        with pytest.raises(ValueError):
+            build_churn_model(ChurnConfig(), random.Random(1))
+
+
+class TestController:
+    def test_floor_blocks_leaves(self):
+        sim = Simulator()
+        controller = make_controller(
+            sim, min_members=2, initial=[(0, 1), (0, 2)]
+        )
+        sim.run(until=1.0)
+        assert not controller.leave(0, 1)
+        assert controller.directory.members(0) == [1, 2]
+        assert controller.stats.events_skipped == 1
+
+    def test_ceiling_blocks_joins(self):
+        sim = Simulator()
+        controller = make_controller(sim, max_members=1, initial=[(0, 1)])
+        sim.run(until=1.0)
+        assert not controller.join(0, 2)
+        assert controller.join_candidates(0) == []
+
+    def test_protected_nodes_never_leave(self):
+        sim = Simulator()
+        controller = make_controller(
+            sim, protected={1}, initial=[(0, 1), (0, 2), (0, 3)]
+        )
+        sim.run(until=1.0)
+        assert not controller.leave(0, 1)
+        assert 1 not in controller.leave_candidates(0)
+        assert controller.leave(0, 2)
+
+    def test_protection_is_per_group(self):
+        # A node sourcing group 0 may still leave group 1.
+        sim = Simulator()
+        controller = make_controller(
+            sim,
+            groups=2,
+            protected={0: {1}},
+            initial=[(0, 1), (0, 2), (1, 1), (1, 2)],
+            min_members=0,
+        )
+        sim.run(until=1.0)
+        assert not controller.leave(0, 1)
+        assert controller.leave(1, 1)
+        assert 1 not in controller.leave_candidates(0)
+
+    def test_initial_joins_not_counted_as_churn(self):
+        sim = Simulator()
+        controller = make_controller(sim, initial=[(0, 1), (0, 2)])
+        sim.run(until=1.0)
+        assert controller.stats.initial_joins == 2
+        assert controller.stats.churn_events == 0
+        controller.join(0, 3)
+        assert controller.stats.churn_events == 1
+
+    def test_initial_join_allowed_outside_pool(self):
+        sim = Simulator()
+        controller = make_controller(sim, pool=[7, 8], initial=[(0, 1)])
+        sim.run(until=1.0)
+        assert controller.directory.is_member(0, 1)
+        # ... but mid-run churn joins are restricted to the pool.
+        assert not controller.join(0, 2)
+        assert controller.join(0, 7)
+
+    def test_hooks_fire_on_applied_events_only(self):
+        sim = Simulator()
+        calls = []
+        directory = MembershipDirectory(1)
+        controller = MembershipController(
+            sim,
+            directory,
+            pool=[1, 2],
+            window=(0.0, 10.0),
+            join_hook=lambda g, n, initial: calls.append(("join", n, initial)),
+            leave_hook=lambda g, n, initial: calls.append(("leave", n, initial)),
+        )
+        controller.schedule_initial_join(0, 1, 0.5)
+        sim.run(until=1.0)
+        controller.join(0, 2)
+        controller.join(0, 2)  # duplicate: no hook
+        controller.leave(0, 2)
+        assert calls == [("join", 1, True), ("join", 2, False), ("leave", 2, False)]
+
+
+class TestScriptedChurn:
+    def test_script_applies_in_order(self):
+        sim = Simulator()
+        config = ChurnConfig(
+            model="scripted",
+            script=[[1.0, 0, 3, "join"], [2.0, 0, 4, "join"], [3.0, 0, 3, "leave"]],
+        )
+        controller = make_controller(sim, churn=ScriptedChurn(config))
+        controller.start()
+        sim.run(until=10.0)
+        assert controller.directory.members(0) == [4]
+        assert controller.directory.intervals(0, 3) == [(1.0, 3.0)]
+
+
+class TestPoissonChurn:
+    def _run(self, seed, rate=30.0):
+        sim = Simulator()
+        config = ChurnConfig(model="poisson", events_per_minute=rate, min_members=2)
+        model = PoissonChurn(config, random.Random(seed))
+        controller = make_controller(
+            sim,
+            churn=model,
+            min_members=2,
+            initial=[(0, n) for n in range(4)],
+            window=(0.0, 100.0),
+        )
+        controller.start()
+        sim.run(until=100.0)
+        return controller
+
+    def test_same_seed_same_event_sequence(self):
+        first = self._run(7)
+        second = self._run(7)
+        assert first.directory.events == second.directory.events
+        assert first.directory.events  # churn actually happened
+
+    def test_different_seeds_differ(self):
+        assert self._run(7).directory.events != self._run(8).directory.events
+
+    def test_floor_respected_throughout(self):
+        controller = self._run(7)
+        # Replay the event log: after the initial joins (all at t=0) the
+        # group size never drops below the min_members floor.
+        size = 0
+        for event in controller.directory.events:
+            size += 1 if event.kind == "join" else -1
+            if event.time_s > 0.0:
+                assert size >= 2
+
+
+class TestOnOffChurn:
+    def test_sessions_alternate(self):
+        sim = Simulator()
+        config = ChurnConfig(model="onoff", mean_on_s=5.0, mean_off_s=5.0)
+        model = OnOffChurn(config, random.Random(3))
+        controller = make_controller(
+            sim, churn=model, pool=[0, 1, 2], window=(0.0, 200.0),
+            initial=[(0, 0)],
+        )
+        controller.start()
+        sim.run(until=200.0)
+        events = controller.directory.events
+        # Per node, kinds must strictly alternate join/leave.
+        for node in (0, 1, 2):
+            kinds = [e.kind for e in events if e.node_id == node]
+            assert all(a != b for a, b in zip(kinds, kinds[1:]))
+        assert len(events) > 10
+
+    def test_initial_members_sampled_on_at_window_start(self):
+        # States are read at the churn window start (a sim event), after the
+        # scenario's startup joins: an initial member's first session is an
+        # *on* session of mean mean_on_s, not an off wait of mean_off_s.
+        sim = Simulator()
+        config = ChurnConfig(
+            model="onoff", start_s=1.0, mean_on_s=2.0, mean_off_s=1e9
+        )
+        model = OnOffChurn(config, random.Random(5))
+        controller = make_controller(
+            sim, churn=model, pool=[0, 1], window=(1.0, 500.0),
+            initial=[(0, 0)], min_members=0,
+        )
+        controller.start()
+        sim.run(until=500.0)
+        leaves = [e for e in controller.directory.events if e.kind == "leave"]
+        # The member's short on-session ended; with mean_off_s=1e9 a node
+        # misread as "off" would effectively never toggle at all.
+        assert leaves and leaves[0].node_id == 0
+        assert leaves[0].time_s > 1.0
+
+
+class TestFlashCrowdChurn:
+    def test_flash_joins_k_nodes_at_t(self):
+        sim = Simulator()
+        config = ChurnConfig(model="flash", flash_at_s=5.0, flash_joiners=3)
+        model = FlashCrowdChurn(config, random.Random(2))
+        controller = make_controller(sim, churn=model, pool=range(8))
+        controller.start()
+        sim.run(until=6.0)
+        assert controller.directory.member_count(0) == 3
+        assert all(e.time_s == 5.0 for e in controller.directory.events)
+
+    def test_flash_with_stay_departs_again(self):
+        sim = Simulator()
+        config = ChurnConfig(
+            model="flash", flash_at_s=5.0, flash_joiners=3, flash_stay_s=2.0,
+            min_members=0,
+        )
+        model = FlashCrowdChurn(config, random.Random(2))
+        controller = make_controller(sim, churn=model, pool=range(8), min_members=0)
+        controller.start()
+        sim.run(until=200.0)
+        assert controller.directory.member_count(0) == 0
+        assert controller.directory.leaves() == 3
+
+
+class TestBuildChurnModel:
+    @pytest.mark.parametrize("model,expected", [
+        ("poisson", PoissonChurn),
+        ("onoff", OnOffChurn),
+        ("flash", FlashCrowdChurn),
+        ("scripted", ScriptedChurn),
+    ])
+    def test_factory_builds_each_model(self, model, expected):
+        config = ChurnConfig(model=model, flash_joiners=1)
+        assert isinstance(build_churn_model(config, random.Random(1)), expected)

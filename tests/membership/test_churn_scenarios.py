@@ -1,0 +1,228 @@
+"""End-to-end churn scenarios: the issue's edge cases, through the full stack.
+
+These run real (quick-scale, shortened) scenarios with scripted or Poisson
+churn and assert the membership semantics that matter:
+
+* joining during the source phase yields interval-aware accounting (no
+  credit, positive or negative, for packets sent before the join),
+* leaving mid-run stops gossip service at the leaver without breaking the
+  round in flight,
+* the last member leaving dissolves the group and a later join re-creates
+  it (fresh leader, packets flowing again),
+* the static path is reproducible and churn-disabled configs collapse to
+  the historic behaviour (covered bit-exactly by the hot-path goldens).
+"""
+
+import pytest
+
+from repro.membership.config import ChurnConfig
+from repro.workload.scenario import Scenario, ScenarioConfig
+
+#: Short quick-scale timing shared by the churn scenarios (seconds).
+_TIMING = dict(
+    join_window_s=3.0,
+    source_start_s=8.0,
+    source_stop_s=22.0,
+    packet_interval_s=0.5,
+    duration_s=26.0,
+)
+
+
+def _config(**overrides):
+    params = dict(_TIMING)
+    params.update(overrides)
+    return ScenarioConfig.quick(**params)
+
+
+def _scripted(script, **overrides):
+    churn = ChurnConfig(model="scripted", script=script, min_members=0)
+    return _config(churn_config=churn, **overrides)
+
+
+class TestJoinDuringSourcePhase:
+    def test_late_joiner_not_charged_for_pre_join_packets(self):
+        # Pick a node that is NOT an initial member and join it mid-source.
+        base = Scenario(_config(seed=21)).build()
+        outsider = next(
+            n for n in range(base.config.num_nodes) if n not in base.members
+        )
+        join_at = 15.0  # half-way through the 8-22 s source phase
+        scenario = Scenario(_scripted([[join_at, 0, outsider, "join"]], seed=21))
+        result = scenario.run()
+
+        assert scenario.directory.is_member(0, outsider)
+        assert outsider in result.member_counts
+        collector = scenario.collector
+        expected = collector.expected_for(outsider)
+        # The joiner's denominator only contains packets sent at/after its join.
+        assert expected
+        assert len(expected) < collector.packets_sent
+        # ... and its count never exceeds that denominator.
+        assert result.member_counts[outsider] <= len(expected)
+        # Initial members still answer for the full sent packet count.
+        initial = scenario.members[0]
+        assert len(collector.expected_for(initial)) == collector.packets_sent
+
+    def test_late_joiner_receives_post_join_traffic(self):
+        base = Scenario(_config(seed=23)).build()
+        outsider = next(
+            n for n in range(base.config.num_nodes) if n not in base.members
+        )
+        scenario = Scenario(_scripted([[12.0, 0, outsider, "join"]], seed=23))
+        result = scenario.run()
+        # The tree graft works mid-run: the joiner actually gets packets.
+        assert result.member_counts[outsider] > 0
+
+    def test_mid_run_joiner_gossips_without_bootstrap(self):
+        base = Scenario(_config(seed=21)).build()
+        outsider = next(
+            n for n in range(base.config.num_nodes) if n not in base.members
+        )
+        scenario = Scenario(_scripted([[15.0, 0, outsider, "join"]], seed=21))
+        scenario.run()
+        agent = scenario.gossip[outsider]
+        assert agent._bootstrap is False
+        assert agent.lost_table.baseline_first_observation
+        # No pre-join packet may sit in the lost table: every recorded loss
+        # has a sequence number at or above the first post-join packet.
+        collector = scenario.collector
+        expected = collector.expected_for(outsider)
+        if expected:
+            first_post_join = min(seq for _, seq in expected)
+            for source, seq in agent.lost_table.all_lost():
+                assert seq >= first_post_join
+
+
+class TestLeaveDuringGossip:
+    def test_leaver_stops_serving_and_counting(self):
+        scenario = Scenario(_config(seed=25)).build()
+        leaver = next(m for m in scenario.members if m != scenario.source_id)
+        leave_at = 15.0
+        scenario = Scenario(
+            _scripted([[leave_at, 0, leaver, "leave"]], seed=25)
+        )
+        result = scenario.run()
+        assert not scenario.directory.is_member(0, leaver)
+        collector = scenario.collector
+        # The leaver is only charged for packets sent while subscribed.
+        expected = collector.expected_for(leaver)
+        assert len(expected) < collector.packets_sent
+        assert result.member_counts[leaver] <= len(expected)
+        # Its gossip state was dropped: nothing buffered to serve pulls from.
+        agent = scenario.gossip[leaver]
+        assert len(agent.history) == 0
+        assert not scenario.multicast[leaver].is_member(scenario.group)
+
+    def test_requests_to_leaver_are_dropped_not_served(self):
+        # Unit-level determinism: an agent whose node left the group drops
+        # direct requests (the "gossip round targets the leaver" race).
+        from tests.core.test_gossip_agent import _make_agent
+        from repro.core.messages import GossipRequest
+
+        agent, multicast, aodv, frames, sim = _make_agent(member=True)
+        data_seen_before_leave = agent.stats.requests_accepted
+        multicast.member = False  # the multicast layer processed the leave
+        agent.on_membership_leave()
+        request = GossipRequest(
+            origin=9, destination=agent.node_id, size_bytes=32,
+            group=agent.group, initiator=9, direct=True,
+        )
+        agent._on_request(request, 9)
+        assert agent.stats.requests_accepted == data_seen_before_leave
+        assert agent.stats.requests_dropped == 1
+        assert aodv.sent == []  # no reply went out
+
+
+class TestLastMemberLeaveAndRecreation:
+    def test_mass_leave_and_rejoin(self):
+        # Every member leaves mid-run (the controller keeps the protected
+        # source subscribed); later one node re-joins and gets a second
+        # subscription interval.
+        build_probe = Scenario(_config(seed=27)).build()
+        members = list(build_probe.members)
+        source = build_probe.source_id
+        rejoiner = members[0] if members[0] != source else members[1]
+        script = [[10.0 + 0.5 * i, 0, m, "leave"] for i, m in enumerate(members)]
+        script.append([18.0, 0, rejoiner, "join"])
+        scenario = Scenario(_scripted(script, seed=27))
+        result = scenario.run()
+
+        assert scenario.directory.is_member(0, source)  # protected
+        for member in members:
+            if member in (source, rejoiner):
+                continue
+            assert not scenario.directory.is_member(0, member)
+        assert scenario.directory.is_member(0, rejoiner)
+        # The re-joined member has two subscription intervals on record.
+        assert len(scenario.directory.intervals(0, rejoiner)) == 2
+        assert result.membership_events >= len(members)
+
+    def test_last_member_leave_removes_group_state(self):
+        # Protocol-level check on a tiny static net: the sole member (and
+        # leader) leaving dissolves the group entry entirely; a re-join
+        # recreates it with a fresh leadership claim.
+        from tests.conftest import build_network, line_topology
+
+        network = build_network(line_topology(3, 50.0), seed=5)
+        network.sim.schedule_at(0.1, network.maodv[0].join_group, network.group)
+        network.run(5.0)
+        assert network.maodv[0].is_group_leader(network.group)
+
+        network.maodv[0].leave_group(network.group)
+        assert network.maodv[0].table.entry(network.group) is None
+        assert not network.maodv[0].is_member(network.group)
+
+        became_leader_before = network.maodv[0].stats.partitions_became_leader
+        network.sim.schedule_at(
+            network.sim.now + 0.1, network.maodv[0].join_group, network.group
+        )
+        network.run(10.0)
+        assert network.maodv[0].is_member(network.group)
+        assert network.maodv[0].is_group_leader(network.group)
+        assert network.maodv[0].stats.partitions_became_leader == became_leader_before + 1
+
+    def test_leader_leave_with_remaining_tree_keeps_routing(self):
+        from tests.conftest import build_network, line_topology
+
+        network = build_network(line_topology(3, 50.0), seed=6)
+        network.sim.schedule_at(0.1, network.maodv[0].join_group, network.group)
+        network.sim.schedule_at(6.0, network.maodv[2].join_group, network.group)
+        network.run(14.0)
+        leader = next(
+            n for n in (0, 2) if network.maodv[n].is_group_leader(network.group)
+        )
+        assert network.maodv[leader].tree_neighbors(network.group)
+        network.maodv[leader].leave_group(network.group)
+        # Still a tree router (and leader of the remaining tree), only the
+        # membership flag dropped.
+        assert not network.maodv[leader].is_member(network.group)
+        assert network.maodv[leader].is_on_tree(network.group)
+
+
+class TestPoissonChurnEndToEnd:
+    def _run(self, seed):
+        churn = ChurnConfig(
+            model="poisson", events_per_minute=30.0, start_s=5.0, min_members=2
+        )
+        return Scenario(_config(seed=seed, churn_config=churn)).run()
+
+    def test_run_completes_with_sane_metrics(self):
+        result = self._run(31)
+        assert result.membership_events > 0
+        assert 0.0 <= result.delivery_ratio <= 1.0
+        assert result.protocol_stats["membership.joins_applied"] >= 0
+        for member, count in result.member_counts.items():
+            assert count >= 0
+
+    def test_same_seed_reproduces_identical_churn(self):
+        first = self._run(33)
+        second = self._run(33)
+        assert first.member_counts == second.member_counts
+        assert first.membership_events == second.membership_events
+        assert first.events_processed == second.events_processed
+
+    def test_churn_disabled_config_keeps_static_results(self):
+        # The no-churn config through the new code path equals a plain run.
+        static = Scenario(_config(seed=35)).run()
+        assert static.membership_events == 0
+        assert static.group_summaries[0].member_counts == static.member_counts

@@ -72,6 +72,59 @@ class TestDispatch:
         node.deliver(_OtherPacket(origin=2, destination=0), 2)
         assert sniffed == [_AppPacket, _OtherPacket]
 
+    def test_typed_sniffer_sees_only_its_types(self):
+        _, node = _make_node()
+        sniffed = []
+        node.add_sniffer(
+            lambda packet, sender: sniffed.append(type(packet)),
+            packet_types=(_AppPacket,),
+        )
+        node.deliver(_AppPacket(origin=1, destination=0), 1)
+        node.deliver(_OtherPacket(origin=2, destination=0), 2)
+        assert sniffed == [_AppPacket]
+
+    def test_typed_sniffer_matches_subclasses(self):
+        @dataclass
+        class _Derived(_AppPacket):
+            pass
+
+        _, node = _make_node()
+        sniffed = []
+        node.add_sniffer(
+            lambda packet, sender: sniffed.append(type(packet)),
+            packet_types=(_AppPacket,),
+        )
+        node.deliver(_Derived(origin=1, destination=0), 1)
+        assert sniffed == [_Derived]
+
+    def test_sniffers_run_in_registration_order_before_handler(self):
+        _, node = _make_node()
+        calls = []
+        node.add_sniffer(lambda packet, sender: calls.append("first"))
+        node.add_sniffer(lambda packet, sender: calls.append("second"))
+        node.register_handler(_AppPacket, lambda packet, sender: calls.append("handler"))
+        node.deliver(_AppPacket(origin=1, destination=0), 1)
+        assert calls == ["first", "second", "handler"]
+
+    def test_handler_registered_after_first_delivery_is_picked_up(self):
+        # The per-type dispatch chain is cached; late registrations must
+        # invalidate it.
+        _, node = _make_node()
+        seen = []
+        node.deliver(_AppPacket(origin=1, destination=0), 1)  # caches "no handler"
+        node.register_handler(_AppPacket, lambda packet, sender: seen.append(packet))
+        node.deliver(_AppPacket(origin=2, destination=0), 2)
+        assert len(seen) == 1
+
+    def test_sniffer_added_after_first_delivery_is_picked_up(self):
+        _, node = _make_node()
+        sniffed = []
+        node.register_handler(_AppPacket, lambda packet, sender: None)
+        node.deliver(_AppPacket(origin=1, destination=0), 1)
+        node.add_sniffer(lambda packet, sender: sniffed.append(sender))
+        node.deliver(_AppPacket(origin=2, destination=0), 2)
+        assert sniffed == [2]
+
 
 class TestLinkFailureListeners:
     def test_listeners_invoked_on_mac_failure(self):

@@ -5,6 +5,7 @@ import math
 import pytest
 
 from repro.mobility.random_waypoint import RandomWaypointMobility
+from repro.net.config import RadioConfig
 from repro.mobility.base import RectangularArea
 from repro.mobility.static import StaticMobility
 from repro.mobility.trace import WaypointTraceMobility
@@ -284,3 +285,53 @@ class TestUniformGridIndex:
         index = self._index(phys)
         hit = [phy.node_id for _, _, phy, _ in index.interferers(phys[0], (0.0, 0.0), 60.0, 60.0, 0.0)]
         assert hit == [2]
+
+
+class TestSpeedAwareCellSize:
+    """The default grid cell divisor is picked from the fleet speed bound."""
+
+    def test_slow_fleet_gets_fine_cells(self):
+        config = RadioConfig(transmission_range_m=60.0, speed_bound_mps=0.2)
+        assert config.grid_cell_m == pytest.approx(60.0 / 3.0)
+
+    def test_fast_fleet_gets_coarse_cells(self):
+        config = RadioConfig(transmission_range_m=60.0, speed_bound_mps=2.0)
+        assert config.grid_cell_m == pytest.approx(60.0 / 2.0)
+
+    def test_unknown_speed_gets_conservative_cells(self):
+        config = RadioConfig(transmission_range_m=60.0)
+        assert config.grid_cell_m == pytest.approx(60.0 / 2.0)
+
+    def test_explicit_cell_size_wins(self):
+        config = RadioConfig(
+            transmission_range_m=60.0, speed_bound_mps=0.2, grid_cell_m=17.0
+        )
+        assert config.grid_cell_m == 17.0
+
+    def test_divisor_threshold(self):
+        assert RadioConfig.grid_cell_divisor(0.0) == 3.0
+        assert RadioConfig.grid_cell_divisor(1.99) == 3.0
+        assert RadioConfig.grid_cell_divisor(2.0) == 2.0
+        assert RadioConfig.grid_cell_divisor(None) == 2.0
+
+    @pytest.mark.parametrize("divisor", [2.0, 3.0, 4.0])
+    def test_cell_size_never_changes_results(self, divisor, monkeypatch):
+        """Cell size is a pure perf knob: full-stack runs are bit-identical."""
+        from repro.workload.scenario import ScenarioConfig
+        from tests.properties.hotpath_golden import run_with_delivery_log
+
+        config = ScenarioConfig.quick(
+            num_nodes=10, member_count=4, join_window_s=2.0, source_start_s=5.0,
+            source_stop_s=12.0, duration_s=14.0, max_speed_mps=1.0,
+            max_pause_s=5.0, seed=9,
+        )
+        digests = []
+        for cell_divisor in (2.0, divisor):
+            monkeypatch.setattr(
+                RadioConfig, "grid_cell_divisor",
+                staticmethod(lambda speed: cell_divisor),
+            )
+            result, log = run_with_delivery_log(config)
+            digests.append((result.member_counts, result.protocol_stats,
+                            result.events_processed, log))
+        assert digests[0] == digests[1]

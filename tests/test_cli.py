@@ -173,3 +173,51 @@ class TestCampaignCommand:
         assert "goodput experiment" in capsys.readouterr().err
         assert main(["campaign", "fig8", "--seeds", "1", "--variants", "maodv"]) == 2
         assert "goodput experiment" in capsys.readouterr().err
+
+
+class TestMembershipCli:
+    def test_run_churn_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.groups == 1
+        assert args.churn == "none"
+
+    def test_run_with_groups_and_churn(self, capsys):
+        exit_code = main([
+            "run", "--profile", "quick", "--groups", "2",
+            "--churn", "poisson", "--churn-rate", "12", "--seed", "3",
+        ])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "group" in output
+        assert "membership events applied:" in output
+
+    def test_run_with_flash_churn(self, capsys):
+        # --churn flash must build a valid config (joiners and instant are
+        # derived from the profile, not left at the dataclass defaults).
+        exit_code = main(["run", "--profile", "quick", "--churn", "flash", "--seed", "4"])
+        assert exit_code == 0
+        assert "membership events applied:" in capsys.readouterr().out
+
+    def test_churn_and_groups_figures_listed(self, capsys):
+        assert main(["list-figures"]) == 0
+        output = capsys.readouterr().out
+        assert "churn" in output
+        assert "groups" in output
+
+    def test_churn_campaign_point_runs(self, capsys):
+        exit_code = main([
+            "campaign", "churn", "--seeds", "1", "--points", "6",
+            "--variants", "gossip",
+        ])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "membership events / min / group" in output
+
+    def test_groups_campaign_point_runs(self, capsys):
+        exit_code = main([
+            "campaign", "groups", "--seeds", "1", "--points", "2",
+            "--variants", "maodv",
+        ])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "concurrent multicast groups" in output

@@ -1,0 +1,85 @@
+"""Tests for scripts/repin_bench_baseline.py (baseline re-pinning)."""
+
+import importlib.util
+import json
+import os
+
+_SCRIPT = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "scripts",
+    "repin_bench_baseline.py",
+)
+_spec = importlib.util.spec_from_file_location("repin_bench_baseline", _SCRIPT)
+repin_mod = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(repin_mod)
+
+
+def _artifact(tmp_path, run_id, rates):
+    path = tmp_path / f"BENCH_{run_id}.json"
+    payload = {
+        "benchmarks": [
+            {"name": name, "extra_info": {"events_per_sec": rate}}
+            for name, rate in rates.items()
+        ]
+    }
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+class TestCollectSeries:
+    def test_series_ordered_by_run_id(self, tmp_path):
+        paths = [
+            _artifact(tmp_path, 300, {"bench": 30.0}),
+            _artifact(tmp_path, 100, {"bench": 10.0}),
+            _artifact(tmp_path, 200, {"bench": 20.0}),
+        ]
+        series = repin_mod.collect_series(paths)
+        assert series == {"bench": [10.0, 20.0, 30.0]}
+
+    def test_unreadable_artifact_skipped(self, tmp_path):
+        bad = tmp_path / "BENCH_999.json"
+        bad.write_text("{truncated")
+        good = _artifact(tmp_path, 1, {"bench": 10.0})
+        series = repin_mod.collect_series([str(bad), good])
+        assert series == {"bench": [10.0]}
+
+
+class TestRepin:
+    def test_median_of_last_n_with_headroom(self):
+        series = {"bench": [100.0, 10_000.0, 120.0, 110.0]}
+        baseline = repin_mod.repin(series, {}, last=3, headroom=0.5)
+        # Median of the last 3 runs (10000, 120, 110) is 120.
+        assert baseline == {"bench": 60}
+
+    def test_unmeasured_benchmark_keeps_current_pin(self):
+        baseline = repin_mod.repin(
+            {"bench": [100.0]}, {"legacy": 77.0}, last=5, headroom=1.0
+        )
+        assert baseline == {"bench": 100, "legacy": 77}
+
+
+class TestMainEndToEnd:
+    def test_rewrites_baseline_file(self, tmp_path, monkeypatch, capsys):
+        artifacts = [
+            _artifact(tmp_path, run_id, {"bench": rate})
+            for run_id, rate in [(1, 90.0), (2, 110.0), (3, 100.0)]
+        ]
+        out = tmp_path / "baseline.json"
+        out.write_text(json.dumps({"bench": 1.0, "legacy": 5.0}))
+        monkeypatch.setattr(
+            "sys.argv",
+            ["repin", *artifacts, "--out", str(out), "--headroom", "0.6"],
+        )
+        assert repin_mod.main() == 0
+        written = json.loads(out.read_text())
+        assert written["bench"] == 60  # median 100 * 0.6
+        assert written["legacy"] == 5  # carried over with a warning
+
+    def test_dry_run_leaves_file_untouched(self, tmp_path, monkeypatch):
+        artifact = _artifact(tmp_path, 1, {"bench": 100.0})
+        out = tmp_path / "baseline.json"
+        monkeypatch.setattr(
+            "sys.argv", ["repin", artifact, "--out", str(out), "--dry-run"]
+        )
+        assert repin_mod.main() == 0
+        assert not out.exists()
