@@ -1,11 +1,15 @@
 """Benchmark: spatial-index medium vs the naive linear-scan reference.
 
-Runs the same 100-node scenario under both medium implementations at the two
-geometries of the paper's node-count sweeps:
+Runs the same 100-node scenario under both medium implementations at three
+geometries:
 
 * Fig. 6 geometry: the transmission range shrinks with 1/sqrt(N) to keep the
-  average degree constant (the regime where the grid prunes hardest), and
-* Fig. 7 geometry: a fixed 55 m range on the paper's 200 m x 200 m area.
+  average degree constant (the regime where the grid prunes hardest),
+* Fig. 7 geometry: a fixed 55 m range on the paper's 200 m x 200 m area, and
+* Fig. 4/5 mover-heavy geometry: the paper's 75 m range with every node in
+  near-constant motion (1 m/s, 2 s max pause) -- the regime the
+  displacement-epoch sender windows exist for (paused-sender windows almost
+  never apply, so every transmission classifies through an epoch window).
 
 The timing scale is ``quick`` (short source phase); the spatial parameters
 are the paper's.  Besides the pytest-benchmark timing of the grid run, the
@@ -51,8 +55,10 @@ def _config(range_m):
     return ScenarioConfig.quick(transmission_range_m=range_m, **_BASE)
 
 
-def _compare_media(benchmark, range_m, speedup_floor):
+def _compare_media(benchmark, range_m, speedup_floor, overrides=None, extra_info=None):
     base = _config(range_m)
+    if overrides:
+        base = replace(base, **overrides)
     t0 = time.perf_counter()
     naive = run_scenario(replace(base, medium_index="naive"))
     naive_s = time.perf_counter() - t0
@@ -67,6 +73,8 @@ def _compare_media(benchmark, range_m, speedup_floor):
 
     benchmark.extra_info["nodes"] = base.num_nodes
     benchmark.extra_info["range_m"] = round(range_m, 2)
+    if extra_info:
+        benchmark.extra_info.update(extra_info)
     benchmark.extra_info["naive_s"] = round(naive_s, 3)
     benchmark.extra_info["grid_s"] = round(grid_s, 3)
     benchmark.extra_info["speedup"] = round(speedup, 2)
@@ -101,3 +109,15 @@ def test_medium_index_speedup_fig6_geometry(benchmark):
 def test_medium_index_speedup_fig7_geometry(benchmark):
     """Fig. 7 geometry at 100 nodes: fixed 55 m range."""
     _compare_media(benchmark, 55.0, speedup_floor=1.2)
+
+
+@pytest.mark.benchmark(group="medium-index")
+def test_medium_index_speedup_fig4_movers(benchmark):
+    """Fig. 4/5 mover-heavy geometry: 75 m range, everyone moving at 1 m/s."""
+    _compare_media(
+        benchmark,
+        75.0,
+        speedup_floor=1.5,
+        overrides=dict(max_speed_mps=1.0, max_pause_s=2.0),
+        extra_info={"max_speed_mps": 1.0},
+    )

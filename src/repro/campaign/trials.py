@@ -29,6 +29,7 @@ from repro.core.config import GossipConfig
 from repro.experiments.figures import GOODPUT_COMBINATIONS, ExperimentSpec
 from repro.experiments.variants import variant_config
 from repro.membership.config import ChurnConfig
+from repro.mobility.config import MobilityConfig
 from repro.multicast.config import MaodvConfig
 from repro.multicast.flooding import FloodingConfig
 from repro.multicast.odmrp import OdmrpConfig
@@ -184,6 +185,7 @@ def config_to_dict(config: ScenarioConfig) -> Dict[str, object]:
 
 
 _NESTED_CONFIG_TYPES = {
+    "mobility_config": MobilityConfig,
     "churn_config": ChurnConfig,
     "gossip_config": GossipConfig,
     "aodv_config": AodvConfig,

@@ -37,6 +37,7 @@ from repro.experiments.runner import run_experiment
 from repro.experiments.variants import variant_names
 from repro.membership.config import ChurnConfig
 from repro.metrics.reporting import format_rows
+from repro.mobility.config import MOBILITY_MODELS, MobilityConfig
 from repro.workload.scenario import Scenario, ScenarioConfig
 
 
@@ -56,6 +57,10 @@ def build_parser() -> argparse.ArgumentParser:
                             help="transmission range in metres")
     run_parser.add_argument("--speed", type=float, default=None,
                             help="maximum node speed in m/s")
+    run_parser.add_argument("--mobility", choices=MOBILITY_MODELS,
+                            default="random_waypoint",
+                            help="mobility model of the fleet (default "
+                                 "random_waypoint, the paper's)")
     run_parser.add_argument("--seed", type=int, default=1)
     run_parser.add_argument("--protocol", choices=("maodv", "flooding", "odmrp"), default="maodv")
     run_parser.add_argument("--groups", type=int, default=1,
@@ -66,6 +71,9 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--churn-rate", type=float, default=6.0,
                             help="membership events per minute: per group for "
                                  "poisson, per member for onoff (ignored by flash)")
+    run_parser.add_argument("--churn-correlated", action="store_true",
+                            help="onoff only: one session clock per device -- a "
+                                 "session end leaves all of the node's groups")
     gossip_group = run_parser.add_mutually_exclusive_group()
     gossip_group.add_argument("--gossip", dest="gossip", action="store_true", default=True,
                               help="enable Anonymous Gossip (default)")
@@ -122,6 +130,8 @@ def _command_run(args: argparse.Namespace) -> int:
         overrides["transmission_range_m"] = args.range_m
     if args.speed is not None:
         overrides["max_speed_mps"] = args.speed
+    if args.mobility != "random_waypoint":
+        overrides["mobility_config"] = MobilityConfig(model=args.mobility)
     if args.profile == "paper":
         config = ScenarioConfig.paper(**overrides)
     else:
@@ -151,6 +161,7 @@ def _command_run(args: argparse.Namespace) -> int:
             churn = ChurnConfig(
                 model="onoff", start_s=start_s, mean_on_s=session_s,
                 mean_off_s=session_s, min_members=2,
+                onoff_correlated=args.churn_correlated,
             )
         else:
             churn = ChurnConfig(

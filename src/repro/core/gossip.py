@@ -149,9 +149,14 @@ class GossipAgent:
         self.history = HistoryTable(capacity=self.config.history_size)
         self.member_cache = MemberCache(capacity=self.config.member_cache_size)
         self._recovery_listeners: List[RecoveryListener] = []
-        #: False after a mid-run join: requests then refuse history bootstrap
-        #: so the member is never back-filled with pre-subscription packets.
+        #: False after a mid-run join: requests then refuse *unfiltered*
+        #: history bootstrap so the member is never back-filled with
+        #: pre-subscription packets.
         self._bootstrap = True
+        #: Start of the current subscription; ``None`` for run-long members.
+        #: Carried on requests so responders can serve exactly the post-join
+        #: suffix (data packets are stamped with their send time).
+        self._joined_at: Optional[float] = None
 
         GossipGroupDispatcher.for_node(node).register(group, self)
         multicast.add_delivery_listener(self._on_multicast_delivery)
@@ -195,17 +200,17 @@ class GossipAgent:
         The agent drops any recovery state from a previous subscription and
         switches to no-credit-for-the-past mode: the new lost table baselines
         every source at the first packet observed after the join, and gossip
-        requests go out with ``bootstrap=False``, so packets multicast before
-        the join are neither recorded as lost nor served by responders.
+        requests go out with ``bootstrap=False`` plus the join time, so
+        packets multicast before the join are neither recorded as lost nor
+        served by responders.
 
-        Deliberate tradeoff: data packets carry no timestamps, so responders
-        cannot distinguish "sent before the join" from "sent after the join
-        but never delivered".  Disabling bootstrap therefore also disables
-        gossip's cut-off self-healing for a joiner that has not yet received
-        its *first* post-join packet -- until that first reception, recovery
-        of a broken branch is MAODV's job (re-join / repair), not gossip's.
-        Once any packet arrives, normal pull recovery resumes from that
-        baseline.
+        Data packets carry their send time, so a responder *can* separate
+        "sent before the join" from "sent after the join but never
+        delivered": it serves the joiner the post-join suffix of its history
+        (every message with ``sent_at >= joined_at``), including messages
+        from sources the joiner has never heard from.  Gossip's cut-off
+        self-healing therefore works from the first post-join gossip round
+        onwards, even before the joiner's first direct reception.
         """
         self.lost_table = LostTable(
             capacity=self.config.lost_table_size,
@@ -214,6 +219,7 @@ class GossipAgent:
         )
         self.history = HistoryTable(capacity=self.config.history_size)
         self._bootstrap = False
+        self._joined_at = self.sim.now
 
     def on_membership_leave(self) -> None:
         """Drop member state on leave.
@@ -294,6 +300,7 @@ class GossipAgent:
             expected=expected,
             hops_remaining=self.config.max_gossip_hops,
             bootstrap=self._bootstrap,
+            joined_at=self._joined_at,
         )
 
     def _send_anonymous(self, request: GossipRequest) -> None:
@@ -383,6 +390,7 @@ class GossipAgent:
             hops_remaining=request.hops_remaining - 1,
             direct=False,
             bootstrap=request.bootstrap,
+            joined_at=request.joined_at,
         )
         self.stats.requests_forwarded += 1
         self.node.send_frame(forwarded, next_hop)
@@ -413,18 +421,45 @@ class GossipAgent:
 
     def _collect_reply_messages(self, request: GossipRequest) -> List[MulticastData]:
         limit = self.config.max_messages_per_reply
-        messages = self.history.lookup_many(list(request.lost), limit)
+        # A mid-run joiner is served exactly the post-join suffix: every
+        # candidate -- even one the joiner explicitly lists as lost, which
+        # can reference a pre-join message when its baseline packet was sent
+        # before the join but delivered (or recovered) after it -- must have
+        # been sent at or after the subscription start.
+        cutoff = request.joined_at
+        # With a join cutoff the lost-list lookup must not be count-limited
+        # either: the first ``limit`` hits may all be pre-join entries (a
+        # late-delivered pre-join baseline packet seeds the joiner's lost
+        # table with pre-join gaps), so filter first, truncate after.
+        if cutoff is None:
+            messages = self.history.lookup_many(list(request.lost), limit)
+        else:
+            messages = [
+                message
+                for message in self.history.lookup_many(
+                    list(request.lost), len(request.lost)
+                )
+                if message.sent_at >= cutoff
+            ][:limit]
         found_ids = {message.message_id() for message in messages}
 
         def offer(source: NodeId, from_seq: int) -> None:
             if len(messages) >= limit or source == request.initiator:
                 return
+            # With a join cutoff the fetch cannot be count-limited: the
+            # lowest-seq candidates may all be pre-join, and truncating
+            # before the sent_at filter would starve the post-join suffix.
+            count = len(self.history) if cutoff is not None else limit - len(messages)
             for candidate in self.history.messages_at_or_after(
-                source, from_seq, limit - len(messages)
+                source, from_seq, count
             ):
+                if cutoff is not None and candidate.sent_at < cutoff:
+                    continue
                 if candidate.message_id() not in found_ids:
                     messages.append(candidate)
                     found_ids.add(candidate.message_id())
+                    if len(messages) >= limit:
+                        return
 
         # Messages newer than what the initiator expects from sources it knows.
         for source, expected_seq in request.expected.items():
@@ -432,9 +467,10 @@ class GossipAgent:
         # Sources the initiator has never heard from at all: everything in the
         # history is news to it.  This is what lets gossip bootstrap a member
         # that was cut off from the tree before receiving its first packet.
-        # Mid-run joiners opt out (bootstrap=False): packets from before
-        # their subscription must not be pushed at them.
-        if request.bootstrap:
+        # Mid-run joiners participate through the send-time filter above
+        # (``joined_at`` set): they get the post-join suffix of unknown
+        # sources, never pre-subscription traffic.
+        if request.bootstrap or cutoff is not None:
             known_sources = set(request.expected)
             for source in {message_id[0] for message_id in self.history.message_ids()}:
                 if source not in known_sources:

@@ -12,7 +12,7 @@ initiator via unicast.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.net.addressing import GroupAddress, NodeId
 from repro.net.packet import Packet
@@ -43,6 +43,12 @@ class GossipRequest(Packet):
     #: that joined mid-run send False so they are not back-filled with
     #: packets from before their subscription started.
     bootstrap: bool = True
+    #: When the initiator's current subscription began, or ``None`` for a
+    #: member subscribed since the start of the run.  Data packets carry
+    #: their send time, so a responder serves a mid-run joiner exactly the
+    #: post-join suffix: unknown-source bootstrap is re-enabled for it, but
+    #: every served message must satisfy ``sent_at >= joined_at``.
+    joined_at: Optional[float] = None
 
     @property
     def number_lost(self) -> int:

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.membership.config import ChurnConfig
+from repro.mobility.config import MobilityConfig
 from repro.workload.scenario import ScenarioConfig
 
 #: The (transmission range, max speed) combinations of the Fig. 8 goodput
@@ -360,6 +361,54 @@ def group_count_sweep() -> ExperimentSpec:
     )
 
 
+#: The mobility models swept by :func:`mobility_model_sweep`, in x order.
+MOBILITY_SWEEP_MODELS: List[str] = [
+    "random_waypoint",
+    "gauss_markov",
+    "rpgm",
+    "manhattan",
+]
+
+
+def mobility_model_sweep() -> ExperimentSpec:
+    """Mobility-pattern sweep: packet delivery vs mobility model.
+
+    A scenario family the paper never measured: the same fig4/fig5-style
+    geometry (range 75 m, max speed 2 m/s) run under each mobility model --
+    the paper's random waypoint, smooth Gauss-Markov, reference-point group
+    mobility (each multicast group's members travel together, the natural
+    MANET-multicast workload) and a Manhattan street grid.  ``x`` indexes
+    :data:`MOBILITY_SWEEP_MODELS`; the speed envelope is identical across
+    models, so differences isolate the motion *pattern*.
+    """
+
+    def build(x: float, scale: str) -> ScenarioConfig:
+        mobility = MobilityConfig(model=MOBILITY_SWEEP_MODELS[int(x)])
+        if scale == "paper":
+            return _base_config(
+                scale,
+                num_nodes=40,
+                transmission_range_m=75.0,
+                max_speed_mps=2.0,
+                mobility_config=mobility,
+            )
+        return _base_config(
+            scale,
+            transmission_range_m=_equivalent_quick_range(75.0, 16),
+            max_speed_mps=2.0,
+            mobility_config=mobility,
+        )
+
+    return ExperimentSpec(
+        figure="mobility",
+        title="Packet delivery vs mobility model "
+              "(random waypoint, Gauss-Markov, RPGM, Manhattan)",
+        x_label="model index",
+        x_values=[0, 1, 2, 3],
+        config_builder=build,
+    )
+
+
 def all_figures() -> Dict[str, ExperimentSpec]:
     """All experiment specs keyed by figure id (paper figures + extensions)."""
     specs = [
@@ -372,5 +421,6 @@ def all_figures() -> Dict[str, ExperimentSpec]:
         figure8_goodput(),
         churn_rate_sweep(),
         group_count_sweep(),
+        mobility_model_sweep(),
     ]
     return {spec.figure: spec for spec in specs}

@@ -96,12 +96,28 @@ class OnOffChurn(ChurnModel):
     window, otherwise initial members are still off when sampled.  Toggles
     the controller rejects (floor/ceiling) are skipped; the session clock
     keeps running either way.
+
+    With ``onoff_correlated`` the model runs one session clock per *node*
+    (device churn rather than interest churn): a session end makes the node
+    leave every group it is subscribed to, and the next session start
+    re-joins the groups it held when it went off.  Only nodes that hold at
+    least one subscription at the window start participate -- a device with
+    no subscriptions has no "home" groups to cycle through.  Session state
+    is explicit (not inferred from memberships): a leave the controller
+    rejects -- floor or source protection -- keeps that one subscription
+    alive through the "off" session, but never shrinks the node's home set
+    or stalls its session clock.
     """
 
     def __init__(self, config: ChurnConfig, rng):
         self.rng = rng
         self.mean_on_s = config.mean_on_s
         self.mean_off_s = config.mean_off_s
+        self.correlated = config.onoff_correlated
+        #: Correlated mode: node -> groups it held at its last session end.
+        self._home: dict = {}
+        #: Correlated mode: node -> session state (True = on session).
+        self._session_on: dict = {}
 
     def start(self, controller: "MembershipController") -> None:
         start, _ = controller.window
@@ -109,10 +125,61 @@ class OnOffChurn(ChurnModel):
 
     def _arm(self, controller: "MembershipController") -> None:
         now = controller.sim.now
+        if self.correlated:
+            for node_id in controller.pool:
+                home = [
+                    group_index
+                    for group_index in range(controller.group_count)
+                    if controller.directory.is_member(group_index, node_id)
+                ]
+                if not home:
+                    continue
+                self._home[node_id] = home
+                self._session_on[node_id] = True
+                self._schedule_device_toggle(controller, node_id, True, now)
+            return
         for group_index in range(controller.group_count):
             for node_id in controller.pool:
                 on = controller.directory.is_member(group_index, node_id)
                 self._schedule_toggle(controller, group_index, node_id, on, now)
+
+    # ------------------------------------------------- correlated (device) mode
+    def _schedule_device_toggle(self, controller: "MembershipController",
+                                node_id: int, currently_on: bool, not_before: float) -> None:
+        mean = self.mean_on_s if currently_on else self.mean_off_s
+        at = max(not_before, controller.sim.now) + self.rng.expovariate(1.0 / mean)
+        if at >= controller.window[1]:
+            return
+        controller.sim.schedule_at(at, self._device_toggle, controller, node_id)
+
+    def _device_toggle(self, controller: "MembershipController", node_id: int) -> None:
+        directory = controller.directory
+        if self._session_on.get(node_id, False):
+            # Session end: the device drops every subscription it holds.
+            # The home set is *merged* with the current memberships, never
+            # replaced -- so neither a policy-rejected leave (which kept a
+            # subscription alive) nor a policy-rejected re-join (ceiling hit
+            # at the last session start, so a home group is currently
+            # missing) can erode the cycle.
+            memberships = [
+                group_index
+                for group_index in range(controller.group_count)
+                if directory.is_member(group_index, node_id)
+            ]
+            if memberships:
+                self._home[node_id] = sorted(
+                    set(self._home.get(node_id, ())) | set(memberships)
+                )
+            for group_index in memberships:
+                controller.leave(group_index, node_id)
+            self._session_on[node_id] = False
+        else:
+            for group_index in self._home.get(node_id, ()):
+                controller.join(group_index, node_id)
+            self._session_on[node_id] = True
+        self._schedule_device_toggle(
+            controller, node_id, self._session_on[node_id], controller.sim.now
+        )
 
     def _schedule_toggle(self, controller: "MembershipController", group_index: int,
                          node_id: int, currently_on: bool, not_before: float) -> None:

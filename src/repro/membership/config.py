@@ -10,7 +10,10 @@ common deployment shapes:
 ``"onoff"``
     Session churn: every eligible node alternates between an *on* (member)
     session of mean ``mean_on_s`` and an *off* gap of mean ``mean_off_s``,
-    both exponential -- the classic peer-to-peer session model.
+    both exponential -- the classic peer-to-peer session model.  By default
+    each (node, group) pair toggles independently (*interest* churn);
+    ``onoff_correlated`` switches to one session clock per node, a node's
+    session end dropping *all* its subscriptions at once (*device* churn).
 ``"flash"``
     Flash crowd: ``flash_joiners`` non-members join each group at
     ``flash_at_s``; with ``flash_stay_s`` set they depart again after an
@@ -55,6 +58,11 @@ class ChurnConfig:
     # On/off model: mean subscribed / unsubscribed session lengths.
     mean_on_s: float = 120.0
     mean_off_s: float = 120.0
+    #: Correlated (device) variant of the on/off model: one session clock
+    #: per node instead of one per (node, group); when a node's session
+    #: ends it leaves every group it is subscribed to, and when it comes
+    #: back it re-joins the groups it held at its last session end.
+    onoff_correlated: bool = False
 
     # Flash-crowd model.
     flash_at_s: float = 0.0

@@ -1,12 +1,48 @@
-"""Mobility model interface and helpers."""
+"""Mobility model interface and helpers.
+
+Beyond plain position interpolation, every model exposes an
+*incremental-advance* contract consumed by the spatial index and the medium
+(the "motion service"):
+
+* :meth:`MobilityModel.position_hold` -- position plus how long it provably
+  stays constant (pauses, static placement, flat trace segments);
+* :meth:`MobilityModel.speed_bound_mps` -- a static bound turning stale
+  cached positions into conservative distance intervals;
+* :meth:`MobilityModel.motion_sample` -- all of the above bundled into a
+  :class:`MotionSample` together with a monotone **displacement epoch**: a
+  counter that advances only when the node's accumulated displacement since
+  the epoch's *anchor* position exceeds a consumer-chosen band width
+  (:meth:`MobilityModel.set_epoch_band`).  While the epoch is unchanged the
+  node is provably within the band of the anchor, so per-sender interference
+  windows classified against the anchor stay exact across many transmissions
+  of a slowly moving sender.  Teleports (and band reconfiguration) always
+  advance the epoch, so consumers can key caches by ``(node, epoch)`` alone.
+"""
 
 from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Callable, Optional, Tuple
+from typing import Callable, NamedTuple, Optional, Tuple
 
 Position = Tuple[float, float]
+
+
+class MotionSample(NamedTuple):
+    """One incremental-advance observation of a node's motion.
+
+    ``position`` is exact at the sampled instant; it provably stays constant
+    for any time in ``[sampled instant, hold_until)``.  ``speed_bound`` is
+    the model's static speed bound (``None`` when unknown), and ``epoch`` is
+    the displacement epoch at the sampled instant -- monotone, and unchanged
+    only while the node has stayed within the configured band of the epoch's
+    anchor position (see :meth:`MobilityModel.set_epoch_band`).
+    """
+
+    position: Position
+    hold_until: float
+    speed_bound: Optional[float]
+    epoch: int
 
 
 @dataclass(frozen=True)
@@ -36,6 +72,12 @@ class RectangularArea:
 class MobilityModel(abc.ABC):
     """Provides a node's position as a function of simulation time."""
 
+    # Displacement-epoch state (class-level defaults so subclasses need no
+    # cooperative __init__; instance attributes appear on first write).
+    _epoch: int = 0
+    _epoch_band_m: float = 0.0
+    _epoch_anchor: Optional[Position] = None
+
     @abc.abstractmethod
     def position(self, at_time: float) -> Position:
         """Return the ``(x, y)`` position in metres at ``at_time`` seconds."""
@@ -50,6 +92,56 @@ class MobilityModel(abc.ABC):
         the default claims no hold at all (``hold_until == at_time``).
         """
         return self.position(at_time), at_time
+
+    # -------------------------------------------------- displacement epochs
+    def set_epoch_band(self, band_m: float) -> None:
+        """Configure the displacement band used by :meth:`motion_sample`.
+
+        The epoch advances once the node has moved more than ``band_m``
+        metres away from the position where the epoch last advanced (the
+        *anchor*).  A band of 0 advances the epoch on any position change.
+        Reconfiguring the band always advances the epoch and drops the
+        anchor, so caches keyed by the old band's epochs can never be
+        mistaken for current ones.
+        """
+        if band_m < 0:
+            raise ValueError("band_m must be non-negative")
+        self._epoch_band_m = float(band_m)
+        self._epoch += 1
+        self._epoch_anchor = None
+
+    @property
+    def epoch_anchor(self) -> Optional[Position]:
+        """Anchor position of the current displacement epoch (if sampled).
+
+        The node is provably within the configured band of this position at
+        every instant :meth:`motion_sample` has been consulted for since the
+        epoch advanced.  ``None`` until the first sample of the epoch.
+        """
+        return self._epoch_anchor
+
+    def motion_sample(self, at_time: float) -> MotionSample:
+        """Sample position, hold, speed bound and displacement epoch.
+
+        The default implementation derives everything from
+        :meth:`position_hold` / :meth:`speed_bound_mps` and tracks the
+        displacement epoch against the configured band.  The epoch check is
+        performed at the sampled instant, which is exactly when consumers
+        rely on it -- between samples the node may leave and re-enter the
+        band without consequence, because no classification is made then.
+        """
+        position, hold_until = self.position_hold(at_time)
+        anchor = self._epoch_anchor
+        if anchor is None:
+            self._epoch_anchor = position
+        else:
+            band = self._epoch_band_m
+            dx = position[0] - anchor[0]
+            dy = position[1] - anchor[1]
+            if dx * dx + dy * dy > band * band:
+                self._epoch += 1
+                self._epoch_anchor = position
+        return MotionSample(position, hold_until, self.speed_bound_mps, self._epoch)
 
     @property
     def speed_bound_mps(self) -> Optional[float]:
@@ -77,7 +169,14 @@ class MobilityModel(abc.ABC):
         listeners.append(listener)
 
     def _position_changed(self) -> None:
-        """Notify subscribers that the position jumped discontinuously."""
+        """Notify subscribers that the position jumped discontinuously.
+
+        A jump of any size can exceed the displacement band, so the epoch is
+        advanced unconditionally (and the anchor re-established at the next
+        sample) before the listeners run.
+        """
+        self._epoch += 1
+        self._epoch_anchor = None
         for listener in getattr(self, "_position_listeners", ()):
             listener()
 

@@ -1,0 +1,160 @@
+"""The Gauss-Markov mobility model.
+
+Speed and direction evolve as first-order autoregressive processes sampled
+every ``step_s`` seconds (Camp, Boleng & Davies' survey formulation):
+
+    s[n+1] = a*s[n] + (1-a)*mean_speed     + sqrt(1-a^2) * N(0, speed_sigma)
+    d[n+1] = a*d[n] + (1-a)*mean_direction + sqrt(1-a^2) * N(0, direction_sigma)
+
+with memory level ``a = alpha`` (0 = memoryless Brownian-like jitter,
+1 = straight-line motion).  The node moves in a straight line for each step,
+so the trajectory is smooth at high ``alpha`` -- the classic alternative to
+random waypoint's sharp turns and its speed-decay pathology.
+
+Edge handling is the standard one: within ``edge_margin_m`` of an area edge
+the *mean* direction is steered towards the interior (so nodes curve away
+from walls rather than bouncing), and positions are clamped to the area as
+a last resort.  Speeds are clamped to ``[0, max_speed_mps]``, which also
+makes ``max_speed_mps`` the model's exact speed bound for the spatial
+index's drift arithmetic.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.mobility.base import Position, RectangularArea
+from repro.mobility.legs import Leg, PiecewiseLinearMobility
+
+
+class GaussMarkovMobility(PiecewiseLinearMobility):
+    """Gauss-Markov motion inside a rectangular area.
+
+    Parameters
+    ----------
+    area:
+        The rectangle the node moves within.
+    rng:
+        Random stream used for the speed/direction processes (and the
+        initial position/direction when not given).
+    max_speed_mps:
+        Hard clamp of the speed process (and the reported speed bound).
+        Zero degenerates to a static node.
+    mean_speed_mps:
+        Mean the speed process reverts to; defaults to half the maximum.
+    speed_sigma_mps:
+        Standard deviation of the speed innovation; defaults to a quarter
+        of the maximum speed.
+    direction_sigma_rad:
+        Standard deviation of the direction innovation in radians.
+    alpha:
+        Memory parameter in [0, 1].
+    step_s:
+        Sampling period of the processes.
+    edge_margin_m:
+        Distance from an edge at which the mean direction starts steering
+        towards the interior; defaults to an eighth of the smaller area
+        dimension.
+    """
+
+    def __init__(
+        self,
+        area: RectangularArea,
+        rng,
+        *,
+        max_speed_mps: float = 1.0,
+        mean_speed_mps: float | None = None,
+        speed_sigma_mps: float | None = None,
+        direction_sigma_rad: float = 0.4,
+        alpha: float = 0.85,
+        step_s: float = 2.0,
+        edge_margin_m: float | None = None,
+        initial_position: Position | None = None,
+    ):
+        if max_speed_mps < 0:
+            raise ValueError("max_speed_mps must be non-negative")
+        if not 0.0 <= alpha <= 1.0:
+            raise ValueError("alpha must lie in [0, 1]")
+        if step_s <= 0:
+            raise ValueError("step_s must be positive")
+        self.area = area
+        self.rng = rng
+        self.max_speed_mps = float(max_speed_mps)
+        self.mean_speed_mps = (
+            self.max_speed_mps / 2.0 if mean_speed_mps is None else float(mean_speed_mps)
+        )
+        self.speed_sigma_mps = (
+            self.max_speed_mps / 4.0 if speed_sigma_mps is None else float(speed_sigma_mps)
+        )
+        if self.speed_sigma_mps < 0 or self.mean_speed_mps < 0:
+            raise ValueError("speed parameters must be non-negative")
+        self.direction_sigma_rad = float(direction_sigma_rad)
+        self.alpha = float(alpha)
+        self.step_s = float(step_s)
+        self.edge_margin_m = (
+            min(area.width_m, area.height_m) / 8.0
+            if edge_margin_m is None
+            else float(edge_margin_m)
+        )
+        start = initial_position if initial_position is not None else area.random_point(rng)
+        if not area.contains(start):
+            raise ValueError(f"initial position {start} lies outside the area")
+        super().__init__(start)
+        # Process state; both start at their means (direction mean is drawn
+        # uniformly, like a waypoint model's first heading).
+        self._mean_direction = rng.uniform(0.0, 2.0 * math.pi)
+        self._speed = min(self.mean_speed_mps, self.max_speed_mps)
+        self._direction = self._mean_direction
+        # sqrt(1 - alpha^2) scales the innovations (variance-stationary AR1).
+        self._innovation = math.sqrt(max(0.0, 1.0 - self.alpha * self.alpha))
+
+    def _steered_mean(self, x: float, y: float) -> float:
+        """Mean direction, steered towards the interior near the edges."""
+        margin = self.edge_margin_m
+        if margin <= 0:
+            return self._mean_direction
+        width, height = self.area.width_m, self.area.height_m
+        dx = 1.0 if x < margin else (-1.0 if x > width - margin else 0.0)
+        dy = 1.0 if y < margin else (-1.0 if y > height - margin else 0.0)
+        if dx == 0.0 and dy == 0.0:
+            return self._mean_direction
+        return math.atan2(dy, dx)
+
+    def _next_leg(self, start_time: float, start: Position) -> Leg:
+        if self.max_speed_mps == 0.0:
+            return Leg(start_time, start, start, math.inf, math.inf)
+        alpha = self.alpha
+        blend = 1.0 - alpha
+        innovation = self._innovation
+        rng = self.rng
+        speed = (
+            alpha * self._speed
+            + blend * self.mean_speed_mps
+            + innovation * rng.gauss(0.0, self.speed_sigma_mps)
+        )
+        self._speed = speed = min(max(speed, 0.0), self.max_speed_mps)
+        mean_direction = self._steered_mean(start[0], start[1])
+        # Fold the current direction into (mean - pi, mean + pi] so the AR
+        # blend always turns the short way towards the mean.
+        offset = math.remainder(self._direction - mean_direction, 2.0 * math.pi)
+        direction = (
+            alpha * (mean_direction + offset)
+            + blend * mean_direction
+            + innovation * rng.gauss(0.0, self.direction_sigma_rad)
+        )
+        self._direction = direction
+        step = self.step_s
+        end = (
+            start[0] + speed * math.cos(direction) * step,
+            start[1] + speed * math.sin(direction) * step,
+        )
+        end = (
+            min(max(end[0], 0.0), self.area.width_m),
+            min(max(end[1], 0.0), self.area.height_m),
+        )
+        return Leg(start_time, start, end, start_time + step, start_time + step)
+
+    @property
+    def speed_bound_mps(self) -> float:
+        """The speed process is clamped to ``[0, max_speed_mps]``."""
+        return self.max_speed_mps

@@ -1,0 +1,113 @@
+"""Shared lazy piecewise-linear motion machinery.
+
+Several mobility models (Gauss-Markov steps, Manhattan street segments --
+and conceptually random waypoint, which predates this module and keeps its
+own identical implementation for golden-stability) reduce to the same shape:
+an append-only list of *legs*, each a straight-line travel followed by an
+optional pause, generated on demand as queries reach further into the
+future.  :class:`PiecewiseLinearMobility` implements the lazy extension,
+the binary search and the :meth:`position` / :meth:`position_hold` contract
+once; subclasses only provide :meth:`_next_leg`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.mobility.base import MobilityModel, Position
+
+
+@dataclass
+class Leg:
+    """One segment of motion: straight-line travel then an optional pause."""
+
+    start_time: float
+    start: Position
+    end: Position
+    travel_end_time: float
+    pause_end_time: float
+
+    def position(self, at_time: float) -> Position:
+        if at_time >= self.travel_end_time:
+            return self.end
+        duration = self.travel_end_time - self.start_time
+        if duration <= 0:
+            return self.end
+        fraction = (at_time - self.start_time) / duration
+        x = self.start[0] + (self.end[0] - self.start[0]) * fraction
+        y = self.start[1] + (self.end[1] - self.start[1]) * fraction
+        return (x, y)
+
+
+class PiecewiseLinearMobility(MobilityModel):
+    """Base class for models whose trajectory is a lazy list of legs."""
+
+    def __init__(self, origin: Position):
+        self._legs: List[Leg] = []
+        self._origin: Position = (float(origin[0]), float(origin[1]))
+
+    # ------------------------------------------------------------- extension
+    def _next_leg(self, start_time: float, start: Position) -> Leg:
+        """Generate the leg beginning at ``start_time`` from ``start``.
+
+        Subclasses draw their randomness here, in generation order, so a
+        seed fully determines the trajectory.  A returned leg may cover an
+        infinite span (``pause_end_time == inf``) to end generation (static
+        degenerate cases).
+        """
+        raise NotImplementedError
+
+    def _last_state(self) -> Tuple[float, Position]:
+        if not self._legs:
+            return 0.0, self._origin
+        last = self._legs[-1]
+        return last.pause_end_time, last.end
+
+    def _extend_until(self, at_time: float) -> None:
+        guard = 0
+        while True:
+            last_end, last_position = self._last_state()
+            if self._legs and last_end > at_time:
+                return
+            leg = self._next_leg(last_end, last_position)
+            # Guarantee progress even when both travel and pause are 0.
+            if leg.pause_end_time <= leg.start_time:
+                leg = Leg(last_end, last_position, leg.end, last_end, last_end + 1e-3)
+            self._legs.append(leg)
+            guard += 1
+            if guard > 1_000_000:  # pragma: no cover - defensive
+                raise RuntimeError(f"{type(self).__name__} failed to advance time")
+
+    def _leg_at(self, at_time: float) -> Leg:
+        if at_time < 0:
+            raise ValueError("time must be non-negative")
+        self._extend_until(at_time)
+        # Binary search over legs (they are sorted by start_time).
+        legs = self._legs
+        lo, hi = 0, len(legs) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if legs[mid].pause_end_time <= at_time:
+                lo = mid + 1
+            else:
+                hi = mid
+        return legs[lo]
+
+    # -------------------------------------------------------------- interface
+    def position(self, at_time: float) -> Position:
+        return self._leg_at(at_time).position(at_time)
+
+    def position_hold(self, at_time: float) -> Tuple[Position, float]:
+        """Pauses and zero-motion legs hold until the leg ends."""
+        leg = self._leg_at(at_time)
+        if leg.start == leg.end:
+            return leg.end, leg.pause_end_time
+        if at_time >= leg.travel_end_time:
+            return leg.end, leg.pause_end_time
+        return leg.position(at_time), at_time
+
+    @property
+    def legs_generated(self) -> int:
+        """Number of legs generated so far (diagnostic)."""
+        return len(self._legs)

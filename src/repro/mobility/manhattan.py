@@ -1,0 +1,188 @@
+"""The Manhattan-grid mobility model.
+
+Nodes move along the streets of a regular city grid: ``blocks_x`` x
+``blocks_y`` blocks, so ``blocks_x + 1`` vertical and ``blocks_y + 1``
+horizontal streets spanning the area.  A node travels from intersection to
+intersection at a per-leg speed drawn uniformly from
+``[min_speed, max_speed]``; at each intersection it continues straight or
+turns onto the crossing street (probabilistic turns, forced at the area
+boundary -- U-turns only happen at dead ends), and may pause (a stop light /
+parked interval) with probability ``pause_probability`` for a uniform time
+in ``[0, max_pause_s]``.
+
+Intersection coordinates are always reproduced exactly from their integer
+street indexes, so positions never accumulate floating-point drift along a
+street.  Pauses make the model hold-friendly for the spatial index, and the
+drawn speeds make ``max_speed_mps`` an exact speed bound.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.mobility.base import Position, RectangularArea
+from repro.mobility.legs import Leg, PiecewiseLinearMobility
+
+#: Unit direction vectors: east, west, north, south.
+_DIRECTIONS = ((1, 0), (-1, 0), (0, 1), (0, -1))
+
+
+class ManhattanGridMobility(PiecewiseLinearMobility):
+    """Street-grid motion inside a rectangular area.
+
+    Parameters
+    ----------
+    area:
+        The rectangle containing the street grid.
+    rng:
+        Random stream used for the initial placement, speeds, turn and
+        pause decisions.
+    blocks_x, blocks_y:
+        Number of city blocks per axis (so streets are one more per axis).
+    min_speed_mps, max_speed_mps:
+        Per-leg speed interval.  A zero ``max_speed`` degenerates to a node
+        parked at its initial street position.
+    max_pause_s:
+        Upper bound of the uniform intersection pause.
+    turn_probability:
+        Probability of leaving the current street at an intersection where
+        going straight is possible (boundaries force turns regardless).
+    pause_probability:
+        Probability of pausing at an intersection (only when
+        ``max_pause_s > 0``).
+    """
+
+    def __init__(
+        self,
+        area: RectangularArea,
+        rng,
+        *,
+        blocks_x: int = 4,
+        blocks_y: int = 4,
+        min_speed_mps: float = 0.0,
+        max_speed_mps: float = 1.0,
+        max_pause_s: float = 0.0,
+        turn_probability: float = 0.25,
+        pause_probability: float = 0.5,
+    ):
+        if blocks_x < 1 or blocks_y < 1:
+            raise ValueError("the grid needs at least one block per axis")
+        if min_speed_mps < 0 or max_speed_mps < min_speed_mps:
+            raise ValueError("speeds must satisfy 0 <= min_speed <= max_speed")
+        if max_pause_s < 0:
+            raise ValueError("max_pause_s must be non-negative")
+        if not 0.0 <= turn_probability <= 1.0 or not 0.0 <= pause_probability <= 1.0:
+            raise ValueError("probabilities must lie in [0, 1]")
+        self.area = area
+        self.rng = rng
+        self.blocks_x = blocks_x
+        self.blocks_y = blocks_y
+        self.min_speed_mps = float(min_speed_mps)
+        self.max_speed_mps = float(max_speed_mps)
+        self.max_pause_s = float(max_pause_s)
+        self.turn_probability = float(turn_probability)
+        self.pause_probability = float(pause_probability)
+        self._street_x = area.width_m / blocks_x
+        self._street_y = area.height_m / blocks_y
+        # Initial placement: a uniformly random point of the street network
+        # (an axis, a street index, an offset along it) and a direction
+        # along that street.
+        horizontal = rng.random() < 0.5
+        if horizontal:
+            j = rng.randrange(blocks_y + 1)
+            start = (rng.uniform(0.0, area.width_m), self._y(j))
+            self._direction = (1, 0) if rng.random() < 0.5 else (-1, 0)
+            self._at = (start[0] / self._street_x, float(j))
+        else:
+            i = rng.randrange(blocks_x + 1)
+            start = (self._x(i), rng.uniform(0.0, area.height_m))
+            self._direction = (0, 1) if rng.random() < 0.5 else (0, -1)
+            self._at = (float(i), start[1] / self._street_y)
+        super().__init__(start)
+
+    # ----------------------------------------------------------- street maths
+    def _x(self, i: float) -> float:
+        return 0.0 if i <= 0 else (self.area.width_m if i >= self.blocks_x else i * self._street_x)
+
+    def _y(self, j: float) -> float:
+        return 0.0 if j <= 0 else (self.area.height_m if j >= self.blocks_y else j * self._street_y)
+
+    def _point(self, at: tuple) -> Position:
+        return (self._x(at[0]), self._y(at[1]))
+
+    def _next_intersection(self, at: tuple, direction: tuple) -> tuple:
+        """The next street crossing from ``at`` heading ``direction``.
+
+        ``at`` holds street coordinates in units of blocks; off-integer
+        components (the initial mid-block placement) snap to the next line
+        in the direction of travel.
+        """
+        dx, dy = direction
+        if dx:
+            i = math.floor(at[0]) + 1 if dx > 0 else math.ceil(at[0]) - 1
+            if at[0] == math.floor(at[0]):  # exactly on a crossing already
+                i = at[0] + dx
+            return (float(min(max(i, 0), self.blocks_x)), at[1])
+        j = math.floor(at[1]) + 1 if dy > 0 else math.ceil(at[1]) - 1
+        if at[1] == math.floor(at[1]):
+            j = at[1] + dy
+        return (at[0], float(min(max(j, 0), self.blocks_y)))
+
+    def _heads_inside(self, at: tuple, direction: tuple) -> bool:
+        """Can a leg actually progress from ``at`` in ``direction``?"""
+        dx, dy = direction
+        if dx > 0:
+            return at[0] < self.blocks_x
+        if dx < 0:
+            return at[0] > 0
+        if dy > 0:
+            return at[1] < self.blocks_y
+        return at[1] > 0
+
+    def _choose_direction(self, at: tuple) -> tuple:
+        """Turn logic at intersection ``at`` (draws at most two variates)."""
+        current = self._direction
+        straight_ok = self._heads_inside(at, current)
+        turns = [
+            d for d in _DIRECTIONS
+            if d != current and d != (-current[0], -current[1]) and self._heads_inside(at, d)
+        ]
+        if straight_ok and (not turns or self.rng.random() >= self.turn_probability):
+            return current
+        if turns:
+            return turns[0] if len(turns) == 1 else self.rng.choice(turns)
+        if straight_ok:  # pragma: no cover - unreachable with valid grids
+            return current
+        # Dead end (a corner heading outwards): U-turn.
+        return (-current[0], -current[1])
+
+    # --------------------------------------------------------------- leg gen
+    def _next_leg(self, start_time: float, start: Position) -> Leg:
+        if self.max_speed_mps == 0.0:
+            return Leg(start_time, start, start, math.inf, math.inf)
+        at = self._at
+        on_crossing = at[0] == math.floor(at[0]) and at[1] == math.floor(at[1])
+        if on_crossing:
+            self._direction = self._choose_direction(at)
+        target = self._next_intersection(at, self._direction)
+        end = self._point(target)
+        self._at = target
+        distance = abs(end[0] - start[0]) + abs(end[1] - start[1])
+        speed = self.rng.uniform(self.min_speed_mps, self.max_speed_mps)
+        if speed <= 0.0:
+            # A zero draw parks the node for this leg (like random waypoint).
+            travel_time = 0.0
+            end = start
+            self._at = at
+        else:
+            travel_time = distance / speed
+        pause = 0.0
+        if self.max_pause_s > 0 and self.rng.random() < self.pause_probability:
+            pause = self.rng.uniform(0.0, self.max_pause_s)
+        travel_end = start_time + travel_time
+        return Leg(start_time, start, end, travel_end, travel_end + pause)
+
+    @property
+    def speed_bound_mps(self) -> float:
+        """Per-leg speeds are drawn from ``[min_speed, max_speed]``."""
+        return self.max_speed_mps

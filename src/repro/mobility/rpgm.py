@@ -1,0 +1,131 @@
+"""Reference-point group mobility (RPGM).
+
+Nodes move in *groups*: each group has a logical reference point following
+a random-waypoint path through the area, and every member tracks its own
+reference point -- its position is the group reference plus a member offset
+that itself performs a small random walk inside a ``group_radius_m`` box
+around the reference.  This is the classic MANET group model (Hong, Gerla,
+Pei & Chiang), and the natural multicast scenario: the members of one
+multicast group march together (a convoy, a platoon, a rescue team) while
+other groups roam independently.
+
+The offset-walk formulation keeps the motion service honest: a member's
+speed is bounded by ``reference speed bound + member_speed_mps`` exactly
+(positions are a sum of two bounded-speed paths, and the final clamp onto
+the area is a projection, which never increases displacement), and a member
+provably holds still whenever both its reference and its offset walk are
+pausing.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.mobility.base import MobilityModel, Position, RectangularArea
+from repro.mobility.random_waypoint import RandomWaypointMobility
+
+
+class RpgmMobility(MobilityModel):
+    """One group member: reference-point path plus a bounded offset walk.
+
+    Parameters
+    ----------
+    area:
+        The rectangle the *member* must stay within (positions are clamped
+        onto it; the reference itself already roams inside it).
+    reference:
+        The group's shared reference-point model (typically a
+        :class:`RandomWaypointMobility` built by :func:`build_group_reference`).
+    rng:
+        Random stream of this member's offset walk.
+    group_radius_m:
+        Half-width of the square box the offset walk roams (the group's
+        spatial spread).
+    member_speed_mps:
+        Maximum speed of the offset walk relative to the reference.  Zero
+        freezes the member at a fixed offset (a rigid formation).
+    max_pause_s:
+        Upper bound of the offset walk's pauses; pauses that overlap the
+        reference's pauses give the spatial index real position holds.
+    """
+
+    def __init__(
+        self,
+        area: RectangularArea,
+        reference: MobilityModel,
+        rng,
+        *,
+        group_radius_m: float = 25.0,
+        member_speed_mps: float = 0.5,
+        max_pause_s: float = 0.0,
+    ):
+        if group_radius_m <= 0:
+            raise ValueError("group_radius_m must be positive")
+        if member_speed_mps < 0:
+            raise ValueError("member_speed_mps must be non-negative")
+        self.area = area
+        self.reference = reference
+        self.group_radius_m = float(group_radius_m)
+        self.member_speed_mps = float(member_speed_mps)
+        # The offset walk is a random-waypoint path in a (2R)^2 box, shifted
+        # by -R so offsets are centred on the reference point.
+        self._offset_walk = RandomWaypointMobility(
+            RectangularArea(2.0 * group_radius_m, 2.0 * group_radius_m),
+            rng,
+            min_speed_mps=0.0,
+            max_speed_mps=member_speed_mps,
+            max_pause_s=max_pause_s,
+        )
+
+    def _clamp(self, x: float, y: float) -> Position:
+        return (
+            min(max(x, 0.0), self.area.width_m),
+            min(max(y, 0.0), self.area.height_m),
+        )
+
+    def position(self, at_time: float) -> Position:
+        rx, ry = self.reference.position(at_time)
+        ox, oy = self._offset_walk.position(at_time)
+        radius = self.group_radius_m
+        return self._clamp(rx + ox - radius, ry + oy - radius)
+
+    def position_hold(self, at_time: float) -> Tuple[Position, float]:
+        """Holds while *both* the reference and the offset walk pause."""
+        (rx, ry), ref_hold = self.reference.position_hold(at_time)
+        (ox, oy), offset_hold = self._offset_walk.position_hold(at_time)
+        radius = self.group_radius_m
+        return (
+            self._clamp(rx + ox - radius, ry + oy - radius),
+            min(ref_hold, offset_hold),
+        )
+
+    @property
+    def speed_bound_mps(self):
+        """Sum of the reference bound and the offset-walk bound.
+
+        The clamp onto the area is a projection onto a convex set, which is
+        1-Lipschitz, so it never increases the bound.  ``None`` when the
+        reference's own bound is unknown.
+        """
+        reference_bound = self.reference.speed_bound_mps
+        if reference_bound is None:
+            return None
+        return reference_bound + self.member_speed_mps
+
+
+def build_group_reference(
+    area: RectangularArea,
+    rng,
+    *,
+    min_speed_mps: float = 0.0,
+    max_speed_mps: float = 1.0,
+    max_pause_s: float = 0.0,
+) -> RandomWaypointMobility:
+    """The shared reference-point path of one RPGM group (random waypoint)."""
+    return RandomWaypointMobility(
+        area,
+        rng,
+        min_speed_mps=min_speed_mps,
+        max_speed_mps=max_speed_mps,
+        max_pause_s=max_pause_s,
+    )

@@ -47,6 +47,24 @@ class MaodvConfig:
     #: requests, group hellos, tree data); avoids systematic
     #: synchronised-rebroadcast collisions between hidden terminals.
     broadcast_jitter_s: float = 0.01
+    #: Explicit leadership hand-off when the group leader leaves the group
+    #: (draft rule): the leaver floods a tree-scoped hand-off and the oldest
+    #: downstream member takes over.  Disabling falls back to the old
+    #: simplification (the leaver keeps leading until partition/merge
+    #: machinery elects someone else).
+    leader_handoff: bool = True
+    #: Scale of the age-ranked takeover delay: a member that joined ``a``
+    #: seconds ago answers a hand-off after about ``wait * 60 / (60 + a)``
+    #: seconds, so the oldest member fires first and its group hello
+    #: cancels the younger members' pending takeovers.
+    handoff_wait_s: float = 1.0
+    #: How long an abdicated leader (that stayed a tree router) waits for a
+    #: successor's group hello before resuming leadership itself.  The
+    #: hand-off flood is a best-effort broadcast; without this fallback a
+    #: lost flood would leave the group permanently leaderless (no hello
+    #: timeout exists to trigger re-election).
+    handoff_fallback_s: float = 6.0
+    leader_handoff_size_bytes: int = 20
 
     def __post_init__(self) -> None:
         if self.group_hello_interval_s <= 0:
@@ -57,3 +75,7 @@ class MaodvConfig:
             raise ValueError("retry counts must be non-negative")
         if self.nearest_member_infinity < 1:
             raise ValueError("nearest_member_infinity must be positive")
+        if self.handoff_wait_s <= 0:
+            raise ValueError("handoff_wait_s must be positive")
+        if self.handoff_fallback_s <= 0:
+            raise ValueError("handoff_fallback_s must be positive")

@@ -121,6 +121,7 @@ class FloodingRouter:
             group=group,
             source=self.node_id,
             seq=seq,
+            sent_at=self.sim.now,
         )
         self.stats.data_originated += 1
         self._remember(data.message_id())

@@ -38,6 +38,7 @@ from repro.multicast.messages import (
     GroupHello,
     JoinReply,
     JoinRequest,
+    LeaderHandoff,
     MactMessage,
     MulticastData,
     NearestMemberUpdate,
@@ -71,6 +72,10 @@ class MaodvStats:
     repairs_succeeded: int = 0
     partitions_became_leader: int = 0
     nearest_member_updates_sent: int = 0
+    leader_handoffs_sent: int = 0
+    leader_handoffs_forwarded: int = 0
+    leader_handoffs_accepted: int = 0
+    leader_handoffs_reclaimed: int = 0
 
 
 @dataclass
@@ -104,6 +109,10 @@ class MaodvRouter:
         self._potential_upstream: Dict[tuple, NodeId] = {}
         self._seen_join_requests: Dict[tuple, float] = {}
         self._seen_group_hellos: Dict[tuple, float] = {}
+        self._seen_handoffs: Dict[tuple, float] = {}
+        #: When this node last became a member, per group (drives the
+        #: age-ranked leader hand-off takeover).
+        self._member_since: Dict[GroupAddress, float] = {}
         self._seen_data: "OrderedDict[tuple, None]" = OrderedDict()
         self._last_advertised: Dict[Tuple[GroupAddress, NodeId], int] = {}
         self._group_hello_timers: Dict[GroupAddress, PeriodicTimer] = {}
@@ -114,6 +123,7 @@ class MaodvRouter:
         node.register_handler(JoinReply, self._on_join_reply)
         node.register_handler(MactMessage, self._on_mact)
         node.register_handler(GroupHello, self._on_group_hello)
+        node.register_handler(LeaderHandoff, self._on_leader_handoff)
         node.register_handler(NearestMemberUpdate, self._on_nearest_member_update)
         aodv.add_neighbor_loss_listener(self._on_neighbor_loss)
 
@@ -172,6 +182,7 @@ class MaodvRouter:
         if entry.is_member:
             return
         entry.is_member = True
+        self._member_since[group] = self.sim.now
         self.stats.joins_initiated += 1
         if entry.tree_neighbors():
             # Already a router on this tree: membership change only.
@@ -184,13 +195,17 @@ class MaodvRouter:
 
         * A join/repair still in flight for the group is abandoned (late
           replies are ignored through the pending-join bookkeeping).
-        * A leaf member MACT-prunes its single tree link and forgets the
-          group.
-        * The group leader keeps leading (and routing) while other tree
-          branches remain -- leadership hand-off happens through the normal
-          partition/merge machinery -- but when it is the last tree node the
-          group dissolves here: hellos stop and the entry is removed, so a
-          later :meth:`join_group` re-creates the group from scratch.
+        * A leaving *leader* with remaining tree branches first hands
+          leadership off (draft rule): it floods a tree-scoped
+          :class:`LeaderHandoff` and the oldest downstream member takes over
+          (see :meth:`_on_leader_handoff`); with ``leader_handoff`` disabled
+          it falls back to the old simplification of leading on until the
+          partition/merge machinery elects someone else.  When the leader is
+          the last tree node the group dissolves here: hellos stop and the
+          entry is removed, so a later :meth:`join_group` re-creates the
+          group from scratch.
+        * A leaf member (including an ex-leader left with a single branch)
+          MACT-prunes its single tree link and forgets the group.
         * Any other non-leaf member keeps routing for the tree, only its
           membership flag (and nearest-member advertisement) changes.
         """
@@ -198,6 +213,7 @@ class MaodvRouter:
         if entry is None or not entry.is_member:
             return
         entry.is_member = False
+        self._member_since.pop(group, None)
         self._pending_joins.pop(group, None)
         neighbors = entry.tree_neighbors()
         if self.is_group_leader(group):
@@ -206,8 +222,11 @@ class MaodvRouter:
                 self._stop_group_hello(group)
                 self.table.remove(group)
                 return
-            self._propagate_nearest_member(group)
-            return
+            if self.config.leader_handoff:
+                self._hand_off_leadership(group, entry)
+            else:
+                self._propagate_nearest_member(group)
+                return
         if len(neighbors) <= 1:
             if neighbors:
                 self._send_prune(group, neighbors[0])
@@ -230,6 +249,7 @@ class MaodvRouter:
             group=group,
             source=self.node_id,
             seq=seq,
+            sent_at=self.sim.now,
         )
         self.stats.data_originated += 1
         self._remember_data(data.message_id())
@@ -469,6 +489,98 @@ class MaodvRouter:
                 self.stats.mact_sent += 1
                 self.node.send_frame(forwarded, upstream)
         self._propagate_nearest_member(mact.group)
+
+    # --------------------------------------------------------- leader hand-off
+    def _hand_off_leadership(self, group: GroupAddress, entry: GroupEntry) -> None:
+        """Abdicate: flood a tree-scoped hand-off and forget the leadership.
+
+        The leaver's view of the leader becomes unknown (``-1``) until the
+        new leader's group hello arrives; hellos stop immediately so two
+        leaders never announce concurrently.
+        """
+        handoff = LeaderHandoff(
+            origin=self.node_id,
+            destination=BROADCAST_ADDRESS,
+            size_bytes=self.config.leader_handoff_size_bytes,
+            group=group,
+            leader=self.node_id,
+            group_seq=entry.group_seq,
+        )
+        self._seen_handoffs[handoff.key()] = self.sim.now + 60.0
+        self._stop_group_hello(group)
+        entry.leader = -1
+        self.stats.leader_handoffs_sent += 1
+        self.node.send_frame(handoff, BROADCAST_ADDRESS)
+        # The flood is fire-and-forget; if no successor announces itself
+        # (flood lost, or no member left downstream) a leaver that stayed a
+        # tree router resumes leading rather than leaving the group
+        # leaderless.  (A leaver that pruned itself off the tree cannot
+        # fall back; that residual window matches a leader crash.)
+        self.sim.schedule(
+            self.config.handoff_fallback_s,
+            self._handoff_fallback, group, entry.group_seq,
+        )
+
+    def _handoff_fallback(self, group: GroupAddress, handoff_seq: int) -> None:
+        entry = self.table.entry(group)
+        if entry is None or not entry.on_tree:
+            return
+        if entry.leader != -1 or entry.group_seq > handoff_seq:
+            return  # a successor's hello arrived; the hand-off worked
+        self.stats.leader_handoffs_reclaimed += 1
+        self._become_leader(group)
+
+    def _on_leader_handoff(self, handoff: LeaderHandoff, from_node: NodeId) -> None:
+        """Forward a hand-off along the tree; members race to take over.
+
+        Every member schedules a takeover delay that *shrinks* with its
+        membership age, so the oldest downstream member fires first; its
+        group hello (carrying a higher group sequence number) cancels the
+        younger members' pending takeovers.  Near-simultaneous takeovers --
+        members of almost equal age hearing the flood far apart -- resolve
+        through the standard partition-merge rule, exactly like two
+        partition leaders meeting.
+        """
+        entry = self.table.entry(handoff.group)
+        if entry is None or not entry.on_tree:
+            return
+        if from_node != self.node_id and from_node not in entry.next_hops:
+            return
+        now = self.sim.now
+        key = handoff.key()
+        expiry = self._seen_handoffs.get(key)
+        if expiry is not None and expiry > now:
+            return
+        self._seen_handoffs[key] = now + 60.0
+        if entry.leader == handoff.leader:
+            entry.leader = -1
+        entry.group_seq = max(entry.group_seq, handoff.group_seq)
+        others = [n for n in entry.tree_neighbors() if n != from_node]
+        if others:
+            self.stats.leader_handoffs_forwarded += 1
+            self._broadcast_jittered(handoff)
+        if entry.is_member and not self.is_group_leader(handoff.group):
+            age = max(0.0, now - self._member_since.get(handoff.group, now))
+            # Oldest member -> smallest delay; the node id breaks exact ties
+            # deterministically.
+            delay = (
+                self.config.handoff_wait_s * 60.0 / (60.0 + age)
+                + (self.node_id + 1) * 1e-4
+            )
+            self.sim.schedule(
+                delay, self._attempt_takeover, handoff.group, handoff.group_seq
+            )
+
+    def _attempt_takeover(self, group: GroupAddress, handoff_seq: int) -> None:
+        entry = self.table.entry(group)
+        if entry is None or not entry.is_member or self.is_group_leader(group):
+            return
+        if entry.group_seq > handoff_seq:
+            # A newer leader already announced itself (group hellos bump the
+            # sequence past the hand-off's); stand down.
+            return
+        self.stats.leader_handoffs_accepted += 1
+        self._become_leader(group)
 
     # -------------------------------------------------------------- group hello
     def _become_leader(self, group: GroupAddress) -> None:

@@ -19,12 +19,15 @@ class MulticastData(Packet):
 
     ``destination`` holds the group address; ``origin`` is the original
     multicast source; ``seq`` is the per-source sequence number that the
-    gossip layer uses to detect losses.
+    gossip layer uses to detect losses; ``sent_at`` is the origination
+    timestamp (stamped by every protocol's ``send_data``), which lets
+    gossip responders serve a mid-run joiner exactly the post-join suffix.
     """
 
     group: GroupAddress = -1
     source: NodeId = -1
     seq: int = 0
+    sent_at: float = 0.0
 
     def message_id(self) -> tuple:
         """Globally unique id of the multicast message: (source, seq)."""
@@ -100,6 +103,31 @@ class GroupHello(Packet):
     def key(self) -> tuple:
         """Duplicate-suppression key."""
         return (self.leader, self.group_seq, self.group)
+
+
+@dataclass
+class LeaderHandoff(Packet):
+    """Tree-scoped announcement that the group leader is leaving the group.
+
+    Flooded along the multicast tree by an abdicating leader; members
+    schedule an age-ranked takeover (the oldest member fires first and
+    becomes the new leader), so leadership stays with a *member* instead of
+    a leaver continuing to lead until partition/merge machinery runs.
+    """
+
+    group: GroupAddress = -1
+    #: The abdicating leader.
+    leader: NodeId = -1
+    #: The abdicating leader's final group sequence number; a takeover
+    #: bumps past it, so a later hello supersedes the hand-off.
+    group_seq: int = 0
+
+    def __post_init__(self) -> None:
+        self.destination = BROADCAST_ADDRESS
+
+    def key(self) -> tuple:
+        """Duplicate-suppression key of the tree-scoped flood."""
+        return (self.group, self.leader, self.group_seq)
 
 
 @dataclass

@@ -218,6 +218,7 @@ class OdmrpRouter:
             group=group,
             source=self.node_id,
             seq=seq,
+            sent_at=self.sim.now,
         )
         self.stats.data_originated += 1
         self._remember_data(data.message_id())

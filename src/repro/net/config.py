@@ -47,6 +47,14 @@ class RadioConfig:
         this far before being refreshed, and the grid is rebuilt once the
         fleet may have moved this far.  Queries inflate their radius
         accordingly, so results are unaffected.  Defaults to 1/8 cell.
+    motion_band_m:
+        Displacement-epoch band of the motion service: a sender keeps its
+        pre-classified interference window while it has moved less than
+        this distance from the window's anchor position.  A wider band
+        means fewer window rebuilds but a wider boundary ring of
+        per-transmission exact checks; classification stays exact for any
+        value, so this is a pure performance knob.  Defaults to
+        ``grid_slack_m``.
     area_topology:
         Geometry of the radio area: ``"flat"`` (the paper's bounded
         rectangle, the default) or ``"torus"`` (opposite edges identified;
@@ -65,6 +73,7 @@ class RadioConfig:
     medium_index: str = "grid"
     grid_cell_m: float | None = None
     grid_slack_m: float | None = None
+    motion_band_m: float | None = None
     speed_bound_mps: float | None = None
     area_topology: str = "flat"
     area_width_m: float | None = None
@@ -104,6 +113,10 @@ class RadioConfig:
             self.grid_slack_m = self.grid_cell_m / 8.0
         if self.grid_slack_m < 0:
             raise ValueError("grid_slack_m must be non-negative")
+        if self.motion_band_m is None:
+            self.motion_band_m = self.grid_slack_m
+        if self.motion_band_m < 0:
+            raise ValueError("motion_band_m must be non-negative")
 
     #: Fleets at or above this speed bound use the coarser cs/2 grid cell.
     FAST_FLEET_MPS = 2.0

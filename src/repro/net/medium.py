@@ -40,15 +40,23 @@ transmission, the default) or a naive linear scan
 statistics and delivery sequences; the naive index is kept as the reference
 for equivalence tests.
 
+The medium consumes one interface for static and moving senders alike:
+``transmission_window`` returns the transmission's pre-classified
+interference window -- cached against the sender's exact position while it
+pauses and against its displacement-epoch anchor while it moves (see the
+mobility motion-service contract) -- with only boundary members resolved per
+call.
+
 Hot-path bookkeeping
 --------------------
 A paper-scale run starts tens of thousands of transmissions, each fanning
 out to every radio in carrier-sense range, so the per-reception bookkeeping
 is allocation-free in steady state: :class:`_Reception` and
 :class:`_Transmission` records are slotted objects recycled through free
-lists, the classified interference set is materialised into one reused
-buffer, per-node reception lists use intrusive slot indexes for O(1)
-removal, and delivery dispatches straight to each radio's receive callback.
+lists, the fan-out loop iterates the index's cached window directly (no
+per-transmission interferer list is materialised), per-node reception lists
+use intrusive slot indexes for O(1) removal, and delivery dispatches
+straight to each radio's receive callback.
 """
 
 from __future__ import annotations
@@ -137,10 +145,9 @@ class Medium:
         self._airtime = self.config.airtime
         self._cs_range = self.config.carrier_sense_range_m
         self._rx_range = self.config.transmission_range_m
-        # Free lists and the reused interference buffer (see module docstring).
+        # Free lists (see module docstring).
         self._reception_pool: List[_Reception] = []
         self._transmission_pool: List[_Transmission] = []
-        self._interferer_buf: List[tuple] = []
         #: (width, height) of the periodic area, or ``None`` on the flat
         #: rectangle; every direct distance below applies the minimum-image
         #: convention when set.
@@ -157,10 +164,13 @@ class Medium:
                     slack_m=self.config.grid_slack_m,
                     width_m=self._wrap[0],
                     height_m=self._wrap[1],
+                    band_m=self.config.motion_band_m,
                 )
             else:
                 self._index = UniformGridIndex(
-                    cell_m=self.config.grid_cell_m, slack_m=self.config.grid_slack_m
+                    cell_m=self.config.grid_cell_m,
+                    slack_m=self.config.grid_slack_m,
+                    band_m=self.config.motion_band_m,
                 )
         else:
             self._index = LinearScanIndex(wrap=self._wrap)
@@ -320,10 +330,25 @@ class Medium:
 
         pool = self._reception_pool
         receptions = tx.receptions
-        for _, node_id, phy, in_range in index.interferers(
-            sender, sender_pos, self._cs_range, self._rx_range, now,
-            out=self._interferer_buf,
+        rec_append = receptions.append
+        collisions = 0
+        half_duplex = 0
+        # The window comes pre-classified from the index's per-sender caches
+        # (exact-point windows for paused senders, displacement-epoch anchor
+        # windows for moving ones); only boundary members near a verdict
+        # deadline were resolved for this call.  It never contains the
+        # sender, but may contain disabled radios and members that resolved
+        # beyond carrier sense (verdict None) -- filtering here avoids
+        # materialising a second, filtered list per transmission.
+        for member in index.transmission_window(
+            sender, sender_pos, self._cs_range, self._rx_range, now
         ):
+            phy = member[2]
+            if not phy.enabled:
+                continue
+            in_range = member[3]
+            if in_range is None:
+                continue
             if pool:
                 reception = pool.pop()
                 reception.receiver = phy
@@ -339,15 +364,21 @@ class Medium:
                 for other in ongoing:
                     if not other.corrupted:
                         other.corrupted = True
-                        stats.collisions += 1
+                        collisions += 1
                 reception.corrupted = True
-                stats.collisions += 1
+                collisions += 1
+                reception.node_slot = len(ongoing)
+            else:
+                reception.node_slot = 0
             if phy.transmitting:
                 reception.corrupted = True
-                stats.half_duplex_losses += 1
-            reception.node_slot = len(ongoing)
+                half_duplex += 1
             ongoing.append(reception)
-            receptions.append(reception)
+            rec_append(reception)
+        if collisions:
+            stats.collisions += collisions
+        if half_duplex:
+            stats.half_duplex_losses += half_duplex
 
         tx.active_slot = len(self._active)
         self._active.append(tx)
@@ -366,6 +397,10 @@ class Medium:
         pool_append = self._reception_pool.append
         frame = tx.frame
         sender_id = tx.sender.node_id
+        disabled_discards = 0
+        out_of_range = 0
+        half_duplex = 0
+        deliveries = 0
         for reception in tx.receptions:
             receiver = reception.receiver
             # O(1) intrusive removal: swap the list tail into this record's
@@ -379,26 +414,34 @@ class Medium:
             # Capture the outcome fields, then recycle the record before the
             # delivery callback: everything below uses the locals, so even a
             # callback that pops the pool cannot clash with this record.
+            # The receiver/tx refs are left in place -- pooled records hold
+            # them until reuse overwrites them, which pins only long-lived
+            # objects (phys, pooled transmissions).
             in_range = reception.in_range
             corrupted = reception.corrupted
-            reception.receiver = None
-            reception.tx = None
             pool_append(reception)
             if not receiver.enabled:
-                stats.disabled_discards += 1
+                disabled_discards += 1
                 continue
             if not in_range:
-                stats.out_of_range_discards += 1
+                out_of_range += 1
                 continue
             if corrupted:
                 continue
             if receiver.transmitting:
-                stats.half_duplex_losses += 1
+                half_duplex += 1
                 continue
-            stats.deliveries += 1
+            deliveries += 1
             callback = receiver.receive_callback
             if callback is not None:
                 callback(frame, sender_id)
+        if disabled_discards:
+            stats.disabled_discards += disabled_discards
+        if out_of_range:
+            stats.out_of_range_discards += out_of_range
+        if half_duplex:
+            stats.half_duplex_losses += half_duplex
+        stats.deliveries += deliveries
         tx.receptions.clear()
         sender = tx.sender
         tx.sender = None

@@ -11,22 +11,30 @@ point, without changing a single simulation outcome:
 
 :class:`PositionMemo`
     A per-instant position cache over the analytic mobility models.  Each
-    node's position is interpolated at most once per simulation instant.  Two
-    mobility hooks stretch entries across instants:
+    node's position is interpolated at most once per simulation instant.
+    The mobility motion-service contract stretches entries across instants:
 
     * :meth:`~repro.mobility.base.MobilityModel.position_hold` lets pausing
       models (random waypoint between legs, static placement) declare how
-      long a position provably stays constant, and
+      long a position provably stays constant,
     * :meth:`~repro.mobility.base.MobilityModel.speed_bound_mps` turns a
       stale entry into a conservative distance *interval*: a node cached
       ``d`` metres from a point at most ``drift`` metres ago is certainly
       within range ``r`` when ``d + drift <= r`` and certainly outside when
       ``d - drift > r``.  Only the rare boundary-ambiguous pairs fall back to
       exact interpolation, so classification is exact while interpolation is
-      amortised away.
+      amortised away, and
+    * :meth:`~repro.mobility.base.MobilityModel.motion_sample` adds the
+      **displacement epoch** -- a counter that advances only once the node
+      has moved more than a configured band from the epoch's anchor
+      position.  The memo subscribes every tracked model to the band and
+      records the epoch in its entries, so consumers can key caches by
+      ``(node, epoch)`` and keep them exactly valid while the node stays
+      inside the band.
 
     Scripted teleports (``StaticMobility.move_to``) invalidate entries
-    through the mobility position listeners, so cached bounds never lie.
+    through the mobility position listeners (and advance the epoch), so
+    cached bounds never lie.
 
 :class:`UniformGridIndex`
     A uniform grid with cell size of the order of the carrier-sense range,
@@ -35,6 +43,17 @@ point, without changing a single simulation outcome:
     radius by the worst-case staleness, so the returned candidate set is a
     guaranteed superset of the true in-range set; the medium then classifies
     each candidate exactly through the memo.
+
+    On top of the plain candidate windows, the grid serves the medium
+    **per-sender pre-classified interference windows** through
+    :meth:`~UniformGridIndex.transmission_window`: bound to the sender's
+    exact position while it provably holds still, and to its
+    displacement-epoch *anchor* while it moves -- valid for every
+    transmission the sender makes inside the band, which extends the
+    paused-sender fast path to slow movers.  Window members whose verdict
+    depends on the instant carry drift *deadlines*, so even they are
+    typically resolved once per window rather than once per transmission.
+    Classification stays exact for any band width.
 
 :class:`LinearScanIndex`
     The O(N) reference implementation with the exact semantics of the
@@ -92,23 +111,45 @@ class PositionMemo:
     ``refresh_cap_m``.
     """
 
-    def __init__(self, refresh_cap_m: float = 0.0):
+    def __init__(self, refresh_cap_m: float = 0.0, epoch_band_m: Optional[float] = None):
         self.refresh_cap_m = refresh_cap_m
-        #: node_id -> (position, computed_at, hold_until, speed bound); the
-        #: static per-node speed bound rides inside the entry so the hot
-        #: classification loops resolve one dict lookup instead of two.
-        self._entries: Dict[int, Tuple[Position, float, float, Optional[float]]] = {}
+        #: Displacement band configured on tracked mobility models; ``None``
+        #: disables epoch tracking entirely (no model is reconfigured).
+        self.epoch_band_m = epoch_band_m
+        #: node_id -> (position, computed_at, hold_until, speed bound,
+        #: displacement epoch); the static per-node speed bound rides inside
+        #: the entry so the hot classification loops resolve one dict lookup
+        #: instead of two.  The epoch is -1 for models without the
+        #: motion-sample contract.
+        self._entries: Dict[int, Tuple[Position, float, float, Optional[float], int]] = {}
         self._holds: Dict[int, object] = {}
         self._rates: Dict[int, Optional[float]] = {}
         self._phys: Dict[int, "Phy"] = {}
+        #: node_id -> bound motion_sample method (None without the contract).
+        self._samplers: Dict[int, object] = {}
+        #: node_id -> mobility model, for reading the epoch anchor.
+        self._models: Dict[int, object] = {}
 
     def track(self, phy: "Phy") -> None:
-        """Start caching positions for ``phy``'s node."""
+        """Start caching positions for ``phy``'s node.
+
+        Models exposing the motion-sample contract are subscribed to the
+        memo's displacement band, so their epochs become meaningful to every
+        consumer of this memo.
+        """
         node_id = phy.node_id
         mobility = getattr(phy.node, "mobility", None)
         self._phys[node_id] = phy
         self._holds[node_id] = getattr(mobility, "position_hold", None)
         self._rates[node_id] = getattr(mobility, "speed_bound_mps", None)
+        sampler = getattr(mobility, "motion_sample", None)
+        set_band = getattr(mobility, "set_epoch_band", None)
+        if sampler is not None and set_band is not None and self.epoch_band_m is not None:
+            set_band(self.epoch_band_m)
+            self._samplers[node_id] = sampler
+            self._models[node_id] = mobility
+        else:
+            self._samplers[node_id] = None
 
     def rate_of(self, node_id: int) -> Optional[float]:
         """The node's speed bound (``None`` when unknown)."""
@@ -118,16 +159,41 @@ class PositionMemo:
         """The true position at ``now``; interpolates at most once per instant."""
         entry = self._entries.get(node_id)
         if entry is not None:
-            position, computed_at, hold_until, _ = entry
+            position, computed_at, hold_until, _, _ = entry
             if now == computed_at or computed_at <= now < hold_until:
                 return position
-        hold = self._holds[node_id]
-        if hold is not None:
-            position, hold_until = hold(now)
+        sampler = self._samplers[node_id]
+        if sampler is not None:
+            position, hold_until, _, epoch = sampler(now)
         else:
-            position, hold_until = self._phys[node_id].position(now), now
-        self._entries[node_id] = (position, now, hold_until, self._rates[node_id])
+            epoch = -1
+            hold = self._holds[node_id]
+            if hold is not None:
+                position, hold_until = hold(now)
+            else:
+                position, hold_until = self._phys[node_id].position(now), now
+        self._entries[node_id] = (position, now, hold_until, self._rates[node_id], epoch)
         return position
+
+    def epoch_of(self, node_id: int, now: float) -> Tuple[Optional[int], Optional[Position]]:
+        """The node's displacement epoch and anchor, sampled at ``now``.
+
+        Refreshes the memo entry when it is not already valid at ``now``
+        (the epoch recorded in a holding entry stays correct for the whole
+        hold: a held position cannot accumulate displacement, and teleports
+        invalidate the entry through the position listeners).  Returns
+        ``(None, None)`` for models without the motion-sample contract.
+        """
+        if self._samplers.get(node_id) is None:
+            return None, None
+        entry = self._entries.get(node_id)
+        if entry is None or not (now == entry[1] or entry[1] <= now < entry[2]):
+            self.exact(node_id, now)
+            entry = self._entries[node_id]
+        # Direct attribute read (not the epoch_anchor property): this runs
+        # once per transmission, and the underlying slot is kept in sync by
+        # MobilityModel.motion_sample.
+        return entry[4], self._models[node_id]._epoch_anchor
 
     def bounded(self, node_id: int, now: float) -> Tuple[Position, float]:
         """A cached position plus a conservative drift bound in metres.
@@ -137,7 +203,7 @@ class PositionMemo:
         entry = self._entries.get(node_id)
         if entry is None:
             return self.exact(node_id, now), 0.0
-        position, computed_at, hold_until, rate = entry
+        position, computed_at, hold_until, rate, _ = entry
         if now == computed_at or computed_at <= now < hold_until:
             return position, 0.0
         if rate is None or now < computed_at:
@@ -168,15 +234,21 @@ class UniformGridIndex:
     the truth and exact classification is delegated to the memo.
     """
 
-    def __init__(self, cell_m: float, slack_m: float):
+    def __init__(self, cell_m: float, slack_m: float, band_m: Optional[float] = None):
         if cell_m <= 0:
             raise ValueError("cell_m must be positive")
         if slack_m < 0:
             raise ValueError("slack_m must be non-negative")
+        if band_m is not None and band_m < 0:
+            raise ValueError("band_m must be non-negative")
         self.cell_m = cell_m
         self.slack_m = slack_m
+        #: Displacement-epoch band for per-sender windows (defaults to the
+        #: slack budget): a moving sender keeps its pre-classified window
+        #: while it stays within this distance of the window's anchor.
+        self.band_m = slack_m if band_m is None else band_m
         self._inv_cell = 1.0 / cell_m
-        self.memo = PositionMemo(refresh_cap_m=slack_m)
+        self.memo = PositionMemo(refresh_cap_m=slack_m, epoch_band_m=self.band_m)
         #: (registration order, node id, phy) triples.
         self._members: List[Tuple[int, int, "Phy"]] = []
         self._cells: Dict[Tuple[int, int], List[Tuple[int, int, "Phy"]]] = {}
@@ -190,9 +262,18 @@ class UniformGridIndex:
         #: against that exact point (much tighter than the cell bounds; built
         #: only for senders sitting still, see :meth:`interferers`).
         self._sender_cache: Dict[tuple, List[tuple]] = {}
+        #: (sender id, displacement epoch, cs, rx) -> window pre-classified
+        #: against the epoch's anchor position with the band folded into the
+        #: error budget; valid for every transmission the sender makes while
+        #: staying inside the band (see :meth:`interferers`).
+        self._epoch_cache: Dict[tuple, List[tuple]] = {}
         #: node_id -> (memo position used to bucket it at the last rebuild,
         #: that position's staleness bound in metres at build time).
         self._build_pos: Dict[int, Tuple[Position, float]] = {}
+        #: Reused output of :meth:`transmission_window` when boundary
+        #: members need patching (consumed before the next transmission
+        #: starts, so one buffer keeps the hot path allocation-free).
+        self._patched: List[tuple] = []
         self._built_at: Optional[float] = None
         self._dirty = True
         #: Max speed bound over every tracked node; ``None`` once any node's
@@ -262,6 +343,7 @@ class UniformGridIndex:
         self._window_cache.clear()
         self._iwindow_cache.clear()
         self._sender_cache.clear()
+        self._epoch_cache.clear()
         self._built_at = now
         self._dirty = False
         self.rebuilds += 1
@@ -329,39 +411,44 @@ class UniformGridIndex:
         self._window_cache[key] = out
         return out
 
-    def _sender_window(self, sender: "Phy", ox: float, oy: float,
-                       cs_range: float, rx_range: float) -> List[tuple]:
-        """The interference window pre-classified against an exact point.
+    def _point_window(self, sender: "Phy", px: float, py: float,
+                      cs_range: float, rx_range: float, extra_m: float) -> List[tuple]:
+        """An interference window pre-classified against a point anchor.
 
-        Same verdicts and epoch-validity argument as :meth:`_iwindow`, but
-        the distance bounds are taken from the point ``(ox, oy)`` instead of
-        the whole origin cell, so far more members become certain (the
-        boundary band shrinks from cell-diagonal width to the error budget).
-        The sender itself is excluded while building.
+        ``extra_m`` is the sender's positional uncertainty around
+        ``(px, py)``: 0 for a paused sender classified against its exact
+        position (the boundary band then shrinks from cell-diagonal width to
+        the error budget), the displacement band for a moving sender
+        classified against its epoch anchor (the verdicts then hold for any
+        origin inside the band at any instant of the grid epoch).  Member
+        budgets add their build staleness and the fleet slack, the
+        enumeration reach is inflated by ``extra_m`` so the window stays a
+        superset for off-anchor origins, and the sender itself is excluded
+        while building.
         """
-        inv_cell = self._inv_cell
-        slack = self.slack_m + _DRIFT_EPSILON_M
+        slack = self.slack_m + extra_m + _DRIFT_EPSILON_M
         build_pos = self._build_pos
         hypot = math.hypot
         out: List[tuple] = []
-        for member in self._iwindow(
-            math.floor(ox * inv_cell), math.floor(oy * inv_cell), cs_range, rx_range
+        for member in self._window(
+            math.floor(px * self._inv_cell), math.floor(py * self._inv_cell),
+            cs_range + extra_m,
         ):
             phy = member[2]
             if phy is sender:
                 continue
-            certain = member[3]
-            if certain is None:
-                (px, py), build_drift = build_pos[member[1]]
-                budget = build_drift + slack
-                d = hypot(px - ox, py - oy)
-                if d - budget > cs_range:
-                    continue
-                if d + budget <= rx_range:
-                    certain = True
-                elif rx_range < cs_range and d - budget > rx_range and d + budget <= cs_range:
-                    certain = False
-            out.append(member if certain is member[3] else (member[0], member[1], phy, certain))
+            (bx, by), build_drift = build_pos[member[1]]
+            budget = build_drift + slack
+            d = hypot(bx - px, by - py)
+            if d - budget > cs_range:
+                continue
+            if d + budget <= rx_range:
+                certain = True
+            elif rx_range < cs_range and d - budget > rx_range and d + budget <= cs_range:
+                certain = False
+            else:
+                certain = None
+            out.append((member[0], member[1], phy, certain))
         return out
 
     def candidates(
@@ -436,68 +523,210 @@ class UniformGridIndex:
         self._iwindow_cache[key] = out
         return out
 
-    def interferers(
-        self,
-        sender: "Phy",
-        origin: Position,
-        cs_range: float,
-        rx_range: float,
-        now: float,
-        out: Optional[List[Tuple[int, int, "Phy", bool]]] = None,
-    ) -> List[Tuple[int, int, "Phy", bool]]:
-        """Classified interference set of a transmission starting at ``now``.
+    @staticmethod
+    def _split_window(window: List[tuple], ax: Optional[float], ay: Optional[float],
+                      band: float) -> tuple:
+        """Split a pre-classified window for the template-copy hot path.
 
-        Returns ``(order, node_id, phy, in_reception_range)`` for every
-        *enabled* radio other than ``sender`` within ``cs_range`` of
-        ``origin``, in registration order -- exactly what
-        :class:`LinearScanIndex` computes by brute force.  The hot loop below
-        inlines :meth:`PositionMemo.bounded` (same logic, kept in sync) and
-        falls back to exact interpolation only for boundary-ambiguous
-        candidates.  Passing ``out`` reuses the caller's buffer (cleared
-        first) instead of materialising a fresh list per transmission.
+        Returns ``(template, boundary, ax, ay, band)``.  ``boundary`` holds
+        one mutable ``[index, member, deadline, resolved]`` patch per member
+        whose verdict is ``None``: ``resolved`` caches the member's last
+        anchor-relative verdict and ``deadline`` is the instant until which
+        that verdict provably holds (the member cannot have drifted across
+        the relevant range boundary before then).  ``(ax, ay)`` is the
+        anchor the window was classified against and ``band`` the sender's
+        positional uncertainty around it; ``ax is None`` marks windows with
+        no point anchor (the per-cell fallback), whose boundary members are
+        classified per call.
+        """
+        boundary = [[i, m, 0.0, None] for i, m in enumerate(window) if m[3] is None]
+        return window, boundary, ax, ay, band
+
+    def transmission_window(
+        self, sender: "Phy", origin: Position, cs_range: float, rx_range: float,
+        now: float,
+    ) -> List[tuple]:
+        """The fully resolved interference window of one transmission.
+
+        Returns ``(order, node_id, phy, in_reception_range)`` tuples in
+        registration order; ``in_reception_range`` is ``None`` for members
+        that turned out beyond carrier-sense reach (callers skip them -- a
+        patched template cannot cheaply drop entries).  The window never
+        contains the sender but may contain disabled radios; callers filter
+        those.
+
+        A sender that is provably sitting still (its memo entry holds past
+        ``now``) is served from a window pre-classified against its *exact*
+        position: far tighter than the cell-rectangle bounds, and stable
+        across the many transmissions a paused node makes from one spot.  A
+        *moving* sender is served from a window pre-classified against its
+        displacement-epoch anchor instead: looser by the band width, but
+        stable until the sender has moved more than the band -- so slow
+        movers reuse one pre-classified window across many transmissions
+        too.  The window's boundary members are resolved against the anchor
+        on demand and the verdict is cached with a drift *deadline* (the
+        member cannot cross the relevant boundary before it), so even they
+        are typically classified once per window, not once per call; only
+        members hugging a range boundary fall back to an exact per-call
+        test against the actual origin.
         """
         self._ensure_current(now)
         ox, oy = origin
+        memo = self.memo
+        entries = memo._entries
+        sender_id = sender.node_id
+        sender_entry = entries.get(sender_id)
+        split = None
+        if sender_entry is not None and sender_entry[2] > now:
+            skey = (sender_id, ox, oy, cs_range, rx_range)
+            split = self._sender_cache.get(skey)
+            if split is None:
+                split = self._split_window(
+                    self._point_window(sender, ox, oy, cs_range, rx_range, 0.0),
+                    ox, oy, 0.0,
+                )
+                self._sender_cache[skey] = split
+        else:
+            epoch, anchor = memo.epoch_of(sender_id, now)
+            if epoch is not None:
+                ekey = (sender_id, epoch, cs_range, rx_range)
+                split = self._epoch_cache.get(ekey)
+                if split is None:
+                    split = self._split_window(
+                        self._point_window(
+                            sender, anchor[0], anchor[1], cs_range, rx_range, self.band_m
+                        ),
+                        anchor[0], anchor[1], self.band_m,
+                    )
+                    self._epoch_cache[ekey] = split
+        if split is None:
+            # Fallback for mobility models without the motion-sample
+            # contract: the per-cell window, with the sender filtered out
+            # once and cached (so the hot consumers never see it).
+            cx = math.floor(ox * self._inv_cell)
+            cy = math.floor(oy * self._inv_cell)
+            # The "cell" tag keeps this key space disjoint from the paused
+            # exact-point keys sharing the cache (ints and whole floats hash
+            # alike, so untagged cell indices could alias point coordinates).
+            fkey = (sender_id, "cell", cx, cy, cs_range, rx_range)
+            split = self._sender_cache.get(fkey)
+            if split is None:
+                split = self._split_window(
+                    [
+                        m for m in self._iwindow(cx, cy, cs_range, rx_range)
+                        if m[2] is not sender
+                    ],
+                    None, None, 0.0,
+                )
+                self._sender_cache[fkey] = split
+        template, boundary, ax, ay, band = split
+        if not boundary:
+            return template
+        out = self._patched
+        out.clear()
+        out.extend(template)
         cs_sq = cs_range * cs_range
         rx_sq = rx_range * rx_range
+        memo_exact = memo.exact
+        if ax is None:
+            self._resolve_cellwise(
+                out, boundary, ox, oy, cs_range, rx_range, cs_sq, rx_sq, now
+            )
+            return out
+        rates = memo._rates
+        memo_bounded = memo.bounded
+        different_ranges = rx_range < cs_range
+        for patch in boundary:
+            if patch[2] > now:
+                out[patch[0]] = patch[3]
+                continue
+            member = patch[1]
+            node_id = member[1]
+            # A possibly-stale cached position is enough: its drift bound is
+            # folded into the certainty margin, so no interpolation happens
+            # unless the member actually hugs a range boundary.
+            position, drift = memo_bounded(node_id, now)
+            dxa = position[0] - ax
+            dya = position[1] - ay
+            da = math.hypot(dxa, dya)
+            # Anchor-relative certainty with a margin: the verdict holds
+            # until the member may have drifted ``margin`` metres beyond its
+            # current bound, because any origin stays within ``band`` of
+            # the anchor.
+            slack_total = band + drift
+            if da - slack_total > cs_range + _DRIFT_EPSILON_M:
+                resolved = (member[0], node_id, member[2], None)
+                margin = da - slack_total - cs_range
+            elif da + slack_total <= rx_range - _DRIFT_EPSILON_M:
+                resolved = (member[0], node_id, member[2], True)
+                margin = rx_range - da - slack_total
+            elif (
+                different_ranges
+                and da - slack_total > rx_range + _DRIFT_EPSILON_M
+                and da + slack_total <= cs_range - _DRIFT_EPSILON_M
+            ):
+                resolved = (member[0], node_id, member[2], False)
+                margin = min(da - slack_total - rx_range, cs_range - da - slack_total)
+            else:
+                # Hugging a boundary relative to the anchor: classify
+                # against the *actual origin* for this call only.  The
+                # origin test carries only the member's own drift (no band),
+                # so most hugging members still resolve without
+                # interpolating; only true boundary-ambiguity interpolates.
+                dx = position[0] - ox
+                dy = position[1] - oy
+                distance_sq = dx * dx + dy * dy
+                if drift > 0.0:
+                    in_cs = within_range(distance_sq, cs_range, drift)
+                    in_range = within_range(distance_sq, rx_range, drift)
+                    if in_cs is None or in_range is None:
+                        position = memo_exact(node_id, now)
+                        dx = position[0] - ox
+                        dy = position[1] - oy
+                        distance_sq = dx * dx + dy * dy
+                        in_cs = distance_sq <= cs_sq
+                        in_range = distance_sq <= rx_sq
+                    if in_cs is False:
+                        out[patch[0]] = (member[0], node_id, member[2], None)
+                    else:
+                        out[patch[0]] = (member[0], node_id, member[2], in_range)
+                elif distance_sq > cs_sq:
+                    out[patch[0]] = (member[0], node_id, member[2], None)
+                else:
+                    out[patch[0]] = (member[0], node_id, member[2], distance_sq <= rx_sq)
+                patch[2] = now
+                continue
+            out[patch[0]] = resolved
+            patch[3] = resolved
+            rate = rates[node_id]
+            if rate is None:
+                patch[2] = now
+            elif rate == 0.0:
+                patch[2] = math.inf
+            else:
+                patch[2] = now + (margin - _DRIFT_EPSILON_M) / rate
+        return out
+
+    def _resolve_cellwise(self, out: List[tuple], boundary: List[list],
+                          ox: float, oy: float, cs_range: float, rx_range: float,
+                          cs_sq: float, rx_sq: float, now: float) -> None:
+        """Per-call classification of anchorless (per-cell) windows.
+
+        Inlines :meth:`PositionMemo.bounded` (same logic, kept in sync) and
+        falls back to exact interpolation only for boundary-ambiguous
+        members -- the pre-motion-service behaviour, kept for mobility
+        models without the motion-sample contract.
+        """
         memo = self.memo
         entries = memo._entries
         refresh_cap = memo.refresh_cap_m
         memo_exact = memo.exact
-        inv_cell = self._inv_cell
-        # A sender that is provably sitting still (its memo entry holds past
-        # ``now``) classifies against a window bound to its *exact* position:
-        # far tighter than the cell-rectangle bounds, and stable across the
-        # many transmissions a paused node makes from one spot.
-        sender_entry = entries.get(sender.node_id)
-        window = None
-        if sender_entry is not None and sender_entry[2] > now:
-            skey = (sender.node_id, ox, oy, cs_range, rx_range)
-            window = self._sender_cache.get(skey)
-            if window is None:
-                window = self._sender_window(sender, ox, oy, cs_range, rx_range)
-                self._sender_cache[skey] = window
-        if window is None:
-            window = self._iwindow(
-                math.floor(ox * inv_cell), math.floor(oy * inv_cell), cs_range, rx_range
-            )
-        if out is None:
-            out = []
-        else:
-            out.clear()
-        append = out.append
         # The paper's default geometry has carrier-sense range == reception
         # range; then "kept" implies "in range" and the per-candidate
         # classification needs a single radius.
         equal_ranges = cs_sq == rx_sq
-        for member in window:
-            phy = member[2]
-            if phy is sender or not phy.enabled:
-                continue
-            certain = member[3]
-            if certain is not None:
-                append((member[0], member[1], phy, certain))
-                continue
+        for patch in boundary:
+            index, member = patch[0], patch[1]
             node_id = member[1]
             # -- inline PositionMemo.bounded(node_id, now) ------------------
             drift = 0.0
@@ -505,7 +734,7 @@ class UniformGridIndex:
             if entry is None:
                 position = memo_exact(node_id, now)
             else:
-                position, computed_at, hold_until, rate = entry
+                position, computed_at, hold_until, rate, _ = entry
                 if now != computed_at and not computed_at <= now < hold_until:
                     if rate is None or now < computed_at:
                         position = memo_exact(node_id, now)
@@ -523,6 +752,7 @@ class UniformGridIndex:
             if drift > 0.0:
                 outer = cs_range + drift
                 if distance_sq > outer * outer:
+                    out[index] = (member[0], node_id, member[2], None)
                     continue
                 inner = cs_range - drift
                 certain_cs = inner >= 0.0 and distance_sq <= inner * inner
@@ -548,13 +778,45 @@ class UniformGridIndex:
                     dy = position[1] - oy
                     distance_sq = dx * dx + dy * dy
                     if distance_sq > cs_sq:
+                        out[index] = (member[0], node_id, member[2], None)
                         continue
                     in_range = distance_sq <= rx_sq
             else:
                 if distance_sq > cs_sq:
+                    out[index] = (member[0], node_id, member[2], None)
                     continue
                 in_range = distance_sq <= rx_sq
-            append((member[0], node_id, phy, in_range))
+            out[index] = (member[0], node_id, member[2], in_range)
+
+    def interferers(
+        self,
+        sender: "Phy",
+        origin: Position,
+        cs_range: float,
+        rx_range: float,
+        now: float,
+        out: Optional[List[Tuple[int, int, "Phy", bool]]] = None,
+    ) -> List[Tuple[int, int, "Phy", bool]]:
+        """Classified interference set of a transmission starting at ``now``.
+
+        Returns ``(order, node_id, phy, in_reception_range)`` for every
+        *enabled* radio other than ``sender`` within ``cs_range`` of
+        ``origin``, in registration order -- exactly what
+        :class:`LinearScanIndex` computes by brute force.  The medium's hot
+        path consumes :meth:`transmission_window` directly (skipping the
+        filtered copy built here); this filtered form is kept for tests and
+        tools.  Passing ``out`` reuses the caller's buffer (cleared first).
+        """
+        window = self.transmission_window(sender, origin, cs_range, rx_range, now)
+        if out is None:
+            out = []
+        else:
+            out.clear()
+        append = out.append
+        for member in window:
+            if not member[2].enabled or member[3] is None:
+                continue
+            append(member)
         # The window is pre-sorted, so `out` is already in registration order.
         return out
 
@@ -569,11 +831,15 @@ class TorusGridIndex(UniformGridIndex):
     convention.  Classification goes through the memo's drift bounds like
     the flat grid (the torus metric is 1-Lipschitz in node displacement, so
     the same conservative intervals apply); the flat grid's cell-rectangle
-    pre-classification is not carried over.
+    pre-classification is not carried over, but the per-sender windows are:
+    paused senders classify against their exact point and moving senders
+    against their displacement-epoch anchor, both under the minimum-image
+    metric (see :meth:`_point_window`).
     """
 
-    def __init__(self, cell_m: float, slack_m: float, width_m: float, height_m: float):
-        super().__init__(cell_m=cell_m, slack_m=slack_m)
+    def __init__(self, cell_m: float, slack_m: float, width_m: float, height_m: float,
+                 band_m: Optional[float] = None):
+        super().__init__(cell_m=cell_m, slack_m=slack_m, band_m=band_m)
         if width_m <= 0 or height_m <= 0:
             raise ValueError("torus dimensions must be positive")
         self.width_m = width_m
@@ -623,58 +889,218 @@ class TorusGridIndex(UniformGridIndex):
         cx, cy = self._cell_key(origin[0], origin[1])
         return self._window(cx, cy, radius)
 
-    def interferers(
-        self,
-        sender: "Phy",
-        origin: Position,
-        cs_range: float,
-        rx_range: float,
+    def _point_window(self, sender: "Phy", px: float, py: float,
+                      cs_range: float, rx_range: float, extra_m: float) -> List[tuple]:
+        """An interference window pre-classified against a wrapped point.
+
+        ``extra_m`` is the sender's own position uncertainty relative to the
+        point: 0 for a paused sender classified against its exact position,
+        the displacement band for a moving sender classified against its
+        epoch anchor.  Member budgets add their build staleness and the
+        fleet slack, so every verdict holds for any instant of the grid
+        epoch and any sender origin within ``extra_m`` of the point.
+        """
+        slack = self.slack_m + extra_m + _DRIFT_EPSILON_M
+        w, h = self.width_m, self.height_m
+        build_pos = self._build_pos
+        hypot = math.hypot
+        cx, cy = self._cell_key(px, py)
+        out: List[tuple] = []
+        for order, node_id, phy in self._window(cx, cy, cs_range + extra_m):
+            if phy is sender:
+                continue
+            (bx, by), build_drift = build_pos[node_id]
+            budget = build_drift + slack
+            dx = bx - px
+            dx -= w * round(dx / w)
+            dy = by - py
+            dy -= h * round(dy / h)
+            d = hypot(dx, dy)
+            if d - budget > cs_range:
+                continue
+            if d + budget <= rx_range:
+                certain = True
+            elif rx_range < cs_range and d - budget > rx_range and d + budget <= cs_range:
+                certain = False
+            else:
+                certain = None
+            out.append((order, node_id, phy, certain))
+        return out
+
+    def transmission_window(
+        self, sender: "Phy", origin: Position, cs_range: float, rx_range: float,
         now: float,
-        out: Optional[List[Tuple[int, int, "Phy", bool]]] = None,
-    ) -> List[Tuple[int, int, "Phy", bool]]:
-        """Classified interference set under the minimum-image metric."""
+    ) -> List[tuple]:
+        """The resolved interference window under the minimum-image metric.
+
+        Same contract and caching structure as the flat grid's
+        :meth:`UniformGridIndex.transmission_window`: per-sender windows
+        bound to the exact point while the sender provably holds still, to
+        the displacement-epoch anchor while it moves, and a per-cell
+        fallback (everything classified per query) for mobility models
+        without the motion-sample contract.
+        """
         self._ensure_current(now)
         ox, oy = origin
+        memo = self.memo
+        sender_id = sender.node_id
+        sender_entry = memo._entries.get(sender_id)
+        split = None
+        if sender_entry is not None and sender_entry[2] > now:
+            skey = (sender_id, ox, oy, cs_range, rx_range)
+            split = self._sender_cache.get(skey)
+            if split is None:
+                split = self._split_window(
+                    self._point_window(sender, ox, oy, cs_range, rx_range, 0.0),
+                    ox, oy, 0.0,
+                )
+                self._sender_cache[skey] = split
+        else:
+            epoch, anchor = memo.epoch_of(sender_id, now)
+            if epoch is not None:
+                ekey = (sender_id, epoch, cs_range, rx_range)
+                split = self._epoch_cache.get(ekey)
+                if split is None:
+                    split = self._split_window(
+                        self._point_window(
+                            sender, anchor[0], anchor[1], cs_range, rx_range, self.band_m
+                        ),
+                        anchor[0], anchor[1], self.band_m,
+                    )
+                    self._epoch_cache[ekey] = split
+        if split is None:
+            cx, cy = self._cell_key(ox, oy)
+            # The "cell" tag keeps this key space disjoint from the paused
+            # exact-point keys sharing the cache (ints and whole floats hash
+            # alike, so untagged cell indices could alias point coordinates).
+            fkey = (sender_id, "cell", cx, cy, cs_range, rx_range)
+            split = self._sender_cache.get(fkey)
+            if split is None:
+                split = self._split_window(
+                    [
+                        (order, node_id, phy, None)
+                        for order, node_id, phy in self._window(cx, cy, cs_range)
+                        if phy is not sender
+                    ],
+                    None, None, 0.0,
+                )
+                self._sender_cache[fkey] = split
+        template, boundary, ax, ay, band = split
+        if not boundary:
+            return template
+        out = self._patched
+        out.clear()
+        out.extend(template)
         w, h = self.width_m, self.height_m
         cs_sq = cs_range * cs_range
         rx_sq = rx_range * rx_range
-        memo = self.memo
-        cx, cy = self._cell_key(ox, oy)
-        window = self._window(cx, cy, cs_range)
-        if out is None:
-            out = []
-        else:
-            out.clear()
-        append = out.append
-        for order, node_id, phy in window:
-            if phy is sender or not phy.enabled:
-                continue
-            position, drift = memo.bounded(node_id, now)
-            dx = position[0] - ox
-            dx -= w * round(dx / w)
-            dy = position[1] - oy
-            dy -= h * round(dy / h)
-            distance_sq = dx * dx + dy * dy
-            if drift > 0.0:
-                in_cs = within_range(distance_sq, cs_range, drift)
-                if in_cs is False:
-                    continue
-                in_range = within_range(distance_sq, rx_range, drift)
-                if in_cs is None or in_range is None:
-                    position = memo.exact(node_id, now)
-                    dx = position[0] - ox
-                    dx -= w * round(dx / w)
-                    dy = position[1] - oy
-                    dy -= h * round(dy / h)
-                    distance_sq = dx * dx + dy * dy
+        memo_exact = memo.exact
+        if ax is None:
+            # Anchorless fallback: wrapped per-call classification through
+            # the memo's drift bounds (the pre-motion-service behaviour).
+            for patch in boundary:
+                index, member = patch[0], patch[1]
+                node_id = member[1]
+                position, drift = memo.bounded(node_id, now)
+                dx = position[0] - ox
+                dx -= w * round(dx / w)
+                dy = position[1] - oy
+                dy -= h * round(dy / h)
+                distance_sq = dx * dx + dy * dy
+                if drift > 0.0:
+                    in_cs = within_range(distance_sq, cs_range, drift)
+                    in_range = within_range(distance_sq, rx_range, drift)
+                    if in_cs is None or in_range is None:
+                        position = memo_exact(node_id, now)
+                        dx = position[0] - ox
+                        dx -= w * round(dx / w)
+                        dy = position[1] - oy
+                        dy -= h * round(dy / h)
+                        distance_sq = dx * dx + dy * dy
+                        in_cs = distance_sq <= cs_sq
+                        in_range = distance_sq <= rx_sq
+                    if in_cs is False:
+                        out[index] = (member[0], node_id, member[2], None)
+                        continue
+                else:
                     if distance_sq > cs_sq:
+                        out[index] = (member[0], node_id, member[2], None)
                         continue
                     in_range = distance_sq <= rx_sq
+                out[index] = (member[0], node_id, member[2], in_range)
+            return out
+        # Anchored windows: deadline-cached verdicts exactly like the flat
+        # grid, under the minimum-image metric (1-Lipschitz in member
+        # displacement, so the same drift margins apply).
+        rates = memo._rates
+        memo_bounded = memo.bounded
+        different_ranges = rx_range < cs_range
+        for patch in boundary:
+            if patch[2] > now:
+                out[patch[0]] = patch[3]
+                continue
+            member = patch[1]
+            node_id = member[1]
+            position, drift = memo_bounded(node_id, now)
+            dxa = position[0] - ax
+            dxa -= w * round(dxa / w)
+            dya = position[1] - ay
+            dya -= h * round(dya / h)
+            da = math.hypot(dxa, dya)
+            slack_total = band + drift
+            if da - slack_total > cs_range + _DRIFT_EPSILON_M:
+                resolved = (member[0], node_id, member[2], None)
+                margin = da - slack_total - cs_range
+            elif da + slack_total <= rx_range - _DRIFT_EPSILON_M:
+                resolved = (member[0], node_id, member[2], True)
+                margin = rx_range - da - slack_total
+            elif (
+                different_ranges
+                and da - slack_total > rx_range + _DRIFT_EPSILON_M
+                and da + slack_total <= cs_range - _DRIFT_EPSILON_M
+            ):
+                resolved = (member[0], node_id, member[2], False)
+                margin = min(da - slack_total - rx_range, cs_range - da - slack_total)
             else:
-                if distance_sq > cs_sq:
-                    continue
-                in_range = distance_sq <= rx_sq
-            append((order, node_id, phy, in_range))
+                # Hugging a boundary relative to the anchor: wrapped
+                # origin-based classification for this call only (drift-only
+                # uncertainty, interpolation as the last resort).
+                dx = position[0] - ox
+                dx -= w * round(dx / w)
+                dy = position[1] - oy
+                dy -= h * round(dy / h)
+                distance_sq = dx * dx + dy * dy
+                if drift > 0.0:
+                    in_cs = within_range(distance_sq, cs_range, drift)
+                    in_range = within_range(distance_sq, rx_range, drift)
+                    if in_cs is None or in_range is None:
+                        position = memo_exact(node_id, now)
+                        dx = position[0] - ox
+                        dx -= w * round(dx / w)
+                        dy = position[1] - oy
+                        dy -= h * round(dy / h)
+                        distance_sq = dx * dx + dy * dy
+                        in_cs = distance_sq <= cs_sq
+                        in_range = distance_sq <= rx_sq
+                    if in_cs is False:
+                        out[patch[0]] = (member[0], node_id, member[2], None)
+                    else:
+                        out[patch[0]] = (member[0], node_id, member[2], in_range)
+                elif distance_sq > cs_sq:
+                    out[patch[0]] = (member[0], node_id, member[2], None)
+                else:
+                    out[patch[0]] = (member[0], node_id, member[2], distance_sq <= rx_sq)
+                patch[2] = now
+                continue
+            out[patch[0]] = resolved
+            patch[3] = resolved
+            rate = rates[node_id]
+            if rate is None:
+                patch[2] = now
+            elif rate == 0.0:
+                patch[2] = math.inf
+            else:
+                patch[2] = now + (margin - _DRIFT_EPSILON_M) / rate
         return out
 
 
@@ -691,6 +1117,10 @@ class LinearScanIndex:
     def __init__(self, wrap: Optional[Tuple[float, float]] = None):
         self._members: List[Tuple[int, int, "Phy"]] = []
         self._wrap = wrap
+        #: Reused by :meth:`transmission_window` so the per-transmission
+        #: scan stays allocation-free (the medium consumes the window
+        #: before the next transmission starts).
+        self._window_buf: List[Tuple[int, int, "Phy", bool]] = []
 
     def add(self, phy: "Phy") -> None:
         self._members.append((len(self._members), phy.node_id, phy))
@@ -708,6 +1138,20 @@ class LinearScanIndex:
         self, origin: Position, radius: float, now: float
     ) -> List[Tuple[int, int, "Phy"]]:
         return self._members
+
+    def transmission_window(
+        self, sender: "Phy", origin: Position, cs_range: float, rx_range: float,
+        now: float,
+    ) -> List[Tuple[int, int, "Phy", bool]]:
+        """The resolved window, by exhaustive scan (nothing is cached).
+
+        The scan can filter inline, so unlike the grid variants the result
+        never contains the sender, disabled radios or ``None`` verdicts --
+        callers' filtering simply finds nothing to do.
+        """
+        return self.interferers(
+            sender, origin, cs_range, rx_range, now, out=self._window_buf
+        )
 
     def interferers(
         self,

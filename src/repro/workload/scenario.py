@@ -39,7 +39,7 @@ from repro.membership.directory import MembershipDirectory
 from repro.membership.summary import combine_summaries
 from repro.metrics.collectors import DeliveryCollector, DeliverySummary
 from repro.mobility.base import RectangularArea
-from repro.mobility.random_waypoint import RandomWaypointMobility
+from repro.mobility.config import MobilityConfig, build_fleet, fleet_speed_bound
 from repro.multicast.config import MaodvConfig
 from repro.multicast.flooding import FloodingConfig, FloodingRouter
 from repro.multicast.maodv import MaodvRouter
@@ -72,10 +72,15 @@ class ScenarioConfig:
     #: "torus" (wrap-around edges, no border effects).
     area_topology: str = "flat"
 
-    # Mobility (random waypoint).
+    # Mobility.  The speed envelope below is shared by every model (it is
+    # what the paper sweeps); ``mobility_config`` selects the model family
+    # -- random waypoint (the paper's, the default), Gauss-Markov, RPGM
+    # (groups of the multicast group moving together) or Manhattan grid --
+    # and carries the model-specific parameters.
     min_speed_mps: float = 0.0
     max_speed_mps: float = 0.2
     max_pause_s: float = 80.0
+    mobility_config: MobilityConfig = field(default_factory=MobilityConfig)
 
     # Group and traffic.
     member_count: Optional[int] = None  # per group; defaults to num_nodes // 3
@@ -260,24 +265,35 @@ class Scenario:
             area_topology=config.area_topology,
             area_width_m=config.area_width_m,
             area_height_m=config.area_height_m,
-            speed_bound_mps=config.max_speed_mps,
+            speed_bound_mps=fleet_speed_bound(config.mobility_config, config.max_speed_mps),
         )
         self.medium = Medium(self.sim, radio)
         area = RectangularArea(config.area_width_m, config.area_height_m)
 
+        # Members are selected before the fleet is built so RPGM can align
+        # mobility groups with the multicast member sets.  Every named
+        # random stream is independently seeded, so this ordering leaves
+        # the historic draws (mobility, membership, joins, ...) untouched.
+        self._select_members(streams)
+        fleet = build_fleet(
+            config.mobility_config,
+            area,
+            config.num_nodes,
+            streams,
+            min_speed_mps=config.min_speed_mps,
+            max_speed_mps=config.max_speed_mps,
+            max_pause_s=config.max_pause_s,
+            member_groups=[
+                self.members_by_group[index] for index in range(config.group_count)
+            ],
+        )
+
         for node_id in range(config.num_nodes):
-            mobility = RandomWaypointMobility(
-                area,
-                streams.for_node("mobility", node_id),
-                min_speed_mps=config.min_speed_mps,
-                max_speed_mps=config.max_speed_mps,
-                max_pause_s=config.max_pause_s,
-            )
             node = Node(
                 node_id,
                 self.sim,
                 self.medium,
-                mobility,
+                fleet[node_id],
                 streams,
                 mac_config=config.mac_config,
             )
@@ -304,7 +320,6 @@ class Scenario:
                         node, multicast, aodv, group, config.gossip_config, rng=rng
                     )
 
-        self._select_members(streams)
         self._build_membership(streams)
         self._attach_applications(streams)
         self._built = True

@@ -126,3 +126,20 @@ class TestConfigSerialisation:
         config = ScenarioConfig.quick(seed=3)
         data = json.loads(json.dumps(config_to_dict(config)))
         assert config_from_dict(data) == config
+
+    def test_round_trip_preserves_mobility_config(self):
+        import json
+
+        from repro.mobility.config import MobilityConfig
+
+        config = ScenarioConfig.quick(
+            seed=5,
+            mobility_config=MobilityConfig(
+                model="rpgm", rpgm_group_radius_m=12.5, rpgm_align_multicast=False
+            ),
+        )
+        data = json.loads(json.dumps(config_to_dict(config)))
+        rebuilt = config_from_dict(data)
+        assert rebuilt == config
+        assert isinstance(rebuilt.mobility_config, MobilityConfig)
+        assert rebuilt.mobility_config.model == "rpgm"

@@ -74,9 +74,10 @@ def _make_agent(member=True, neighbors=(), nearest=None, config=None, node_id=0,
     return agent, multicast, aodv, frames, sim
 
 
-def _data(source, seq):
+def _data(source, seq, sent_at=0.0):
     return MulticastData(
-        origin=source, destination=GROUP, size_bytes=84, group=GROUP, source=source, seq=seq
+        origin=source, destination=GROUP, size_bytes=84, group=GROUP, source=source,
+        seq=seq, sent_at=sent_at,
     )
 
 
@@ -249,6 +250,93 @@ class TestRequestHandling:
         )
         agent._on_request(request, 5)
         assert aodv.sent == []
+
+    def test_joined_at_serves_exactly_the_post_join_suffix(self):
+        # A mid-run joiner (bootstrap off, join time carried) gets unknown
+        # sources served, but only messages *sent* after its join.
+        agent, multicast, aodv, frames, sim = _make_agent()
+        multicast.deliver(_data(7, 1, sent_at=5.0))
+        multicast.deliver(_data(7, 2, sent_at=10.0))
+        multicast.deliver(_data(7, 3, sent_at=15.0))
+        request = GossipRequest(
+            origin=5, destination=agent.node_id, group=GROUP, initiator=5,
+            lost=[], expected={}, direct=True, bootstrap=False, joined_at=8.0,
+        )
+        agent._on_request(request, 5)
+        reply, _ = aodv.sent[0]
+        assert [(m.source, m.seq) for m in reply.messages] == [(7, 2), (7, 3)]
+
+    def test_joined_at_filters_explicitly_listed_losses(self):
+        # Even a loss the joiner itself lists (possible when its baseline
+        # packet was sent pre-join but recovered post-join) is withheld when
+        # it predates the subscription.
+        agent, multicast, aodv, frames, sim = _make_agent()
+        multicast.deliver(_data(7, 1, sent_at=5.0))
+        multicast.deliver(_data(7, 2, sent_at=10.0))
+        request = GossipRequest(
+            origin=5, destination=agent.node_id, group=GROUP, initiator=5,
+            lost=[(7, 1)], expected={7: 2}, direct=True, bootstrap=False,
+            joined_at=8.0,
+        )
+        agent._on_request(request, 5)
+        reply, _ = aodv.sent[0]
+        assert [(m.source, m.seq) for m in reply.messages] == [(7, 2)]
+
+    def test_joined_at_suffix_survives_a_long_pre_join_history(self):
+        # Regression: the candidate fetch used to be count-limited *before*
+        # the sent_at filter, so a source with >= max_messages_per_reply
+        # pre-join messages starved the post-join suffix entirely.
+        agent, multicast, aodv, frames, sim = _make_agent()
+        limit = agent.config.max_messages_per_reply
+        for seq in range(1, limit + 3):
+            multicast.deliver(_data(7, seq, sent_at=float(seq)))  # pre-join
+        post_join = [limit + 3, limit + 4, limit + 5]
+        for seq in post_join:
+            multicast.deliver(_data(7, seq, sent_at=100.0 + seq))  # post-join
+        request = GossipRequest(
+            origin=5, destination=agent.node_id, group=GROUP, initiator=5,
+            lost=[], expected={}, direct=True, bootstrap=False, joined_at=100.0,
+        )
+        agent._on_request(request, 5)
+        assert len(aodv.sent) == 1
+        reply, _ = aodv.sent[0]
+        assert [(m.source, m.seq) for m in reply.messages] == [
+            (7, seq) for seq in post_join
+        ]
+
+    def test_joined_at_lost_list_survives_a_long_pre_join_lost_prefix(self):
+        # Regression: the lost-list lookup used to be count-limited before
+        # the sent_at filter, so a lost list headed by >= limit pre-join
+        # entries starved genuinely post-join losses from the reply.
+        agent, multicast, aodv, frames, sim = _make_agent()
+        limit = agent.config.max_messages_per_reply
+        lost = []
+        for seq in range(1, limit + 2):
+            multicast.deliver(_data(7, seq, sent_at=float(seq)))  # pre-join
+            lost.append((7, seq))
+        multicast.deliver(_data(9, 1, sent_at=150.0))  # post-join loss
+        lost.append((9, 1))
+        request = GossipRequest(
+            origin=5, destination=agent.node_id, group=GROUP, initiator=5,
+            lost=lost, expected={7: limit + 2, 9: 2}, direct=True,
+            bootstrap=False, joined_at=100.0,
+        )
+        agent._on_request(request, 5)
+        assert len(aodv.sent) == 1
+        reply, _ = aodv.sent[0]
+        assert (9, 1) in [(m.source, m.seq) for m in reply.messages]
+        assert all(m.sent_at >= 100.0 for m in reply.messages)
+
+    def test_membership_join_stamps_requests_with_join_time(self):
+        agent, multicast, aodv, frames, sim = _make_agent()
+        sim.run(until=12.5)
+        agent.on_membership_join()
+        request = agent._build_request()
+        assert request.bootstrap is False
+        assert request.joined_at == 12.5
+        # Run-long members advertise no join time at all.
+        fresh_agent, _, _, _, _ = _make_agent()
+        assert fresh_agent._build_request().joined_at is None
 
     def test_no_reply_when_nothing_to_offer(self):
         agent, multicast, aodv, frames, sim = _make_agent()

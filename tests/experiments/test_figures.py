@@ -19,7 +19,7 @@ class TestSpecCatalogue:
         figures = all_figures()
         assert set(figures) == {
             "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
-            "churn", "groups",
+            "churn", "groups", "mobility",
         }
 
     def test_specs_have_paper_seed_counts(self):

@@ -83,6 +83,25 @@ class TestRunExperiment:
             assert point.packets_sent > 0
             assert 0 <= point.minimum <= point.mean <= point.maximum
 
+    @pytest.mark.parametrize("x", [1, 2, 3])  # gauss_markov, rpgm, manhattan
+    def test_mobility_sweep_points_are_seed_deterministic(self, x):
+        """Same seed => bit-identical ExperimentPoint for every new model."""
+        from repro.experiments.figures import MOBILITY_SWEEP_MODELS, mobility_model_sweep
+
+        spec = mobility_model_sweep()
+        first = run_experiment(
+            spec, scale="quick", seeds=1, x_values=[x], variants=("gossip",)
+        )
+        second = run_experiment(
+            spec, scale="quick", seeds=1, x_values=[x], variants=("gossip",)
+        )
+        assert first.points == second.points
+        assert len(first.points) == 1
+        assert first.points[0].packets_sent > 0
+        # The spec materialises the model the x value names.
+        config = spec.config_for(x, scale="quick")
+        assert config.mobility_config.model == MOBILITY_SWEEP_MODELS[x]
+
     def test_points_for_orders_by_x(self):
         spec = figure2_range_slow()
         result = run_experiment(spec, scale="quick", seeds=1, x_values=[75, 55])

@@ -239,6 +239,131 @@ class TestOnOffChurn:
         assert leaves[0].time_s > 1.0
 
 
+class TestCorrelatedOnOffChurn:
+    def _controller(self, sim, *, mean_on=5.0, mean_off=5.0, seed=7):
+        config = ChurnConfig(
+            model="onoff", mean_on_s=mean_on, mean_off_s=mean_off,
+            onoff_correlated=True, min_members=0,
+        )
+        model = OnOffChurn(config, random.Random(seed))
+        controller = make_controller(
+            sim, groups=2, churn=model, pool=[0, 1, 2, 3], window=(0.0, 300.0),
+            min_members=0, initial=[(0, 0), (1, 0), (0, 1)],
+        )
+        return controller
+
+    def test_session_end_drops_every_subscription_at_once(self):
+        # Node 0 holds both groups; each of its session ends must leave both
+        # groups at the same instant, and each session start re-join both.
+        sim = Simulator()
+        controller = self._controller(sim)
+        controller.start()
+        sim.run(until=300.0)
+        events = [e for e in controller.directory.events if e.node_id == 0]
+        assert any(e.kind == "leave" for e in events)
+        by_time = {}
+        for event in events:
+            by_time.setdefault((event.time_s, event.kind), []).append(event.group_index)
+        for (_, kind), groups in by_time.items():
+            # Both groups toggle together, never one without the other.
+            assert sorted(groups) == [0, 1]
+
+    def test_only_subscribed_devices_cycle(self):
+        # Nodes 2 and 3 hold nothing at the window start: device churn has
+        # no home groups for them, so they never join anything.
+        sim = Simulator()
+        controller = self._controller(sim)
+        controller.start()
+        sim.run(until=300.0)
+        assert all(e.node_id in (0, 1) for e in controller.directory.events)
+
+    def test_rejoin_returns_to_home_groups(self):
+        # Node 1 starts only in group 0: after any number of cycles it only
+        # ever re-joins group 0.
+        sim = Simulator()
+        controller = self._controller(sim)
+        controller.start()
+        sim.run(until=300.0)
+        joins = [
+            e for e in controller.directory.events
+            if e.node_id == 1 and e.kind == "join"
+        ]
+        assert joins
+        assert all(e.group_index == 0 for e in joins)
+
+    def test_rejected_leave_never_erodes_home_or_stalls_the_clock(self):
+        # Regression: a floor-rejected leave used to leave the node "on",
+        # the next toggle overwrote its home set with the un-leavable
+        # remainder, and the session cycle stalled forever.  Node 0 holds
+        # groups {0, 1}; group 1 sits at a floor of 1 (node 0 is its only
+        # member), so its leaves are always rejected while group 0's
+        # succeed.
+        sim = Simulator()
+        config = ChurnConfig(
+            model="onoff", mean_on_s=5.0, mean_off_s=5.0,
+            onoff_correlated=True, min_members=1,
+        )
+        model = OnOffChurn(config, random.Random(11))
+        controller = make_controller(
+            sim, groups=2, churn=model, pool=[0, 1], window=(0.0, 300.0),
+            min_members=1, initial=[(0, 0), (1, 0), (0, 1)],
+        )
+        controller.start()
+        sim.run(until=300.0)
+        # Group 0 keeps cycling for node 0 throughout the window (no stall).
+        node0_group0 = [
+            e for e in controller.directory.events
+            if e.node_id == 0 and e.group_index == 0
+        ]
+        assert len(node0_group0) > 10
+        assert max(e.time_s for e in node0_group0) > 150.0
+        # The un-leavable group stays in the home set.
+        assert sorted(model._home[0]) == [0, 1]
+
+    def test_ceiling_rejected_rejoin_never_erodes_home(self):
+        # Regression: a session-start join rejected by the max_members
+        # ceiling used to vanish from the home set at the next session end
+        # (home was replaced by the then-current memberships).  Group 1 is
+        # capped at 1 member and protected node 1 occupies it permanently,
+        # so node 0's re-joins of group 1 are always rejected -- yet group 1
+        # must stay in node 0's home set.
+        sim = Simulator()
+        config = ChurnConfig(
+            model="onoff", mean_on_s=4.0, mean_off_s=4.0,
+            onoff_correlated=True, min_members=0, max_members=1,
+        )
+        model = OnOffChurn(config, random.Random(13))
+        directory = MembershipDirectory(2)
+        controller = MembershipController(
+            sim, directory, pool=[0], window=(0.0, 200.0), churn=model,
+            min_members=0, max_members=1, protected=[1],
+        )
+        directory.record_join(0, 0, 0.0)
+        directory.record_join(1, 0, 0.0)
+        directory.record_join(1, 1, 0.0)  # protected squatter keeps group 1 full
+        controller.start()
+        sim.run(until=200.0)
+        leaves = [e for e in directory.events if e.node_id == 0 and e.kind == "leave"]
+        assert len(leaves) > 2  # several sessions ended
+        assert sorted(model._home[0]) == [0, 1]
+
+    def test_config_roundtrips_through_campaign_serialisation(self):
+        from dataclasses import replace
+
+        from repro.campaign.trials import config_from_dict, config_to_dict
+        from repro.workload.scenario import ScenarioConfig
+
+        config = ScenarioConfig.quick(
+            group_count=2,
+            churn_config=ChurnConfig(
+                model="onoff", onoff_correlated=True, start_s=4.0
+            ),
+        )
+        rebuilt = config_from_dict(config_to_dict(config))
+        assert rebuilt.churn_config.onoff_correlated is True
+        assert rebuilt == replace(config)
+
+
 class TestFlashCrowdChurn:
     def test_flash_joins_k_nodes_at_t(self):
         sim = Simulator()

@@ -181,7 +181,7 @@ class TestLastMemberLeaveAndRecreation:
         assert network.maodv[0].is_group_leader(network.group)
         assert network.maodv[0].stats.partitions_became_leader == became_leader_before + 1
 
-    def test_leader_leave_with_remaining_tree_keeps_routing(self):
+    def test_leader_leave_hands_off_to_remaining_member(self):
         from tests.conftest import build_network, line_topology
 
         network = build_network(line_topology(3, 50.0), seed=6)
@@ -191,12 +191,50 @@ class TestLastMemberLeaveAndRecreation:
         leader = next(
             n for n in (0, 2) if network.maodv[n].is_group_leader(network.group)
         )
+        other = 2 if leader == 0 else 0
         assert network.maodv[leader].tree_neighbors(network.group)
         network.maodv[leader].leave_group(network.group)
-        # Still a tree router (and leader of the remaining tree), only the
-        # membership flag dropped.
         assert not network.maodv[leader].is_member(network.group)
-        assert network.maodv[leader].is_on_tree(network.group)
+        # The hand-off flood reaches the remaining member, which takes over
+        # leadership instead of the leaver leading on as a non-member.
+        network.run(6.0)
+        assert network.maodv[other].is_group_leader(network.group)
+        assert not network.maodv[leader].is_group_leader(network.group)
+        assert network.maodv[leader].stats.leader_handoffs_sent == 1
+        assert network.maodv[other].stats.leader_handoffs_accepted == 1
+
+    def test_lost_handoff_falls_back_to_the_leaver_leading(self):
+        # The hand-off flood is best-effort: when no successor's hello
+        # arrives (flood lost to a collision), the abdicated leader that
+        # stayed a tree router must reclaim leadership instead of leaving
+        # the group leaderless forever.  (Staging a deterministic frame
+        # loss end-to-end isn't possible, so this drives the fallback hook
+        # directly on a crafted abdicated-router state.)
+        from tests.conftest import build_network, line_topology
+
+        network = build_network(line_topology(3, 50.0), seed=8)
+        abdicated = network.maodv[1]
+        entry = abdicated.table.get_or_create(network.group)
+        entry.leader = -1
+        entry.group_seq = 7
+        entry.enable_next_hop(0)
+        abdicated._handoff_fallback(network.group, 7)
+        assert abdicated.is_group_leader(network.group)
+        assert abdicated.stats.leader_handoffs_reclaimed == 1
+        assert entry.group_seq > 7  # the reclaim hello supersedes takeovers
+
+    def test_handoff_fallback_stands_down_when_a_successor_announced(self):
+        from tests.conftest import build_network, line_topology
+
+        network = build_network(line_topology(3, 50.0), seed=8)
+        abdicated = network.maodv[1]
+        entry = abdicated.table.get_or_create(network.group)
+        entry.leader = 2          # successor's hello already adopted
+        entry.group_seq = 8
+        entry.enable_next_hop(0)
+        abdicated._handoff_fallback(network.group, 7)
+        assert not abdicated.is_group_leader(network.group)
+        assert abdicated.stats.leader_handoffs_reclaimed == 0
 
 
 class TestPoissonChurnEndToEnd:

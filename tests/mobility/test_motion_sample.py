@@ -1,0 +1,105 @@
+"""The motion-sample / displacement-epoch contract of every mobility model."""
+
+import math
+
+import pytest
+
+from repro.mobility.base import MotionSample, RectangularArea
+from repro.mobility.gauss_markov import GaussMarkovMobility
+from repro.mobility.manhattan import ManhattanGridMobility
+from repro.mobility.random_waypoint import RandomWaypointMobility
+from repro.mobility.rpgm import RpgmMobility, build_group_reference
+from repro.mobility.static import StaticMobility
+from repro.mobility.trace import WaypointTraceMobility
+from repro.sim.random import RandomStreams
+
+AREA = RectangularArea(200.0, 200.0)
+
+
+def _rng(seed=1, node=0):
+    return RandomStreams(seed).for_node("mobility", node)
+
+
+def _models():
+    reference = build_group_reference(AREA, _rng(2, 9), max_speed_mps=2.0)
+    return [
+        StaticMobility(10.0, 10.0),
+        WaypointTraceMobility([(0, 0, 0), (100, 100, 0), (140, 100, 0)]),
+        RandomWaypointMobility(AREA, _rng(), max_speed_mps=2.0, max_pause_s=5.0),
+        GaussMarkovMobility(AREA, _rng(), max_speed_mps=2.0),
+        ManhattanGridMobility(AREA, _rng(), max_speed_mps=2.0, max_pause_s=5.0),
+        RpgmMobility(AREA, reference, _rng(), group_radius_m=15.0, member_speed_mps=1.0),
+    ]
+
+
+class TestMotionSampleContract:
+    @pytest.mark.parametrize("mobility", _models(), ids=lambda m: type(m).__name__)
+    def test_sample_agrees_with_position_and_hold(self, mobility):
+        mobility.set_epoch_band(5.0)
+        for t in [0.0, 1.5, 8.0, 33.0, 120.0]:
+            sample = mobility.motion_sample(t)
+            assert isinstance(sample, MotionSample)
+            assert sample.position == mobility.position(t)
+            position, hold_until = mobility.position_hold(t)
+            assert sample.position == position
+            assert sample.hold_until == hold_until
+            assert sample.speed_bound == mobility.speed_bound_mps
+
+    @pytest.mark.parametrize("mobility", _models(), ids=lambda m: type(m).__name__)
+    def test_epoch_is_monotone(self, mobility):
+        mobility.set_epoch_band(3.0)
+        epochs = [mobility.motion_sample(t).epoch for t in
+                  [0.0, 0.5, 2.0, 7.0, 20.0, 90.0, 90.0, 300.0]]
+        assert epochs == sorted(epochs)
+
+    def test_epoch_advances_only_past_the_band(self):
+        # 1 m/s along x: with a 5 m band the epoch must hold for samples
+        # within 5 m of the anchor and advance beyond it.
+        trace = WaypointTraceMobility([(0, 0, 0), (1000, 1000, 0)])
+        trace.set_epoch_band(5.0)
+        first = trace.motion_sample(0.0)
+        assert trace.motion_sample(4.0).epoch == first.epoch
+        assert trace.epoch_anchor == (0.0, 0.0)
+        advanced = trace.motion_sample(6.0)
+        assert advanced.epoch == first.epoch + 1
+        # The anchor re-bases at the advancing sample.
+        assert trace.epoch_anchor == (6.0, 0.0)
+        assert trace.motion_sample(10.0).epoch == advanced.epoch
+
+    def test_epoch_constant_through_a_hold(self):
+        # Band crossing cannot happen mid-hold: a held position accumulates
+        # no displacement, so the epoch is stable across the whole pause.
+        trace = WaypointTraceMobility([(0, 0, 0), (10, 100, 0), (60, 100, 0)])
+        trace.set_epoch_band(1.0)
+        sample = trace.motion_sample(12.0)  # inside the flat segment
+        assert sample.hold_until == 60.0
+        assert trace.motion_sample(59.0).epoch == sample.epoch
+
+    def test_teleport_always_advances_the_epoch(self):
+        mobility = StaticMobility(0.0, 0.0)
+        mobility.set_epoch_band(1000.0)  # far wider than the jump
+        before = mobility.motion_sample(0.0).epoch
+        fired = []
+        mobility.add_position_listener(lambda: fired.append(True))
+        mobility.move_to(1.0, 0.0)  # tiny jump, still within the band
+        assert fired == [True]
+        after = mobility.motion_sample(0.0).epoch
+        assert after > before
+
+    def test_reconfiguring_the_band_advances_the_epoch(self):
+        mobility = StaticMobility(0.0, 0.0)
+        mobility.set_epoch_band(1.0)
+        first = mobility.motion_sample(0.0).epoch
+        mobility.set_epoch_band(2.0)
+        assert mobility.motion_sample(0.0).epoch > first
+
+    def test_negative_band_rejected(self):
+        with pytest.raises(ValueError):
+            StaticMobility(0.0, 0.0).set_epoch_band(-1.0)
+
+    def test_zero_band_advances_on_any_movement(self):
+        trace = WaypointTraceMobility([(0, 0, 0), (100, 100, 0)])
+        trace.set_epoch_band(0.0)
+        first = trace.motion_sample(0.0)
+        assert trace.motion_sample(0.0).epoch == first.epoch
+        assert trace.motion_sample(0.001).epoch == first.epoch + 1

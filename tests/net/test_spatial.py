@@ -287,6 +287,123 @@ class TestUniformGridIndex:
         assert hit == [2]
 
 
+class TestDisplacementEpochWindows:
+    """Per-sender windows keyed by displacement epoch stay exact."""
+
+    def _moving_fleet(self, model, count=20, seed=6):
+        from repro.mobility.config import MobilityConfig, build_fleet
+
+        fleet = build_fleet(
+            MobilityConfig(model=model),
+            RectangularArea(200.0, 200.0),
+            count,
+            RandomStreams(seed),
+            min_speed_mps=0.0,
+            max_speed_mps=2.0,
+            max_pause_s=3.0,
+            member_groups=[[0, 3, 6, 9]],
+        )
+        return [_FakePhy(i, m) for i, m in enumerate(fleet)]
+
+    @pytest.mark.parametrize(
+        "model", ["random_waypoint", "gauss_markov", "rpgm", "manhattan"]
+    )
+    def test_interferers_match_linear_scan_for_moving_senders(self, model):
+        phys = self._moving_fleet(model)
+        grid = UniformGridIndex(cell_m=30.0, slack_m=4.0)
+        naive = LinearScanIndex()
+        for phy in phys:
+            grid.add(phy)
+            naive.add(phy)
+        # Dense probing: epoch windows are built, hit repeatedly while the
+        # sender stays in the band, and rebuilt after it leaves.
+        for step in range(60):
+            now = step * 0.8
+            sender = phys[step % 5]
+            origin = grid.exact(sender, now)
+            got = [
+                (m[0], m[1], m[3])
+                for m in grid.interferers(sender, origin, 60.0, 45.0, now)
+            ]
+            want = [
+                (m[0], m[1], m[3])
+                for m in naive.interferers(sender, origin, 60.0, 45.0, now)
+            ]
+            assert got == want, f"{model} diverged at t={now}"
+
+    def test_epoch_window_reused_while_sender_stays_in_band(self):
+        trace_mobilities = [
+            WaypointTraceMobility([(0, i * 10.0, 0), (1000, i * 10.0 + 100.0, 0)])
+            for i in range(6)
+        ]  # all move at 0.1 m/s
+        phys = [_FakePhy(i, m) for i, m in enumerate(trace_mobilities)]
+        index = UniformGridIndex(cell_m=50.0, slack_m=5.0)
+        for phy in phys:
+            index.add(phy)
+        sender = phys[0]
+        index.interferers(sender, sender.position(0.0), 60.0, 60.0, 0.0)
+        assert len(index._epoch_cache) == 1
+        (key,) = index._epoch_cache
+        # 10 s at 0.1 m/s = 1 m of displacement: still inside the 5 m band,
+        # so the same epoch window serves the next transmission.
+        index.interferers(sender, sender.position(10.0), 60.0, 60.0, 10.0)
+        assert set(index._epoch_cache) == {key}
+
+    def test_teleport_invalidates_epoch_windows_through_the_medium(self):
+        from repro.net.config import RadioConfig
+        from repro.net.medium import Medium
+        from repro.net.packet import Frame, Packet
+        from repro.net.phy import Phy
+        from repro.sim.engine import Simulator
+
+        class _Node:
+            def __init__(self, node_id, mobility):
+                self.node_id = node_id
+                self.mobility = mobility
+
+            def position(self, at_time):
+                return self.mobility.position(at_time)
+
+        sim = Simulator()
+        medium = Medium(sim, RadioConfig(transmission_range_m=50.0))
+        mobilities = [StaticMobility(0.0, 0.0), StaticMobility(30.0, 0.0)]
+        phys = [Phy(_Node(i, m), medium) for i, m in enumerate(mobilities)]
+        received = []
+        phys[1].set_receive_callback(lambda frame, sender: received.append(sender))
+
+        def frame():
+            return Frame(src=0, dst=1, packet=Packet(origin=0, destination=1, size_bytes=40))
+
+        phys[0].transmit(frame())
+        sim.run()
+        assert received == [0]
+        # Teleport the receiver out of range mid-hold: the static hold would
+        # otherwise keep every cached window alive forever.
+        mobilities[1].move_to(500.0, 0.0)
+        phys[0].transmit(frame())
+        sim.run()
+        assert received == [0]  # no second delivery
+        mobilities[1].move_to(10.0, 0.0)
+        phys[0].transmit(frame())
+        sim.run()
+        assert received == [0, 0]
+
+    def test_transmission_window_marks_out_of_reach_boundary_members(self):
+        # A boundary member that resolves beyond carrier sense keeps its slot
+        # (templates cannot cheaply drop entries) with verdict None; the
+        # filtered interferers() view must hide it.
+        trace = WaypointTraceMobility([(0, 58.0, 0.0), (1000, 1058.0, 0.0)])
+        phys = [_static_phy(0, 0.0, 0.0), _FakePhy(1, trace)]
+        index = UniformGridIndex(cell_m=30.0, slack_m=4.0)
+        for phy in phys:
+            index.add(phy)
+        now = 10.0  # node 1 sits at 68 m: beyond the 60 m carrier sense
+        window = index.transmission_window(phys[0], (0.0, 0.0), 60.0, 60.0, now)
+        verdicts = {member[1]: member[3] for member in window if member[2] is not phys[0]}
+        assert verdicts.get(1, "absent") in (None, "absent")
+        assert index.interferers(phys[0], (0.0, 0.0), 60.0, 60.0, now) == []
+
+
 class TestSpeedAwareCellSize:
     """The default grid cell divisor is picked from the fleet speed bound."""
 

@@ -162,6 +162,39 @@ class TestTorusEquivalence:
         assert naive_result.goodput_by_member == grid_result.goodput_by_member
         assert naive_result.events_processed == grid_result.events_processed
 
+    @pytest.mark.parametrize("model", ["gauss_markov", "rpgm", "manhattan"])
+    def test_torus_equivalence_for_every_mobility_model(self, model):
+        """Wrapped point/anchor windows stay exact under every motion family."""
+        from repro.mobility.config import MobilityConfig
+
+        results = {}
+        for index in ("naive", "grid"):
+            config = ScenarioConfig.quick(
+                num_nodes=14,
+                member_count=5,
+                area_width_m=150.0,
+                area_height_m=150.0,
+                transmission_range_m=55.0,
+                max_speed_mps=2.0,
+                max_pause_s=10.0,
+                join_window_s=3.0,
+                source_start_s=8.0,
+                source_stop_s=20.0,
+                packet_interval_s=0.5,
+                duration_s=24.0,
+                protocol="flooding",
+                area_topology="torus",
+                medium_index=index,
+                mobility_config=MobilityConfig(model=model),
+                seed=7,
+            )
+            results[index] = run_with_delivery_log(config)
+        naive_result, naive_log = results["naive"]
+        grid_result, grid_log = results["grid"]
+        assert naive_result.protocol_stats == grid_result.protocol_stats
+        assert naive_log == grid_log
+        assert naive_result.events_processed == grid_result.events_processed
+
     def test_torus_beats_flat_delivery_for_border_heavy_sparse_runs(self):
         # Sanity of intent rather than equivalence: on the torus there are
         # no edge effects, so a sparse scenario cannot do *worse* purely by

@@ -61,6 +61,29 @@ def test_grid_and_naive_media_are_bit_identical(seed):
     assert naive_result.events_processed == grid_result.events_processed
 
 
+@pytest.mark.parametrize("model", ["gauss_markov", "rpgm", "manhattan"])
+def test_grid_and_naive_media_identical_for_every_mobility_model(model):
+    """The displacement-epoch windows stay exact under every motion family."""
+    from repro.mobility.config import MobilityConfig
+
+    results = {}
+    for index in ("naive", "grid"):
+        results[index] = run_with_delivery_log(
+            _small_config(
+                4,
+                medium_index=index,
+                mobility_config=MobilityConfig(model=model),
+            )
+        )
+    naive_result, naive_log = results["naive"]
+    grid_result, grid_log = results["grid"]
+    assert naive_result.protocol_stats == grid_result.protocol_stats
+    assert naive_log == grid_log
+    assert naive_result.member_counts == grid_result.member_counts
+    assert naive_result.goodput_by_member == grid_result.goodput_by_member
+    assert naive_result.events_processed == grid_result.events_processed
+
+
 @pytest.mark.parametrize("protocol", ["maodv", "flooding"])
 def test_experiment_metrics_identical_across_media(protocol):
     """The numbers that feed ExperimentPoint aggregation match exactly."""

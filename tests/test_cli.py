@@ -68,6 +68,20 @@ class TestCommands:
         assert "delivery" in output
         assert "events processed" in output
 
+    @pytest.mark.parametrize("model", ["gauss_markov", "rpgm", "manhattan"])
+    def test_run_command_with_mobility_model(self, model, capsys):
+        exit_code = main([
+            "run", "--profile", "quick", "--nodes", "10", "--members", "4",
+            "--speed", "1.5", "--seed", "2", "--mobility", model,
+        ])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "events processed" in output
+
+    def test_run_command_rejects_unknown_mobility_model(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--mobility", "teleporting"])
+
     def test_run_command_without_gossip(self, capsys):
         exit_code = main([
             "run", "--profile", "quick", "--nodes", "10", "--members", "4",
