@@ -62,6 +62,9 @@ class TrialRecord:
     groups: Dict[str, Dict[str, float]] = field(default_factory=dict)
     #: Membership churn telemetry (``{"events": n}``); empty without churn.
     membership: Dict[str, float] = field(default_factory=dict)
+    #: Observability snapshot of the run (see ``repro.obs``); empty unless
+    #: the trial ran with ``obs_config.enabled``.
+    telemetry: Dict[str, object] = field(default_factory=dict)
 
     @classmethod
     def from_result(cls, trial: "TrialSpec", result: "ScenarioResult") -> "TrialRecord":
@@ -99,6 +102,7 @@ class TrialRecord:
                 if result.membership_events
                 else {}
             ),
+            telemetry=dict(result.telemetry) if result.telemetry else {},
         )
 
     # ----------------------------------------------------------- JSON codec
@@ -121,6 +125,8 @@ class TrialRecord:
             "groups": self.groups,
             "membership": self.membership,
         }
+        if self.telemetry:
+            payload["telemetry"] = self.telemetry
         return json.dumps(payload, separators=(",", ":"))
 
     @classmethod
@@ -142,6 +148,7 @@ class TrialRecord:
             config=dict(payload.get("config", {})),
             groups=dict(payload.get("groups", {})),
             membership=dict(payload.get("membership", {})),
+            telemetry=dict(payload.get("telemetry", {})),
         )
 
 

@@ -34,6 +34,7 @@ from repro.multicast.config import MaodvConfig
 from repro.multicast.flooding import FloodingConfig
 from repro.multicast.odmrp import OdmrpConfig
 from repro.net.config import MacConfig
+from repro.obs import ObsConfig
 from repro.routing.config import AodvConfig
 from repro.workload.scenario import ScenarioConfig
 
@@ -193,6 +194,7 @@ _NESTED_CONFIG_TYPES = {
     "flooding_config": FloodingConfig,
     "odmrp_config": OdmrpConfig,
     "mac_config": MacConfig,
+    "obs_config": ObsConfig,
 }
 
 

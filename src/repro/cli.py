@@ -1,10 +1,11 @@
 """Command-line interface.
 
-Four subcommands cover the common workflows::
+Five subcommands cover the common workflows::
 
     python -m repro run --profile quick --range 55 --speed 2 --gossip
     python -m repro figure fig2 --scale quick --seeds 2
     python -m repro campaign fig2 --jobs 4 --out fig2.jsonl --resume
+    python -m repro report telemetry.json
     python -m repro list-figures
 
 ``run`` executes a single scenario and prints its delivery summary;
@@ -12,13 +13,16 @@ Four subcommands cover the common workflows::
 series) serially and in-process; ``campaign`` runs the same sweeps through
 the parallel, resumable campaign subsystem (``--jobs`` worker processes, one
 JSONL record per trial in ``--out``, ``--resume`` to skip already-stored
-trials); ``list-figures`` shows which figures are available.
+trials); ``report`` renders the telemetry of an instrumented run (``run
+--obs``/``campaign --obs``) from a snapshot JSON or a campaign store;
+``list-figures`` shows which figures are available.
 """
 
 from __future__ import annotations
 
 import argparse
 import dataclasses
+import json
 import sys
 import time
 from typing import List, Optional, Sequence
@@ -38,6 +42,8 @@ from repro.experiments.variants import variant_names
 from repro.membership.config import ChurnConfig
 from repro.metrics.reporting import format_rows
 from repro.mobility.config import MOBILITY_MODELS, MobilityConfig
+from repro.obs import ObsConfig
+from repro.obs.report import render_report, report_json
 from repro.workload.scenario import Scenario, ScenarioConfig
 
 
@@ -79,6 +85,17 @@ def build_parser() -> argparse.ArgumentParser:
                               help="enable Anonymous Gossip (default)")
     gossip_group.add_argument("--no-gossip", dest="gossip", action="store_false",
                               help="disable Anonymous Gossip")
+    run_parser.add_argument("--obs", action="store_true",
+                            help="instrument the run (metrics registry, flight "
+                                 "recorder, engine sampler) and print a "
+                                 "telemetry report")
+    run_parser.add_argument("--obs-out", default=None, metavar="PATH",
+                            help="write the telemetry snapshot as JSON to PATH "
+                                 "instead of printing the text report "
+                                 "(implies --obs)")
+    run_parser.add_argument("--obs-dump", default=None, metavar="PATH",
+                            help="dump the flight-recorder ring to PATH as "
+                                 "JSONL after the run (implies --obs)")
 
     figure_parser = subparsers.add_parser("figure", help="reproduce one paper figure")
     _add_sweep_arguments(figure_parser)
@@ -100,6 +117,28 @@ def build_parser() -> argparse.ArgumentParser:
                                  help="JSONL result store; one record per completed trial")
     campaign_parser.add_argument("--resume", action="store_true",
                                  help="skip trials already present in --out")
+    campaign_parser.add_argument("--obs", action="store_true",
+                                 help="instrument every trial; each stored "
+                                      "record then carries its telemetry "
+                                      "snapshot (render with `repro report`)")
+
+    report_parser = subparsers.add_parser(
+        "report",
+        help="render the telemetry of an instrumented run",
+        description="Render a telemetry snapshot (run --obs-out JSON) or the "
+                    "telemetry carried by an instrumented campaign store "
+                    "(campaign --obs --out store.jsonl): metric tree, fan-out "
+                    "histogram, epoch-window hit rate, phase breakdown and "
+                    "top-N fan-out offenders.",
+    )
+    report_parser.add_argument("path", help="telemetry JSON or campaign JSONL store")
+    report_parser.add_argument("--key", default=None,
+                               help="trial key to report from a campaign store "
+                                    "(default: the first instrumented record)")
+    report_parser.add_argument("--top", type=int, default=10,
+                               help="number of fan-out offenders shown (default 10)")
+    report_parser.add_argument("--json", action="store_true", dest="as_json",
+                               help="emit the report as JSON instead of text")
 
     subparsers.add_parser("list-figures", help="list the reproducible figures")
     return parser
@@ -119,7 +158,10 @@ def _add_sweep_arguments(parser: argparse.ArgumentParser) -> None:
 
 
 def _command_run(args: argparse.Namespace) -> int:
+    obs_enabled = args.obs or args.obs_out is not None or args.obs_dump is not None
     overrides = {"seed": args.seed, "protocol": args.protocol, "gossip_enabled": args.gossip}
+    if obs_enabled:
+        overrides["obs_config"] = ObsConfig(enabled=True)
     if args.groups != 1:
         overrides["group_count"] = args.groups
     if args.nodes is not None:
@@ -170,7 +212,8 @@ def _command_run(args: argparse.Namespace) -> int:
             )
         config = dataclasses.replace(config, churn_config=churn)
 
-    result = Scenario(config).run()
+    scenario = Scenario(config)
+    result = scenario.run()
     summary = result.summary
     label = config.protocol + (" + gossip" if config.gossip_enabled else "")
     print(format_rows(
@@ -205,6 +248,17 @@ def _command_run(args: argparse.Namespace) -> int:
     if result.membership_events:
         print(f"membership events applied: {result.membership_events}")
     print(f"events processed: {result.events_processed}")
+    if obs_enabled and result.telemetry is not None:
+        if args.obs_dump is not None:
+            dumped = scenario.obs.dump_recorder(args.obs_dump)
+            print(f"flight recorder: {dumped} events dumped to {args.obs_dump}")
+        if args.obs_out is not None:
+            with open(args.obs_out, "w", encoding="utf-8") as handle:
+                json.dump(result.telemetry, handle, indent=2)
+            print(f"telemetry written to {args.obs_out}")
+        else:
+            print()
+            print(render_report(result.telemetry, title="Telemetry"))
     return 0
 
 
@@ -269,6 +323,16 @@ def _command_campaign(args: argparse.Namespace) -> int:
             x_values=args.points,
             variants=variants,
         )
+    if args.obs:
+        trials = [
+            dataclasses.replace(
+                trial,
+                config=dataclasses.replace(
+                    trial.config, obs_config=ObsConfig(enabled=True)
+                ),
+            )
+            for trial in trials
+        ]
 
     store = None
     if args.out:
@@ -318,6 +382,59 @@ def _command_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_telemetry(path: str, key: Optional[str]) -> tuple:
+    """Resolve ``path`` to one telemetry snapshot.
+
+    Returns ``(telemetry, title, error)``; exactly one of telemetry/error is
+    set.  Accepts a snapshot JSON (``run --obs-out``), a single stored trial
+    record, or a campaign JSONL store (``--key`` selects the trial, default
+    the first instrumented record).
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as exc:
+        return None, None, str(exc)
+    try:
+        payload = json.loads(text)
+    except ValueError:
+        payload = None
+    if isinstance(payload, dict) and "telemetry" not in payload and (
+        "metrics" in payload or "histograms" in payload
+    ):
+        return payload, path, None
+    if isinstance(payload, dict) and payload.get("telemetry"):
+        return payload["telemetry"], payload.get("key", path), None
+    # A campaign JSONL store (or anything line-structured): pick a record.
+    records = ResultStore(path).records() if text.strip() else []
+    if key is not None:
+        for record in records:
+            if record.key == key:
+                if not record.telemetry:
+                    return None, None, f"trial {key!r} carries no telemetry (run with --obs)"
+                return record.telemetry, record.key, None
+        return None, None, f"no trial with key {key!r} in {path}"
+    for record in records:
+        if record.telemetry:
+            return record.telemetry, record.key, None
+    return None, None, (
+        f"no instrumented records in {path}; run with --obs, or pass a "
+        "telemetry snapshot JSON"
+    )
+
+
+def _command_report(args: argparse.Namespace) -> int:
+    telemetry, title, error = _load_telemetry(args.path, args.key)
+    if error:
+        print(error, file=sys.stderr)
+        return 2
+    if args.as_json:
+        print(json.dumps(report_json(telemetry, top_n=args.top), indent=2))
+    else:
+        print(render_report(telemetry, top_n=args.top, title=title))
+    return 0
+
+
 def _command_list_figures() -> int:
     rows = [
         [figure, spec.title, " ".join(str(x) for x in spec.x_values)]
@@ -336,6 +453,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_figure(args)
     if args.command == "campaign":
         return _command_campaign(args)
+    if args.command == "report":
+        return _command_report(args)
     if args.command == "list-figures":
         return _command_list_figures()
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

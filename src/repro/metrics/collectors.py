@@ -74,6 +74,9 @@ class DeliveryCollector:
         self._members: Dict[int, MemberDelivery] = {}
         #: member -> subscription spans ``[start, end]`` (``end`` None while open).
         self._intervals: Dict[int, List[List[Optional[float]]]] = {}
+        #: Optional observer ``(member, source, seq, via_gossip)`` called on
+        #: each first-time delivery; installed only by instrumented runs.
+        self.on_delivery = None
 
     # ------------------------------------------------------------------ inputs
     def register_member(self, member: int) -> None:
@@ -101,6 +104,8 @@ class DeliveryCollector:
             record.via_gossip += 1
         else:
             record.via_routing += 1
+        if self.on_delivery is not None:
+            self.on_delivery(member, source, seq, via_gossip)
 
     # ----------------------------------------------------- membership intervals
     def open_interval(self, member: int, at: float) -> None:

@@ -111,6 +111,14 @@ class CsmaMac:
         self.on_unicast_failure = on_unicast_failure
 
         self._node_id = phy.node_id
+        # Observability binding, reached through the radio's channel so the
+        # MAC needs no extra wiring.  Metrics are bound once here; the
+        # cached bool gates every probe site (zero cost when disabled).
+        obs = phy.medium.obs
+        self._obs_on = obs.enabled
+        self._c_defers = obs.counter("mac.csma.defers")
+        self._c_backoffs = obs.counter("mac.csma.backoffs")
+        self._c_retries = obs.counter("mac.csma.retries")
         # Per-frame hot-path copies of the (immutable) config scalars.
         self._difs_s = config.difs_s
         self._slot_time_s = config.slot_time_s
@@ -173,6 +181,8 @@ class CsmaMac:
 
     def _start_contention(self) -> None:
         self._state = _MacState.CONTEND
+        if self._obs_on:
+            self._c_backoffs.inc()
         self._pending.arm(self._backoff_delay(self._current.cw), self._attempt_transmission)
 
     def _backoff_delay(self, cw: int) -> float:
@@ -184,6 +194,9 @@ class CsmaMac:
             return
         if self.phy.transmitting or self.phy.carrier_busy():
             # Defer: redraw the backoff and try again when it expires.
+            if self._obs_on:
+                self._c_defers.inc()
+                self._c_backoffs.inc()
             self._pending.arm(self._backoff_delay(self._current.cw), self._attempt_transmission)
             return
         self._state = _MacState.TRANSMIT
@@ -236,6 +249,8 @@ class CsmaMac:
         current.retries += 1
         current.cw = min(current.cw * 2, self.config.cw_max)
         self.stats.retransmissions += 1
+        if self._obs_on:
+            self._c_retries.inc()
         self._start_contention()
 
     def _finish_current(self) -> None:

@@ -73,6 +73,7 @@ from repro.net.spatial import (
     UniformGridIndex,
     within_range,
 )
+from repro.obs import NULL_OBS
 from repro.sim.engine import Simulator
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -135,10 +136,26 @@ class _Transmission:
 class Medium:
     """The single shared wireless channel used by every node."""
 
-    def __init__(self, sim: Simulator, config: Optional[RadioConfig] = None):
+    def __init__(
+        self,
+        sim: Simulator,
+        config: Optional[RadioConfig] = None,
+        obs=None,
+    ):
         self.sim = sim
         self.config = config or RadioConfig()
         self.stats = MediumStats()
+        #: Observability binding (see :mod:`repro.obs`).  Defaults to the
+        #: shared no-op facade; probe sites below are additionally gated on
+        #: one cached bool so the disabled hot path pays nothing.
+        self.obs = obs if obs is not None else NULL_OBS
+        self._obs_on = self.obs.enabled
+        self._h_fanout = self.obs.histogram("medium.channel.fanout", reservoir=True)
+        self._span_fanout = self.obs.span("medium.fanout")
+        self._span_teardown = self.obs.span("medium.teardown")
+        #: sender node_id -> total receptions fanned out (enabled mode only;
+        #: feeds the report's top-N fan-out offenders).
+        self._fanout_totals: Dict[int, int] = {}
         self._phys: Dict[int, "Phy"] = {}
         self._active: List[_Transmission] = []
         self._active_receptions: Dict[int, List[_Reception]] = {}
@@ -328,6 +345,9 @@ class Medium:
                 reception.corrupted = True
                 stats.half_duplex_losses += 1
 
+        obs_on = self._obs_on
+        if obs_on:
+            self._span_fanout.start()
         pool = self._reception_pool
         receptions = tx.receptions
         rec_append = receptions.append
@@ -379,6 +399,13 @@ class Medium:
             stats.collisions += collisions
         if half_duplex:
             stats.half_duplex_losses += half_duplex
+        if obs_on:
+            self._span_fanout.stop()
+            fanout = len(receptions)
+            self._h_fanout.observe(fanout)
+            totals = self._fanout_totals
+            sender_id = sender.node_id
+            totals[sender_id] = totals.get(sender_id, 0) + fanout
 
         tx.active_slot = len(self._active)
         self._active.append(tx)
@@ -394,6 +421,9 @@ class Medium:
             active[slot] = tail
             tail.active_slot = slot
         stats = self.stats
+        obs_on = self._obs_on
+        if obs_on:
+            self._span_teardown.start()
         pool_append = self._reception_pool.append
         frame = tx.frame
         sender_id = tx.sender.node_id
@@ -447,6 +477,11 @@ class Medium:
         tx.sender = None
         tx.frame = None
         self._transmission_pool.append(tx)
+        if obs_on:
+            # Includes upper-layer dispatch: the span covers everything a
+            # frame's end-of-airtime costs, which is what the phase
+            # breakdown is for.
+            self._span_teardown.stop()
         sender.transmission_finished()
 
     # ------------------------------------------------------- power transitions
@@ -509,3 +544,27 @@ class Medium:
             reception.node_slot = len(ongoing)
             ongoing.append(reception)
             tx.receptions.append(reception)
+
+    # --------------------------------------------------------------- telemetry
+    def top_fanout(self, n: int = 10) -> List[tuple]:
+        """Worst fan-out offenders: ``(sender, total receptions)``, top ``n``.
+
+        Tracked only while observability is enabled; empty otherwise.
+        """
+        return sorted(
+            self._fanout_totals.items(), key=lambda item: (-item[1], item[0])
+        )[:n]
+
+    def publish_index_metrics(self) -> None:
+        """Copy the spatial index's counters into the ``spatial.index.*``
+        telemetry names (no-op with observability disabled)."""
+        if not self._obs_on:
+            return
+        index = self._index
+        self.obs.registry.set_metrics(
+            [
+                ("spatial.index.window_hits", index.window_hits),
+                ("spatial.index.window_builds", index.window_builds),
+                ("spatial.index.grid_rebuilds", index.grid_rebuilds),
+            ]
+        )

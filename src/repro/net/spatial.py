@@ -279,7 +279,13 @@ class UniformGridIndex:
         #: Max speed bound over every tracked node; ``None`` once any node's
         #: bound is unknown (degrades to rebuild-per-timestamp).
         self._speed_bound: Optional[float] = 0.0
-        self.rebuilds = 0  # diagnostic counter
+        #: Diagnostic counters behind the canonical ``spatial.index.*``
+        #: telemetry names: full grid rebuilds, pre-classified windows served
+        #: from cache, and windows built fresh.  Plain ints on the hot path;
+        #: the obs layer reads them once per snapshot.
+        self.grid_rebuilds = 0
+        self.window_hits = 0
+        self.window_builds = 0
 
     # --------------------------------------------------------------- members
     def add(self, phy: "Phy") -> None:
@@ -346,7 +352,12 @@ class UniformGridIndex:
         self._epoch_cache.clear()
         self._built_at = now
         self._dirty = False
-        self.rebuilds += 1
+        self.grid_rebuilds += 1
+
+    @property
+    def rebuilds(self) -> int:
+        """Deprecated alias of :attr:`grid_rebuilds` (one-release shim)."""
+        return self.grid_rebuilds
 
     def _ensure_current(self, now: float) -> None:
         """Rebuild the grid if its accumulated drift exceeds the slack."""
@@ -586,6 +597,9 @@ class UniformGridIndex:
                     ox, oy, 0.0,
                 )
                 self._sender_cache[skey] = split
+                self.window_builds += 1
+            else:
+                self.window_hits += 1
         else:
             epoch, anchor = memo.epoch_of(sender_id, now)
             if epoch is not None:
@@ -599,6 +613,9 @@ class UniformGridIndex:
                         anchor[0], anchor[1], self.band_m,
                     )
                     self._epoch_cache[ekey] = split
+                    self.window_builds += 1
+                else:
+                    self.window_hits += 1
         if split is None:
             # Fallback for mobility models without the motion-sample
             # contract: the per-cell window, with the sender filtered out
@@ -619,6 +636,9 @@ class UniformGridIndex:
                     None, None, 0.0,
                 )
                 self._sender_cache[fkey] = split
+                self.window_builds += 1
+            else:
+                self.window_hits += 1
         template, boundary, ax, ay, band = split
         if not boundary:
             return template
@@ -955,6 +975,9 @@ class TorusGridIndex(UniformGridIndex):
                     ox, oy, 0.0,
                 )
                 self._sender_cache[skey] = split
+                self.window_builds += 1
+            else:
+                self.window_hits += 1
         else:
             epoch, anchor = memo.epoch_of(sender_id, now)
             if epoch is not None:
@@ -968,6 +991,9 @@ class TorusGridIndex(UniformGridIndex):
                         anchor[0], anchor[1], self.band_m,
                     )
                     self._epoch_cache[ekey] = split
+                    self.window_builds += 1
+                else:
+                    self.window_hits += 1
         if split is None:
             cx, cy = self._cell_key(ox, oy)
             # The "cell" tag keeps this key space disjoint from the paused
@@ -985,6 +1011,9 @@ class TorusGridIndex(UniformGridIndex):
                     None, None, 0.0,
                 )
                 self._sender_cache[fkey] = split
+                self.window_builds += 1
+            else:
+                self.window_hits += 1
         template, boundary, ax, ay, band = split
         if not boundary:
             return template
@@ -1113,6 +1142,12 @@ class LinearScanIndex:
     proven equivalent against it -- on the flat rectangle and, via ``wrap``,
     on the torus (wrapped distances by brute force).
     """
+
+    #: Telemetry counters, kept for a uniform ``spatial.index.*`` read path;
+    #: the linear scan neither caches nor rebuilds, so they stay zero.
+    grid_rebuilds = 0
+    window_hits = 0
+    window_builds = 0
 
     def __init__(self, wrap: Optional[Tuple[float, float]] = None):
         self._members: List[Tuple[int, int, "Phy"]] = []

@@ -1,0 +1,81 @@
+"""The canonical metric naming scheme: ``layer.subsystem.name``.
+
+Every telemetry metric is addressed by a three-part dotted name:
+
+=============  ===============  ==============================================
+layer          subsystem        examples
+=============  ===============  ==============================================
+``engine``     ``calendar``     ``engine.calendar.events_per_sec`` (gauge),
+                                ``heap_depth``, ``tombstones``, ``slot_pool``,
+                                ``free_slots``, ``compactions``
+``spatial``    ``index``        ``spatial.index.window_hits`` /
+                                ``window_builds`` / ``grid_rebuilds`` (the
+                                epoch-window hit rate is derived from these)
+``medium``     ``channel``      promoted ``MediumStats`` counters
+                                (``transmissions``, ``deliveries``,
+                                ``collisions``, ...) plus the ``fanout``
+                                histogram
+``mac``        ``csma``         promoted ``MacStats`` counters plus the
+                                obs-only ``backoffs`` / ``defers``
+``routing``    ``aodv``         promoted ``AodvStats`` counters
+``multicast``  ``maodv`` /      promoted per-protocol control-message
+               ``odmrp`` /      counters
+               ``flooding``
+``gossip``     ``agent``        promoted ``GossipStats`` counters
+``gossip``     ``buffers``      end-of-run occupancy gauges (``history``,
+                                ``lost``, ``member_cache``)
+``membership`` ``churn``        ``joins`` / ``leaves`` counters and the
+                                ``join_to_first_delivery_s`` histogram
+=============  ===============  ==============================================
+
+The legacy flat ``protocol_stats`` dict (``"mac.enqueued"``-style keys,
+aggregated by the scenario since PR 1) is unchanged and remains the
+compatibility surface; :func:`promote_stats` maps those same dataclass
+counters into the canonical namespace for the telemetry snapshot, so each
+counter has exactly one storage location and two read paths.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+#: Aggregation prefix (the ``protocol_stats`` key prefix) -> canonical
+#: ``layer.subsystem`` namespace.
+CANONICAL_NAMESPACES: Dict[str, str] = {
+    "aodv": "routing.aodv",
+    "maodv": "multicast.maodv",
+    "odmrp": "multicast.odmrp",
+    "flooding": "multicast.flooding",
+    "gossip": "gossip.agent",
+    "mac": "mac.csma",
+    "medium": "medium.channel",
+    "membership": "membership.churn",
+}
+
+
+def canonical_namespace(prefix: str) -> str:
+    """The ``layer.subsystem`` namespace of an aggregation prefix."""
+    return CANONICAL_NAMESPACES.get(prefix, prefix)
+
+
+def promote_stats(prefix: str, stats_object) -> Iterator[Tuple[str, float]]:
+    """Yield ``(canonical_name, value)`` for a stats dataclass's counters.
+
+    Promotes every numeric attribute of ``stats_object`` (a ``MediumStats``/
+    ``MacStats``/``GossipStats``-style dataclass) into the canonical
+    namespace of ``prefix``.  Non-numeric attributes are skipped, matching
+    the scenario's ``protocol_stats`` aggregation.
+    """
+    namespace = canonical_namespace(prefix)
+    for name, value in vars(stats_object).items():
+        if isinstance(value, (int, float)):
+            yield f"{namespace}.{name}", value
+
+
+def promote_flat(flat: Dict[str, float]) -> Dict[str, float]:
+    """Map a legacy flat ``protocol_stats`` dict into canonical names."""
+    promoted: Dict[str, float] = {}
+    for key, value in flat.items():
+        prefix, _, name = key.partition(".")
+        promoted[f"{canonical_namespace(prefix)}.{name}"] = value
+    return promoted

@@ -1,0 +1,198 @@
+"""Rendering of telemetry snapshots (the ``repro report`` subcommand).
+
+Input is the JSON-ready snapshot produced by the scenario layer
+(``ScenarioResult.telemetry`` / the ``telemetry`` payload of a campaign
+:class:`~repro.campaign.store.TrialRecord`)::
+
+    {"metrics": {...}, "histograms": {...}, "spans": {...},
+     "recorder": {...}, "top_fanout": [[node_id, total], ...]}
+
+The text report groups scalar metrics into a tree by their
+``layer.subsystem`` namespace, renders histograms as bucket bars, derives
+headline rates (epoch-window hit rate, delivery ratio of the channel), and
+tabulates the span breakdown and the top-N fan-out offenders.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..metrics.reporting import format_rows
+
+_BAR_WIDTH = 40
+
+
+def _format_value(value) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def _derived_rates(metrics: Dict[str, object]) -> Dict[str, float]:
+    """Headline ratios derived from counter pairs (only when present)."""
+    derived: Dict[str, float] = {}
+    hits = metrics.get("spatial.index.window_hits")
+    builds = metrics.get("spatial.index.window_builds")
+    if isinstance(hits, (int, float)) and isinstance(builds, (int, float)):
+        total = hits + builds
+        if total:
+            derived["spatial.index.window_hit_rate"] = hits / total
+    deliveries = metrics.get("medium.channel.deliveries")
+    transmissions = metrics.get("medium.channel.transmissions")
+    if (
+        isinstance(deliveries, (int, float))
+        and isinstance(transmissions, (int, float))
+        and transmissions
+    ):
+        derived["medium.channel.deliveries_per_tx"] = deliveries / transmissions
+    return derived
+
+
+def _metric_tree_lines(metrics: Dict[str, object]) -> List[str]:
+    """Scalar metrics as an indented tree, grouped by dotted namespace."""
+    lines: List[str] = []
+    current_group: Optional[str] = None
+    for name in sorted(metrics):
+        value = metrics[name]
+        parts = name.rsplit(".", 1)
+        group = parts[0] if len(parts) == 2 else ""
+        leaf = parts[-1]
+        if group != current_group:
+            current_group = group
+            lines.append(f"  {group}")
+        if isinstance(value, dict):
+            rendered = ", ".join(
+                f"{key}={_format_value(val)}" for key, val in value.items()
+            )
+            lines.append(f"    {leaf:<28} {rendered}")
+        else:
+            lines.append(f"    {leaf:<28} {_format_value(value)}")
+    return lines
+
+
+def _histogram_lines(name: str, data: Dict[str, object]) -> List[str]:
+    """One histogram as header stats plus proportional bucket bars."""
+    count = data.get("count", 0)
+    lines = [
+        f"  {name}: count={count} mean={_format_value(data.get('mean', 0.0))}"
+        f" min={_format_value(data.get('min'))} max={_format_value(data.get('max'))}"
+    ]
+    quantiles = data.get("quantiles")
+    if isinstance(quantiles, dict):
+        rendered = " ".join(
+            f"{key}={_format_value(val)}" for key, val in sorted(quantiles.items())
+        )
+        lines.append(f"    {rendered}")
+    buckets = data.get("buckets")
+    if isinstance(buckets, list) and buckets:
+        peak = max(bucket_count for _, bucket_count in buckets) or 1
+        for bound, bucket_count in buckets:
+            bar = "#" * max(
+                int(round(bucket_count / peak * _BAR_WIDTH)),
+                1 if bucket_count else 0,
+            )
+            label = "+inf" if bound == "+inf" else f"<={_format_value(bound)}"
+            lines.append(f"    {label:>8}  {bucket_count:>8}  {bar}")
+    return lines
+
+
+def render_report(
+    telemetry: Dict[str, object],
+    top_n: int = 10,
+    title: Optional[str] = None,
+) -> str:
+    """The full text report for one telemetry snapshot."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+
+    metrics = telemetry.get("metrics") or {}
+    derived = _derived_rates(metrics)
+    if derived:
+        lines.append("")
+        lines.append("Headline rates")
+        for name in sorted(derived):
+            lines.append(f"  {name:<40} {derived[name]:.4f}")
+
+    if metrics:
+        lines.append("")
+        lines.append("Metrics")
+        lines.extend(_metric_tree_lines(metrics))
+
+    histograms = {
+        name: data
+        for name, data in (telemetry.get("histograms") or {}).items()
+        if data.get("count")
+    }
+    if histograms:
+        lines.append("")
+        lines.append("Histograms")
+        for name in sorted(histograms):
+            lines.extend(_histogram_lines(name, histograms[name]))
+
+    spans = telemetry.get("spans") or {}
+    if spans:
+        lines.append("")
+        lines.append("Phase breakdown (wall clock)")
+        total_known = sum(span.get("total_s", 0.0) for span in spans.values())
+        rows = []
+        for name, span in sorted(
+            spans.items(), key=lambda item: -item[1].get("total_s", 0.0)
+        ):
+            total_s = span.get("total_s", 0.0)
+            share = total_s / total_known if total_known else 0.0
+            rows.append(
+                [
+                    name,
+                    span.get("count", 0),
+                    f"{total_s:.4f}",
+                    f"{span.get('max_s', 0.0) * 1e3:.3f}",
+                    f"{share * 100:.1f}%",
+                ]
+            )
+        lines.append(
+            format_rows(["span", "count", "total_s", "max_ms", "share"], rows)
+        )
+
+    top_fanout = telemetry.get("top_fanout") or []
+    if top_fanout:
+        lines.append("")
+        lines.append(f"Top fan-out offenders (by total receptions, top {top_n})")
+        rows = [
+            [node_id, total]
+            for node_id, total in list(top_fanout)[:top_n]
+        ]
+        lines.append(format_rows(["sender", "total_fanout"], rows))
+
+    recorder = telemetry.get("recorder") or {}
+    if recorder:
+        lines.append("")
+        lines.append(
+            "Flight recorder: retained={retained}/{capacity}"
+            " recorded={recorded} dropped={dropped}".format(
+                retained=recorder.get("retained", 0),
+                capacity=recorder.get("capacity", 0),
+                recorded=recorder.get("recorded", 0),
+                dropped=recorder.get("dropped", 0),
+            )
+        )
+
+    if len(lines) <= (2 if title else 0):
+        lines.append("(telemetry snapshot is empty -- was the run instrumented?)")
+    return "\n".join(lines)
+
+
+def report_json(telemetry: Dict[str, object], top_n: int = 10) -> Dict[str, object]:
+    """The machine-readable report: snapshot plus derived rates."""
+    metrics = telemetry.get("metrics") or {}
+    return {
+        "derived": _derived_rates(metrics),
+        "metrics": metrics,
+        "histograms": telemetry.get("histograms") or {},
+        "spans": telemetry.get("spans") or {},
+        "top_fanout": list(telemetry.get("top_fanout") or [])[:top_n],
+        "recorder": telemetry.get("recorder") or {},
+    }

@@ -135,6 +135,8 @@ class Simulator:
         self._running = False
         self._stopped = False
         self._events_processed = 0
+        #: Times the heap was compacted to shed tombstones (diagnostic).
+        self.compactions = 0
 
     # ------------------------------------------------------------------ time
     @property
@@ -146,6 +148,27 @@ class Simulator:
     def pending_events(self) -> int:
         """Number of events currently scheduled and still live."""
         return len(self._heap) - self._tombstones
+
+    # ------------------------------------------------------- introspection
+    @property
+    def heap_size(self) -> int:
+        """Raw heap length, tombstones included (calendar health probe)."""
+        return len(self._heap)
+
+    @property
+    def tombstones(self) -> int:
+        """Cancelled entries still sitting in the heap."""
+        return self._tombstones
+
+    @property
+    def slot_pool_size(self) -> int:
+        """Total slots ever allocated in the event slot pool."""
+        return len(self._slot_seq)
+
+    @property
+    def free_slots(self) -> int:
+        """Slots currently on the free list."""
+        return len(self._free)
 
     # ----------------------------------------------------------- slot pool
     def _alloc(self, time: float, callback: Callable[..., None], args: tuple) -> int:
@@ -205,6 +228,7 @@ class Simulator:
         ]
         heapq.heapify(self._heap)
         self._tombstones = 0
+        self.compactions += 1
 
     def _seq_of(self, slot: int) -> int:
         """Sequence number currently occupying ``slot`` (for timer helpers)."""

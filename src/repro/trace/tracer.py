@@ -9,9 +9,10 @@ did this run generate?" when debugging protocol behaviour.
 
 from __future__ import annotations
 
-from collections import Counter
+import itertools
+from collections import Counter, deque
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional
+from typing import Callable, Deque, Dict, Iterable, List, Optional
 
 from repro.net.node import Node
 from repro.net.packet import Packet
@@ -60,7 +61,10 @@ class PacketTracer:
             raise ValueError("capacity must be positive (or None for unbounded)")
         self.capacity = capacity
         self.packet_filter = packet_filter
-        self.records: List[TraceRecord] = []
+        #: Retained records, oldest first.  A ``deque(maxlen=capacity)``: at
+        #: capacity each append evicts the oldest record in O(1), where the
+        #: old list-based ``del records[0]`` shifted the whole buffer.
+        self.records: Deque[TraceRecord] = deque(maxlen=capacity)
         self.dropped = 0
         self._attached: List[int] = []
 
@@ -94,10 +98,10 @@ class PacketTracer:
                 size_bytes=packet.size_bytes,
                 uid=packet.uid,
             )
-            self.records.append(record)
-            if self.capacity is not None and len(self.records) > self.capacity:
-                del self.records[0]
+            records = self.records
+            if records.maxlen is not None and len(records) == records.maxlen:
                 self.dropped += 1
+            records.append(record)
 
         return sniffer
 
@@ -143,7 +147,9 @@ class PacketTracer:
 
     def to_text(self, limit: Optional[int] = 50) -> str:
         """A plain-text dump of the (most recent) trace records."""
-        records = self.records if limit is None else self.records[-limit:]
+        records = self.records
+        if limit is not None and len(records) > limit:
+            records = itertools.islice(records, len(records) - limit, None)
         return "\n".join(str(record) for record in records)
 
     def clear(self) -> None:

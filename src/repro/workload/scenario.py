@@ -48,6 +48,8 @@ from repro.net.addressing import GroupAddress, make_group_address
 from repro.net.config import MacConfig, RadioConfig
 from repro.net.medium import Medium
 from repro.net.node import Node
+from repro.obs import NULL_OBS, ObsConfig, build_obs, promote_flat
+from repro.obs.probes import EngineSampler
 from repro.routing.aodv import AodvRouter
 from repro.routing.config import AodvConfig
 from repro.sim.engine import Simulator
@@ -102,12 +104,21 @@ class ScenarioConfig:
     # Protocols.
     protocol: str = "maodv"  # "maodv", "flooding" or "odmrp"
     gossip_enabled: bool = True
+    #: Share each node's group-0 gossip round RNG with its agents in every
+    #: extra group (variance reduction: a group-count sweep then isolates
+    #: pure contention effects from per-group jitter resampling).  ``False``
+    #: keeps the historic independent per-group streams.
+    gossip_shared_round_rng: bool = False
     gossip_config: GossipConfig = field(default_factory=GossipConfig)
     aodv_config: AodvConfig = field(default_factory=AodvConfig)
     maodv_config: MaodvConfig = field(default_factory=MaodvConfig)
     flooding_config: FloodingConfig = field(default_factory=FloodingConfig)
     odmrp_config: OdmrpConfig = field(default_factory=OdmrpConfig)
     mac_config: MacConfig = field(default_factory=MacConfig)
+
+    #: Observability (see :mod:`repro.obs`).  Disabled by default: the run
+    #: is then bit-identical to an uninstrumented build.
+    obs_config: ObsConfig = field(default_factory=ObsConfig)
 
     # Reproducibility.
     seed: int = 1
@@ -199,6 +210,10 @@ class ScenarioResult:
     goodput_by_group: Dict[int, Dict[int, float]] = field(default_factory=dict)
     #: Number of membership events (joins + leaves) applied by churn.
     membership_events: int = 0
+    #: Telemetry snapshot (``None`` unless the run was instrumented); see
+    #: :meth:`repro.obs.Obs.snapshot` plus the scenario's promoted stats,
+    #: ``top_fanout`` offender list and gossip buffer gauges.
+    telemetry: Optional[Dict[str, object]] = None
 
     @property
     def delivery_ratio(self) -> float:
@@ -248,6 +263,11 @@ class Scenario:
         }
         self.directory: Optional[MembershipDirectory] = None
         self.controller: Optional[MembershipController] = None
+        self.obs = NULL_OBS
+        self.sampler: Optional[EngineSampler] = None
+        #: (group index, member) -> churn-join time, pending first delivery
+        #: (observability enabled only; feeds the join-latency histogram).
+        self._pending_joins: Dict[Tuple[int, int], float] = {}
         self._built = False
 
     # ----------------------------------------------------------------- building
@@ -257,6 +277,7 @@ class Scenario:
             return self
         config = self.config
         self.sim = Simulator()
+        self.obs = build_obs(config.obs_config)
         streams = RandomStreams(config.seed)
         radio = RadioConfig(
             transmission_range_m=config.transmission_range_m,
@@ -267,7 +288,7 @@ class Scenario:
             area_height_m=config.area_height_m,
             speed_bound_mps=fleet_speed_bound(config.mobility_config, config.max_speed_mps),
         )
-        self.medium = Medium(self.sim, radio)
+        self.medium = Medium(self.sim, radio, obs=self.obs)
         area = RectangularArea(config.area_width_m, config.area_height_m)
 
         # Members are selected before the fleet is built so RPGM can align
@@ -310,18 +331,24 @@ class Scenario:
             if config.gossip_enabled:
                 for group_index, group in enumerate(self.groups):
                     # Group 0 draws the exact per-node stream the single-group
-                    # scenario always used; extra groups get their own.
-                    rng = (
-                        None
-                        if group_index == 0
-                        else streams.for_node(f"gossip.g{group_index}", node_id)
-                    )
+                    # scenario always used; extra groups get their own --
+                    # unless round-RNG sharing is on, in which case every
+                    # group of this node draws from the group-0 stream object
+                    # so a group-count sweep resamples no per-group jitter.
+                    if group_index == 0:
+                        rng = None
+                    elif config.gossip_shared_round_rng:
+                        rng = self.gossip_by_group[0][node_id].rng
+                    else:
+                        rng = streams.for_node(f"gossip.g{group_index}", node_id)
                     self.gossip_by_group[group_index][node_id] = GossipAgent(
                         node, multicast, aodv, group, config.gossip_config, rng=rng
                     )
 
         self._build_membership(streams)
         self._attach_applications(streams)
+        if self.obs.enabled:
+            self._attach_probes()
         self._built = True
         return self
 
@@ -403,6 +430,35 @@ class Scenario:
                 source_node.add_application(source)
         self.source = self.sources[(0, self.sources_by_group[0][0])]
 
+    def _attach_probes(self) -> None:
+        """Observability-only wiring (never reached with obs disabled).
+
+        Creates the engine sampler and registers the per-collector delivery
+        listeners that feed the churn join-latency histogram.  Everything
+        here adds calendar events or callbacks, which is exactly why none of
+        it exists on the disabled path.
+        """
+        obs = self.obs
+        self.sampler = EngineSampler(
+            self.sim, obs, interval_s=self.config.obs_config.sample_interval_s
+        )
+        self._h_join_latency = obs.histogram(
+            "membership.churn.join_to_first_delivery_s", buckets=None, reservoir=True
+        )
+        for group_index, collector in self.collectors.items():
+            collector.on_delivery = self._make_delivery_probe(group_index)
+
+    def _make_delivery_probe(self, group_index: int):
+        pending = self._pending_joins
+        histogram = self._h_join_latency
+
+        def probe(member: int, source: int, seq: int, via_gossip: bool) -> None:
+            joined_at = pending.pop((group_index, member), None)
+            if joined_at is not None:
+                histogram.observe(self.sim.now - joined_at)
+
+        return probe
+
     def _ensure_sink(self, group_index: int, node_id: int) -> MulticastSink:
         """The (group, node) measuring sink, created on first need.
 
@@ -435,12 +491,30 @@ class Scenario:
             if agent is not None:
                 agent.on_membership_join()
         self._ensure_sink(group_index, node_id)
+        if self.obs.enabled:
+            now = self.sim.now
+            self.obs.record(
+                "membership.join", now, group=group_index, node=node_id, initial=initial
+            )
+            if not initial:
+                # Churn joins only: an initial member's first delivery waits
+                # for the source phase, which is not a (re)join latency.
+                self._pending_joins[(group_index, node_id)] = now
 
     def _apply_membership_leave(self, group_index: int, node_id: int, initial: bool) -> None:
         agent = self.gossip_by_group[group_index].get(node_id)
         if agent is not None:
             agent.on_membership_leave()
         self.multicast[node_id].leave_group(self.groups[group_index])
+        if self.obs.enabled:
+            self.obs.record(
+                "membership.leave",
+                self.sim.now,
+                group=group_index,
+                node=node_id,
+                initial=initial,
+            )
+            self._pending_joins.pop((group_index, node_id), None)
 
     # ------------------------------------------------------------------ running
     def run(self) -> ScenarioResult:
@@ -455,7 +529,15 @@ class Scenario:
                 agent.start()
         if self.controller is not None:
             self.controller.start()
-        self.sim.run(until=self.config.duration_s)
+        if self.sampler is not None:
+            self.sampler.start()
+        try:
+            self.sim.run(until=self.config.duration_s)
+        except BaseException:
+            dump_path = self.config.obs_config.dump_on_error_path
+            if self.obs.enabled and dump_path:
+                self.obs.dump_recorder(dump_path)
+            raise
         return self._collect_results()
 
     def _collect_results(self) -> ScenarioResult:
@@ -494,7 +576,38 @@ class Scenario:
             membership_events=(
                 self.controller.stats.churn_events if self.controller else 0
             ),
+            telemetry=self._collect_telemetry(),
         )
+
+    def _collect_telemetry(self) -> Optional[Dict[str, object]]:
+        """The run's JSON-ready telemetry snapshot (``None`` when disabled)."""
+        obs = self.obs
+        if not obs.enabled:
+            return None
+        registry = obs.registry
+        # Promote the per-layer stats dataclasses into the canonical
+        # ``layer.subsystem.name`` namespace (one storage location -- the
+        # dataclasses -- read here once per snapshot).
+        registry.set_metrics(promote_flat(self._aggregate_protocol_stats()).items())
+        self.medium.publish_index_metrics()
+        # End-of-run gossip buffer occupancy (worst member per buffer).
+        history_max = lost_max = cache_max = 0
+        for agents in self.gossip_by_group.values():
+            for agent in agents.values():
+                history_max = max(history_max, len(agent.history))
+                lost_max = max(lost_max, len(agent.lost_table))
+                cache_max = max(cache_max, len(agent.member_cache))
+        registry.gauge("gossip.buffers.history_max").set(history_max)
+        registry.gauge("gossip.buffers.lost_max").set(lost_max)
+        registry.gauge("gossip.buffers.member_cache_max").set(cache_max)
+        snapshot = obs.snapshot()
+        snapshot["top_fanout"] = [
+            [node_id, total]
+            for node_id, total in self.medium.top_fanout(
+                self.config.obs_config.top_fanout_n
+            )
+        ]
+        return snapshot
 
     def _ever_members(self, group_index: int) -> List[int]:
         """Every node that was a member of the group at some point."""

@@ -1,0 +1,135 @@
+"""The zero-overhead contract, enforced.
+
+With observability disabled a run must be *bit-identical* to an
+uninstrumented build: same protocol counters, same delivery log, same event
+count.  With observability enabled the sampler rides the calendar (so the
+event count grows) but the simulation itself -- every protocol counter and
+the exact delivered-frame sequence -- must not shift by one bit either: the
+probes only read.
+"""
+
+import dataclasses
+
+from repro.obs import ObsConfig
+from repro.workload.scenario import Scenario, ScenarioConfig
+
+from tests.properties.hotpath_golden import GOLDEN_SCENARIOS, run_digest
+
+_SCENARIO = "fig4_speed_low"
+
+
+def _with_obs(config: ScenarioConfig, **obs_overrides) -> ScenarioConfig:
+    return dataclasses.replace(config, obs_config=ObsConfig(**obs_overrides))
+
+
+class TestDisabledIdentity:
+    def test_explicit_disabled_config_matches_default_digest(self):
+        config = GOLDEN_SCENARIOS[_SCENARIO]
+        baseline = run_digest(config)
+        disabled = run_digest(_with_obs(config, enabled=False))
+        assert disabled == baseline
+
+    def test_disabled_run_has_no_telemetry(self):
+        result = Scenario(GOLDEN_SCENARIOS[_SCENARIO]).run()
+        assert result.telemetry is None
+
+
+class TestEnabledNonPerturbation:
+    def test_probes_only_read_the_simulation(self):
+        config = GOLDEN_SCENARIOS[_SCENARIO]
+        baseline = run_digest(config)
+        instrumented = run_digest(_with_obs(config, enabled=True))
+        # The sampler's own ticks are the only difference.
+        assert instrumented["events_processed"] > baseline["events_processed"]
+        for key in (
+            "protocol_stats",
+            "member_counts",
+            "goodput_by_member",
+            "packets_sent",
+            "deliveries_logged",
+            "delivery_log_sha256",
+        ):
+            assert instrumented[key] == baseline[key], key
+
+    def test_telemetry_snapshot_contents(self):
+        config = _with_obs(GOLDEN_SCENARIOS[_SCENARIO], enabled=True)
+        result = Scenario(config).run()
+        telemetry = result.telemetry
+        assert telemetry is not None
+        metrics = telemetry["metrics"]
+        # Promoted stats appear under canonical names and agree with the
+        # legacy flat aggregation.
+        assert (
+            metrics["medium.channel.transmissions"]
+            == result.protocol_stats["medium.transmissions"]
+        )
+        assert metrics["mac.csma.enqueued"] == result.protocol_stats["mac.enqueued"]
+        # The epoch-window cache counters are first-class stats now.
+        assert metrics["spatial.index.window_hits"] > 0
+        assert metrics["spatial.index.window_builds"] > 0
+        assert metrics["spatial.index.grid_rebuilds"] > 0
+        # Engine sampler gauges and fan-out histogram populated.
+        assert metrics["engine.calendar.heap_depth"]["updates"] > 0
+        fanout = telemetry["histograms"]["medium.channel.fanout"]
+        assert fanout["count"] == metrics["medium.channel.transmissions"]
+        assert telemetry["spans"]["medium.fanout"]["count"] > 0
+        assert telemetry["top_fanout"]
+        assert telemetry["recorder"]["recorded"] > 0
+
+    def test_enabled_snapshots_are_deterministic(self):
+        config = _with_obs(GOLDEN_SCENARIOS[_SCENARIO], enabled=True)
+        first = Scenario(config).run().telemetry
+        second = Scenario(config).run().telemetry
+        # Wall-clock readings (events/sec gauges, span timings) differ run to
+        # run; everything simulation-derived must not.
+        for key in ("engine.calendar.events_per_sec",):
+            first["metrics"].pop(key)
+            second["metrics"].pop(key)
+        assert first["histograms"] == second["histograms"]
+        assert first["top_fanout"] == second["top_fanout"]
+        assert first["recorder"] == second["recorder"]
+        counters_first = {
+            name: value
+            for name, value in first["metrics"].items()
+            if isinstance(value, (int, float))
+        }
+        counters_second = {
+            name: value
+            for name, value in second["metrics"].items()
+            if isinstance(value, (int, float))
+        }
+        assert counters_first == counters_second
+
+
+class TestSpatialCounterShim:
+    def test_rebuilds_property_aliases_grid_rebuilds(self):
+        scenario = Scenario(GOLDEN_SCENARIOS[_SCENARIO])
+        scenario.run()
+        index = scenario.medium._index
+        assert index.rebuilds == index.grid_rebuilds > 0
+        assert index.window_hits + index.window_builds > 0
+
+
+class TestSharedRoundRng:
+    def _agents(self, shared: bool):
+        config = ScenarioConfig.quick(
+            group_count=2,
+            num_nodes=8,
+            member_count=3,
+            join_window_s=1.0,
+            source_start_s=2.0,
+            source_stop_s=4.0,
+            duration_s=5.0,
+            gossip_shared_round_rng=shared,
+        )
+        return Scenario(config).build()
+
+    def test_shared_flag_reuses_group0_stream_per_node(self):
+        scenario = self._agents(shared=True)
+        for node_id, agent in scenario.gossip_by_group[0].items():
+            assert scenario.gossip_by_group[1][node_id].rng is agent.rng
+
+    def test_default_keeps_independent_streams(self):
+        scenario = self._agents(shared=False)
+        for node_id, agent in scenario.gossip_by_group[0].items():
+            assert scenario.gossip_by_group[1][node_id].rng is not agent.rng

@@ -1,0 +1,88 @@
+"""`repro report` and the --obs CLI plumbing (smoke level)."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+#: A tiny but complete instrumented run (same timing family as the golden
+#: scenarios: joins, a short source phase, recovery tail).
+_RUN_ARGS = [
+    "run",
+    "--nodes", "10",
+    "--members", "4",
+    "--seed", "5",
+]
+
+
+@pytest.fixture(scope="module")
+def telemetry_json(tmp_path_factory):
+    path = tmp_path_factory.mktemp("obs") / "telemetry.json"
+    assert main(_RUN_ARGS + ["--obs-out", str(path)]) == 0
+    return path
+
+
+class TestParser:
+    def test_run_obs_flags(self):
+        args = build_parser().parse_args(["run", "--obs", "--obs-out", "t.json"])
+        assert args.obs is True
+        assert args.obs_out == "t.json"
+        assert args.obs_dump is None
+
+    def test_campaign_obs_flag(self):
+        args = build_parser().parse_args(["campaign", "fig2", "--obs"])
+        assert args.obs is True
+
+    def test_report_arguments(self):
+        args = build_parser().parse_args(
+            ["report", "store.jsonl", "--key", "k", "--top", "5", "--json"]
+        )
+        assert args.path == "store.jsonl"
+        assert args.key == "k"
+        assert args.top == 5
+        assert args.as_json is True
+
+
+class TestRunObs:
+    def test_obs_out_writes_snapshot(self, telemetry_json):
+        payload = json.loads(telemetry_json.read_text())
+        assert payload["metrics"]["medium.channel.transmissions"] > 0
+        assert "medium.channel.fanout" in payload["histograms"]
+
+    def test_obs_prints_text_report(self, capsys):
+        assert main(_RUN_ARGS + ["--obs"]) == 0
+        out = capsys.readouterr().out
+        assert "Telemetry" in out
+        assert "medium.channel.fanout" in out
+        assert "window_hit_rate" in out
+
+    def test_obs_dump_writes_flight_recorder(self, tmp_path):
+        dump = tmp_path / "flight.jsonl"
+        assert main(_RUN_ARGS + ["--obs-dump", str(dump)]) == 0
+        kinds = {json.loads(line)["kind"] for line in dump.read_text().splitlines()}
+        assert "engine.sample" in kinds
+
+
+class TestReport:
+    def test_report_renders_snapshot_file(self, telemetry_json, capsys):
+        assert main(["report", str(telemetry_json)]) == 0
+        out = capsys.readouterr().out
+        assert "spatial.index.window_hit_rate" in out
+        assert "Top fan-out offenders" in out
+
+    def test_report_json_mode(self, telemetry_json, capsys):
+        assert main(["report", str(telemetry_json), "--json", "--top", "3"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert 0.0 <= payload["derived"]["spatial.index.window_hit_rate"] <= 1.0
+        assert len(payload["top_fanout"]) <= 3
+
+    def test_report_rejects_uninstrumented_input(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["report", str(empty)]) == 2
+        assert "no instrumented records" in capsys.readouterr().err
+
+    def test_report_missing_file(self, capsys):
+        assert main(["report", "/nonexistent/telemetry.json"]) == 2
+        assert capsys.readouterr().err

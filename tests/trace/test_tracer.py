@@ -108,3 +108,30 @@ class TestCapacity:
         network.start()
         network.run(5.0)
         assert tracer.dropped == 0
+
+    def test_eviction_keeps_the_newest_records(self):
+        network = build_network(line_topology(3, 60.0), range_m=80)
+        tracer = PacketTracer(capacity=10)
+        tracer.attach_all(network.nodes)
+        network.start()
+        network.run(10.0)
+        records = list(tracer.records)
+        assert len(records) == 10
+        # Oldest-first order is preserved and the retained tail is the most
+        # recent slice of everything observed.
+        times = [record.time for record in records]
+        assert times == sorted(times)
+        assert tracer.dropped + len(records) > 10
+
+    def test_to_text_limit_with_bounded_records(self):
+        network = build_network(line_topology(3, 60.0), range_m=80)
+        tracer = PacketTracer(capacity=10)
+        tracer.attach_all(network.nodes)
+        network.start()
+        network.run(10.0)
+        assert len(tracer.to_text(limit=3).splitlines()) == 3
+        assert len(tracer.to_text(limit=None).splitlines()) == len(tracer)
+        # The rendered tail is exactly the newest records.
+        assert tracer.to_text(limit=3) == "\n".join(
+            str(record) for record in list(tracer.records)[-3:]
+        )
