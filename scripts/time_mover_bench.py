@@ -1,0 +1,75 @@
+"""Ad-hoc timing harness for the fig4-style mover scenario.
+
+Runs the 100-node mover geometry from ``benchmarks/test_medium_index.py``
+N times in-process and prints per-run wall time plus events/sec.  Used for
+paired A/B comparisons between revisions and between ``fanout_kernel``
+modes without the pytest-benchmark harness overhead.
+
+Usage::
+
+    PYTHONPATH=src python scripts/time_mover_bench.py [--rounds 3]
+        [--kernel batch|object] [--profile-out FILE]
+"""
+
+import argparse
+import time
+
+from dataclasses import replace
+
+from repro.workload.scenario import ScenarioConfig, run_scenario
+
+BASE = dict(
+    num_nodes=100,
+    member_count=20,
+    area_width_m=200.0,
+    area_height_m=200.0,
+    join_window_s=4.0,
+    source_start_s=10.0,
+    source_stop_s=28.0,
+    packet_interval_s=0.5,
+    duration_s=32.0,
+    seed=1,
+    max_speed_mps=1.0,
+    max_pause_s=2.0,
+)
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--rounds", type=int, default=3)
+    parser.add_argument("--kernel", default=None, choices=("batch", "object"))
+    parser.add_argument("--profile-out", default=None)
+    args = parser.parse_args()
+
+    config = ScenarioConfig.quick(transmission_range_m=75.0, **BASE)
+    if args.kernel is not None:
+        config = replace(config, fanout_kernel=args.kernel)
+
+    if args.profile_out:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        result = run_scenario(config)
+        profiler.disable()
+        profiler.dump_stats(args.profile_out)
+        print(f"profile written to {args.profile_out}")
+        print(f"events_processed={result.events_processed}")
+        return
+
+    best = None
+    for i in range(args.rounds):
+        t0 = time.perf_counter()
+        result = run_scenario(config)
+        dt = time.perf_counter() - t0
+        best = dt if best is None else min(best, dt)
+        print(
+            f"round {i}: {dt:.3f} s "
+            f"({result.events_processed / dt:,.0f} ev/s, "
+            f"{result.events_processed} events)"
+        )
+    print(f"best: {best:.3f} s")
+
+
+if __name__ == "__main__":
+    main()

@@ -48,15 +48,16 @@ class MaodvConfig:
     #: synchronised-rebroadcast collisions between hidden terminals.
     broadcast_jitter_s: float = 0.01
     #: Explicit leadership hand-off when the group leader leaves the group
-    #: (draft rule): the leaver floods a tree-scoped hand-off and the oldest
-    #: downstream member takes over.  Disabling falls back to the old
-    #: simplification (the leaver keeps leading until partition/merge
+    #: (draft rule): the leaver floods a tree-scoped hand-off carrying a
+    #: one-pass best-so-far election, and the oldest member on the tree
+    #: takes over (node id breaks exact ties).  Disabling falls back to the
+    #: old simplification (the leaver keeps leading until partition/merge
     #: machinery elects someone else).
     leader_handoff: bool = True
-    #: Scale of the age-ranked takeover delay: a member that joined ``a``
-    #: seconds ago answers a hand-off after about ``wait * 60 / (60 + a)``
-    #: seconds, so the oldest member fires first and its group hello
-    #: cancels the younger members' pending takeovers.
+    #: How long a bidding member waits, after first hearing a hand-off
+    #: flood, before checking whether its bid is still the best it has
+    #: seen and taking over.  Must cover a tree-wide flood sweep plus the
+    #: echo of a better bid back along its branch.
     handoff_wait_s: float = 1.0
     #: How long an abdicated leader (that stayed a tree router) waits for a
     #: successor's group hello before resuming leadership itself.  The

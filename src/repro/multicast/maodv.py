@@ -110,8 +110,13 @@ class MaodvRouter:
         self._seen_join_requests: Dict[tuple, float] = {}
         self._seen_group_hellos: Dict[tuple, float] = {}
         self._seen_handoffs: Dict[tuple, float] = {}
-        #: When this node last became a member, per group (drives the
-        #: age-ranked leader hand-off takeover).
+        #: Election key -> best ``(age_s, -node_id)`` bid seen for that
+        #: hand-off flood (max-ordered: older membership wins, lower node id
+        #: breaks exact ties).  Entries are as rare and small as the
+        #: hand-offs themselves, so they are kept, like ``_seen_handoffs``.
+        self._handoff_best: Dict[tuple, tuple] = {}
+        #: When this node last became a member, per group (the age that
+        #: ranks leader hand-off bids).
         self._member_since: Dict[GroupAddress, float] = {}
         self._seen_data: "OrderedDict[tuple, None]" = OrderedDict()
         self._last_advertised: Dict[Tuple[GroupAddress, NodeId], int] = {}
@@ -197,7 +202,8 @@ class MaodvRouter:
           replies are ignored through the pending-join bookkeeping).
         * A leaving *leader* with remaining tree branches first hands
           leadership off (draft rule): it floods a tree-scoped
-          :class:`LeaderHandoff` and the oldest downstream member takes over
+          :class:`LeaderHandoff` whose one-pass best-so-far election makes
+          the oldest member on the tree take over
           (see :meth:`_on_leader_handoff`); with ``leader_handoff`` disabled
           it falls back to the old simplification of leading on until the
           partition/merge machinery elects someone else.  When the leader is
@@ -531,15 +537,17 @@ class MaodvRouter:
         self._become_leader(group)
 
     def _on_leader_handoff(self, handoff: LeaderHandoff, from_node: NodeId) -> None:
-        """Forward a hand-off along the tree; members race to take over.
+        """One-pass best-so-far election over the hand-off flood.
 
-        Every member schedules a takeover delay that *shrinks* with its
-        membership age, so the oldest downstream member fires first; its
-        group hello (carrying a higher group sequence number) cancels the
-        younger members' pending takeovers.  Near-simultaneous takeovers --
-        members of almost equal age hearing the flood far apart -- resolve
-        through the standard partition-merge rule, exactly like two
-        partition leaders meeting.
+        The flood accumulates the best ``(membership age, node id)`` bid it
+        has passed; each router (re-)forwards a copy only when the best
+        candidate it knows of improves, so better bids sweep the whole tree
+        -- including back up the branch they came from.  A member bids on
+        first sight and schedules a single fixed-delay takeover check; at
+        fire time it takes over iff its own bid is still the best it has
+        seen.  Ranking is deterministic (older membership wins, lower node
+        id breaks exact ties), so near-tie elections no longer fall back to
+        the partition-merge machinery's duelling-leaders resolution.
         """
         entry = self.table.entry(handoff.group)
         if entry is None or not entry.on_tree:
@@ -549,29 +557,53 @@ class MaodvRouter:
         now = self.sim.now
         key = handoff.key()
         expiry = self._seen_handoffs.get(key)
-        if expiry is not None and expiry > now:
+        first_sight = expiry is None or expiry <= now
+        best = self._handoff_best.get(key)
+        if handoff.candidate != -1:
+            incoming = (handoff.candidate_age_s, -handoff.candidate)
+            if best is None or incoming > best:
+                best = incoming
+            elif not first_sight:
+                return  # duplicate carrying nothing new: suppress
+        elif not first_sight:
             return
-        self._seen_handoffs[key] = now + 60.0
-        if entry.leader == handoff.leader:
-            entry.leader = -1
-        entry.group_seq = max(entry.group_seq, handoff.group_seq)
+        if first_sight:
+            self._seen_handoffs[key] = now + 60.0
+            if entry.leader == handoff.leader:
+                entry.leader = -1
+            entry.group_seq = max(entry.group_seq, handoff.group_seq)
+            if entry.is_member and not self.is_group_leader(handoff.group):
+                age = max(0.0, now - self._member_since.get(handoff.group, now))
+                bid = (age, -self.node_id)
+                if best is None or bid > best:
+                    best = bid
+                    # Our bid leads so far: check back after the flood (and
+                    # any better bid's echo) has had time to sweep the tree.
+                    self.sim.schedule(
+                        self.config.handoff_wait_s,
+                        self._attempt_takeover,
+                        handoff.group, key, handoff.group_seq,
+                    )
+        if best is not None:
+            self._handoff_best[key] = best
         others = [n for n in entry.tree_neighbors() if n != from_node]
         if others:
             self.stats.leader_handoffs_forwarded += 1
-            self._broadcast_jittered(handoff)
-        if entry.is_member and not self.is_group_leader(handoff.group):
-            age = max(0.0, now - self._member_since.get(handoff.group, now))
-            # Oldest member -> smallest delay; the node id breaks exact ties
-            # deterministically.
-            delay = (
-                self.config.handoff_wait_s * 60.0 / (60.0 + age)
-                + (self.node_id + 1) * 1e-4
+            forwarded = LeaderHandoff(
+                origin=handoff.origin,
+                destination=BROADCAST_ADDRESS,
+                size_bytes=handoff.size_bytes,
+                group=handoff.group,
+                leader=handoff.leader,
+                group_seq=handoff.group_seq,
+                candidate=-best[1] if best is not None else -1,
+                candidate_age_s=best[0] if best is not None else -1.0,
             )
-            self.sim.schedule(
-                delay, self._attempt_takeover, handoff.group, handoff.group_seq
-            )
+            self._broadcast_jittered(forwarded)
 
-    def _attempt_takeover(self, group: GroupAddress, handoff_seq: int) -> None:
+    def _attempt_takeover(
+        self, group: GroupAddress, key: tuple, handoff_seq: int
+    ) -> None:
         entry = self.table.entry(group)
         if entry is None or not entry.is_member or self.is_group_leader(group):
             return
@@ -579,6 +611,9 @@ class MaodvRouter:
             # A newer leader already announced itself (group hellos bump the
             # sequence past the hand-off's); stand down.
             return
+        best = self._handoff_best.get(key)
+        if best is None or -best[1] != self.node_id:
+            return  # a better bid swept past: its owner takes over, not us
         self.stats.leader_handoffs_accepted += 1
         self._become_leader(group)
 

@@ -109,10 +109,14 @@ class GroupHello(Packet):
 class LeaderHandoff(Packet):
     """Tree-scoped announcement that the group leader is leaving the group.
 
-    Flooded along the multicast tree by an abdicating leader; members
-    schedule an age-ranked takeover (the oldest member fires first and
-    becomes the new leader), so leadership stays with a *member* instead of
-    a leaver continuing to lead until partition/merge machinery runs.
+    Flooded along the multicast tree by an abdicating leader.  The flood
+    carries the election state of a **one-pass best-so-far election**: each
+    member it reaches bids with its membership age, a copy is (re-)forwarded
+    only when it improves the best candidate a router has seen, and after
+    ``handoff_wait_s`` the member that still holds the best bid it knows of
+    takes over.  Ranking is deterministic -- older membership wins, node id
+    breaks exact ties -- so leadership stays with a *member* instead of a
+    leaver continuing to lead until partition/merge machinery runs.
     """
 
     group: GroupAddress = -1
@@ -121,12 +125,21 @@ class LeaderHandoff(Packet):
     #: The abdicating leader's final group sequence number; a takeover
     #: bumps past it, so a later hello supersedes the hand-off.
     group_seq: int = 0
+    #: Best successor candidate accumulated so far along this copy's path
+    #: (``-1`` = no member bid yet).
+    candidate: NodeId = -1
+    #: The candidate's membership age in seconds, stamped once when it bid.
+    candidate_age_s: float = -1.0
 
     def __post_init__(self) -> None:
         self.destination = BROADCAST_ADDRESS
 
     def key(self) -> tuple:
-        """Duplicate-suppression key of the tree-scoped flood."""
+        """Election identity (and duplicate-suppression key) of the flood.
+
+        Deliberately excludes the mutable candidate fields: copies carrying
+        improved bids belong to the same election.
+        """
         return (self.group, self.leader, self.group_seq)
 
 

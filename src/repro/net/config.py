@@ -31,6 +31,13 @@ class RadioConfig:
         ``"grid"`` (uniform grid + position memo, O(k) per transmission, the
         default) or ``"naive"`` (the O(N) linear-scan reference).  Both
         produce bit-identical results.
+    fanout_kernel:
+        Reception-bookkeeping kernel of the medium: ``"batch"`` (one pooled
+        :class:`~repro.net.medium.ReceptionBatch` per transmission --
+        parallel receiver arrays plus a corruption bitmap, the default) or
+        ``"object"`` (one pooled per-receiver record per in-flight copy, the
+        bit-identical reference).  A pure performance knob: both kernels
+        produce identical statistics, delivery sequences and event counts.
     grid_cell_m:
         Cell size of the uniform grid.  The default is speed-aware: a third
         of the carrier-sense range for slow fleets (``speed_bound_mps``
@@ -71,6 +78,7 @@ class RadioConfig:
     bitrate_bps: float = 2_000_000.0
     preamble_s: float = 192e-6
     medium_index: str = "grid"
+    fanout_kernel: str = "batch"
     grid_cell_m: float | None = None
     grid_slack_m: float | None = None
     motion_band_m: float | None = None
@@ -91,6 +99,10 @@ class RadioConfig:
         if self.medium_index not in ("grid", "naive"):
             raise ValueError(
                 f"medium_index must be 'grid' or 'naive', got {self.medium_index!r}"
+            )
+        if self.fanout_kernel not in ("batch", "object"):
+            raise ValueError(
+                f"fanout_kernel must be 'batch' or 'object', got {self.fanout_kernel!r}"
             )
         if self.area_topology not in ("flat", "torus"):
             raise ValueError(

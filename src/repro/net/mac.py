@@ -39,6 +39,10 @@ class MacAck(Packet):
 
     acked_uid: int = -1
 
+    #: Link-layer control: excluded from the medium's broadcast fast path
+    #: (see ``Packet.is_mac_control``).
+    is_mac_control = True
+
     def __post_init__(self) -> None:
         self.ttl = 1
 
@@ -138,6 +142,12 @@ class CsmaMac:
         self._recent_unicast: Deque[tuple] = deque(maxlen=32)
 
         phy.set_receive_callback(self._on_phy_receive)
+        # Delivery fast paths: broadcast frames skip the address/ACK checks
+        # through the lean entry point, and intact unicast frames addressed
+        # elsewhere (which _on_phy_receive would discard unread) are
+        # filtered medium-side without a dispatch at all.
+        phy.broadcast_callback = self._on_phy_broadcast
+        phy.unicast_filter = True
         phy.on_transmission_finished = self._on_phy_tx_finished
 
     # ----------------------------------------------------------------- public
@@ -260,6 +270,17 @@ class CsmaMac:
         self._dequeue_next()
 
     # ------------------------------------------------------------ receive path
+    def _on_phy_broadcast(self, frame: Frame, sender_id: NodeId) -> None:
+        """Lean entry for ordinary broadcast frames (the dense-fleet bulk).
+
+        The medium only routes frames here that are link-layer broadcast
+        and not MAC control, so the per-receiver destination and ACK-type
+        checks of :meth:`_on_phy_receive` are statically satisfied.
+        """
+        self.stats.delivered_to_upper += 1
+        if self.on_receive is not None:
+            self.on_receive(frame.packet, sender_id)
+
     def _on_phy_receive(self, frame: Frame, sender_id: NodeId) -> None:
         dst = frame.dst
         if dst != self._node_id and dst != BROADCAST_ADDRESS:

@@ -21,8 +21,8 @@ the set of radios in carrier-sense range (the interference set) and the
 subset in reception range are frozen from the start-time positions.  Carrier
 sense (:meth:`Medium.is_busy_for`) is membership in that frozen interference
 set -- a radio senses the channel busy exactly when it holds an in-flight
-:class:`_Reception` -- so the channel can never present two inconsistent
-geometries for the same frame, no matter how nodes move during the airtime.
+copy -- so the channel can never present two inconsistent geometries for the
+same frame, no matter how nodes move during the airtime.
 
 Powered-down radios (``Phy.enabled == False``, used for failure injection)
 are invisible to the channel: they appear in no interference set, receive no
@@ -47,16 +47,43 @@ pauses and against its displacement-epoch anchor while it moves (see the
 mobility motion-service contract) -- with only boundary members resolved per
 call.
 
-Hot-path bookkeeping
---------------------
+Fan-out kernels
+---------------
 A paper-scale run starts tens of thousands of transmissions, each fanning
 out to every radio in carrier-sense range, so the per-reception bookkeeping
-is allocation-free in steady state: :class:`_Reception` and
-:class:`_Transmission` records are slotted objects recycled through free
-lists, the fan-out loop iterates the index's cached window directly (no
-per-transmission interferer list is materialised), per-node reception lists
-use intrusive slot indexes for O(1) removal, and delivery dispatches
-straight to each radio's receive callback.
+is the dominant hot path.  Two interchangeable kernels implement it,
+selected by ``RadioConfig(fanout_kernel=...)``:
+
+``"batch"`` (the default)
+    One pooled :class:`ReceptionBatch` per transmission: the shared frame,
+    parallel arrays of receiver radios / attach epochs, and one flag byte
+    per copy packing the in-range bit with the attach-time **corruption
+    bit** (set == receiver ``i``'s copy was undecodable on arrival; a
+    bytearray keeps every flag read in small-int territory).  The fan-out
+    loop fills the arrays in one pass over the index's window; teardown
+    is one flat walk
+    of the arrays dispatching straight into each radio's receive callback.
+    The kernel exploits a structural property of the model: every hot
+    corruption event (overlapping energy, the receiver starting to
+    transmit, a power-down) corrupts *all* copies a radio currently holds,
+    never a single one -- so per-radio corruption state is three O(1)
+    counters on the :class:`~repro.net.phy.Phy` (held copies, still-
+    decodable copies, and a corruption epoch whose bump means "everything
+    this radio is hearing is now lost").  No per-copy record, list link or
+    unlink exists anywhere on the hot path.
+
+``"object"``
+    The reference kernel: one pooled, slotted :class:`_Reception` record
+    per in-flight copy, linked into per-node lists with intrusive slot
+    indexes for O(1) removal.  Kept bit-identical to the batch kernel
+    (proven on the hot-path goldens, including failure injection) exactly
+    like the naive spatial index backs the grid.
+
+Both kernels share the delivery fast paths: a receiver's MAC can opt in to
+medium-side unicast filtering (``Phy.unicast_filter`` -- copies of unicast
+frames addressed elsewhere are counted but never dispatched) and to a lean
+broadcast entry point (``Phy.broadcast_callback``) that skips the
+per-receiver address and ACK-type checks for ordinary broadcast traffic.
 """
 
 from __future__ import annotations
@@ -65,6 +92,7 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, TYPE_CHECKING, Union
 
+from repro.net.addressing import BROADCAST_ADDRESS
 from repro.net.config import RadioConfig
 from repro.net.packet import Frame
 from repro.net.spatial import (
@@ -92,8 +120,49 @@ class MediumStats:
     disabled_discards: int = 0
 
 
+class ReceptionBatch:
+    """Every in-flight copy of one transmission, as parallel arrays.
+
+    Slotted and pooled: the batch kernel recycles batches through a free
+    list, so steady-state fan-out allocates nothing but list growth.  The
+    receiver at index ``i`` has its attach-time verdicts in the flag byte
+    ``flags[i]`` (:attr:`flags`) and the corruption epoch
+    (``Phy.rx_corrupt_seq``) it attached under at ``seqs[i]``.  Copy ``i``
+    is undecodable iff its corrupt flag is set *or* its receiver's epoch
+    has moved since -- there is no per-copy record to link, walk or
+    unlink anywhere.
+    """
+
+    __slots__ = ("sender", "frame", "start_time", "end_time", "sender_pos",
+                 "receivers", "seqs", "flags", "count", "active_slot")
+
+    #: Flag-byte bits (per copy, in :attr:`flags`).
+    CORRUPT = 1   #: undecodable already at attach (overlap, half-duplex,
+                  #: missed head, or a truncated frame after a sender crash)
+    IN_RANGE = 2  #: receiver was within transmission (not just
+                  #: carrier-sense) range at attach
+
+    def __init__(self, sender: "Phy", frame: Frame, start_time: float,
+                 end_time: float, sender_pos: tuple):
+        self.sender = sender
+        self.frame = frame
+        self.start_time = start_time
+        self.end_time = end_time
+        self.sender_pos = sender_pos
+        self.receivers: List["Phy"] = []
+        #: Per-copy corruption epoch of the receiver at attach time.
+        self.seqs: List[int] = []
+        #: One flag byte per copy (``CORRUPT`` | ``IN_RANGE`` bits); a
+        #: bytearray keeps every read and append in small-int territory --
+        #: no wide-bitmap shifts anywhere on the hot path.
+        self.flags = bytearray()
+        self.count = 0
+        #: Index in ``Medium._active`` (intrusive membership, O(1) removal).
+        self.active_slot = -1
+
+
 class _Reception:
-    """An in-flight copy of a frame heading for one receiver.
+    """An in-flight copy of a frame heading for one receiver (object kernel).
 
     Slotted and pooled: the medium recycles records through a free list, so
     steady-state transmission fan-out allocates nothing.  ``node_slot`` is
@@ -116,7 +185,7 @@ class _Reception:
 
 
 class _Transmission:
-    """An in-flight transmission occupying the channel (slotted, pooled)."""
+    """An in-flight transmission occupying the channel (object kernel)."""
 
     __slots__ = ("sender", "frame", "start_time", "end_time", "sender_pos",
                  "receptions", "active_slot")
@@ -157,12 +226,20 @@ class Medium:
         #: feeds the report's top-N fan-out offenders).
         self._fanout_totals: Dict[int, int] = {}
         self._phys: Dict[int, "Phy"] = {}
-        self._active: List[_Transmission] = []
-        self._active_receptions: Dict[int, List[_Reception]] = {}
+        #: In-flight transmissions; ``ReceptionBatch`` or ``_Transmission``
+        #: entries depending on the kernel (never mixed).
+        self._active: list = []
+        #: node_id -> that radio's ongoing-reception list (the same list
+        #: object as ``phy._rx_ongoing``); a list of ``_Reception`` records.
+        #: Object kernel only -- the batch kernel keeps no per-node lists
+        #: (corruption state lives in per-radio counters on the phy), so
+        #: these stay empty there.
+        self._active_receptions: Dict[int, list] = {}
         self._airtime = self.config.airtime
         self._cs_range = self.config.carrier_sense_range_m
         self._rx_range = self.config.transmission_range_m
         # Free lists (see module docstring).
+        self._batch_pool: List[ReceptionBatch] = []
         self._reception_pool: List[_Reception] = []
         self._transmission_pool: List[_Transmission] = []
         #: (width, height) of the periodic area, or ``None`` on the flat
@@ -191,6 +268,13 @@ class Medium:
                 )
         else:
             self._index = LinearScanIndex(wrap=self._wrap)
+        #: Kernel dispatch: the two hot entry points are bound per instance
+        #: so neither kernel pays a mode branch per call.
+        self._batch_mode = self.config.fanout_kernel == "batch"
+        if self._batch_mode:
+            self.transmit = self._transmit_batch
+        else:
+            self.transmit = self._transmit_object
 
     # --------------------------------------------------------------- registry
     def register(self, phy: "Phy") -> None:
@@ -302,21 +386,215 @@ class Medium:
 
         Defined as membership in the interference set of any in-flight
         transmission (frozen at transmission start), so it always agrees
-        with the reception bookkeeping.  A powered-down radio senses nothing.
+        with the reception bookkeeping.  A powered-down radio senses
+        nothing.  O(1) in both kernels: copies are removed exactly at their
+        end time, so "some held copy is still in flight" is equivalent to
+        the radio's :attr:`~repro.net.phy.Phy.rx_busy_until` watermark
+        lying in the future.
         """
         if not phy.enabled:
             return False
         if phy.transmitting:
             return True
-        now = self.sim.now
-        for reception in phy._rx_ongoing:
-            if reception.end_time > now:
-                return True
-        return False
+        return phy.rx_busy_until > self.sim.now
 
-    # ---------------------------------------------------------------- transmit
-    def transmit(self, sender: "Phy", frame: Frame) -> float:
-        """Start transmitting ``frame`` from ``sender``.
+    # ---------------------------------------------------------- batch kernel
+    def _transmit_batch(self, sender: "Phy", frame: Frame) -> float:
+        """Start transmitting ``frame`` from ``sender`` (batch kernel).
+
+        Returns the airtime of the frame.  Reception outcomes are resolved
+        when the transmission ends; all geometry is frozen now, at start.
+        """
+        now = self.sim.now
+        duration = self._airtime(frame.size_bytes)
+        end_time = now + duration
+        index = self._index
+        sender_pos = index.exact(sender, now)
+        pool = self._batch_pool
+        if pool:
+            batch = pool.pop()
+            batch.sender = sender
+            batch.frame = frame
+            batch.start_time = now
+            batch.end_time = end_time
+            batch.sender_pos = sender_pos
+        else:
+            batch = ReceptionBatch(sender, frame, now, end_time, sender_pos)
+        stats = self.stats
+        stats.transmissions += 1
+
+        # A node that starts transmitting corrupts anything it was receiving:
+        # one epoch bump, no walk.
+        lost = sender.rx_uncorrupted
+        if lost:
+            stats.half_duplex_losses += lost
+            sender.rx_uncorrupted = 0
+        sender.rx_corrupt_seq += 1
+
+        obs_on = self._obs_on
+        if obs_on:
+            self._span_fanout.start()
+        receivers = batch.receivers
+        receivers_append = receivers.append
+        seqs_append = batch.seqs.append
+        flags_append = batch.flags.append
+        collisions = 0
+        half_duplex = 0
+        # The window comes pre-classified from the index's per-sender caches
+        # (exact-point windows for paused senders, displacement-epoch anchor
+        # windows for moving ones); only boundary members near a verdict
+        # deadline were resolved for this call.  It never contains the
+        # sender, but may contain disabled radios and members that resolved
+        # beyond carrier sense (verdict None) -- filtering here avoids
+        # materialising a second, filtered list per transmission.
+        for member in index.transmission_window(
+            sender, sender_pos, self._cs_range, self._rx_range, now
+        ):
+            phy = member[2]
+            if not phy.enabled:
+                continue
+            in_range = member[3]
+            if in_range is None:
+                continue
+            held = phy.rx_held_count
+            if held:
+                # Overlapping energy at this receiver: everything it holds
+                # is lost (epoch bump), and so is the new copy.
+                uncorrupted = phy.rx_uncorrupted
+                if uncorrupted:
+                    collisions += uncorrupted
+                    phy.rx_uncorrupted = 0
+                phy.rx_corrupt_seq += 1
+                collisions += 1
+                copy_flags = 3 if in_range else 1
+                if phy.transmitting:
+                    half_duplex += 1
+            elif phy.transmitting:
+                copy_flags = 3 if in_range else 1
+                half_duplex += 1
+            else:
+                phy.rx_uncorrupted += 1
+                copy_flags = 2 if in_range else 0
+            phy.rx_held_count = held + 1
+            if end_time > phy.rx_busy_until:
+                phy.rx_busy_until = end_time
+            seqs_append(phy.rx_corrupt_seq)
+            receivers_append(phy)
+            flags_append(copy_flags)
+        count = len(receivers)
+        batch.count = count
+        if collisions:
+            stats.collisions += collisions
+        if half_duplex:
+            stats.half_duplex_losses += half_duplex
+        if obs_on:
+            self._span_fanout.stop()
+            self._h_fanout.observe(count)
+            totals = self._fanout_totals
+            sender_id = sender.node_id
+            totals[sender_id] = totals.get(sender_id, 0) + count
+
+        batch.active_slot = len(self._active)
+        self._active.append(batch)
+        self.sim.call_in(duration, self._finish_batch, (batch,))
+        return duration
+
+    def _finish_batch(self, batch: ReceptionBatch) -> None:
+        # O(1) intrusive removal from the in-flight list.
+        active = self._active
+        tail = active.pop()
+        if tail is not batch:
+            slot = batch.active_slot
+            active[slot] = tail
+            tail.active_slot = slot
+        stats = self.stats
+        obs_on = self._obs_on
+        if obs_on:
+            self._span_teardown.start()
+        frame = batch.frame
+        sender = batch.sender
+        sender_id = sender.node_id
+        dst = frame.dst
+        broadcast = dst == BROADCAST_ADDRESS
+        # Ordinary broadcast traffic (everything but a broadcast MAC ACK,
+        # which no stack sends but tests may craft) dispatches through the
+        # receivers' lean broadcast entry point where one is registered.
+        fast_broadcast = broadcast and not frame.packet.is_mac_control
+        receivers = batch.receivers
+        seqs = batch.seqs
+        # The attach-time flag bytes are stable during teardown (sender
+        # crashes mutate them only while the batch is still in ``_active``);
+        # epoch corruption is read per copy below, so a callback that powers
+        # a radio down mid-teardown is seen by the copies still pending --
+        # exactly like the object kernel's per-record reads.
+        flags = batch.flags
+        disabled_discards = 0
+        out_of_range = 0
+        half_duplex = 0
+        deliveries = 0
+        # zip over the parallel arrays: no per-copy index arithmetic.
+        for receiver, f, seq in zip(receivers, flags, seqs):
+            receiver.rx_held_count -= 1
+            if f & 1 or receiver.rx_corrupt_seq != seq:
+                if receiver.enabled:
+                    if f & 2:
+                        continue
+                    out_of_range += 1
+                else:
+                    disabled_discards += 1
+                continue
+            receiver.rx_uncorrupted -= 1
+            if not receiver.enabled:
+                disabled_discards += 1
+                continue
+            if not f & 2:
+                out_of_range += 1
+                continue
+            if receiver.transmitting:
+                half_duplex += 1
+                continue
+            deliveries += 1
+            if broadcast:
+                if fast_broadcast:
+                    callback = receiver.broadcast_callback
+                    if callback is None:
+                        callback = receiver.receive_callback
+                else:
+                    callback = receiver.receive_callback
+            elif receiver.unicast_filter and dst != receiver.node_id:
+                # The copy arrived intact (counted above) but the MAC would
+                # discard it unread -- skip the dispatch entirely.
+                continue
+            else:
+                callback = receiver.receive_callback
+            if callback is not None:
+                callback(frame, sender_id)
+        if disabled_discards:
+            stats.disabled_discards += disabled_discards
+        if out_of_range:
+            stats.out_of_range_discards += out_of_range
+        if half_duplex:
+            stats.half_duplex_losses += half_duplex
+        stats.deliveries += deliveries
+        # Recycle: the arrays stay attached to the pooled batch.  Receiver
+        # refs are cleared with them, so a pooled batch pins nothing.
+        receivers.clear()
+        seqs.clear()
+        flags.clear()
+        batch.count = 0
+        batch.sender = None
+        batch.frame = None
+        self._batch_pool.append(batch)
+        if obs_on:
+            # Includes upper-layer dispatch: the span covers everything a
+            # frame's end-of-airtime costs, which is what the phase
+            # breakdown is for.
+            self._span_teardown.stop()
+        sender.transmission_finished()
+
+    # --------------------------------------------------------- object kernel
+    def _transmit_object(self, sender: "Phy", frame: Frame) -> float:
+        """Start transmitting ``frame`` from ``sender`` (object kernel).
 
         Returns the airtime of the frame.  Reception outcomes are resolved
         when the transmission ends; all geometry is frozen now, at start.
@@ -353,13 +631,7 @@ class Medium:
         rec_append = receptions.append
         collisions = 0
         half_duplex = 0
-        # The window comes pre-classified from the index's per-sender caches
-        # (exact-point windows for paused senders, displacement-epoch anchor
-        # windows for moving ones); only boundary members near a verdict
-        # deadline were resolved for this call.  It never contains the
-        # sender, but may contain disabled radios and members that resolved
-        # beyond carrier sense (verdict None) -- filtering here avoids
-        # materialising a second, filtered list per transmission.
+        # See _transmit_batch for the window contract.
         for member in index.transmission_window(
             sender, sender_pos, self._cs_range, self._rx_range, now
         ):
@@ -393,6 +665,8 @@ class Medium:
             if phy.transmitting:
                 reception.corrupted = True
                 half_duplex += 1
+            if end_time > phy.rx_busy_until:
+                phy.rx_busy_until = end_time
             ongoing.append(reception)
             rec_append(reception)
         if collisions:
@@ -427,6 +701,9 @@ class Medium:
         pool_append = self._reception_pool.append
         frame = tx.frame
         sender_id = tx.sender.node_id
+        dst = frame.dst
+        broadcast = dst == BROADCAST_ADDRESS
+        fast_broadcast = broadcast and not frame.packet.is_mac_control
         disabled_discards = 0
         out_of_range = 0
         half_duplex = 0
@@ -462,7 +739,18 @@ class Medium:
                 half_duplex += 1
                 continue
             deliveries += 1
-            callback = receiver.receive_callback
+            if broadcast:
+                if fast_broadcast:
+                    callback = receiver.broadcast_callback
+                    if callback is None:
+                        callback = receiver.receive_callback
+                else:
+                    callback = receiver.receive_callback
+            elif receiver.unicast_filter and dst != receiver.node_id:
+                # Intact but addressed elsewhere: counted, never dispatched.
+                continue
+            else:
+                callback = receiver.receive_callback
             if callback is not None:
                 callback(frame, sender_id)
         if disabled_discards:
@@ -494,13 +782,34 @@ class Medium:
         a collision: a dead radio stops inflating ``deliveries`` and
         ``collisions``.
         """
-        for reception in self._active_receptions.get(phy.node_id, ()):
-            reception.corrupted = True
         now = self.sim.now
-        for tx in self._active:
-            if tx.sender is phy and tx.end_time > now:
-                for reception in tx.receptions:
-                    reception.corrupted = True
+        if self._batch_mode:
+            # Everything this radio holds is lost: one epoch bump.
+            phy.rx_corrupt_seq += 1
+            phy.rx_uncorrupted = 0
+            for batch in self._active:
+                if batch.sender is phy and batch.end_time > now:
+                    # Truncated frame: every copy in the batch is lost.
+                    # Settle each still-decodable copy out of its receiver's
+                    # uncorrupted count before the flag swallows it.
+                    receivers = batch.receivers
+                    seqs = batch.seqs
+                    flags = batch.flags
+                    for idx in range(batch.count):
+                        receiver = receivers[idx]
+                        if (
+                            not flags[idx] & 1
+                            and receiver.rx_corrupt_seq == seqs[idx]
+                        ):
+                            receiver.rx_uncorrupted -= 1
+                        flags[idx] |= 1
+        else:
+            for reception in self._active_receptions.get(phy.node_id, ()):
+                reception.corrupted = True
+            for tx in self._active:
+                if tx.sender is phy and tx.end_time > now:
+                    for reception in tx.receptions:
+                        reception.corrupted = True
 
     def radio_powered_up(self, phy: "Phy") -> None:
         """A radio came (back) up: attach it to every in-flight transmission."""
@@ -521,31 +830,101 @@ class Medium:
         rx_range = self._rx_range
         cs_sq = cs_range * cs_range
         rx_sq = rx_range * rx_range
-        ongoing = self._active_receptions[phy.node_id]
-        for tx in self._active:
-            if tx.sender is phy or tx.end_time <= now:
-                continue
-            # A power cycle inside one airtime must not attach a second copy
-            # of a transmission the radio already holds (from before it went
-            # down) -- duplicates would double-count the discard statistics.
-            if any(reception.tx is tx for reception in ongoing):
-                continue
-            dx, dy = self._deltas(tx.sender_pos[0], tx.sender_pos[1], position[0], position[1])
-            distance_sq = dx * dx + dy * dy
-            if distance_sq > cs_sq:
-                continue
-            reception = _Reception(
-                phy,
-                tx,
-                tx.end_time,
-                distance_sq <= rx_sq,
-                corrupted=True,
-            )
-            reception.node_slot = len(ongoing)
-            ongoing.append(reception)
-            tx.receptions.append(reception)
+        if self._batch_mode:
+            for batch in self._active:
+                if batch.sender is phy or batch.end_time <= now:
+                    continue
+                # A power cycle inside one airtime must not attach a second
+                # copy of a transmission the radio already holds (from before
+                # it went down) -- duplicates would double-count the discard
+                # statistics.
+                receivers = batch.receivers
+                if any(
+                    receivers[idx] is phy for idx in range(batch.count)
+                ):
+                    continue
+                dx, dy = self._deltas(
+                    batch.sender_pos[0], batch.sender_pos[1], position[0], position[1]
+                )
+                distance_sq = dx * dx + dy * dy
+                if distance_sq > cs_sq:
+                    continue
+                receivers.append(phy)
+                batch.seqs.append(phy.rx_corrupt_seq)
+                batch.flags.append(3 if distance_sq <= rx_sq else 1)
+                batch.count += 1
+                phy.rx_held_count += 1
+                if batch.end_time > phy.rx_busy_until:
+                    phy.rx_busy_until = batch.end_time
+        else:
+            ongoing = self._active_receptions[phy.node_id]
+            for tx in self._active:
+                if tx.sender is phy or tx.end_time <= now:
+                    continue
+                # See the batch branch for the duplicate-copy guard.
+                if any(reception.tx is tx for reception in ongoing):
+                    continue
+                dx, dy = self._deltas(
+                    tx.sender_pos[0], tx.sender_pos[1], position[0], position[1]
+                )
+                distance_sq = dx * dx + dy * dy
+                if distance_sq > cs_sq:
+                    continue
+                reception = _Reception(
+                    phy,
+                    tx,
+                    tx.end_time,
+                    distance_sq <= rx_sq,
+                    corrupted=True,
+                )
+                reception.node_slot = len(ongoing)
+                if tx.end_time > phy.rx_busy_until:
+                    phy.rx_busy_until = tx.end_time
+                ongoing.append(reception)
+                tx.receptions.append(reception)
 
     # --------------------------------------------------------------- telemetry
+    def receptions_for(self, node_id: int) -> List[tuple]:
+        """In-flight copies heading for ``node_id``, kernel-independently.
+
+        Returns ``(sender_id, end_time, in_range, corrupted)`` tuples -- the
+        stable view for tests and tools, regardless of whether the kernel
+        keeps per-copy records or batch arrays plus per-radio counters
+        underneath.  Tuple order is unspecified.
+        """
+        out = []
+        if self._batch_mode:
+            phy = self._phys.get(node_id)
+            if phy is None:
+                return out
+            for batch in self._active:
+                receivers = batch.receivers
+                seqs = batch.seqs
+                flags = batch.flags
+                for idx in range(batch.count):
+                    if receivers[idx] is not phy:
+                        continue
+                    f = flags[idx]
+                    out.append(
+                        (
+                            batch.sender.node_id,
+                            batch.end_time,
+                            bool(f & 2),
+                            bool(f & 1 or phy.rx_corrupt_seq != seqs[idx]),
+                        )
+                    )
+        else:
+            for reception in self._active_receptions.get(node_id, ()):
+                out.append(
+                    (
+                        reception.tx.sender.node_id,
+                        reception.end_time,
+                        reception.in_range,
+                        reception.corrupted,
+                    )
+                )
+        return out
+
     def top_fanout(self, n: int = 10) -> List[tuple]:
         """Worst fan-out offenders: ``(sender, total receptions)``, top ``n``.
 
@@ -565,6 +944,7 @@ class Medium:
             [
                 ("spatial.index.window_hits", index.window_hits),
                 ("spatial.index.window_builds", index.window_builds),
+                ("spatial.index.window_patch_hits", index.window_patch_hits),
                 ("spatial.index.grid_rebuilds", index.grid_rebuilds),
             ]
         )

@@ -50,6 +50,12 @@ class Packet:
     ttl: int = 32
     uid: int = field(default_factory=_next_uid)
 
+    #: Class-level flag (not a dataclass field): link-layer control packets
+    #: (MAC ACKs) override this with ``True``.  The medium's broadcast
+    #: delivery fast path keys off it -- ordinary broadcast traffic skips
+    #: the MAC's per-receiver address/ACK checks entirely.
+    is_mac_control = False
+
     def copy_for_forwarding(self) -> "Packet":
         """Return a shallow copy with the TTL decremented by one."""
         import copy

@@ -25,8 +25,10 @@ class Phy:
     """A half-duplex radio bound to one node and one medium."""
 
     __slots__ = ("node", "node_id", "medium", "transmitting", "enabled",
-                 "receive_callback", "on_transmission_finished", "_tx_frame",
-                 "_rx_ongoing")
+                 "receive_callback", "broadcast_callback", "unicast_filter",
+                 "on_transmission_finished", "_tx_frame", "_rx_ongoing",
+                 "rx_busy_until", "rx_held_count", "rx_uncorrupted",
+                 "rx_corrupt_seq")
 
     def __init__(self, node: "Node", medium: Medium):
         self.node = node
@@ -42,6 +44,16 @@ class Phy:
         #: medium's delivery loop can dispatch straight to the MAC without an
         #: intermediate method call per frame.
         self.receive_callback: Optional[Callable[[Frame, int], None]] = None
+        #: Optional lean entry point for ordinary broadcast frames (set by
+        #: the MAC).  The medium's delivery loop prefers it over
+        #: :attr:`receive_callback` for broadcast traffic that is not
+        #: link-layer control, skipping the per-receiver address and
+        #: ACK-type checks -- the bulk of all deliveries in a dense fleet.
+        self.broadcast_callback: Optional[Callable[[Frame, int], None]] = None
+        #: When ``True`` (set by the MAC, which discards such frames
+        #: unread), the medium counts -- but never dispatches -- intact
+        #: copies of unicast frames addressed to some other node.
+        self.unicast_filter = False
         #: Invoked with the frame whenever a transmission started by this
         #: radio ends.  The MAC keys its state machine off this hook instead
         #: of scheduling a twin "transmission done" event next to the
@@ -52,11 +64,32 @@ class Phy:
         self.on_transmission_finished: Optional[Callable[[Frame], None]] = None
         #: Frame currently on the air (bookkeeping for the hook above).
         self._tx_frame: Optional[Frame] = None
-        #: In-flight receptions heading for this radio; the same list object
-        #: as ``Medium._active_receptions[node_id]``, hung here so the
-        #: medium's per-frame loops skip the dict lookup.  Owned by the
-        #: medium (set during registration).
+        #: In-flight reception records heading for this radio (object
+        #: kernel); the same list object as
+        #: ``Medium._active_receptions[node_id]``, hung here so the medium's
+        #: per-frame loops skip the dict lookup.  Owned by the medium (set
+        #: during registration); stays empty under the batch kernel, which
+        #: keeps reception state in the counters below instead.  Use
+        #: ``Medium.receptions_for`` for a kernel-independent view.
         self._rx_ongoing = []
+        #: Latest end-of-flight instant over every copy this radio has held
+        #: (maintained by the medium on attach).  Because copies are removed
+        #: exactly at their end time, the channel is sensed busy iff this
+        #: watermark lies in the future -- an O(1) carrier-sense test that
+        #: never walks the ongoing list.  Stale (past) values are harmless.
+        self.rx_busy_until = -1.0
+        #: Batch-kernel per-radio reception counters, maintained by the
+        #: medium.  Every hot-path corruption event (overlapping energy,
+        #: this radio starting to transmit, a power-down) corrupts *all*
+        #: copies the radio currently holds, so corruption state lives here
+        #: instead of on per-copy records: ``rx_held_count`` copies are in
+        #: flight, ``rx_uncorrupted`` of them still decodable, and
+        #: ``rx_corrupt_seq`` is the corruption epoch -- bumping it is the
+        #: O(1) "everything this radio is hearing is now lost" operation
+        #: (each copy remembers the epoch it was attached under).
+        self.rx_held_count = 0
+        self.rx_uncorrupted = 0
+        self.rx_corrupt_seq = 0
         medium.register(self)
 
     def position(self, at_time: float) -> Tuple[float, float]:

@@ -286,6 +286,7 @@ class UniformGridIndex:
         self.grid_rebuilds = 0
         self.window_hits = 0
         self.window_builds = 0
+        self.window_patch_hits = 0
 
     # --------------------------------------------------------------- members
     def add(self, phy: "Phy") -> None:
@@ -536,22 +537,27 @@ class UniformGridIndex:
 
     @staticmethod
     def _split_window(window: List[tuple], ax: Optional[float], ay: Optional[float],
-                      band: float) -> tuple:
+                      band: float) -> list:
         """Split a pre-classified window for the template-copy hot path.
 
-        Returns ``(template, boundary, ax, ay, band)``.  ``boundary`` holds
-        one mutable ``[index, member, deadline, resolved]`` patch per member
-        whose verdict is ``None``: ``resolved`` caches the member's last
+        Returns a mutable split record ``[template, boundary, ax, ay, band,
+        patched, patched_until]``.  ``boundary`` holds one mutable
+        ``[index, member, deadline, resolved]`` patch per member whose
+        verdict is ``None``: ``resolved`` caches the member's last
         anchor-relative verdict and ``deadline`` is the instant until which
         that verdict provably holds (the member cannot have drifted across
         the relevant range boundary before then).  ``(ax, ay)`` is the
         anchor the window was classified against and ``band`` the sender's
         positional uncertainty around it; ``ax is None`` marks windows with
         no point anchor (the per-cell fallback), whose boundary members are
-        classified per call.
+        classified per call.  ``patched`` is the split's own fully patched
+        output buffer and ``patched_until`` the instant it stays valid to --
+        the minimum of the boundary deadlines when it was last filled -- so
+        a query inside that horizon returns it without copying the template
+        or walking the patches at all.
         """
         boundary = [[i, m, 0.0, None] for i, m in enumerate(window) if m[3] is None]
-        return window, boundary, ax, ay, band
+        return [window, boundary, ax, ay, band, None, -math.inf]
 
     def transmission_window(
         self, sender: "Phy", origin: Position, cs_range: float, rx_range: float,
@@ -639,26 +645,43 @@ class UniformGridIndex:
                 self.window_builds += 1
             else:
                 self.window_hits += 1
-        template, boundary, ax, ay, band = split
+        template, boundary, ax, ay, band = split[0], split[1], split[2], split[3], split[4]
         if not boundary:
             return template
-        out = self._patched
-        out.clear()
-        out.extend(template)
+        if now < split[6]:
+            # Every boundary verdict provably still holds: the previously
+            # patched buffer is the answer, no copy, no patch walk.
+            self.window_patch_hits += 1
+            return split[5]
         cs_sq = cs_range * cs_range
         rx_sq = rx_range * rx_range
         memo_exact = memo.exact
         if ax is None:
+            # Anchorless windows are classified per call against the actual
+            # origin; their patched output is never reusable, so the shared
+            # scratch buffer serves them.
+            out = self._patched
+            out.clear()
+            out.extend(template)
             self._resolve_cellwise(
                 out, boundary, ox, oy, cs_range, rx_range, cs_sq, rx_sq, now
             )
             return out
+        out = split[5]
+        if out is None:
+            out = split[5] = []
+        out.clear()
+        out.extend(template)
+        valid_until = math.inf
         rates = memo._rates
         memo_bounded = memo.bounded
         different_ranges = rx_range < cs_range
         for patch in boundary:
-            if patch[2] > now:
+            deadline = patch[2]
+            if deadline > now:
                 out[patch[0]] = patch[3]
+                if deadline < valid_until:
+                    valid_until = deadline
                 continue
             member = patch[1]
             node_id = member[1]
@@ -715,16 +738,21 @@ class UniformGridIndex:
                 else:
                     out[patch[0]] = (member[0], node_id, member[2], distance_sq <= rx_sq)
                 patch[2] = now
+                valid_until = now
                 continue
             out[patch[0]] = resolved
             patch[3] = resolved
             rate = rates[node_id]
             if rate is None:
-                patch[2] = now
+                deadline = now
             elif rate == 0.0:
-                patch[2] = math.inf
+                deadline = math.inf
             else:
-                patch[2] = now + (margin - _DRIFT_EPSILON_M) / rate
+                deadline = now + (margin - _DRIFT_EPSILON_M) / rate
+            patch[2] = deadline
+            if deadline < valid_until:
+                valid_until = deadline
+        split[6] = valid_until
         return out
 
     def _resolve_cellwise(self, out: List[tuple], boundary: List[list],
@@ -1014,17 +1042,21 @@ class TorusGridIndex(UniformGridIndex):
                 self.window_builds += 1
             else:
                 self.window_hits += 1
-        template, boundary, ax, ay, band = split
+        template, boundary, ax, ay, band = split[0], split[1], split[2], split[3], split[4]
         if not boundary:
             return template
-        out = self._patched
-        out.clear()
-        out.extend(template)
+        if now < split[6]:
+            # See the flat grid: the patched buffer provably still holds.
+            self.window_patch_hits += 1
+            return split[5]
         w, h = self.width_m, self.height_m
         cs_sq = cs_range * cs_range
         rx_sq = rx_range * rx_range
         memo_exact = memo.exact
         if ax is None:
+            out = self._patched
+            out.clear()
+            out.extend(template)
             # Anchorless fallback: wrapped per-call classification through
             # the memo's drift bounds (the pre-motion-service behaviour).
             for patch in boundary:
@@ -1061,12 +1093,21 @@ class TorusGridIndex(UniformGridIndex):
         # Anchored windows: deadline-cached verdicts exactly like the flat
         # grid, under the minimum-image metric (1-Lipschitz in member
         # displacement, so the same drift margins apply).
+        out = split[5]
+        if out is None:
+            out = split[5] = []
+        out.clear()
+        out.extend(template)
+        valid_until = math.inf
         rates = memo._rates
         memo_bounded = memo.bounded
         different_ranges = rx_range < cs_range
         for patch in boundary:
-            if patch[2] > now:
+            deadline = patch[2]
+            if deadline > now:
                 out[patch[0]] = patch[3]
+                if deadline < valid_until:
+                    valid_until = deadline
                 continue
             member = patch[1]
             node_id = member[1]
@@ -1120,16 +1161,21 @@ class TorusGridIndex(UniformGridIndex):
                 else:
                     out[patch[0]] = (member[0], node_id, member[2], distance_sq <= rx_sq)
                 patch[2] = now
+                valid_until = now
                 continue
             out[patch[0]] = resolved
             patch[3] = resolved
             rate = rates[node_id]
             if rate is None:
-                patch[2] = now
+                deadline = now
             elif rate == 0.0:
-                patch[2] = math.inf
+                deadline = math.inf
             else:
-                patch[2] = now + (margin - _DRIFT_EPSILON_M) / rate
+                deadline = now + (margin - _DRIFT_EPSILON_M) / rate
+            patch[2] = deadline
+            if deadline < valid_until:
+                valid_until = deadline
+        split[6] = valid_until
         return out
 
 
@@ -1148,6 +1194,7 @@ class LinearScanIndex:
     grid_rebuilds = 0
     window_hits = 0
     window_builds = 0
+    window_patch_hits = 0
 
     def __init__(self, wrap: Optional[Tuple[float, float]] = None):
         self._members: List[Tuple[int, int, "Phy"]] = []

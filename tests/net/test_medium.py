@@ -340,8 +340,8 @@ class TestSnapshotGeometry:
 
             def check():
                 expected = any(
-                    r.end_time > sim.now
-                    for r in medium._active_receptions[mover.node_id]
+                    end_time > sim.now
+                    for _, end_time, _, _ in medium.receptions_for(mover.node_id)
                 )
                 checks.append(medium.is_busy_for(mover) == expected)
 
@@ -368,7 +368,7 @@ class TestLateRegistration:
         assert late["busy"]  # joined the in-flight interference set
         assert "rx" not in late  # but missed the head of the frame
         assert medium.stats.deliveries == 1  # node 1 still got its copy
-        assert medium._active_receptions[2] == []  # cleaned up at the end
+        assert medium.receptions_for(2) == []  # cleaned up at the end
 
     def test_register_out_of_range_mid_transmission_stays_idle(self):
         sim, medium, phys, received = _make_network([(0, 0), (50, 0)])

@@ -5,7 +5,15 @@ parametrised test per golden scenario (figures 2-8 geometries, all three
 protocol stacks, the naive medium, failure injection) compares the full
 behavioural digest -- every protocol counter, delivery counts, goodputs,
 event count and the delivery-log hash -- against the stored value.
+
+The goldens run the default ``"batch"`` fan-out kernel; a second pass runs
+every scenario (including the failure overlays) under the reference
+``"object"`` kernel against the *same* digests, proving the two kernels
+bit-identical to each other the same way grid-vs-naive pins the spatial
+indexes.
 """
+
+from dataclasses import replace
 
 import pytest
 
@@ -50,4 +58,19 @@ def test_scenario_matches_golden(name, golden):
 def test_failure_injection_matches_golden(name, golden):
     base, events = GOLDEN_FAILURES[name]
     observed = run_digest(GOLDEN_SCENARIOS[base], failure_events=events)
+    _assert_digest_matches(observed, golden.get(name), name)
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_SCENARIOS))
+def test_object_kernel_matches_golden(name, golden):
+    config = replace(GOLDEN_SCENARIOS[name], fanout_kernel="object")
+    observed = run_digest(config)
+    _assert_digest_matches(observed, golden.get(name), name)
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_FAILURES))
+def test_object_kernel_failure_injection_matches_golden(name, golden):
+    base, events = GOLDEN_FAILURES[name]
+    config = replace(GOLDEN_SCENARIOS[base], fanout_kernel="object")
+    observed = run_digest(config, failure_events=events)
     _assert_digest_matches(observed, golden.get(name), name)
