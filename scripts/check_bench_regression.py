@@ -37,6 +37,27 @@ def extract_rates(bench_json: dict) -> dict:
     return rates
 
 
+def extract_ratios(bench_json: dict) -> dict:
+    """benchmark name -> informational extra_info ratios (not gated).
+
+    Collects every ``extra_info`` key ending in ``_over_batch`` or
+    ``_speedup`` -- e.g. the medium benches' ``object_over_batch`` kernel
+    ratio -- so the artifact summary shows the relative numbers next to the
+    absolute throughput gate.
+    """
+    ratios = {}
+    for bench in bench_json.get("benchmarks", []):
+        entries = {
+            key: float(value)
+            for key, value in bench.get("extra_info", {}).items()
+            if key.endswith(("_over_batch", "_speedup"))
+            and isinstance(value, (int, float))
+        }
+        if entries:
+            ratios[bench["name"]] = entries
+    return ratios
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("bench_json", help="pytest-benchmark JSON report")
@@ -80,6 +101,14 @@ def main() -> int:
     missing = sorted(set(baseline) - set(rates))
     for name in missing:
         print(f"WARN  {name}: in baseline but not measured this run")
+
+    with open(args.bench_json) as handle:
+        ratios = extract_ratios(json.load(handle))
+    if ratios:
+        print("\nkernel/index ratios (informational, not gated):")
+        for name, entries in sorted(ratios.items()):
+            for key, value in sorted(entries.items()):
+                print(f"      {name}: {key} = {value:.2f}x")
 
     if failures:
         print(f"\n{len(failures)} benchmark(s) regressed more than "

@@ -2,13 +2,21 @@
 
 Runs the 100-node mover geometry from ``benchmarks/test_medium_index.py``
 N times in-process and prints per-run wall time plus events/sec.  Used for
-paired A/B comparisons between revisions and between ``fanout_kernel``
-modes without the pytest-benchmark harness overhead.
+paired A/B comparisons between revisions, between ``fanout_kernel`` modes
+and -- with ``--shards`` -- between the single-heap engine and the
+region-sharded one without the pytest-benchmark harness overhead.
 
 Usage::
 
     PYTHONPATH=src python scripts/time_mover_bench.py [--rounds 3]
         [--kernel batch|object] [--profile-out FILE]
+        [--shards N] [--shard-mode sequential|windowed|process]
+        [--nodes N] [--area METRES]
+
+``--shards N`` turns each round into a paired A/B run: the unsharded
+baseline and the sharded configuration execute back to back on the same
+geometry, and the summary reports the per-round speedup alongside the
+absolute throughputs.
 """
 
 import argparse
@@ -34,16 +42,42 @@ BASE = dict(
 )
 
 
+def _timed_run(config):
+    t0 = time.perf_counter()
+    result = run_scenario(config)
+    return result, time.perf_counter() - t0
+
+
 def main():
     parser = argparse.ArgumentParser()
     parser.add_argument("--rounds", type=int, default=3)
     parser.add_argument("--kernel", default=None, choices=("batch", "object"))
     parser.add_argument("--profile-out", default=None)
+    parser.add_argument("--shards", type=int, default=None,
+                        help="paired A/B mode: time unsharded vs this many "
+                             "shards each round")
+    parser.add_argument("--shard-mode", default="sequential",
+                        choices=("sequential", "windowed", "process"))
+    parser.add_argument("--nodes", type=int, default=None,
+                        help="override the 100-node fleet (members scale "
+                             "with it)")
+    parser.add_argument("--area", type=float, default=None,
+                        help="override the square area edge in metres")
     args = parser.parse_args()
 
-    config = ScenarioConfig.quick(transmission_range_m=75.0, **BASE)
+    base = dict(BASE)
+    if args.nodes is not None:
+        base["num_nodes"] = args.nodes
+        base["member_count"] = max(2, args.nodes // 5)
+    if args.area is not None:
+        base["area_width_m"] = base["area_height_m"] = args.area
+    config = ScenarioConfig.quick(transmission_range_m=75.0, **base)
     if args.kernel is not None:
         config = replace(config, fanout_kernel=args.kernel)
+    if args.shard_mode in ("windowed", "process"):
+        # Cross-shard unicast ACKs cannot meet the MAC timeout across a
+        # sync window, so the parallel A/B runs broadcast-dominant.
+        config = replace(config, protocol="flooding", gossip_enabled=False)
 
     if args.profile_out:
         import cProfile
@@ -57,11 +91,43 @@ def main():
         print(f"events_processed={result.events_processed}")
         return
 
+    if args.shards is not None:
+        sharded = replace(config, shards=args.shards, shard_mode=args.shard_mode)
+        best_base = best_shard = None
+        for i in range(args.rounds):
+            base_result, base_dt = _timed_run(config)
+            shard_result, shard_dt = _timed_run(sharded)
+            best_base = base_dt if best_base is None else min(best_base, base_dt)
+            best_shard = shard_dt if best_shard is None else min(best_shard, shard_dt)
+            print(
+                f"round {i}: unsharded {base_dt:.3f} s "
+                f"({base_result.events_processed / base_dt:,.0f} ev/s) | "
+                f"{args.shards} shards [{args.shard_mode}] {shard_dt:.3f} s "
+                f"({shard_result.events_processed / shard_dt:,.0f} ev/s) | "
+                f"speedup {base_dt / shard_dt:.2f}x"
+            )
+        stats = shard_result.shard_stats
+        print(
+            f"best: unsharded {best_base:.3f} s, sharded {best_shard:.3f} s, "
+            f"speedup {best_base / best_shard:.2f}x"
+        )
+        shares = ", ".join(
+            f"{shard}:{count}"
+            for shard, count in sorted(stats["events_by_shard"].items())
+        )
+        line = f"events by shard: {shares}"
+        if "window_s" in stats:
+            line += (
+                f"; window {stats['window_s'] * 1000:.1f} ms x "
+                f"{stats['sync_rounds']} rounds, "
+                f"{stats['records_exchanged']} boundary records"
+            )
+        print(line)
+        return
+
     best = None
     for i in range(args.rounds):
-        t0 = time.perf_counter()
-        result = run_scenario(config)
-        dt = time.perf_counter() - t0
+        result, dt = _timed_run(config)
         best = dt if best is None else min(best, dt)
         print(
             f"round {i}: {dt:.3f} s "

@@ -85,6 +85,23 @@ def build_parser() -> argparse.ArgumentParser:
                               help="enable Anonymous Gossip (default)")
     gossip_group.add_argument("--no-gossip", dest="gossip", action="store_false",
                               help="disable Anonymous Gossip")
+    run_parser.add_argument("--shards", type=int, default=1,
+                            help="spatial regions of the region-sharded "
+                                 "engine (default 1: the classic "
+                                 "single-calendar engine)")
+    run_parser.add_argument("--shard-mode",
+                            choices=("sequential", "windowed", "process"),
+                            default="sequential",
+                            help="shard execution mode: sequential (exact, "
+                                 "bit-identical to unsharded), windowed "
+                                 "(in-process lockstep workers) or process "
+                                 "(one OS process per shard; the speedup "
+                                 "mode)")
+    run_parser.add_argument("--shard-window", type=float, default=None,
+                            metavar="SECONDS",
+                            help="conservative sync window override for the "
+                                 "parallel shard modes (default: derived "
+                                 "from radio range / fleet speed bound)")
     run_parser.add_argument("--obs", action="store_true",
                             help="instrument the run (metrics registry, flight "
                                  "recorder, engine sampler) and print a "
@@ -174,6 +191,11 @@ def _command_run(args: argparse.Namespace) -> int:
         overrides["max_speed_mps"] = args.speed
     if args.mobility != "random_waypoint":
         overrides["mobility_config"] = MobilityConfig(model=args.mobility)
+    if args.shards != 1:
+        overrides["shards"] = args.shards
+        overrides["shard_mode"] = args.shard_mode
+        if args.shard_window is not None:
+            overrides["shard_window_s"] = args.shard_window
     if args.profile == "paper":
         config = ScenarioConfig.paper(**overrides)
     else:
@@ -212,8 +234,17 @@ def _command_run(args: argparse.Namespace) -> int:
             )
         config = dataclasses.replace(config, churn_config=churn)
 
-    scenario = Scenario(config)
-    result = scenario.run()
+    if config.shards > 1 and config.shard_mode in ("windowed", "process"):
+        # Parallel shard modes run through the shard driver (which rejects
+        # obs/churn); the sequential mode runs in-process like everything
+        # else.
+        from repro.workload.scenario import run_scenario
+
+        scenario = None
+        result = run_scenario(config)
+    else:
+        scenario = Scenario(config)
+        result = scenario.run()
     summary = result.summary
     label = config.protocol + (" + gossip" if config.gossip_enabled else "")
     print(format_rows(
@@ -248,6 +279,20 @@ def _command_run(args: argparse.Namespace) -> int:
     if result.membership_events:
         print(f"membership events applied: {result.membership_events}")
     print(f"events processed: {result.events_processed}")
+    if result.shard_stats is not None:
+        stats = result.shard_stats
+        shares = ", ".join(
+            f"{shard}:{count}"
+            for shard, count in sorted(stats["events_by_shard"].items())
+        )
+        line = f"shards: {stats['shards']} ({stats['mode']}), events by shard: {shares}"
+        if "window_s" in stats:
+            line += (
+                f", sync window {stats['window_s'] * 1000:.1f} ms"
+                f" x {stats['sync_rounds']} rounds,"
+                f" {stats['records_exchanged']} boundary records"
+            )
+        print(line)
     if obs_enabled and result.telemetry is not None:
         if args.obs_dump is not None:
             dumped = scenario.obs.dump_recorder(args.obs_dump)

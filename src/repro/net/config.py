@@ -71,6 +71,12 @@ class RadioConfig:
     area_width_m / area_height_m:
         Dimensions of the (periodic) area; required for ``"torus"`` and
         ignored for ``"flat"``.
+    shards:
+        Number of spatial regions of the region-sharded engine (see
+        :mod:`repro.sim.shard`).  With more than one shard the medium routes
+        each delivery into the receiving radio's home-shard event heap (when
+        the driving simulator is sharded).  ``1`` -- the default -- is the
+        classic single-calendar engine.
     """
 
     transmission_range_m: float = 75.0
@@ -86,6 +92,7 @@ class RadioConfig:
     area_topology: str = "flat"
     area_width_m: float | None = None
     area_height_m: float | None = None
+    shards: int = 1
 
     def __post_init__(self) -> None:
         if self.transmission_range_m <= 0:
@@ -129,6 +136,8 @@ class RadioConfig:
             self.motion_band_m = self.grid_slack_m
         if self.motion_band_m < 0:
             raise ValueError("motion_band_m must be non-negative")
+        if self.shards < 1:
+            raise ValueError("shards must be at least 1")
 
     #: Fleets at or above this speed bound use the coarser cs/2 grid cell.
     FAST_FLEET_MPS = 2.0

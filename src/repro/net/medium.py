@@ -202,6 +202,28 @@ class _Transmission:
         self.active_slot = -1
 
 
+class _ForeignSender:
+    """Stand-in sender for a transmission imported from another shard.
+
+    Cross-shard records carry only the sender's node id and start-time
+    position; the real :class:`~repro.net.phy.Phy` lives in the originating
+    worker.  The stub satisfies the slice of the sender interface the batch
+    teardown touches -- identity comparisons against local radios always
+    fail (so power transitions and late attaches never mistake it for a
+    local sender) and the end-of-flight notification is a no-op (the
+    originating shard runs the real MAC state machine).
+    """
+
+    __slots__ = ("node_id", "shard")
+
+    def __init__(self, node_id: int):
+        self.node_id = node_id
+        self.shard = 0
+
+    def transmission_finished(self) -> None:
+        return None
+
+
 class Medium:
     """The single shared wireless channel used by every node."""
 
@@ -214,6 +236,28 @@ class Medium:
         self.sim = sim
         self.config = config or RadioConfig()
         self.stats = MediumStats()
+        #: Delivery routing under the region-sharded sequential engine: with
+        #: more than one shard configured *and* a sharded simulator driving
+        #: the run, every delivery callback executes in the receiving
+        #: radio's home-shard calendar (and the end-of-flight notification
+        #: in the sender's).  ``None`` -- the common case -- costs one local
+        #: ``is not None`` test per delivery.
+        self._set_shard = (
+            sim.set_shard if self.config.shards > 1 and sim.is_sharded else None
+        )
+        #: Cross-shard export mailbox (parallel shard workers only; see
+        #: :mod:`repro.sim.shard`).  ``None`` keeps the hot path untouched;
+        #: :meth:`enable_export` arms it, after which every transmission
+        #: start and radio power-down appends one record.
+        self._export: Optional[list] = None
+        #: Counters of the foreign-record machinery (zero outside parallel
+        #: shard workers); folded into the run's shard statistics.
+        self.foreign_stats = {
+            "attached": 0,
+            "late_deliveries": 0,
+            "truncated": 0,
+            "sender_downs": 0,
+        }
         #: Observability binding (see :mod:`repro.obs`).  Defaults to the
         #: shared no-op facade; probe sites below are additionally gated on
         #: one cached bool so the disabled hot path pays nothing.
@@ -304,6 +348,11 @@ class Medium:
     def node_ids(self) -> List[int]:
         """Identifiers of every registered radio."""
         return sorted(self._phys)
+
+    @property
+    def spatial_index(self):
+        """The medium's spatial index (read-only use: telemetry, censuses)."""
+        return self._index
 
     def phy_for(self, node_id: int) -> "Phy":
         """Return the radio registered for ``node_id``."""
@@ -497,6 +546,10 @@ class Medium:
         batch.active_slot = len(self._active)
         self._active.append(batch)
         self.sim.call_in(duration, self._finish_batch, (batch,))
+        if self._export is not None:
+            self._export.append(
+                ("tx", now, sender.node_id, end_time, sender_pos[0], sender_pos[1], frame)
+            )
         return duration
 
     def _finish_batch(self, batch: ReceptionBatch) -> None:
@@ -528,6 +581,7 @@ class Medium:
         # a radio down mid-teardown is seen by the copies still pending --
         # exactly like the object kernel's per-record reads.
         flags = batch.flags
+        set_shard = self._set_shard
         disabled_discards = 0
         out_of_range = 0
         half_duplex = 0
@@ -568,6 +622,10 @@ class Medium:
             else:
                 callback = receiver.receive_callback
             if callback is not None:
+                if set_shard is not None:
+                    # Sharded engine: whatever the callback schedules lands
+                    # in the receiving radio's home-shard calendar.
+                    set_shard(receiver.shard)
                 callback(frame, sender_id)
         if disabled_discards:
             stats.disabled_discards += disabled_discards
@@ -590,6 +648,8 @@ class Medium:
             # frame's end-of-airtime costs, which is what the phase
             # breakdown is for.
             self._span_teardown.stop()
+        if set_shard is not None:
+            set_shard(sender.shard)
         sender.transmission_finished()
 
     # --------------------------------------------------------- object kernel
@@ -704,6 +764,7 @@ class Medium:
         dst = frame.dst
         broadcast = dst == BROADCAST_ADDRESS
         fast_broadcast = broadcast and not frame.packet.is_mac_control
+        set_shard = self._set_shard
         disabled_discards = 0
         out_of_range = 0
         half_duplex = 0
@@ -752,6 +813,9 @@ class Medium:
             else:
                 callback = receiver.receive_callback
             if callback is not None:
+                if set_shard is not None:
+                    # See _finish_batch: route into the receiver's shard.
+                    set_shard(receiver.shard)
                 callback(frame, sender_id)
         if disabled_discards:
             stats.disabled_discards += disabled_discards
@@ -770,6 +834,8 @@ class Medium:
             # frame's end-of-airtime costs, which is what the phase
             # breakdown is for.
             self._span_teardown.stop()
+        if set_shard is not None:
+            set_shard(sender.shard)
         sender.transmission_finished()
 
     # ------------------------------------------------------- power transitions
@@ -783,6 +849,10 @@ class Medium:
         ``collisions``.
         """
         now = self.sim.now
+        if self._export is not None:
+            # Tell the other shards: their copies of any frame this radio
+            # still had on the air are truncated too.
+            self._export.append(("down", now, phy.node_id))
         if self._batch_mode:
             # Everything this radio holds is lost: one epoch bump.
             phy.rx_corrupt_seq += 1
@@ -882,6 +952,218 @@ class Medium:
                     phy.rx_busy_until = tx.end_time
                 ongoing.append(reception)
                 tx.receptions.append(reception)
+
+    # ------------------------------------------------- cross-shard mailboxes
+    # The parallel region-sharded engine (see :mod:`repro.sim.shard`) runs
+    # one full scenario per shard with foreign radios disabled.  Each worker
+    # exports a record per transmission start ("tx") and per radio crash
+    # ("down"); at every conservative sync boundary the driver redistributes
+    # the records and each worker applies the foreign ones here.  A foreign
+    # transmission still in flight joins the local collision machinery
+    # exactly like a local one (snapshot semantics, with geometry evaluated
+    # at apply time); one that already ended -- the common case whenever the
+    # sync window exceeds an airtime -- is delivered directly ("late"),
+    # skipping interference it can no longer physically cause.  This is the
+    # documented approximation of the parallel modes; the sequential sharded
+    # engine needs none of it and stays bit-exact.
+
+    def enable_export(self) -> None:
+        """Arm the cross-shard export mailbox (parallel shard workers)."""
+        if self._export is None:
+            self._export = []
+
+    def drain_export(self) -> list:
+        """Return and clear the records accumulated since the last drain."""
+        records = self._export
+        if records is None:
+            return []
+        self._export = []
+        return records
+
+    def apply_foreign_records(self, records: list) -> None:
+        """Apply one sync window's worth of other shards' channel records.
+
+        ``records`` must arrive sorted by ``(time, node_id, tag)`` -- the
+        driver sorts the union of all foreign outboxes, so every worker
+        applies the same records in the same order (this is what makes the
+        in-process and multi-process parallel modes bit-identical).
+        """
+        now = self.sim.now
+        downs: Dict[int, list] = {}
+        for record in records:
+            if record[0] == "down":
+                downs.setdefault(record[2], []).append(record[1])
+        foreign = self.foreign_stats
+        for record in records:
+            if record[0] == "tx":
+                _, start, sender_id, end_time, sx, sy, frame = record
+                if end_time > now:
+                    self.attach_foreign(sender_id, end_time, sx, sy, frame)
+                    foreign["attached"] += 1
+                elif any(start < at < end_time for at in downs.get(sender_id, ())):
+                    # The sender crashed mid-flight: the frame was truncated
+                    # everywhere, including here.
+                    foreign["truncated"] += 1
+                else:
+                    self._deliver_foreign_late(sender_id, sx, sy, frame)
+                    foreign["late_deliveries"] += 1
+            else:
+                self.foreign_sender_down(record[2])
+                foreign["sender_downs"] += 1
+
+    def attach_foreign(
+        self, sender_id: int, end_time: float, sx: float, sy: float, frame: Frame
+    ) -> None:
+        """Attach a still-in-flight foreign transmission to local radios.
+
+        Mirrors the batch kernel's fan-out (held-copy collisions, half-duplex
+        verdicts, busy-watermark updates) over the local index's candidates
+        around the exported start position; the shared ``_finish_batch``
+        teardown then resolves the receptions at ``end_time``.  The
+        transmission itself is *not* counted -- the originating shard owns
+        ``stats.transmissions``.
+        """
+        if not self._batch_mode:
+            raise RuntimeError("cross-shard attach requires the batch fan-out kernel")
+        now = self.sim.now
+        sender_pos = (sx, sy)
+        pool = self._batch_pool
+        sender = _ForeignSender(sender_id)
+        if pool:
+            batch = pool.pop()
+            batch.sender = sender
+            batch.frame = frame
+            batch.start_time = now
+            batch.end_time = end_time
+            batch.sender_pos = sender_pos
+        else:
+            batch = ReceptionBatch(sender, frame, now, end_time, sender_pos)
+        stats = self.stats
+        index = self._index
+        cs_range = self._cs_range
+        cs_sq = cs_range * cs_range
+        rx_sq = self._rx_range * self._rx_range
+        receivers = batch.receivers
+        receivers_append = receivers.append
+        seqs_append = batch.seqs.append
+        flags_append = batch.flags.append
+        collisions = 0
+        half_duplex = 0
+        for _, _, phy in index.candidates(sender_pos, cs_range, now):
+            if not phy.enabled:
+                continue
+            px, py = index.exact(phy, now)
+            dx, dy = self._deltas(px, py, sx, sy)
+            distance_sq = dx * dx + dy * dy
+            if distance_sq > cs_sq:
+                continue
+            in_range = distance_sq <= rx_sq
+            held = phy.rx_held_count
+            if held:
+                uncorrupted = phy.rx_uncorrupted
+                if uncorrupted:
+                    collisions += uncorrupted
+                    phy.rx_uncorrupted = 0
+                phy.rx_corrupt_seq += 1
+                collisions += 1
+                copy_flags = 3 if in_range else 1
+                if phy.transmitting:
+                    half_duplex += 1
+            elif phy.transmitting:
+                copy_flags = 3 if in_range else 1
+                half_duplex += 1
+            else:
+                phy.rx_uncorrupted += 1
+                copy_flags = 2 if in_range else 0
+            phy.rx_held_count = held + 1
+            if end_time > phy.rx_busy_until:
+                phy.rx_busy_until = end_time
+            seqs_append(phy.rx_corrupt_seq)
+            receivers_append(phy)
+            flags_append(copy_flags)
+        batch.count = len(receivers)
+        if collisions:
+            stats.collisions += collisions
+        if half_duplex:
+            stats.half_duplex_losses += half_duplex
+        batch.active_slot = len(self._active)
+        self._active.append(batch)
+        self.sim.call_at(end_time, self._finish_batch, (batch,))
+
+    def _deliver_foreign_late(
+        self, sender_id: int, sx: float, sy: float, frame: Frame
+    ) -> None:
+        """Deliver a foreign transmission that ended before this boundary.
+
+        The frame's airtime lies entirely in the past, so it can no longer
+        occupy the channel or collide with anything local; receivers in
+        transmission range of the exported start position simply receive it
+        now, through the same dispatch fast paths as a live teardown.
+        """
+        now = self.sim.now
+        dst = frame.dst
+        broadcast = dst == BROADCAST_ADDRESS
+        fast_broadcast = broadcast and not frame.packet.is_mac_control
+        index = self._index
+        rx_range = self._rx_range
+        rx_sq = rx_range * rx_range
+        half_duplex = 0
+        deliveries = 0
+        for _, _, receiver in index.candidates((sx, sy), rx_range, now):
+            if not receiver.enabled:
+                continue
+            px, py = index.exact(receiver, now)
+            dx, dy = self._deltas(px, py, sx, sy)
+            if dx * dx + dy * dy > rx_sq:
+                continue
+            if receiver.transmitting:
+                half_duplex += 1
+                continue
+            deliveries += 1
+            if broadcast:
+                if fast_broadcast:
+                    callback = receiver.broadcast_callback
+                    if callback is None:
+                        callback = receiver.receive_callback
+                else:
+                    callback = receiver.receive_callback
+            elif receiver.unicast_filter and dst != receiver.node_id:
+                continue
+            else:
+                callback = receiver.receive_callback
+            if callback is not None:
+                callback(frame, sender_id)
+        stats = self.stats
+        if half_duplex:
+            stats.half_duplex_losses += half_duplex
+        stats.deliveries += deliveries
+
+    def foreign_sender_down(self, sender_id: int) -> None:
+        """A foreign sender crashed: truncate its in-flight attached frames.
+
+        The local mirror of the sender-crash branch of
+        :meth:`radio_powered_down`, keyed by node id because the sender's
+        radio object lives in another worker.
+        """
+        now = self.sim.now
+        for batch in self._active:
+            sender = batch.sender
+            if (
+                type(sender) is _ForeignSender
+                and sender.node_id == sender_id
+                and batch.end_time > now
+            ):
+                receivers = batch.receivers
+                seqs = batch.seqs
+                flags = batch.flags
+                for idx in range(batch.count):
+                    receiver = receivers[idx]
+                    if (
+                        not flags[idx] & 1
+                        and receiver.rx_corrupt_seq == seqs[idx]
+                    ):
+                        receiver.rx_uncorrupted -= 1
+                    flags[idx] |= 1
 
     # --------------------------------------------------------------- telemetry
     def receptions_for(self, node_id: int) -> List[tuple]:

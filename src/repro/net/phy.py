@@ -28,7 +28,7 @@ class Phy:
                  "receive_callback", "broadcast_callback", "unicast_filter",
                  "on_transmission_finished", "_tx_frame", "_rx_ongoing",
                  "rx_busy_until", "rx_held_count", "rx_uncorrupted",
-                 "rx_corrupt_seq")
+                 "rx_corrupt_seq", "shard")
 
     def __init__(self, node: "Node", medium: Medium):
         self.node = node
@@ -90,6 +90,12 @@ class Phy:
         self.rx_held_count = 0
         self.rx_uncorrupted = 0
         self.rx_corrupt_seq = 0
+        #: Home shard of this radio under a region-sharded engine (see
+        #: :mod:`repro.sim.shard`): the shard whose region contained the
+        #: node's initial position.  Assigned by the scenario builder; stays
+        #: 0 in unsharded runs.  A load-routing hint, never a correctness
+        #: input -- nodes may roam outside their home region freely.
+        self.shard = 0
         medium.register(self)
 
     def position(self, at_time: float) -> Tuple[float, float]:

@@ -305,6 +305,10 @@ class UniformGridIndex:
         self.memo.invalidate(node_id)
         self._dirty = True
 
+    def members(self) -> List[Tuple[int, int, "Phy"]]:
+        """Every registered radio as ``(order, node_id, phy)`` triples."""
+        return self._members
+
     # --------------------------------------------------------------- queries
     def exact(self, phy: "Phy", now: float) -> Position:
         return self.memo.exact(phy.node_id, now)
@@ -1207,6 +1211,10 @@ class LinearScanIndex:
     def add(self, phy: "Phy") -> None:
         self._members.append((len(self._members), phy.node_id, phy))
 
+    def members(self) -> List[Tuple[int, int, "Phy"]]:
+        """Every registered radio as ``(order, node_id, phy)`` triples."""
+        return self._members
+
     def invalidate(self, node_id: Optional[int] = None) -> None:
         """Nothing is cached, so there is nothing to invalidate."""
 
@@ -1268,3 +1276,22 @@ class LinearScanIndex:
                 continue
             out.append((order, node_id, phy, distance_sq <= rx_sq))
         return out
+
+
+def region_census(index, classify, now: float) -> Dict[int, int]:
+    """Count the index's enabled radios per spatial region at ``now``.
+
+    ``classify`` maps an exact position to a region id -- typically
+    ``repro.sim.shard.ShardPlan.shard_of``.  Used by the sharded engine's
+    run statistics to report how the fleet was actually distributed over the
+    shard regions at a given instant (nodes roam freely, so this drifts from
+    the home-shard assignment over a run).
+    """
+    census: Dict[int, int] = {}
+    for _, _, phy in index.members():
+        if not phy.enabled:
+            continue
+        x, y = index.exact(phy, now)
+        region = classify(x, y)
+        census[region] = census.get(region, 0) + 1
+    return census

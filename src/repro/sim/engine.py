@@ -113,6 +113,12 @@ class Simulator:
     1.5
     """
 
+    #: Class-level flag: the region-sharded engine
+    #: (:class:`repro.sim.shard.ShardedSimulator`) overrides this with
+    #: ``True``.  Consumers (the medium's delivery routing) key off it with
+    #: one ``getattr``-free attribute read instead of an isinstance check.
+    is_sharded = False
+
     def __init__(self, start_time: float = 0.0):
         #: Current simulation time in seconds.  A plain attribute (not a
         #: property) because protocol hot paths read it millions of times;

@@ -1,0 +1,653 @@
+"""The region-sharded conservative engine.
+
+One paper-scale run has always meant one event calendar and one spatial
+index; past a few thousand nodes that single heap is the structural wall.
+This module partitions the (torus) area into ``shards`` rectangular regions
+and gives each region its own event heap, with a conservative
+synchronisation window derived from the fleet's motion envelope
+(``interference range / fleet speed bound`` -- the lookahead the
+displacement-epoch motion service already guarantees).
+
+Three execution modes, one configuration surface
+(``ScenarioConfig(shards=..., shard_mode=...)``):
+
+``"sequential"`` -- the correctness reference
+    :class:`ShardedSimulator` keeps one shared slot pool and one global
+    sequence counter but one heap per shard, and its run loop executes the
+    globally minimal ``(time, seq)`` event across all shard heads.  The
+    total event order is therefore *identical to the single-heap engine by
+    construction*, for any shard count -- proven shard-count invariant on
+    the hot-path golden digests the same way grid-vs-naive and
+    batch-vs-object are proven.  The medium routes every delivery into the
+    receiving radio's home-shard heap, so per-shard event counts measure the
+    real partition balance while results stay bit-exact.
+
+``"windowed"`` -- the deterministic parallel reference, in-process
+    One full scenario build per shard (identical seeded draws everywhere),
+    with radios outside the shard's region disabled: a disabled radio is
+    invisible to the channel, which is exactly the foreign-node semantics.
+    Workers advance in lockstep over conservative sync windows; cross-shard
+    transmissions travel as exported channel records (one per transmission
+    start, frozen-geometry contract) redistributed at every boundary and
+    re-enacted by the receiving workers (see
+    ``Medium.apply_foreign_records``).  Deterministic -- identical schedule,
+    identical sorted mailboxes -- but *not* bit-equal to sequential mode:
+    boundary frames are seen one window late.  That skew is the documented
+    price of parallelism; the sync window bounds it.
+
+``"process"`` -- the same windowed schedule, one OS process per shard
+    Reuses the campaign executor's worker conventions (top-level entry
+    point, pickled configs, the default multiprocessing start method) with
+    persistent lockstep workers over pipes.  Bit-identical to ``"windowed"``
+    by construction -- same windows, same sorted mailboxes -- which is what
+    makes the in-process mode the cheap correctness reference for the
+    multi-core mode.
+
+Parallel modes require the batch fan-out kernel and support neither churn
+nor the observability layer (each would need its own cross-worker protocol);
+the sequential mode supports everything.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+import multiprocessing
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.sim.engine import Simulator, SimulationError, _CANCELLED, _FIRED
+
+#: Sync-window clamp (seconds).  The derived window is a tenth of the time a
+#: worst-case mover needs to cross the interference range -- fine-grained
+#: enough that boundary skew stays well under the geometry's own staleness
+#: budget -- clamped so static fleets do not degenerate to one giant window
+#: and frantic fleets do not drown in synchronisation rounds.
+_MIN_WINDOW_S = 5e-3
+_MAX_WINDOW_S = 0.5
+
+#: Per-worker packet-uid stride (process mode).  Each worker mints packet
+#: uids from its own disjoint range so MAC duplicate-detection keys
+#: ``(sender, uid)`` can never collide across shards when frames are
+#: forwarded over a boundary.  The in-process windowed mode shares one
+#: counter and is collision-free without offsets.
+_UID_STRIDE = 1 << 40
+
+
+# --------------------------------------------------------------------- plan
+@dataclass(frozen=True)
+class ShardPlan:
+    """The partition of the area into ``rows x cols`` rectangular regions.
+
+    Regions are half-open cells ``[col*cell_w, (col+1)*cell_w) x [row*cell_h,
+    (row+1)*cell_h)``; positions on the far edges (or marginally outside, as
+    float wrap-around can produce) clamp into the last row/column, so every
+    coordinate maps to exactly one shard on flat and torus areas alike.
+    """
+
+    shards: int
+    rows: int
+    cols: int
+    width_m: float
+    height_m: float
+
+    @classmethod
+    def build(cls, shards: int, width_m: float, height_m: float) -> "ShardPlan":
+        """A near-square factorisation, long axis along the wider dimension."""
+        if shards < 1:
+            raise ValueError("shards must be at least 1")
+        if width_m <= 0 or height_m <= 0:
+            raise ValueError("area dimensions must be positive")
+        rows = int(math.sqrt(shards))
+        while shards % rows:
+            rows -= 1
+        cols = shards // rows
+        if width_m < height_m:
+            rows, cols = cols, rows
+        return cls(shards=shards, rows=rows, cols=cols,
+                   width_m=width_m, height_m=height_m)
+
+    @property
+    def cell_width_m(self) -> float:
+        return self.width_m / self.cols
+
+    @property
+    def cell_height_m(self) -> float:
+        return self.height_m / self.rows
+
+    def shard_of(self, x: float, y: float) -> int:
+        """The shard whose region contains ``(x, y)`` (edges clamp inward)."""
+        col = int(x * self.cols / self.width_m)
+        if col >= self.cols:
+            col = self.cols - 1
+        elif col < 0:
+            col = 0
+        row = int(y * self.rows / self.height_m)
+        if row >= self.rows:
+            row = self.rows - 1
+        elif row < 0:
+            row = 0
+        return row * self.cols + col
+
+    def region_bounds(self, shard: int) -> Tuple[float, float, float, float]:
+        """``(x0, y0, x1, y1)`` of one shard's region."""
+        if not 0 <= shard < self.shards:
+            raise ValueError(f"shard {shard} outside [0, {self.shards})")
+        row, col = divmod(shard, self.cols)
+        cw = self.cell_width_m
+        ch = self.cell_height_m
+        return (col * cw, row * ch, (col + 1) * cw, (row + 1) * ch)
+
+    @staticmethod
+    def sync_window(
+        cs_range_m: float,
+        speed_bound_mps: Optional[float],
+        override: Optional[float] = None,
+    ) -> float:
+        """The conservative sync window: ``0.1 * range / speed``, clamped.
+
+        A worst-case mover crosses a tenth of the interference range per
+        window, so the geometry a boundary frame was exported under is still
+        current (well within the motion service's drift budget) when the
+        neighbouring shard applies it.  Static fleets (speed bound zero or
+        unknown) get the maximum window -- nothing moves, so only event
+        latency, not geometry, bounds it.
+        """
+        if override is not None:
+            if override <= 0:
+                raise ValueError("shard sync window must be positive")
+            return override
+        if not speed_bound_mps or speed_bound_mps <= 0:
+            return _MAX_WINDOW_S
+        derived = 0.1 * cs_range_m / speed_bound_mps
+        return min(max(derived, _MIN_WINDOW_S), _MAX_WINDOW_S)
+
+
+# ------------------------------------------------------- sequential engine
+class ShardedSimulator(Simulator):
+    """The sequential multi-shard scheduler: per-shard heaps, exact order.
+
+    One shared slot pool, free list and global sequence counter; ``shards``
+    binary heaps.  Every scheduling call lands in the *current shard*'s heap
+    (:meth:`set_shard` routes it -- the medium points it at the receiving
+    radio's home shard around each delivery callback), and the run loop pops
+    the globally minimal ``(time, seq)`` entry across all shard heads.
+
+    Because the sequence counter is global and every live event sits in
+    exactly one heap, the execution order equals the single-heap engine's
+    for any shard count -- sharding changes *where* an event waits, never
+    *when* it fires.  This is the invariant the hot-path golden digests pin.
+
+    The head scan costs O(shards) comparisons per event, so this mode is a
+    correctness reference and a load-balance probe (``shard_events``), not
+    the speedup path -- that is what the parallel modes are for.
+    """
+
+    is_sharded = True
+
+    def __init__(self, shards: int, start_time: float = 0.0):
+        if shards < 1:
+            raise ValueError("shards must be at least 1")
+        super().__init__(start_time)
+        #: Per-shard heaps; ``self._heap`` aliases the current shard's so
+        #: every inherited scheduling path pushes into the right region.
+        self._heaps: List[list] = [self._heap] + [[] for _ in range(shards - 1)]
+        self.shards = shards
+        #: Shard whose heap receives new events (see :meth:`set_shard`).
+        self.current_shard = 0
+        #: Callbacks executed per shard (partition-balance diagnostic).
+        self.shard_events = [0] * shards
+
+    def set_shard(self, shard: int) -> None:
+        """Route subsequent scheduling calls into ``shard``'s heap."""
+        self.current_shard = shard
+        self._heap = self._heaps[shard]
+
+    # ------------------------------------------------------- introspection
+    @property
+    def pending_events(self) -> int:
+        return self.heap_size - self._tombstones
+
+    @property
+    def heap_size(self) -> int:
+        return sum(len(heap) for heap in self._heaps)
+
+    def heap_sizes(self) -> List[int]:
+        """Raw per-shard heap lengths (tombstones included)."""
+        return [len(heap) for heap in self._heaps]
+
+    # ----------------------------------------------------------- internals
+    def _compact(self) -> None:
+        """Drop tombstones from every shard heap, in place."""
+        slot_seq = self._slot_seq
+        for heap in self._heaps:
+            heap[:] = [entry for entry in heap if slot_seq[entry[2]] == entry[1]]
+            heapq.heapify(heap)
+        self._tombstones = 0
+        self.compactions += 1
+
+    def clear(self) -> None:
+        slot_seq = self._slot_seq
+        for heap in self._heaps:
+            for _, seq, slot in heap:
+                if slot_seq[slot] == seq:
+                    self._release(slot, _CANCELLED)
+            del heap[:]
+        self._tombstones = 0
+
+    # ------------------------------------------------------------------ run
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run the simulation in global ``(time, seq)`` order across shards.
+
+        The loop clears tombstones off every shard head, then executes the
+        minimal live head.  Each head peek is O(1) and the scan is
+        O(shards); correctness needs only that every live event is in
+        exactly one heap and sequence numbers are globally unique.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running")
+        self._running = True
+        self._stopped = False
+        if until is not None:
+            until = float(until)
+        executed = 0
+        heaps = self._heaps
+        slot_seq = self._slot_seq
+        slot_cb = self._slot_cb
+        slot_args = self._slot_args
+        slot_handle = self._slot_handle
+        free = self._free
+        pop = heapq.heappop
+        shard_events = self.shard_events
+        try:
+            while True:
+                if self._stopped:
+                    break
+                if max_events is not None and executed >= max_events:
+                    break
+                best = None
+                best_shard = -1
+                for shard, heap in enumerate(heaps):
+                    while heap and slot_seq[heap[0][2]] != heap[0][1]:
+                        pop(heap)
+                        self._tombstones -= 1
+                    if heap:
+                        head = heap[0]
+                        if best is None or head < best:
+                            best = head
+                            best_shard = shard
+                if best is None:
+                    # Every heap drained.
+                    if until is not None and until > self.now:
+                        self.now = until
+                    break
+                time, seq, slot = best
+                if until is not None and time > until:
+                    # Beyond the horizon; heads were only peeked, so the
+                    # calendar is already intact.
+                    self.now = until
+                    break
+                pop(heaps[best_shard])
+                self.now = time
+                self.current_shard = best_shard
+                self._heap = heaps[best_shard]
+                callback = slot_cb[slot]
+                args = slot_args[slot]
+                handle = slot_handle[slot]
+                if handle is not None:
+                    handle._state = _FIRED
+                    slot_handle[slot] = None
+                slot_seq[slot] = -1
+                slot_cb[slot] = None
+                slot_args[slot] = None
+                free.append(slot)
+                callback(*args)
+                self._events_processed += 1
+                shard_events[best_shard] += 1
+                executed += 1
+        finally:
+            self._running = False
+
+
+# --------------------------------------------------------- parallel workers
+def _resolve_sync_window(config) -> float:
+    """The run's sync window from its radio/motion envelope (or override)."""
+    from repro.mobility.config import fleet_speed_bound
+    from repro.net.config import RadioConfig
+
+    radio = RadioConfig(
+        transmission_range_m=config.transmission_range_m,
+        bitrate_bps=config.bitrate_bps,
+        area_topology=config.area_topology,
+        area_width_m=config.area_width_m,
+        area_height_m=config.area_height_m,
+        speed_bound_mps=fleet_speed_bound(config.mobility_config, config.max_speed_mps),
+    )
+    return ShardPlan.sync_window(
+        radio.carrier_sense_range_m,
+        radio.speed_bound_mps,
+        override=config.shard_window_s,
+    )
+
+
+def _validate_parallel(config) -> None:
+    if config.fanout_kernel != "batch":
+        raise ValueError(
+            "parallel shard modes require fanout_kernel='batch' "
+            "(cross-shard attach is a batch-kernel operation)"
+        )
+    if config.churn_enabled:
+        raise ValueError(
+            "parallel shard modes do not support churn "
+            "(membership control would need its own cross-worker protocol); "
+            "use shard_mode='sequential'"
+        )
+    if config.obs_config.enabled:
+        raise ValueError(
+            "parallel shard modes do not support the observability layer; "
+            "use shard_mode='sequential'"
+        )
+
+
+def _boundaries(duration_s: float, window_s: float) -> List[float]:
+    """The lockstep sync boundaries: multiples of the window, then the end.
+
+    Computed as ``i * window`` (not accumulated) so every worker and both
+    parallel modes agree bit-exactly on each boundary.
+    """
+    bounds: List[float] = []
+    step = 1
+    t = window_s
+    while t < duration_s:
+        bounds.append(t)
+        step += 1
+        t = step * window_s
+    bounds.append(duration_s)
+    return bounds
+
+
+def _record_sort_key(item):
+    record, _origin = item
+    # (time, node id, tag): a node's crash sorts after the transmissions it
+    # started at the same instant, matching local execution order.
+    return (record[1], record[2], 0 if record[0] == "tx" else 1)
+
+
+def _route(outs: List[list], shards: int) -> Tuple[List[list], int]:
+    """All-to-all redistribution: worker ``j`` gets every record but its own,
+    in one globally sorted order shared by all workers."""
+    tagged = [
+        (record, origin) for origin, out in enumerate(outs) for record in out
+    ]
+    tagged.sort(key=_record_sort_key)
+    inboxes = [
+        [record for record, origin in tagged if origin != j]
+        for j in range(shards)
+    ]
+    return inboxes, len(tagged)
+
+
+class _ShardWorker:
+    """One shard's full scenario: owned nodes live, foreign radios dark.
+
+    Builds the *entire* scenario with the run's seed -- every global random
+    stream draws in the exact order the unsharded build draws it -- then
+    disables every radio whose home region belongs to another shard and
+    starts only the owned protocol stacks.  Used verbatim by both parallel
+    modes (in one process, or one per process), which is what makes them
+    bit-identical.
+    """
+
+    def __init__(self, config, role: int, failure_events=None):
+        from repro.workload.failures import FailureSchedule
+        from repro.workload.scenario import Scenario
+
+        scenario = Scenario(config, shard_role=role)
+        scenario.build()
+        self.scenario = scenario
+        self.sim = scenario.sim
+        self.medium = scenario.medium
+        self.role = role
+        self.medium.enable_export()
+        scenario.start_stacks()
+        if failure_events:
+            owned_events = [
+                event
+                for event in failure_events
+                if scenario.nodes[event.node_id].phy.shard == role
+            ]
+            if owned_events:
+                FailureSchedule(self.sim, scenario.nodes, owned_events).start()
+
+    def step(self, inbox: list, until: float) -> list:
+        """Apply one window's foreign records, run to the boundary, export."""
+        if inbox:
+            self.medium.apply_foreign_records(inbox)
+        self.sim.run(until=until)
+        return self.medium.drain_export()
+
+    def finish(self) -> Dict[str, object]:
+        """The shard's mergeable result payload (picklable)."""
+        from repro.net.spatial import region_census
+
+        scenario = self.scenario
+        plan = scenario.shard_plan
+        census = region_census(
+            self.medium.spatial_index, plan.shard_of, self.sim.now
+        )
+        owned = sorted(
+            node.node_id
+            for node in scenario.nodes
+            if node.phy.shard == self.role
+        )
+        owned_set = set(owned)
+        goodput = {
+            group_index: {
+                member: agents[member].stats.goodput_percent
+                for member in scenario.members_by_group[group_index]
+                if member in agents and member in owned_set
+            }
+            for group_index, agents in scenario.gossip_by_group.items()
+        }
+        for collector in scenario.collectors.values():
+            collector.on_delivery = None
+        return {
+            "role": self.role,
+            "owned": owned,
+            "collectors": scenario.collectors,
+            "protocol_stats": scenario._aggregate_protocol_stats(),
+            "events_processed": self.sim.events_processed,
+            "goodput": goodput,
+            "foreign": dict(self.medium.foreign_stats),
+            "census": census,
+        }
+
+
+def _shard_worker_main(conn, config, role: int, failure_events) -> None:
+    """Process-mode worker entry point (top-level: campaign conventions)."""
+    import repro.net.packet as packet_module
+
+    # Disjoint per-worker uid ranges; see _UID_STRIDE.
+    packet_module._packet_uid_counter = itertools.count((role + 1) * _UID_STRIDE)
+    worker = _ShardWorker(config, role, failure_events)
+    while True:
+        message = conn.recv()
+        if message[0] == "step":
+            conn.send(worker.step(message[2], message[1]))
+        else:
+            conn.send(worker.finish())
+            break
+    conn.close()
+
+
+def _drive_windowed(config, failure_events, bounds) -> Tuple[List[dict], int]:
+    workers = [
+        _ShardWorker(config, role, failure_events)
+        for role in range(config.shards)
+    ]
+    inboxes: List[list] = [[] for _ in range(config.shards)]
+    exchanged = 0
+    for until in bounds:
+        outs = [
+            worker.step(inboxes[index], until)
+            for index, worker in enumerate(workers)
+        ]
+        inboxes, count = _route(outs, config.shards)
+        exchanged += count
+    return [worker.finish() for worker in workers], exchanged
+
+
+def _drive_process(config, failure_events, bounds) -> Tuple[List[dict], int]:
+    context = multiprocessing.get_context()
+    connections = []
+    processes = []
+    try:
+        for role in range(config.shards):
+            parent_conn, child_conn = context.Pipe()
+            process = context.Process(
+                target=_shard_worker_main,
+                args=(child_conn, config, role, failure_events),
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            connections.append(parent_conn)
+            processes.append(process)
+        inboxes: List[list] = [[] for _ in range(config.shards)]
+        exchanged = 0
+        for until in bounds:
+            for index, conn in enumerate(connections):
+                conn.send(("step", until, inboxes[index]))
+            outs = [conn.recv() for conn in connections]
+            inboxes, count = _route(outs, config.shards)
+            exchanged += count
+        for conn in connections:
+            conn.send(("finish",))
+        payloads = [conn.recv() for conn in connections]
+    finally:
+        for conn in connections:
+            conn.close()
+        for process in processes:
+            process.join(timeout=30)
+            if process.is_alive():  # pragma: no cover - hung-worker cleanup
+                process.terminate()
+                process.join(timeout=5)
+    payloads.sort(key=lambda payload: payload["role"])
+    return payloads, exchanged
+
+
+# ------------------------------------------------------------ result merge
+def _merge_collectors(config, payloads) -> Dict[int, "object"]:
+    from repro.metrics.collectors import DeliveryCollector, MemberDelivery
+
+    merged = {index: DeliveryCollector() for index in range(config.group_count)}
+    for payload in payloads:
+        for group_index, collector in payload["collectors"].items():
+            target = merged[group_index]
+            target._sent |= collector._sent
+            target._sent_at.update(collector._sent_at)
+            for member, record in collector._members.items():
+                into = target._members.setdefault(
+                    member, MemberDelivery(member=member)
+                )
+                into.received |= record.received
+                into.via_routing += record.via_routing
+                into.via_gossip += record.via_gossip
+    return merged
+
+
+def _merge_worker_results(config, payloads, *, mode, window_s, rounds, exchanged):
+    from repro.membership.summary import combine_summaries
+    from repro.workload.scenario import ScenarioResult
+
+    collectors = _merge_collectors(config, payloads)
+    group_summaries = {
+        group_index: collector.summary()
+        for group_index, collector in collectors.items()
+    }
+    summary = (
+        group_summaries[0]
+        if config.group_count == 1
+        else combine_summaries(group_summaries)
+    )
+    member_counts = (
+        collectors[0].counts()
+        if config.group_count == 1
+        else dict(summary.member_counts)
+    )
+    protocol_stats: Dict[str, float] = {}
+    goodput_by_group: Dict[int, Dict[int, float]] = {}
+    foreign: Dict[str, int] = {}
+    census: Dict[int, int] = {}
+    events_total = 0
+    for payload in payloads:
+        for name, value in payload["protocol_stats"].items():
+            protocol_stats[name] = protocol_stats.get(name, 0) + value
+        for group_index, values in payload["goodput"].items():
+            goodput_by_group.setdefault(group_index, {}).update(values)
+        for name, value in payload["foreign"].items():
+            foreign[name] = foreign.get(name, 0) + value
+        for region, count in payload["census"].items():
+            census[region] = census.get(region, 0) + count
+        events_total += payload["events_processed"]
+    shard_stats = {
+        "mode": mode,
+        "shards": config.shards,
+        "window_s": window_s,
+        "sync_rounds": rounds,
+        "records_exchanged": exchanged,
+        "events_by_shard": {
+            payload["role"]: payload["events_processed"] for payload in payloads
+        },
+        "owned_by_shard": {
+            payload["role"]: len(payload["owned"]) for payload in payloads
+        },
+        "final_census": census,
+        "foreign": foreign,
+    }
+    return ScenarioResult(
+        config=config,
+        summary=summary,
+        member_counts=member_counts,
+        goodput_by_member=goodput_by_group.get(0, {}),
+        packets_sent=sum(c.packets_sent for c in collectors.values()),
+        protocol_stats=protocol_stats,
+        events_processed=events_total,
+        group_summaries=group_summaries,
+        goodput_by_group=goodput_by_group,
+        membership_events=0,
+        telemetry=None,
+        shard_stats=shard_stats,
+    )
+
+
+# ------------------------------------------------------------------ driver
+def run_sharded(config, failure_events=None):
+    """Run ``config`` under a parallel shard mode and merge the results.
+
+    The entry point behind ``run_scenario`` for
+    ``shard_mode in ("windowed", "process")``; call it directly to inject a
+    failure schedule (``failure_events``: iterable of
+    :class:`repro.workload.failures.FailureEvent`, applied by each node's
+    owning worker).
+    """
+    if config.shards < 2:
+        raise ValueError("run_sharded needs shards >= 2")
+    if config.shard_mode not in ("windowed", "process"):
+        raise ValueError(f"unknown parallel shard mode {config.shard_mode!r}")
+    _validate_parallel(config)
+    window_s = _resolve_sync_window(config)
+    bounds = _boundaries(config.duration_s, window_s)
+    if config.shard_mode == "process":
+        payloads, exchanged = _drive_process(config, failure_events, bounds)
+    else:
+        payloads, exchanged = _drive_windowed(config, failure_events, bounds)
+    return _merge_worker_results(
+        config,
+        payloads,
+        mode=config.shard_mode,
+        window_s=window_s,
+        rounds=len(bounds),
+        exchanged=exchanged,
+    )

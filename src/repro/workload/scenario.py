@@ -124,6 +124,23 @@ class ScenarioConfig:
     #: is then bit-identical to an uninstrumented build.
     obs_config: ObsConfig = field(default_factory=ObsConfig)
 
+    # Region sharding (see :mod:`repro.sim.shard`).  ``shards=1`` -- the
+    # default -- is the classic single-calendar engine, bit-identical to
+    # every previous release.
+    #: Number of spatial regions.  With more than one, ``shard_mode`` picks
+    #: the execution strategy.
+    shards: int = 1
+    #: ``"sequential"`` (one process, per-shard heaps, exact global event
+    #: order -- bit-identical to the unsharded engine), ``"windowed"``
+    #: (in-process lockstep workers over conservative sync windows -- the
+    #: deterministic parallel reference) or ``"process"`` (the windowed
+    #: schedule with one OS process per shard -- bit-identical to
+    #: ``"windowed"``, and the actual speedup mode).
+    shard_mode: str = "sequential"
+    #: Conservative sync window override in seconds (parallel modes only).
+    #: ``None`` derives it from the radio range and the fleet speed bound.
+    shard_window_s: Optional[float] = None
+
     # Reproducibility.
     seed: int = 1
 
@@ -146,6 +163,12 @@ class ScenarioConfig:
             raise ValueError("group_count must be at least 1")
         if not 1 <= self.sources_per_group <= self.resolved_member_count:
             raise ValueError("sources_per_group must lie in [1, member_count]")
+        if self.shards < 1:
+            raise ValueError("shards must be at least 1")
+        if self.shard_mode not in ("sequential", "windowed", "process"):
+            raise ValueError(f"unknown shard_mode {self.shard_mode!r}")
+        if self.shard_window_s is not None and self.shard_window_s <= 0:
+            raise ValueError("shard_window_s must be positive")
 
     # ------------------------------------------------------------ constructors
     @classmethod
@@ -220,6 +243,10 @@ class ScenarioResult:
     #: :meth:`repro.obs.Obs.snapshot` plus the scenario's promoted stats,
     #: ``top_fanout`` offender list and gossip buffer gauges.
     telemetry: Optional[Dict[str, object]] = None
+    #: Region-sharding diagnostics (``None`` for unsharded runs): mode,
+    #: shard count, per-shard event counts and -- in the parallel modes --
+    #: sync window, round count, records exchanged and foreign-record stats.
+    shard_stats: Optional[Dict[str, object]] = None
 
     @property
     def delivery_ratio(self) -> float:
@@ -237,8 +264,15 @@ class ScenarioResult:
 class Scenario:
     """Builds and runs one simulation described by a :class:`ScenarioConfig`."""
 
-    def __init__(self, config: ScenarioConfig):
+    def __init__(self, config: ScenarioConfig, shard_role: Optional[int] = None):
         self.config = config
+        #: Parallel-shard worker role: build the full scenario (identical
+        #: seeded draws) but keep only shard ``shard_role``'s radios enabled
+        #: and start only its protocol stacks.  ``None`` -- the default --
+        #: is the ordinary whole-fleet build.
+        self.shard_role = shard_role
+        #: The region partition (``None`` unless ``config.shards > 1``).
+        self.shard_plan = None
         self.sim: Optional[Simulator] = None
         self.medium: Optional[Medium] = None
         self.nodes: List[Node] = []
@@ -282,7 +316,19 @@ class Scenario:
         if self._built:
             return self
         config = self.config
-        self.sim = Simulator()
+        if (
+            config.shards > 1
+            and config.shard_mode == "sequential"
+            and self.shard_role is None
+        ):
+            # The sequential multi-shard scheduler: per-region heaps, exact
+            # global event order.  Parallel-mode workers (shard_role set)
+            # and unsharded runs use the classic single-heap engine.
+            from repro.sim.shard import ShardedSimulator
+
+            self.sim = ShardedSimulator(config.shards)
+        else:
+            self.sim = Simulator()
         self.obs = build_obs(config.obs_config)
         streams = RandomStreams(config.seed)
         radio = RadioConfig(
@@ -294,6 +340,7 @@ class Scenario:
             area_width_m=config.area_width_m,
             area_height_m=config.area_height_m,
             speed_bound_mps=fleet_speed_bound(config.mobility_config, config.max_speed_mps),
+            shards=config.shards,
         )
         self.medium = Medium(self.sim, radio, obs=self.obs)
         area = RectangularArea(config.area_width_m, config.area_height_m)
@@ -352,12 +399,36 @@ class Scenario:
                         node, multicast, aodv, group, config.gossip_config, rng=rng
                     )
 
+        if config.shards > 1:
+            from repro.sim.shard import ShardPlan
+
+            self.shard_plan = ShardPlan.build(
+                config.shards, config.area_width_m, config.area_height_m
+            )
+            for node in self.nodes:
+                node.phy.shard = self.shard_plan.shard_of(*node.phy.position(0.0))
+            if self.shard_role is not None:
+                # A parallel worker: radios outside its region go dark.  A
+                # disabled radio neither transmits nor receives, so foreign
+                # nodes vanish from the channel while every seeded draw
+                # above stayed identical across workers.
+                for node in self.nodes:
+                    if node.phy.shard != self.shard_role:
+                        node.phy.enabled = False
+
         self._build_membership(streams)
         self._attach_applications(streams)
         if self.obs.enabled:
             self._attach_probes()
         self._built = True
         return self
+
+    def _owns(self, node_id: int) -> bool:
+        """True when this build runs ``node_id``'s protocol stack."""
+        return (
+            self.shard_role is None
+            or self.nodes[node_id].phy.shard == self.shard_role
+        )
 
     def _select_members(self, streams: RandomStreams) -> None:
         rng = streams.get("membership")
@@ -414,10 +485,13 @@ class Scenario:
             collector = self.collectors[group_index]
             for member in self.members_by_group[group_index]:
                 self._ensure_sink(group_index, member)
+                # The join time is drawn unconditionally so a shard worker's
+                # stream stays aligned with the whole-fleet build; only
+                # owned members get the join actually scheduled.
                 join_at = join_rng.uniform(0.0, config.join_window_s)
                 if self.controller is not None:
                     self.controller.schedule_initial_join(group_index, member, join_at)
-                else:
+                elif self._owns(member):
                     self.sim.schedule_at(
                         join_at, self.multicast[member].join_group, group
                     )
@@ -524,20 +598,35 @@ class Scenario:
             self._pending_joins.pop((group_index, node_id), None)
 
     # ------------------------------------------------------------------ running
-    def run(self) -> ScenarioResult:
-        """Build (if needed), run to completion and return the results."""
-        self.build()
+    def start_stacks(self) -> None:
+        """Start every owned protocol stack (all of them without a role).
+
+        Separate from :meth:`run` so the parallel shard drivers can start a
+        worker's stacks and then advance its simulator window by window.
+        The start order -- nodes, AODV, gossip agents, controller, sampler
+        -- is the historic one; ownership filtering removes entries without
+        reordering them.
+        """
+        owns = self._owns
         for node in self.nodes:
-            node.start()
-        for aodv in self.aodv.values():
-            aodv.start()
+            if owns(node.node_id):
+                node.start()
+        for node_id, aodv in self.aodv.items():
+            if owns(node_id):
+                aodv.start()
         for agents in self.gossip_by_group.values():
-            for agent in agents.values():
-                agent.start()
+            for node_id, agent in agents.items():
+                if owns(node_id):
+                    agent.start()
         if self.controller is not None:
             self.controller.start()
         if self.sampler is not None:
             self.sampler.start()
+
+    def run(self) -> ScenarioResult:
+        """Build (if needed), run to completion and return the results."""
+        self.build()
+        self.start_stacks()
         try:
             self.sim.run(until=self.config.duration_s)
         except BaseException:
@@ -584,6 +673,18 @@ class Scenario:
                 self.controller.stats.churn_events if self.controller else 0
             ),
             telemetry=self._collect_telemetry(),
+            shard_stats=(
+                {
+                    "mode": "sequential",
+                    "shards": self.sim.shards,
+                    "events_by_shard": {
+                        shard: count
+                        for shard, count in enumerate(self.sim.shard_events)
+                    },
+                }
+                if self.sim.is_sharded
+                else None
+            ),
         )
 
     def _collect_telemetry(self) -> Optional[Dict[str, object]]:
@@ -646,5 +747,15 @@ class Scenario:
 
 
 def run_scenario(config: ScenarioConfig) -> ScenarioResult:
-    """Convenience wrapper: build and run a scenario in one call."""
+    """Convenience wrapper: build and run a scenario in one call.
+
+    Parallel shard modes (``shards > 1`` with ``shard_mode`` ``"windowed"``
+    or ``"process"``) dispatch to :func:`repro.sim.shard.run_sharded`;
+    everything else -- including the sequential sharded engine -- runs in
+    this process through :class:`Scenario`.
+    """
+    if config.shards > 1 and config.shard_mode in ("windowed", "process"):
+        from repro.sim.shard import run_sharded
+
+        return run_sharded(config)
     return Scenario(config).run()

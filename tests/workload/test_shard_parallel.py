@@ -1,0 +1,134 @@
+"""The parallel shard modes: determinism, bit-identity and merge accounting.
+
+The windowed (in-process lockstep) and process (one OS process per shard)
+modes run the same conservative schedule over the same sorted mailboxes, so
+they must be *bit-identical to each other* -- that identity is what lets CI
+prove the multi-process mode correct without ever depending on OS
+scheduling.  Against the unsharded engine they are a documented
+approximation (boundary frames arrive one sync window late), so the suite
+asserts exact equality only between the two parallel modes and sanity
+(deliveries flow, stats account every event) against the reference.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.sim.shard import run_sharded
+from repro.workload.failures import FailureEvent
+from repro.workload.scenario import ScenarioConfig, run_scenario
+
+
+def _parallel_config(**overrides):
+    """A small broadcast-dominant scenario that crosses shard boundaries.
+
+    Flooding with gossip off keeps the traffic broadcast (cross-shard
+    unicast ACKs cannot meet the MAC's 1.5 ms timeout across a sync
+    window -- the documented parallel-mode caveat), and the 2 m/s fleet
+    makes movers cross regions mid-run.
+    """
+    params = dict(
+        num_nodes=24, member_count=8, area_width_m=220.0, area_height_m=220.0,
+        transmission_range_m=60.0, protocol="flooding", gossip_enabled=False,
+        max_speed_mps=2.0, max_pause_s=5.0, join_window_s=3.0,
+        source_start_s=8.0, source_stop_s=20.0, packet_interval_s=0.5,
+        duration_s=24.0, seed=31, shards=2, shard_mode="windowed",
+    )
+    params.update(overrides)
+    return ScenarioConfig.quick(**params)
+
+
+def _comparable(result):
+    return (
+        result.events_processed,
+        result.packets_sent,
+        dict(result.member_counts),
+        dict(result.protocol_stats),
+        {k: v for k, v in result.shard_stats.items() if k != "mode"},
+    )
+
+
+@pytest.fixture(scope="module")
+def windowed_result():
+    return run_scenario(_parallel_config())
+
+
+def test_windowed_mode_delivers(windowed_result):
+    result = windowed_result
+    assert result.packets_sent == 25
+    assert result.delivery_ratio > 0.5
+    stats = result.shard_stats
+    assert stats["mode"] == "windowed"
+    assert stats["shards"] == 2
+    assert stats["records_exchanged"] > 0
+    assert sum(stats["events_by_shard"].values()) == result.events_processed
+    assert sum(stats["owned_by_shard"].values()) == 24
+    # Every fleet member shows up in exactly one worker's census.
+    assert sum(stats["final_census"].values()) == 24
+    # Cross-shard traffic actually flowed through the mailbox paths.
+    foreign = stats["foreign"]
+    assert foreign["attached"] + foreign["late_deliveries"] > 0
+
+
+def test_windowed_mode_is_deterministic(windowed_result):
+    again = run_scenario(_parallel_config())
+    assert _comparable(again) == _comparable(windowed_result)
+
+
+def test_process_mode_is_bit_identical_to_windowed(windowed_result):
+    process = run_scenario(_parallel_config(shard_mode="process"))
+    assert process.shard_stats["mode"] == "process"
+    assert _comparable(process) == _comparable(windowed_result)
+    assert process.summary.member_counts == windowed_result.summary.member_counts
+
+
+def test_failure_injection_with_cross_shard_flights():
+    """Killing nodes mid-run agrees across the two parallel modes.
+
+    The outage windows overlap the source phase, so crashed nodes have
+    frames in flight whose records cross shard boundaries -- exercising the
+    truncation and foreign-sender-down paths under both drivers.
+    """
+    config = _parallel_config(seed=32)
+    events = [
+        FailureEvent(node_id=3, start_s=9.0, end_s=15.0),
+        FailureEvent(node_id=11, start_s=10.0, end_s=18.0),
+        FailureEvent(node_id=17, start_s=12.0, end_s=21.0),
+    ]
+    windowed = run_sharded(config, failure_events=events)
+    process = run_sharded(
+        replace(config, shard_mode="process"), failure_events=events
+    )
+    assert _comparable(windowed) == _comparable(process)
+    assert windowed.shard_stats["foreign"]["sender_downs"] > 0
+    assert windowed.packets_sent == 25
+
+
+def test_four_shards_still_agree():
+    windowed = run_scenario(_parallel_config(shards=4, seed=33))
+    process = run_scenario(_parallel_config(shards=4, seed=33, shard_mode="process"))
+    assert _comparable(windowed) == _comparable(process)
+    assert len(windowed.shard_stats["events_by_shard"]) == 4
+
+
+def test_parallel_modes_reject_unsupported_features():
+    with pytest.raises(ValueError, match="batch"):
+        run_scenario(_parallel_config(fanout_kernel="object"))
+    from repro.membership.config import ChurnConfig
+
+    with pytest.raises(ValueError, match="churn"):
+        run_scenario(_parallel_config(
+            churn_config=ChurnConfig(model="poisson", events_per_minute=6.0)
+        ))
+    from repro.obs import ObsConfig
+
+    with pytest.raises(ValueError, match="observability"):
+        run_scenario(_parallel_config(obs_config=ObsConfig(enabled=True)))
+    with pytest.raises(ValueError, match="shards"):
+        run_sharded(_parallel_config(shards=1))
+
+
+def test_window_override_changes_round_count():
+    result = run_scenario(_parallel_config(shard_window_s=1.0))
+    assert result.shard_stats["window_s"] == 1.0
+    assert result.shard_stats["sync_rounds"] == 24
