@@ -16,11 +16,17 @@ the MAC's 1.5 ms timeout across a sync window -- see README "Sharded
 engine").  Writes a JSON artifact with wall times, events/sec, per-shard
 event counts, sync-round overhead and the end-to-end speedup.
 
+With ``--obs`` every mode runs instrumented (metrics registry, flight
+recorder, engine sampler -- the parallel modes merge per-worker telemetry
+into one snapshot) and ``--report-out`` writes the rendered telemetry
+report of the last instrumented mode, which CI uploads next to the timing
+artifact.
+
 Usage::
 
     PYTHONPATH=src python scripts/bench_shard_point.py --out BENCH_shard.json
         [--nodes 1000] [--shards 4] [--duration 30] [--modes unsharded
-        sequential process] [--rounds 1]
+        sequential process] [--rounds 1] [--obs] [--report-out REPORT.txt]
 """
 
 from __future__ import annotations
@@ -31,6 +37,8 @@ import math
 import sys
 import time
 
+from repro.obs import ObsConfig
+from repro.obs.report import render_report
 from repro.workload.scenario import ScenarioConfig, run_scenario
 
 
@@ -63,7 +71,7 @@ def build_config(nodes: int, duration_s: float, seed: int, **overrides) -> Scena
     return ScenarioConfig.quick(**params)
 
 
-def time_mode(config: ScenarioConfig, rounds: int) -> dict:
+def time_mode(config: ScenarioConfig, rounds: int) -> tuple:
     best = None
     result = None
     for _ in range(rounds):
@@ -89,7 +97,7 @@ def time_mode(config: ScenarioConfig, rounds: int) -> dict:
             record["sync_rounds"] = stats["sync_rounds"]
             record["records_exchanged"] = stats["records_exchanged"]
             record["foreign"] = stats["foreign"]
-    return record
+    return record, result
 
 
 def main() -> int:
@@ -102,23 +110,36 @@ def main() -> int:
     parser.add_argument("--modes", nargs="*",
                         default=["unsharded", "sequential", "process"],
                         choices=["unsharded", "sequential", "windowed", "process"])
+    parser.add_argument("--obs", action="store_true",
+                        help="instrument every mode (parallel modes merge "
+                             "per-worker telemetry into one snapshot)")
+    parser.add_argument("--report-out", default=None, metavar="PATH",
+                        help="write the rendered telemetry report of the "
+                             "last instrumented mode to PATH (implies --obs)")
     parser.add_argument("--out", default=None, help="JSON artifact path")
     args = parser.parse_args()
+    obs = args.obs or args.report_out is not None
 
-    base = build_config(args.nodes, args.duration, args.seed)
+    extra = {"obs_config": ObsConfig(enabled=True)} if obs else {}
+    base = build_config(args.nodes, args.duration, args.seed, **extra)
     results = {}
+    telemetry = None
+    telemetry_mode = None
     for mode in args.modes:
         if mode == "unsharded":
             config = base
         else:
             config = build_config(
                 args.nodes, args.duration, args.seed,
-                shards=args.shards, shard_mode=mode,
+                shards=args.shards, shard_mode=mode, **extra,
             )
         print(f"[{mode}] nodes={args.nodes} shards="
               f"{args.shards if mode != 'unsharded' else 1} ...", flush=True)
-        record = time_mode(config, args.rounds)
+        record, result = time_mode(config, args.rounds)
         results[mode] = record
+        if result.telemetry is not None:
+            telemetry = result.telemetry
+            telemetry_mode = mode
         print(f"[{mode}] {record['wall_s']} s, "
               f"{record['events_per_sec']:,.0f} ev/s, "
               f"{record['events_processed']} events, "
@@ -156,6 +177,13 @@ def main() -> int:
                   f"unsharded")
             if not same:
                 return 1
+
+    if args.report_out and telemetry is not None:
+        title = (f"shard_point nodes={args.nodes} shards={args.shards} "
+                 f"mode={telemetry_mode}")
+        with open(args.report_out, "w") as handle:
+            handle.write(render_report(telemetry, title=title) + "\n")
+        print(f"telemetry report written to {args.report_out}")
 
     if args.out:
         with open(args.out, "w") as handle:

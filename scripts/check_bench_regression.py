@@ -40,17 +40,18 @@ def extract_rates(bench_json: dict) -> dict:
 def extract_ratios(bench_json: dict) -> dict:
     """benchmark name -> informational extra_info ratios (not gated).
 
-    Collects every ``extra_info`` key ending in ``_over_batch`` or
-    ``_speedup`` -- e.g. the medium benches' ``object_over_batch`` kernel
-    ratio -- so the artifact summary shows the relative numbers next to the
-    absolute throughput gate.
+    Collects every ``extra_info`` key ending in ``_over_batch``,
+    ``_over_plain`` or ``_speedup`` -- e.g. the medium benches'
+    ``object_over_batch`` kernel ratio, or the obs bench's
+    ``obs_over_plain`` instrumentation overhead -- so the artifact summary
+    shows the relative numbers next to the absolute throughput gate.
     """
     ratios = {}
     for bench in bench_json.get("benchmarks", []):
         entries = {
             key: float(value)
             for key, value in bench.get("extra_info", {}).items()
-            if key.endswith(("_over_batch", "_speedup"))
+            if key.endswith(("_over_batch", "_over_plain", "_speedup"))
             and isinstance(value, (int, float))
         }
         if entries:

@@ -27,9 +27,11 @@ Typical use::
 """
 
 from repro.campaign.aggregate import (
+    TelemetryAggregator,
     aggregate_experiment,
     aggregate_goodput,
     aggregate_point,
+    merged_store_telemetry,
 )
 from repro.campaign.executor import execute_trial, run_campaign
 from repro.campaign.store import ResultStore, TrialRecord
@@ -44,12 +46,14 @@ from repro.campaign.trials import (
 )
 
 __all__ = [
+    "TelemetryAggregator",
     "TrialSpec",
     "TrialRecord",
     "ResultStore",
     "aggregate_experiment",
     "aggregate_goodput",
     "aggregate_point",
+    "merged_store_telemetry",
     "config_from_dict",
     "config_to_dict",
     "derive_seed",

@@ -11,15 +11,22 @@ unchanged.
 Bit-identical aggregation is guaranteed by recombining each (x, variant)
 group's records in ascending seed order -- the order the serial runner sums
 them in -- before averaging.
+
+For instrumented campaigns (``obs_config.enabled`` trials), the module also
+folds per-trial telemetry snapshots into one campaign-wide snapshot: the
+streaming :class:`TelemetryAggregator` merges each record as it completes
+(no load-everything pass), and :func:`merged_store_telemetry` rebuilds the
+same merge from a store on disk -- the ``repro report --merged`` path.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.campaign.store import TrialRecord
+from repro.campaign.store import ResultStore, TrialRecord
 from repro.experiments.figures import GOODPUT_COMBINATIONS, ExperimentSpec
 from repro.experiments.runner import ExperimentPoint, ExperimentResult
+from repro.obs import merge_telemetry
 
 
 def aggregate_point(x: float, variant: str, records: Sequence[TrialRecord]) -> ExperimentPoint:
@@ -88,3 +95,69 @@ def aggregate_goodput(
             member: sum(values) / len(values) for member, values in accumulated.items()
         }
     return results
+
+
+# ------------------------------------------------------ telemetry folding
+class TelemetryAggregator:
+    """Streaming campaign-wide telemetry: fold trials as they complete.
+
+    Each :meth:`add` merges one trial's telemetry snapshot into the running
+    aggregate via :func:`repro.obs.merge_telemetry` -- O(snapshot) memory
+    regardless of trial count.  Full recorder event lists are dropped on the
+    way in (the summed ``recorder`` summary is kept): a thousand-trial
+    campaign must not accumulate a thousand ring buffers.
+
+    Counters, histogram buckets and spans are order-independent sums;
+    reservoir samples downsample pairwise in fold order, so the aggregate's
+    quantiles depend (boundedly -- see :mod:`repro.obs.merge`) on append
+    order.  The campaign executor appends in completion order.
+    """
+
+    def __init__(self) -> None:
+        self.trials = 0
+        self._merged: Optional[Dict[str, object]] = None
+
+    def add(self, telemetry: Optional[Dict[str, object]]) -> None:
+        """Fold one trial's telemetry in (no-op for empty/missing)."""
+        if not telemetry:
+            return
+        snapshot = {
+            key: value
+            for key, value in telemetry.items()
+            if key not in ("recorder_events", "merged")
+        }
+        self._merged = merge_telemetry(self._merged, snapshot)
+        self.trials += 1
+
+    def snapshot(self) -> Optional[Dict[str, object]]:
+        """The campaign-wide merged telemetry (``None`` if nothing folded)."""
+        if self._merged is None:
+            return None
+        merged = dict(self._merged)
+        merged["merged"] = {"trials": self.trials}
+        return merged
+
+
+def merged_store_telemetry(
+    store: ResultStore, key_filter: Optional[str] = None
+) -> Optional[Dict[str, object]]:
+    """Fold every instrumented trial in ``store`` into one snapshot.
+
+    Two streaming passes over the JSONL file: the first finds each key's
+    last line number (the store's last-wins dedupe rule), the second folds
+    exactly the winning records in on-disk order.  ``key_filter`` restricts
+    the fold to trial keys containing the substring (e.g. one variant or
+    one x value).  Returns ``None`` when no matching record carries
+    telemetry.
+    """
+    winners: Dict[str, int] = {}
+    for position, record in enumerate(store.iter_records()):
+        if key_filter is not None and key_filter not in record.key:
+            continue
+        winners[record.key] = position
+    keep = set(winners.values())
+    aggregator = TelemetryAggregator()
+    for position, record in enumerate(store.iter_records()):
+        if position in keep:
+            aggregator.add(record.telemetry)
+    return aggregator.snapshot()

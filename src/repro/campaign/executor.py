@@ -45,6 +45,7 @@ def run_campaign(
     jobs: int = 1,
     store: Optional[ResultStore] = None,
     progress: Optional[ProgressCallback] = None,
+    telemetry: Optional["object"] = None,
 ) -> List[TrialRecord]:
     """Execute ``trials`` and return their records in input order.
 
@@ -55,6 +56,12 @@ def run_campaign(
     instead), and every freshly completed trial is appended to the store
     before the next result is awaited -- so an interrupted campaign loses at
     most the in-flight trials.
+
+    ``telemetry`` (a
+    :class:`~repro.campaign.aggregate.TelemetryAggregator`) receives every
+    record's telemetry as it lands -- resumed records first, then fresh ones
+    in completion order -- folding the campaign-wide snapshot while the
+    campaign runs instead of in an extra pass over the store.
     """
     if jobs < 1:
         raise ValueError("jobs must be at least 1")
@@ -64,6 +71,8 @@ def run_campaign(
         for trial in trials:
             if trial.key in stored:
                 records[trial.key] = stored[trial.key]
+                if telemetry is not None:
+                    telemetry.add(records[trial.key].telemetry)
 
     pending: List[TrialSpec] = []
     queued = set(records)
@@ -82,6 +91,8 @@ def run_campaign(
         records[record.key] = record
         if store is not None:
             store.append(record)
+        if telemetry is not None:
+            telemetry.add(record.telemetry)
         done += 1
         if progress is not None:
             progress(done, total, record)

@@ -192,6 +192,28 @@ class ResultStore:
                 records[record.key] = record
         return records
 
+    def iter_records(self):
+        """Stream the stored records in on-disk order, one at a time.
+
+        No dedupe and no whole-file materialisation: duplicates of a
+        resumed/re-run campaign are yielded in append order (last wins is
+        the caller's concern -- see
+        :func:`repro.campaign.aggregate.merged_store_telemetry`), and a
+        multi-thousand-trial store never has to fit in memory at once.
+        Blank and truncated lines are skipped, like :meth:`load`.
+        """
+        if not self.path.exists():
+            return
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    yield TrialRecord.from_json(line)
+                except (json.JSONDecodeError, KeyError):
+                    continue
+
     def completed_keys(self) -> Set[str]:
         """Keys of every trial already present in the store."""
         return set(self.load())

@@ -14,8 +14,10 @@ series) serially and in-process; ``campaign`` runs the same sweeps through
 the parallel, resumable campaign subsystem (``--jobs`` worker processes, one
 JSONL record per trial in ``--out``, ``--resume`` to skip already-stored
 trials); ``report`` renders the telemetry of an instrumented run (``run
---obs``/``campaign --obs``) from a snapshot JSON or a campaign store;
-``list-figures`` shows which figures are available.
+--obs``/``campaign --obs``) from a snapshot JSON, a campaign store
+(``--merged`` folds a whole store into one campaign-wide snapshot) or a
+pytest-benchmark artifact, and ``--diff A B`` renders the delta between any
+two of those; ``list-figures`` shows which figures are available.
 """
 
 from __future__ import annotations
@@ -29,6 +31,7 @@ from typing import List, Optional, Sequence
 
 from repro.campaign import (
     ResultStore,
+    TelemetryAggregator,
     TrialRecord,
     aggregate_experiment,
     aggregate_goodput,
@@ -142,16 +145,29 @@ def build_parser() -> argparse.ArgumentParser:
     report_parser = subparsers.add_parser(
         "report",
         help="render the telemetry of an instrumented run",
-        description="Render a telemetry snapshot (run --obs-out JSON) or the "
+        description="Render a telemetry snapshot (run --obs-out JSON), the "
                     "telemetry carried by an instrumented campaign store "
-                    "(campaign --obs --out store.jsonl): metric tree, fan-out "
-                    "histogram, epoch-window hit rate, phase breakdown and "
-                    "top-N fan-out offenders.",
+                    "(campaign --obs --out store.jsonl) or a pytest-benchmark "
+                    "artifact (BENCH_*.json): metric tree, fan-out histogram, "
+                    "epoch-window hit rate, phase breakdown and top-N fan-out "
+                    "offenders.  --merged folds a whole store into one "
+                    "campaign-wide snapshot; --diff renders the delta between "
+                    "two snapshots/stores/artifacts.",
     )
-    report_parser.add_argument("path", help="telemetry JSON or campaign JSONL store")
+    report_parser.add_argument("path", help="telemetry JSON, campaign JSONL store "
+                                            "or pytest-benchmark artifact")
+    report_parser.add_argument("other", nargs="?", default=None,
+                               help="second snapshot/store/artifact (--diff only)")
     report_parser.add_argument("--key", default=None,
                                help="trial key to report from a campaign store "
-                                    "(default: the first instrumented record)")
+                                    "(default: the first instrumented record); "
+                                    "with --merged, a substring filter on keys")
+    report_parser.add_argument("--merged", action="store_true",
+                               help="fold every instrumented trial of a campaign "
+                                    "store into one campaign-wide snapshot")
+    report_parser.add_argument("--diff", action="store_true",
+                               help="render the telemetry delta PATH -> OTHER "
+                                    "instead of a single report")
     report_parser.add_argument("--top", type=int, default=10,
                                help="number of fan-out offenders shown (default 10)")
     report_parser.add_argument("--json", action="store_true", dest="as_json",
@@ -236,8 +252,7 @@ def _command_run(args: argparse.Namespace) -> int:
 
     if config.shards > 1 and config.shard_mode in ("windowed", "process"):
         # Parallel shard modes run through the shard driver (which rejects
-        # obs/churn); the sequential mode runs in-process like everything
-        # else.
+        # churn); the sequential mode runs in-process like everything else.
         from repro.workload.scenario import run_scenario
 
         scenario = None
@@ -295,7 +310,16 @@ def _command_run(args: argparse.Namespace) -> int:
         print(line)
     if obs_enabled and result.telemetry is not None:
         if args.obs_dump is not None:
-            dumped = scenario.obs.dump_recorder(args.obs_dump)
+            if scenario is not None:
+                dumped = scenario.obs.dump_recorder(args.obs_dump)
+            else:
+                # Parallel shard run: the per-worker rings are gone, but the
+                # merged telemetry carries their interleaved events.
+                events = result.telemetry.get("recorder_events") or []
+                with open(args.obs_dump, "w", encoding="utf-8") as handle:
+                    for event in events:
+                        handle.write(json.dumps(event, separators=(",", ":")) + "\n")
+                dumped = len(events)
             print(f"flight recorder: {dumped} events dumped to {args.obs_dump}")
         if args.obs_out is not None:
             with open(args.obs_out, "w", encoding="utf-8") as handle:
@@ -404,7 +428,9 @@ def _command_campaign(args: argparse.Namespace) -> int:
             flush=True,
         )
 
-    records = run_campaign(trials, jobs=args.jobs, store=store, progress=progress)
+    aggregator = TelemetryAggregator() if args.obs else None
+    records = run_campaign(trials, jobs=args.jobs, store=store,
+                           progress=progress, telemetry=aggregator)
 
     if goodput_mode:
         goodput = aggregate_goodput(spec, records)
@@ -424,16 +450,42 @@ def _command_campaign(args: argparse.Namespace) -> int:
         print(aggregate_experiment(spec, records).to_table())
     if store is not None:
         print(f"results stored in {args.out}")
+    if aggregator is not None and aggregator.trials:
+        print(f"telemetry merged across {aggregator.trials} instrumented trials"
+              + (f"; render with `repro report {args.out} --merged`"
+                 if args.out else ""))
     return 0
 
 
-def _load_telemetry(path: str, key: Optional[str]) -> tuple:
+def _bench_to_telemetry(payload: dict) -> dict:
+    """A pytest-benchmark artifact as a telemetry snapshot.
+
+    Every benchmark contributes ``bench.<name>.mean_s`` (its timing) plus
+    one counter per numeric ``extra_info`` field, so ``repro report --diff``
+    can compare two ``BENCH_*`` artifacts with the same machinery that
+    compares run telemetry.
+    """
+    metrics = {}
+    for bench in payload.get("benchmarks", []):
+        name = bench.get("name", "benchmark").split("[", 1)[0]
+        stats = bench.get("stats") or {}
+        if isinstance(stats.get("mean"), (int, float)):
+            metrics[f"bench.{name}.mean_s"] = stats["mean"]
+        for field, value in sorted((bench.get("extra_info") or {}).items()):
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                metrics[f"bench.{name}.{field}"] = value
+    return {"metrics": metrics}
+
+
+def _load_telemetry(path: str, key: Optional[str], merged: bool = False) -> tuple:
     """Resolve ``path`` to one telemetry snapshot.
 
     Returns ``(telemetry, title, error)``; exactly one of telemetry/error is
     set.  Accepts a snapshot JSON (``run --obs-out``), a single stored trial
-    record, or a campaign JSONL store (``--key`` selects the trial, default
-    the first instrumented record).
+    record, a pytest-benchmark artifact (``BENCH_*.json``), or a campaign
+    JSONL store -- where ``--key`` selects one trial (default the first
+    instrumented record) and ``merged`` folds every instrumented trial into
+    one campaign-wide snapshot (``--key`` then filters by substring).
     """
     try:
         with open(path, "r", encoding="utf-8") as handle:
@@ -444,14 +496,29 @@ def _load_telemetry(path: str, key: Optional[str]) -> tuple:
         payload = json.loads(text)
     except ValueError:
         payload = None
+    if isinstance(payload, dict) and isinstance(payload.get("benchmarks"), list):
+        return _bench_to_telemetry(payload), path, None
     if isinstance(payload, dict) and "telemetry" not in payload and (
         "metrics" in payload or "histograms" in payload
     ):
         return payload, path, None
     if isinstance(payload, dict) and payload.get("telemetry"):
         return payload["telemetry"], payload.get("key", path), None
-    # A campaign JSONL store (or anything line-structured): pick a record.
-    records = ResultStore(path).records() if text.strip() else []
+    # A campaign JSONL store (or anything line-structured).
+    store = ResultStore(path)
+    if merged:
+        from repro.campaign import merged_store_telemetry
+
+        telemetry = merged_store_telemetry(store, key_filter=key) if text.strip() else None
+        if telemetry is None:
+            return None, None, (
+                f"no instrumented records in {path}"
+                + (f" matching {key!r}" if key is not None else "")
+                + "; run with --obs"
+            )
+        trials = telemetry.get("merged", {}).get("trials", 0)
+        return telemetry, f"{path} (merged, {trials} trials)", None
+    records = store.records() if text.strip() else []
     if key is not None:
         for record in records:
             if record.key == key:
@@ -469,10 +536,28 @@ def _load_telemetry(path: str, key: Optional[str]) -> tuple:
 
 
 def _command_report(args: argparse.Namespace) -> int:
-    telemetry, title, error = _load_telemetry(args.path, args.key)
+    if args.diff and args.other is None:
+        print("--diff needs two inputs: repro report --diff A B", file=sys.stderr)
+        return 2
+    if args.other is not None and not args.diff:
+        print("a second path only makes sense with --diff", file=sys.stderr)
+        return 2
+    telemetry, title, error = _load_telemetry(args.path, args.key, merged=args.merged)
     if error:
         print(error, file=sys.stderr)
         return 2
+    if args.diff:
+        from repro.obs.report import render_diff
+
+        other, other_title, error = _load_telemetry(
+            args.other, args.key, merged=args.merged
+        )
+        if error:
+            print(error, file=sys.stderr)
+            return 2
+        print(render_diff(telemetry, other, title_a=title, title_b=other_title,
+                          top_n=args.top))
+        return 0
     if args.as_json:
         print(json.dumps(report_json(telemetry, top_n=args.top), indent=2))
     else:

@@ -29,6 +29,12 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from .config import ObsConfig
+from .merge import (
+    interleave_events,
+    merge_snapshots,
+    merge_telemetry,
+    merge_top_fanout,
+)
 from .naming import CANONICAL_NAMESPACES, canonical_namespace, promote_flat, promote_stats
 from .recorder import NULL_RECORDER, FlightRecorder, NullFlightRecorder
 from .registry import (
@@ -80,6 +86,12 @@ class Obs:
         """Dump the flight-recorder ring to ``path`` (JSONL); returns count."""
         return self.recorder.dump_jsonl(path)
 
+    def merge(self, other: "Obs", label=None) -> None:
+        """Fold another run's/worker's obs state in (see each component)."""
+        self.registry.merge(other.registry, label=label)
+        self.recorder.merge(other.recorder)
+        self.spans.merge(other.spans)
+
     def reset(self) -> None:
         self.registry.reset()
         self.recorder.clear()
@@ -120,6 +132,9 @@ class _NullObs:
 
     def dump_recorder(self, path) -> int:
         return 0
+
+    def merge(self, other, label=None) -> None:
+        pass
 
     def reset(self) -> None:
         pass
@@ -171,6 +186,10 @@ __all__ = [
     "SpanTracker",
     "build_obs",
     "canonical_namespace",
+    "interleave_events",
+    "merge_snapshots",
+    "merge_telemetry",
+    "merge_top_fanout",
     "promote_flat",
     "promote_stats",
 ]

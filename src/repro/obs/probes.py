@@ -13,6 +13,14 @@ calendar (and therefore its ``events_processed`` golden digest) is
 bit-identical to an uninstrumented build.  An instrumented run processes
 slightly more events than a plain one -- the sampler's own ticks -- which
 is the documented, accepted cost of enabling telemetry.
+
+On the sequential :class:`~repro.sim.shard.ShardedSimulator` every sample
+additionally publishes per-shard calendar health under
+``engine.shard.*{shard=k}`` -- heap depth, executed-event share and
+tombstone ratio per region heap, plus the cumulative head-scan cost of the
+O(shards) minimum-head search -- so partition balance is recorded, not
+inferred.  Everything per-shard is simulation-deterministic (only
+``events_per_sec`` is wall clock).
 """
 
 from __future__ import annotations
@@ -36,6 +44,17 @@ class EngineSampler:
         self._g_slot_pool = registry.gauge("engine.calendar.slot_pool")
         self._g_free_slots = registry.gauge("engine.calendar.free_slots")
         self._g_compactions = registry.gauge("engine.calendar.compactions")
+        self._shard_gauges = None
+        if getattr(sim, "is_sharded", False):
+            self._g_head_scan = registry.gauge("engine.shard.head_scan_comparisons")
+            self._shard_gauges = [
+                (
+                    registry.gauge(f"engine.shard.heap_depth{{shard={shard}}}"),
+                    registry.gauge(f"engine.shard.events{{shard={shard}}}"),
+                    registry.gauge(f"engine.shard.tombstone_ratio{{shard={shard}}}"),
+                )
+                for shard in range(sim.shards)
+            ]
         self._last_events = 0
         self._last_wall = 0.0
         self._running = False
@@ -86,4 +105,20 @@ class EngineSampler:
             free_slots=free_slots,
             compactions=compactions,
         )
+        if self._shard_gauges is not None:
+            depths = sim.heap_sizes()
+            shard_tombstones = sim.shard_tombstones()
+            shard_events = sim.shard_events
+            self._g_head_scan.set(events * sim.shards)
+            for shard, (g_depth, g_events, g_ratio) in enumerate(self._shard_gauges):
+                depth = depths[shard]
+                g_depth.set(depth)
+                g_events.set(shard_events[shard])
+                g_ratio.set(shard_tombstones[shard] / depth if depth else 0.0)
+            self.obs.record(
+                "engine.shard.sample",
+                sim.now,
+                heap_depths=depths,
+                shard_events=list(shard_events),
+            )
         self.sim.call_in(self.interval_s, self._tick)

@@ -25,8 +25,12 @@ class FlightRecorder:
     """Bounded ring buffer of structured ``{"t": ..., "kind": ...}`` events."""
 
     def __init__(self, capacity: int = 4096):
-        if capacity < 1:
-            raise ValueError("capacity must be at least 1")
+        if capacity < 0:
+            raise ValueError("capacity must not be negative")
+        # capacity=0 is the merge-accumulator form: it retains nothing of
+        # its own and grows purely by merge() (capacities sum), so a fold
+        # over N worker recorders ends at exactly the workers' combined
+        # capacity.
         self.capacity = capacity
         self._ring: Deque[Dict[str, object]] = deque(maxlen=capacity)
         #: Events recorded in total (≥ ``len(self)`` once the ring wrapped).
@@ -52,6 +56,21 @@ class FlightRecorder:
 
     def __len__(self) -> int:
         return len(self._ring)
+
+    def merge(self, other: "FlightRecorder") -> None:
+        """Fold another recorder in: one ring, one global time order.
+
+        Retained events interleave by ``t`` -- stably, so same-time events
+        keep self-before-other order; fold recorders in shard order to
+        match the engines' global ``(time, seq)`` tie-break.  Capacities
+        and recorded totals sum, so occupancy accounting stays exact.
+        """
+        events = sorted(
+            list(self._ring) + other.events(), key=lambda event: event["t"]
+        )
+        self.capacity += other.capacity
+        self._ring = deque(events, maxlen=self.capacity)
+        self.recorded += other.recorded
 
     def clear(self) -> None:
         self._ring.clear()
@@ -88,6 +107,9 @@ class NullFlightRecorder:
 
     def events(self, kind: Optional[str] = None) -> List[Dict[str, object]]:
         return []
+
+    def merge(self, other) -> None:
+        pass
 
     def __len__(self) -> int:
         return 0

@@ -31,6 +31,8 @@ import random
 import zlib
 from typing import Dict, List, Optional, Sequence
 
+from .merge import downsample_sorted, ordered_quantile
+
 
 class Counter:
     """A monotonically increasing event count."""
@@ -44,6 +46,10 @@ class Counter:
     def inc(self, amount: int = 1) -> None:
         """Add ``amount`` (default 1) to the counter."""
         self.value += amount
+
+    def merge(self, other: "Counter") -> None:
+        """Fold another counter in: counts sum."""
+        self.value += other.value
 
     def reset(self) -> None:
         self.value = 0
@@ -68,6 +74,22 @@ class Gauge:
             self.min = value
         if self.max is None or value > self.max:
             self.max = value
+
+    def merge(self, other: "Gauge") -> None:
+        """Fold another gauge in: combined extrema, last written value wins.
+
+        "Last" is the fold order: the merged value is the latest input with
+        any updates (or the latest input outright when none had updates) --
+        the exact rule :func:`repro.obs.merge.merge_snapshots` applies to
+        gauge dicts, so object- and snapshot-level merges agree.
+        """
+        if other.updates or not self.updates:
+            self.value = other.value
+        self.updates += other.updates
+        if other.min is not None and (self.min is None or other.min < self.min):
+            self.min = other.min
+        if other.max is not None and (self.max is None or other.max > self.max):
+            self.max = other.max
 
     def reset(self) -> None:
         self.value = 0.0
@@ -161,6 +183,30 @@ class Histogram:
         index = min(len(ordered) - 1, int(q * len(ordered)))
         return ordered[index]
 
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram in (same bucket bounds required).
+
+        Exact aggregates (count/sum/min/max/buckets) sum; reservoirs *pool*
+        -- the combined sample list may exceed capacity and is only
+        downsampled at :meth:`snapshot` time, which keeps an N-way object
+        merge associative and equal to the one-shot snapshot-level merge.
+        """
+        if self.buckets != other.buckets:
+            raise ValueError(
+                f"cannot merge histogram {self.name!r}: bucket bounds differ"
+            )
+        self.count += other.count
+        self.total += other.total
+        if other.min is not None and (self.min is None or other.min < self.min):
+            self.min = other.min
+        if other.max is not None and (self.max is None or other.max > self.max):
+            self.max = other.max
+        if self.bucket_counts is not None:
+            for index, bucket_count in enumerate(other.bucket_counts):
+                self.bucket_counts[index] += bucket_count
+        self._reservoir.extend(other._reservoir)
+        self._reservoir_size = max(self._reservoir_size, other._reservoir_size)
+
     def reset(self) -> None:
         self.count = 0
         self.total = 0.0
@@ -187,10 +233,18 @@ class Histogram:
                 for bound, count in zip(self.buckets, self.bucket_counts)
             ] + [["+inf", self.bucket_counts[-1]]]
         if self._reservoir_size:
+            # Merged histograms may hold more pooled samples than capacity
+            # (see merge()); the snapshot downsamples once, exactly like the
+            # snapshot-level merge, so the two paths stay byte-identical.
+            samples = downsample_sorted(sorted(self._reservoir), self._reservoir_size)
+            data["reservoir"] = {
+                "capacity": self._reservoir_size,
+                "samples": samples,
+            }
             data["quantiles"] = {
-                "p50": self.quantile(0.50),
-                "p90": self.quantile(0.90),
-                "p99": self.quantile(0.99),
+                "p50": ordered_quantile(samples, 0.50),
+                "p90": ordered_quantile(samples, 0.90),
+                "p99": ordered_quantile(samples, 0.99),
             }
         return data
 
@@ -249,6 +303,35 @@ class MetricsRegistry:
             counter = self.counter(name)
             counter.value = value
 
+    def merge(self, other: "MetricsRegistry", label: Optional[str] = None) -> None:
+        """Fold another registry in (counters sum, gauges/histograms merge).
+
+        With ``label`` (e.g. ``"shard=1"``), the other registry's gauges
+        additionally land under ``name{label}``, preserving the per-shard
+        values next to the merged aggregate.  Fold several worker registries
+        into a fresh accumulator registry to build one run-wide view:
+        snapshots of the result are byte-identical to
+        :func:`repro.obs.merge.merge_snapshots` over the workers' snapshots
+        with the same labels.
+        """
+        for name in sorted(other._counters):
+            self.counter(name).merge(other._counters[name])
+        for name in sorted(other._gauges):
+            gauge = other._gauges[name]
+            self.gauge(name).merge(gauge)
+            if label is not None:
+                self.gauge(f"{name}{{{label}}}").merge(gauge)
+        for name in sorted(other._histograms):
+            theirs = other._histograms[name]
+            mine = self._histograms.get(name)
+            if mine is None:
+                mine = self._histograms[name] = Histogram(
+                    name,
+                    buckets=theirs.buckets,
+                    reservoir_size=theirs._reservoir_size,
+                )
+            mine.merge(theirs)
+
     def reset(self) -> None:
         """Zero every registered metric (the instances stay bound)."""
         for group in (self._counters, self._gauges, self._histograms):
@@ -286,6 +369,9 @@ class NullCounter:
     def inc(self, amount: int = 1) -> None:
         pass
 
+    def merge(self, other) -> None:
+        pass
+
     def reset(self) -> None:
         pass
 
@@ -301,6 +387,9 @@ class NullGauge:
     updates = 0
 
     def set(self, value: float) -> None:
+        pass
+
+    def merge(self, other) -> None:
         pass
 
     def reset(self) -> None:
@@ -323,6 +412,9 @@ class NullHistogram:
 
     def quantile(self, q: float) -> None:
         return None
+
+    def merge(self, other) -> None:
+        pass
 
     def reset(self) -> None:
         pass
@@ -352,6 +444,9 @@ class NullRegistry:
         return NULL_HISTOGRAM
 
     def set_metrics(self, items) -> None:
+        pass
+
+    def merge(self, other, label=None) -> None:
         pass
 
     def reset(self) -> None:

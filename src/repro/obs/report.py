@@ -196,3 +196,151 @@ def report_json(telemetry: Dict[str, object], top_n: int = 10) -> Dict[str, obje
         "top_fanout": list(telemetry.get("top_fanout") or [])[:top_n],
         "recorder": telemetry.get("recorder") or {},
     }
+
+
+# ------------------------------------------------------------------- diff
+def _scalar(value) -> Optional[float]:
+    """The comparable number of one metric entry (gauges compare values)."""
+    if isinstance(value, dict):
+        value = value.get("value")
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return None
+    return value
+
+
+def _format_delta(delta: float) -> str:
+    return f"{delta:+.4g}"
+
+
+def render_diff(
+    telemetry_a: Dict[str, object],
+    telemetry_b: Dict[str, object],
+    title_a: str = "A",
+    title_b: str = "B",
+    top_n: int = 10,
+) -> str:
+    """A side-by-side delta report of two telemetry snapshots (B - A).
+
+    Rendered sections: changed scalar metrics (counters and gauge values),
+    histogram count/mean shifts, span count/total shifts and the recorder
+    volume delta.  Metrics present in only one snapshot render with ``--``
+    on the missing side; unchanged metrics are counted, not listed.
+    """
+    title = f"Telemetry diff: {title_a} -> {title_b}"
+    lines: List[str] = [title, "=" * len(title)]
+
+    metrics_a = telemetry_a.get("metrics") or {}
+    metrics_b = telemetry_b.get("metrics") or {}
+    rows: List[List[object]] = []
+    unchanged = 0
+    for name in sorted(set(metrics_a) | set(metrics_b)):
+        in_a = name in metrics_a
+        in_b = name in metrics_b
+        value_a = _scalar(metrics_a.get(name)) if in_a else None
+        value_b = _scalar(metrics_b.get(name)) if in_b else None
+        if in_a and in_b:
+            if value_a is None or value_b is None or value_a == value_b:
+                unchanged += 1
+                continue
+            delta = _format_delta(value_b - value_a)
+        else:
+            delta = "added" if in_b else "removed"
+        rows.append(
+            [
+                name,
+                _format_value(value_a) if in_a and value_a is not None else "--",
+                _format_value(value_b) if in_b and value_b is not None else "--",
+                delta,
+            ]
+        )
+    differs = bool(rows)
+    if rows:
+        lines.append("")
+        lines.append("Metrics")
+        lines.append(format_rows(["metric", title_a, title_b, "delta"], rows))
+    if unchanged:
+        lines.append(f"  ({unchanged} metrics unchanged)")
+
+    hists_a = telemetry_a.get("histograms") or {}
+    hists_b = telemetry_b.get("histograms") or {}
+    rows = []
+    for name in sorted(set(hists_a) | set(hists_b)):
+        data_a = hists_a.get(name) or {}
+        data_b = hists_b.get(name) or {}
+        count_a = data_a.get("count", 0)
+        count_b = data_b.get("count", 0)
+        mean_a = data_a.get("mean", 0.0)
+        mean_b = data_b.get("mean", 0.0)
+        if count_a == count_b and mean_a == mean_b:
+            continue
+        rows.append(
+            [
+                name,
+                count_a,
+                count_b,
+                _format_delta(count_b - count_a),
+                _format_value(mean_a),
+                _format_value(mean_b),
+            ]
+        )
+    differs = differs or bool(rows)
+    if rows:
+        lines.append("")
+        lines.append("Histograms")
+        lines.append(
+            format_rows(
+                ["histogram", f"n({title_a})", f"n({title_b})", "dn",
+                 f"mean({title_a})", f"mean({title_b})"],
+                rows,
+            )
+        )
+
+    spans_a = telemetry_a.get("spans") or {}
+    spans_b = telemetry_b.get("spans") or {}
+    rows = []
+    for name in sorted(set(spans_a) | set(spans_b)):
+        span_a = spans_a.get(name) or {}
+        span_b = spans_b.get(name) or {}
+        count_a = span_a.get("count", 0)
+        count_b = span_b.get("count", 0)
+        total_a = span_a.get("total_s", 0.0)
+        total_b = span_b.get("total_s", 0.0)
+        if count_a == count_b and total_a == total_b:
+            continue
+        rows.append(
+            [
+                name,
+                count_a,
+                count_b,
+                f"{total_a:.4f}",
+                f"{total_b:.4f}",
+                _format_delta(total_b - total_a),
+            ]
+        )
+    differs = differs or bool(rows)
+    if rows:
+        lines.append("")
+        lines.append("Spans (wall clock)")
+        lines.append(
+            format_rows(
+                ["span", f"n({title_a})", f"n({title_b})",
+                 f"s({title_a})", f"s({title_b})", "ds"],
+                rows,
+            )
+        )
+
+    recorder_a = telemetry_a.get("recorder") or {}
+    recorder_b = telemetry_b.get("recorder") or {}
+    recorded_a = recorder_a.get("recorded", 0)
+    recorded_b = recorder_b.get("recorded", 0)
+    if recorded_a != recorded_b:
+        differs = True
+        lines.append("")
+        lines.append(
+            f"Flight recorder: recorded {recorded_a} -> {recorded_b}"
+            f" ({_format_delta(recorded_b - recorded_a)})"
+        )
+
+    if not differs:
+        lines.append("(no differences)")
+    return "\n".join(lines)

@@ -43,9 +43,16 @@ Three execution modes, one configuration surface
     makes the in-process mode the cheap correctness reference for the
     multi-core mode.
 
-Parallel modes require the batch fan-out kernel and support neither churn
-nor the observability layer (each would need its own cross-worker protocol);
-the sequential mode supports everything.
+Parallel modes require the batch fan-out kernel and do not support churn
+(membership control would need its own cross-worker protocol); the
+sequential mode supports everything.  The observability layer *is*
+supported in every mode: each parallel worker instruments its own shard and
+the per-worker telemetry is merged into one run-wide snapshot -- the
+windowed driver merges the live obs objects in-process, the process driver
+ships per-worker snapshot dicts back over the result pipe and folds them
+with :func:`repro.obs.merge.merge_snapshots`.  The two paths are proven
+equal by the windowed ≡ process suite, which is exactly the object-merge ≡
+snapshot-merge law.
 """
 
 from __future__ import annotations
@@ -54,7 +61,8 @@ import heapq
 import itertools
 import math
 import multiprocessing
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Tuple
 
 from repro.sim.engine import Simulator, SimulationError, _CANCELLED, _FIRED
@@ -217,6 +225,14 @@ class ShardedSimulator(Simulator):
         """Raw per-shard heap lengths (tombstones included)."""
         return [len(heap) for heap in self._heaps]
 
+    def shard_tombstones(self) -> List[int]:
+        """Per-shard tombstone counts (an O(heap) scan; sampler-rate use)."""
+        slot_seq = self._slot_seq
+        return [
+            sum(1 for entry in heap if slot_seq[entry[2]] != entry[1])
+            for heap in self._heaps
+        ]
+
     # ----------------------------------------------------------- internals
     def _compact(self) -> None:
         """Drop tombstones from every shard heap, in place."""
@@ -343,11 +359,6 @@ def _validate_parallel(config) -> None:
             "(membership control would need its own cross-worker protocol); "
             "use shard_mode='sequential'"
         )
-    if config.obs_config.enabled:
-        raise ValueError(
-            "parallel shard modes do not support the observability layer; "
-            "use shard_mode='sequential'"
-        )
 
 
 def _boundaries(duration_s: float, window_s: float) -> List[float]:
@@ -403,12 +414,36 @@ class _ShardWorker:
         from repro.workload.failures import FailureSchedule
         from repro.workload.scenario import Scenario
 
+        obs_config = config.obs_config
+        if obs_config.enabled and obs_config.dump_on_error_path:
+            # Every worker dumps its own ring: a `.shard<k>` suffix keeps
+            # concurrent crash dumps from overwriting each other (process
+            # mode) or each other's evidence (windowed mode).
+            config = replace(
+                config,
+                obs_config=replace(
+                    obs_config,
+                    dump_on_error_path=f"{obs_config.dump_on_error_path}.shard{role}",
+                ),
+            )
         scenario = Scenario(config, shard_role=role)
         scenario.build()
         self.scenario = scenario
         self.sim = scenario.sim
         self.medium = scenario.medium
         self.role = role
+        obs = scenario.obs
+        self._obs_on = obs.enabled
+        # Sync-protocol probes: record/window counts are deterministic (both
+        # drivers apply identical sorted mailboxes); only the stall gauge --
+        # wall-clock time spent outside step(), i.e. waiting on the other
+        # shards at a boundary -- is timing-dependent.
+        self._c_windows = obs.counter("shard.sync.windows")
+        self._c_inbox = obs.counter("shard.sync.inbox_records")
+        self._c_outbox = obs.counter("shard.sync.outbox_records")
+        self._g_stall = obs.gauge("shard.sync.stall_ms")
+        self._span_window = obs.span("shard.window")
+        self._last_step_end: Optional[float] = None
         self.medium.enable_export()
         scenario.start_stacks()
         if failure_events:
@@ -422,10 +457,28 @@ class _ShardWorker:
 
     def step(self, inbox: list, until: float) -> list:
         """Apply one window's foreign records, run to the boundary, export."""
-        if inbox:
-            self.medium.apply_foreign_records(inbox)
-        self.sim.run(until=until)
-        return self.medium.drain_export()
+        if self._obs_on:
+            if self._last_step_end is not None:
+                self._g_stall.set((time.perf_counter() - self._last_step_end) * 1e3)
+            self._c_windows.inc()
+            if inbox:
+                self._c_inbox.inc(len(inbox))
+        try:
+            if inbox:
+                self.medium.apply_foreign_records(inbox)
+            with self._span_window:
+                self.sim.run(until=until)
+        except BaseException:
+            dump_path = self.scenario.config.obs_config.dump_on_error_path
+            if self._obs_on and dump_path:
+                self.scenario.obs.dump_recorder(dump_path)
+            raise
+        out = self.medium.drain_export()
+        if self._obs_on:
+            if out:
+                self._c_outbox.inc(len(out))
+            self._last_step_end = time.perf_counter()
+        return out
 
     def finish(self) -> Dict[str, object]:
         """The shard's mergeable result payload (picklable)."""
@@ -452,7 +505,7 @@ class _ShardWorker:
         }
         for collector in scenario.collectors.values():
             collector.on_delivery = None
-        return {
+        payload = {
             "role": self.role,
             "owned": owned,
             "collectors": scenario.collectors,
@@ -462,6 +515,19 @@ class _ShardWorker:
             "foreign": dict(self.medium.foreign_stats),
             "census": census,
         }
+        if self._obs_on:
+            # Publish the shard's derived metrics, then ship the telemetry
+            # as plain picklable data: the snapshot dict, the raw recorder
+            # events and the *full* fan-out totals (the merged top-N is only
+            # meaningful after summing across shards).
+            scenario._publish_telemetry()
+            payload["obs_snapshot"] = scenario.obs.snapshot()
+            payload["recorder_events"] = scenario.obs.recorder.events()
+            payload["fanout_totals"] = [
+                [node_id, total]
+                for node_id, total in self.medium.top_fanout(len(scenario.nodes))
+            ]
+        return payload
 
 
 def _shard_worker_main(conn, config, role: int, failure_events) -> None:
@@ -481,7 +547,59 @@ def _shard_worker_main(conn, config, role: int, failure_events) -> None:
     conn.close()
 
 
-def _drive_windowed(config, failure_events, bounds) -> Tuple[List[dict], int]:
+# --------------------------------------------------------- telemetry merge
+def _merge_fanout(payloads, n: int) -> List[list]:
+    from repro.obs import merge_top_fanout
+
+    return merge_top_fanout(
+        [payload.get("fanout_totals") or [] for payload in payloads], n
+    )
+
+
+def _merge_telemetry_snapshots(config, payloads) -> Dict[str, object]:
+    """Process mode: fold the snapshot dicts shipped over the result pipe."""
+    from repro.obs import interleave_events, merge_snapshots
+
+    telemetry = merge_snapshots(
+        [payload["obs_snapshot"] for payload in payloads],
+        labels=[f"shard={payload['role']}" for payload in payloads],
+    )
+    telemetry["recorder_events"] = interleave_events(
+        [payload["recorder_events"] for payload in payloads]
+    )
+    telemetry["top_fanout"] = _merge_fanout(payloads, config.obs_config.top_fanout_n)
+    return telemetry
+
+
+def _merge_telemetry_objects(config, workers, payloads) -> Dict[str, object]:
+    """Windowed mode: fold the live per-worker obs objects in-process.
+
+    Deliberately a different code path from the snapshot fold above:
+    windowed ≡ process telemetry equality is the proof that the object-level
+    ``merge()`` methods implement the same law as
+    :func:`repro.obs.merge.merge_snapshots`.
+    """
+    from repro.obs import FlightRecorder, MetricsRegistry, SpanTracker
+
+    registry = MetricsRegistry(reservoir_size=config.obs_config.reservoir_size)
+    recorder = FlightRecorder(capacity=0)
+    spans = SpanTracker()
+    for worker in workers:
+        obs = worker.scenario.obs
+        registry.merge(obs.registry, label=f"shard={worker.role}")
+        recorder.merge(obs.recorder)
+        spans.merge(obs.spans)
+    telemetry = registry.snapshot()
+    telemetry["spans"] = spans.snapshot()
+    telemetry["recorder"] = recorder.snapshot()
+    telemetry["recorder_events"] = recorder.events()
+    telemetry["top_fanout"] = _merge_fanout(payloads, config.obs_config.top_fanout_n)
+    return telemetry
+
+
+def _drive_windowed(
+    config, failure_events, bounds
+) -> Tuple[List[dict], int, Optional[dict]]:
     workers = [
         _ShardWorker(config, role, failure_events)
         for role in range(config.shards)
@@ -495,10 +613,18 @@ def _drive_windowed(config, failure_events, bounds) -> Tuple[List[dict], int]:
         ]
         inboxes, count = _route(outs, config.shards)
         exchanged += count
-    return [worker.finish() for worker in workers], exchanged
+    payloads = [worker.finish() for worker in workers]
+    telemetry = (
+        _merge_telemetry_objects(config, workers, payloads)
+        if config.obs_config.enabled
+        else None
+    )
+    return payloads, exchanged, telemetry
 
 
-def _drive_process(config, failure_events, bounds) -> Tuple[List[dict], int]:
+def _drive_process(
+    config, failure_events, bounds
+) -> Tuple[List[dict], int, Optional[dict]]:
     context = multiprocessing.get_context()
     connections = []
     processes = []
@@ -534,7 +660,12 @@ def _drive_process(config, failure_events, bounds) -> Tuple[List[dict], int]:
                 process.terminate()
                 process.join(timeout=5)
     payloads.sort(key=lambda payload: payload["role"])
-    return payloads, exchanged
+    telemetry = (
+        _merge_telemetry_snapshots(config, payloads)
+        if config.obs_config.enabled
+        else None
+    )
+    return payloads, exchanged, telemetry
 
 
 # ------------------------------------------------------------ result merge
@@ -557,7 +688,9 @@ def _merge_collectors(config, payloads) -> Dict[int, "object"]:
     return merged
 
 
-def _merge_worker_results(config, payloads, *, mode, window_s, rounds, exchanged):
+def _merge_worker_results(
+    config, payloads, *, mode, window_s, rounds, exchanged, telemetry=None
+):
     from repro.membership.summary import combine_summaries
     from repro.workload.scenario import ScenarioResult
 
@@ -617,7 +750,7 @@ def _merge_worker_results(config, payloads, *, mode, window_s, rounds, exchanged
         group_summaries=group_summaries,
         goodput_by_group=goodput_by_group,
         membership_events=0,
-        telemetry=None,
+        telemetry=telemetry,
         shard_stats=shard_stats,
     )
 
@@ -640,9 +773,13 @@ def run_sharded(config, failure_events=None):
     window_s = _resolve_sync_window(config)
     bounds = _boundaries(config.duration_s, window_s)
     if config.shard_mode == "process":
-        payloads, exchanged = _drive_process(config, failure_events, bounds)
+        payloads, exchanged, telemetry = _drive_process(config, failure_events, bounds)
     else:
-        payloads, exchanged = _drive_windowed(config, failure_events, bounds)
+        payloads, exchanged, telemetry = _drive_windowed(config, failure_events, bounds)
+    if telemetry is not None:
+        # Annotated here, after both drivers, so the windowed ≡ process
+        # telemetry-equality law covers the metadata too.
+        telemetry["merged"] = {"shards": config.shards}
     return _merge_worker_results(
         config,
         payloads,
@@ -650,4 +787,5 @@ def run_sharded(config, failure_events=None):
         window_s=window_s,
         rounds=len(bounds),
         exchanged=exchanged,
+        telemetry=telemetry,
     )

@@ -687,12 +687,15 @@ class Scenario:
             ),
         )
 
-    def _collect_telemetry(self) -> Optional[Dict[str, object]]:
-        """The run's JSON-ready telemetry snapshot (``None`` when disabled)."""
-        obs = self.obs
-        if not obs.enabled:
-            return None
-        registry = obs.registry
+    def _publish_telemetry(self) -> None:
+        """Publish end-of-run derived metrics into the registry.
+
+        Shared by the in-process snapshot path (:meth:`_collect_telemetry`)
+        and the parallel shard workers, which publish into their own
+        registries before the per-worker states are merged (counters sum
+        across workers, so per-worker promotion composes exactly).
+        """
+        registry = self.obs.registry
         # Promote the per-layer stats dataclasses into the canonical
         # ``layer.subsystem.name`` namespace (one storage location -- the
         # dataclasses -- read here once per snapshot).
@@ -708,6 +711,13 @@ class Scenario:
         registry.gauge("gossip.buffers.history_max").set(history_max)
         registry.gauge("gossip.buffers.lost_max").set(lost_max)
         registry.gauge("gossip.buffers.member_cache_max").set(cache_max)
+
+    def _collect_telemetry(self) -> Optional[Dict[str, object]]:
+        """The run's JSON-ready telemetry snapshot (``None`` when disabled)."""
+        obs = self.obs
+        if not obs.enabled:
+            return None
+        self._publish_telemetry()
         snapshot = obs.snapshot()
         snapshot["top_fanout"] = [
             [node_id, total]

@@ -66,3 +66,56 @@ class TestTelemetryRoundTrip:
         )
         parsed = TrialRecord.from_json(line)
         assert parsed.telemetry == {}
+
+
+class TestCampaignAggregator:
+    def test_executor_folds_fresh_records(self, tmp_path):
+        from repro.campaign import TelemetryAggregator
+
+        aggregator = TelemetryAggregator()
+        records = run_campaign(
+            [_instrumented_trial()], jobs=1, telemetry=aggregator
+        )
+        assert aggregator.trials == 1
+        merged = aggregator.snapshot()
+        assert merged["merged"] == {"trials": 1}
+        # One trial merged == that trial's own telemetry (minus the event
+        # list, which the aggregator deliberately drops to stay streaming).
+        trial_metrics = records[0].telemetry["metrics"]
+        assert merged["metrics"] == trial_metrics
+        assert "recorder_events" not in merged
+
+    def test_resume_folds_stored_records_once(self, tmp_path):
+        from repro.campaign import TelemetryAggregator
+
+        store = ResultStore(tmp_path / "resume.jsonl")
+        run_campaign([_instrumented_trial()], jobs=1, store=store)
+
+        aggregator = TelemetryAggregator()
+        records = run_campaign(
+            [_instrumented_trial()], jobs=1, store=store,
+            telemetry=aggregator,
+        )
+        assert len(records) == 1
+        # The trial was resumed from the store, not re-run -- and its
+        # stored telemetry was folded exactly once.
+        assert aggregator.trials == 1
+        merged = aggregator.snapshot()
+        assert merged["metrics"] == records[0].telemetry["metrics"]
+
+    def test_merged_store_telemetry_last_wins(self, tmp_path):
+        from repro.campaign import merged_store_telemetry
+
+        store = ResultStore(tmp_path / "dupes.jsonl")
+        records = run_campaign([_instrumented_trial()], jobs=1, store=store)
+        # Rewrite the same key with doctored telemetry: the later line must
+        # shadow the earlier one (append-only store, last line wins).
+        doctored = dataclasses.replace(
+            records[0],
+            telemetry={**records[0].telemetry,
+                       "metrics": {"medium.channel.transmissions": 1}},
+        )
+        store.append(doctored)
+        merged = merged_store_telemetry(store)
+        assert merged["merged"]["trials"] == 1
+        assert merged["metrics"]["medium.channel.transmissions"] == 1

@@ -1,0 +1,229 @@
+"""Telemetry merge laws: order-independence, associativity, object ≡ snapshot.
+
+Two independent implementations of one merge semantics exist -- the
+object-level ``merge()`` methods (windowed shard driver, live accumulators)
+and the dict-level :func:`repro.obs.merge.merge_snapshots` (process shard
+driver, campaign aggregator).  This suite pins the laws both must satisfy:
+
+* counters, histogram buckets and spans merge to the same totals under any
+  permutation of the inputs;
+* under-capacity reservoir merges are associative and order-independent
+  (the samples pool and sort); at capacity, pooling-then-downsampling-once
+  keeps the N-way merge equal to the one-shot snapshot merge;
+* gauges keep the last written value under the documented
+  last-with-updates rule, and per-input labels preserve each input's value
+  verbatim;
+* object-merged accumulators snapshot byte-identically to
+  ``merge_snapshots`` over the inputs' snapshots -- the law the windowed ≡
+  process equality test exercises end-to-end.
+"""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import (
+    FlightRecorder,
+    MetricsRegistry,
+    SpanTracker,
+    interleave_events,
+    merge_snapshots,
+    merge_telemetry,
+    merge_top_fanout,
+)
+from repro.obs.merge import downsample_sorted
+
+# Integer-valued observations: float addition over them is exact, so the
+# permutation/associativity laws hold byte-for-byte (with arbitrary floats
+# the summed `sum`/`mean` would differ in the last ulp across orders --
+# real, but not the law under test).
+_values = st.lists(
+    st.integers(min_value=0, max_value=10_000).map(float), max_size=40
+)
+_value_groups = st.lists(_values, min_size=1, max_size=5)
+
+
+def _registry_with(observations, reservoir_size=8):
+    registry = MetricsRegistry(reservoir_size=reservoir_size)
+    histogram = registry.histogram("medium.channel.fanout", reservoir=True)
+    for value in observations:
+        histogram.observe(value)
+        registry.counter("medium.channel.deliveries").inc(int(value) % 7)
+    return registry
+
+
+def _merge_all(registries, reservoir_size=8, labels=None):
+    accumulator = MetricsRegistry(reservoir_size=reservoir_size)
+    for index, registry in enumerate(registries):
+        accumulator.merge(
+            registry, label=labels[index] if labels else None
+        )
+    return accumulator
+
+
+class TestMergeLaws:
+    @given(_value_groups)
+    @settings(max_examples=60, deadline=None)
+    def test_counters_and_buckets_are_permutation_independent(self, groups):
+        registries = [_registry_with(group) for group in groups]
+        forward = _merge_all(registries).snapshot()
+        backward = _merge_all(list(reversed(registries))).snapshot()
+        # Everything except the reservoir (whose downsample depends only on
+        # the pooled *sorted* samples, checked below) must be identical.
+        assert forward["metrics"] == backward["metrics"]
+        fwd = forward["histograms"]["medium.channel.fanout"]
+        bwd = backward["histograms"]["medium.channel.fanout"]
+        assert fwd == bwd
+
+    @given(_value_groups)
+    @settings(max_examples=60, deadline=None)
+    def test_object_merge_equals_snapshot_merge(self, groups):
+        registries = [_registry_with(group) for group in groups]
+        object_path = _merge_all(registries).snapshot()
+        snapshot_path = merge_snapshots(
+            [registry.snapshot() for registry in registries]
+        )
+        assert json.dumps(object_path, sort_keys=True) == json.dumps(
+            snapshot_path, sort_keys=True
+        )
+
+    @given(_value_groups)
+    @settings(max_examples=60, deadline=None)
+    def test_snapshot_merge_is_associative(self, groups):
+        snapshots = [_registry_with(group).snapshot() for group in groups]
+        one_shot = merge_snapshots(snapshots)
+        streamed = None
+        for snapshot in snapshots:
+            streamed = merge_telemetry(streamed, snapshot)
+        # Streaming pairwise folds downsample intermediate reservoirs, so
+        # exact aggregates must agree always; the reservoir itself must
+        # agree whenever the pooled samples never exceeded capacity.
+        for key in ("count", "sum", "min", "max", "mean", "buckets"):
+            assert (
+                streamed["histograms"]["medium.channel.fanout"].get(key)
+                == one_shot["histograms"]["medium.channel.fanout"].get(key)
+            )
+        assert streamed["metrics"] == one_shot["metrics"]
+        if sum(len(group) for group in groups) <= 8:
+            assert streamed == one_shot
+
+    @given(st.lists(_values, min_size=2, max_size=4))
+    @settings(max_examples=60, deadline=None)
+    def test_pooled_reservoir_is_order_independent(self, groups):
+        registries = [_registry_with(group) for group in groups]
+        forward = _merge_all(registries).snapshot()
+        backward = _merge_all(list(reversed(registries))).snapshot()
+        fwd = forward["histograms"]["medium.channel.fanout"]
+        bwd = backward["histograms"]["medium.channel.fanout"]
+        assert fwd.get("reservoir") == bwd.get("reservoir")
+        assert fwd.get("quantiles") == bwd.get("quantiles")
+
+
+class TestDownsample:
+    def test_fits_untouched(self):
+        assert downsample_sorted([1, 2, 3], 8) == [1, 2, 3]
+
+    def test_keeps_endpoints(self):
+        samples = list(range(100))
+        kept = downsample_sorted(samples, 10)
+        assert len(kept) == 10
+        assert kept[0] == 0
+        assert kept[-1] == 99
+        assert kept == sorted(kept)
+
+
+class TestGaugeSemantics:
+    def test_last_input_with_updates_wins(self):
+        silent = MetricsRegistry()
+        silent.gauge("engine.calendar.heap_depth")  # bound, never set
+        active = MetricsRegistry()
+        active.gauge("engine.calendar.heap_depth").set(42.0)
+        merged = _merge_all([active, silent])
+        gauge = merged.snapshot()["metrics"]["engine.calendar.heap_depth"]
+        assert gauge["value"] == 42.0
+        assert gauge["updates"] == 1
+        # Same rule on the snapshot path.
+        folded = merge_snapshots([active.snapshot(), silent.snapshot()])
+        assert folded["metrics"]["engine.calendar.heap_depth"] == gauge
+
+    def test_labels_preserve_per_input_values(self):
+        registries = []
+        for depth in (10.0, 30.0):
+            registry = MetricsRegistry()
+            registry.gauge("engine.calendar.heap_depth").set(depth)
+            registries.append(registry)
+        labels = ["shard=0", "shard=1"]
+        merged = _merge_all(registries, labels=labels).snapshot()["metrics"]
+        assert merged["engine.calendar.heap_depth"]["value"] == 30.0
+        assert merged["engine.calendar.heap_depth"]["min"] == 10.0
+        assert merged["engine.calendar.heap_depth{shard=0}"]["value"] == 10.0
+        assert merged["engine.calendar.heap_depth{shard=1}"]["value"] == 30.0
+        folded = merge_snapshots(
+            [registry.snapshot() for registry in registries], labels=labels
+        )
+        assert folded["metrics"] == merged
+
+
+class TestRecorderMerge:
+    def test_interleaves_by_time_stably(self):
+        a = FlightRecorder(capacity=8)
+        b = FlightRecorder(capacity=8)
+        a.record("x", 1.0, who="a")
+        b.record("x", 1.0, who="b")
+        a.record("x", 3.0, who="a")
+        b.record("x", 2.0, who="b")
+        accumulator = FlightRecorder(capacity=0)
+        accumulator.merge(a)
+        accumulator.merge(b)
+        events = accumulator.events()
+        assert [event["t"] for event in events] == [1.0, 1.0, 2.0, 3.0]
+        # Same-t events keep fold (shard) order: a before b.
+        assert [event["who"] for event in events[:2]] == ["a", "b"]
+        assert accumulator.capacity == 16
+        assert accumulator.recorded == 4
+        # The standalone interleave agrees.
+        assert events == interleave_events([a.events(), b.events()])
+
+    def test_accumulator_capacity_matches_snapshot_sum(self):
+        recorders = []
+        for _ in range(3):
+            recorder = FlightRecorder(capacity=4)
+            for tick in range(6):  # overflows: recorded > retained
+                recorder.record("tick", float(tick))
+            recorders.append(recorder)
+        accumulator = FlightRecorder(capacity=0)
+        for recorder in recorders:
+            accumulator.merge(recorder)
+        folded = merge_snapshots([{"recorder": r.snapshot()} for r in recorders])
+        assert accumulator.snapshot() == folded["recorder"]
+
+
+class TestSpanAndFanoutMerge:
+    def test_spans_sum_and_max(self):
+        trackers = []
+        for total in (0.5, 1.5):
+            tracker = SpanTracker()
+            span = tracker.span("medium.fanout")
+            span.count, span.total_s, span.max_s = 2, total, total / 2
+            trackers.append(tracker)
+        accumulator = SpanTracker()
+        for tracker in trackers:
+            accumulator.merge(tracker)
+        merged = accumulator.snapshot()["medium.fanout"]
+        assert merged == {"count": 4, "total_s": 2.0, "max_s": 0.75}
+        folded = merge_snapshots([{"spans": t.snapshot()} for t in trackers])
+        assert folded["spans"]["medium.fanout"] == merged
+
+    def test_top_fanout_sums_and_ranks(self):
+        merged = merge_top_fanout(
+            [[[1, 10], [2, 5]], [[2, 9], [3, 9]]], n=2
+        )
+        assert merged == [[2, 14], [1, 10]]
+
+    def test_empty_merge_is_empty(self):
+        assert merge_snapshots([]) == {}
+        assert merge_telemetry(None, {"metrics": {"a.b.c": 1}}) == {
+            "metrics": {"a.b.c": 1},
+            "histograms": {},
+        }

@@ -44,9 +44,21 @@ class TestRing:
         assert len(recorder) == 0
         assert recorder.recorded == 0
 
-    def test_rejects_non_positive_capacity(self):
+    def test_rejects_negative_capacity(self):
         with pytest.raises(ValueError):
-            FlightRecorder(capacity=0)
+            FlightRecorder(capacity=-1)
+
+    def test_zero_capacity_is_the_merge_accumulator(self):
+        # capacity=0 retains nothing until merges grow it -- the identity
+        # element the shard drivers fold per-worker recorders into.
+        accumulator = FlightRecorder(capacity=0)
+        accumulator.record("x", 1.0)
+        assert accumulator.events() == []
+        donor = FlightRecorder(capacity=2)
+        donor.record("x", 2.0)
+        accumulator.merge(donor)
+        assert accumulator.capacity == 2
+        assert [e["t"] for e in accumulator.events()] == [2.0]
 
 
 class TestDump:

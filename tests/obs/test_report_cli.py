@@ -86,3 +86,124 @@ class TestReport:
     def test_report_missing_file(self, capsys):
         assert main(["report", "/nonexistent/telemetry.json"]) == 2
         assert capsys.readouterr().err
+
+
+def _stored_record(key, transmissions, telemetry=True):
+    from repro.campaign import TrialRecord
+
+    snapshot = {}
+    if telemetry:
+        snapshot = {
+            "metrics": {"medium.channel.transmissions": transmissions},
+            "histograms": {
+                "medium.channel.fanout": {
+                    "count": 4, "sum": 8.0, "min": 1.0, "max": 3.0,
+                    "mean": 2.0,
+                    "buckets": [[1, 1], [2, 2], [4, 1]],
+                }
+            },
+        }
+    return TrialRecord(
+        key=key, campaign="fig7", x=40.0, variant="gossip", seed=1,
+        scale="quick", metrics={"mean": 1.0}, telemetry=snapshot,
+    )
+
+
+@pytest.fixture()
+def obs_store(tmp_path):
+    from repro.campaign import ResultStore
+
+    store = ResultStore(tmp_path / "campaign.jsonl")
+    store.append(_stored_record("fig7/40/gossip/1", 10))
+    store.append(_stored_record("fig7/50/gossip/1", 30))
+    store.append(_stored_record("fig8/40/gossip/1", 0, telemetry=False))
+    return store
+
+
+class TestReportMerged:
+    def test_merged_folds_instrumented_trials(self, obs_store, capsys):
+        assert main(["report", str(obs_store.path), "--merged"]) == 0
+        out = capsys.readouterr().out
+        assert "(merged, 2 trials)" in out
+        # Counters summed across both instrumented trials.
+        assert "40" in out
+
+    def test_merged_key_substring_filter(self, obs_store, capsys):
+        assert main(
+            ["report", str(obs_store.path), "--merged", "--key", "fig7/40"]
+        ) == 0
+        assert "(merged, 1 trials)" in capsys.readouterr().out
+
+    def test_merged_without_instrumented_records(self, obs_store, capsys):
+        assert main(
+            ["report", str(obs_store.path), "--merged", "--key", "fig8"]
+        ) == 2
+        assert "no instrumented records" in capsys.readouterr().err
+
+
+class TestReportDiff:
+    def test_diff_renders_nonempty_delta(self, telemetry_json, tmp_path, capsys):
+        other = tmp_path / "other.json"
+        assert main(
+            ["run", "--nodes", "10", "--members", "4", "--seed", "6",
+             "--obs-out", str(other)]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["report", str(telemetry_json), str(other), "--diff"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "(no differences)" not in out
+        assert str(telemetry_json) in out
+
+    def test_diff_against_itself_shows_no_differences(
+        self, telemetry_json, capsys
+    ):
+        assert main(
+            ["report", str(telemetry_json), str(telemetry_json), "--diff"]
+        ) == 0
+        assert "(no differences)" in capsys.readouterr().out
+
+    def test_diff_requires_second_path(self, telemetry_json, capsys):
+        assert main(["report", str(telemetry_json), "--diff"]) == 2
+        assert "--diff needs two inputs" in capsys.readouterr().err
+
+    def test_second_path_requires_diff(self, telemetry_json, capsys):
+        assert main(
+            ["report", str(telemetry_json), str(telemetry_json)]
+        ) == 2
+        assert "--diff" in capsys.readouterr().err
+
+
+class TestBenchArtifact:
+    def _artifact(self, tmp_path, mean):
+        path = tmp_path / f"BENCH_{int(mean * 1000)}.json"
+        path.write_text(json.dumps({
+            "benchmarks": [{
+                "name": "test_fig6[40]",
+                "stats": {"mean": mean},
+                "extra_info": {
+                    "events_per_sec": 1000.0 / mean,
+                    "skipped": False,  # bools must not become counters
+                },
+            }]
+        }))
+        return path
+
+    def test_bench_artifact_renders_as_telemetry(self, tmp_path, capsys):
+        artifact = self._artifact(tmp_path, 0.5)
+        assert main(["report", str(artifact)]) == 0
+        out = capsys.readouterr().out
+        # The renderer groups dotted names: "bench.test_fig6" + leaves.
+        assert "bench.test_fig6" in out
+        assert "mean_s" in out
+        assert "events_per_sec" in out
+        assert "skipped" not in out
+
+    def test_bench_artifacts_diff(self, tmp_path, capsys):
+        a = self._artifact(tmp_path, 0.5)
+        b = self._artifact(tmp_path, 0.4)
+        assert main(["report", str(a), str(b), "--diff"]) == 0
+        out = capsys.readouterr().out
+        assert "bench.test_fig6.mean_s" in out
+        assert "(no differences)" not in out

@@ -120,10 +120,6 @@ def test_parallel_modes_reject_unsupported_features():
         run_scenario(_parallel_config(
             churn_config=ChurnConfig(model="poisson", events_per_minute=6.0)
         ))
-    from repro.obs import ObsConfig
-
-    with pytest.raises(ValueError, match="observability"):
-        run_scenario(_parallel_config(obs_config=ObsConfig(enabled=True)))
     with pytest.raises(ValueError, match="shards"):
         run_sharded(_parallel_config(shards=1))
 
@@ -132,3 +128,165 @@ def test_window_override_changes_round_count():
     result = run_scenario(_parallel_config(shard_window_s=1.0))
     assert result.shard_stats["window_s"] == 1.0
     assert result.shard_stats["sync_rounds"] == 24
+
+
+# ------------------------------------------------------ telemetry merging
+def _obs_config(**overrides):
+    from repro.obs import ObsConfig
+
+    return _parallel_config(obs_config=ObsConfig(enabled=True), **overrides)
+
+
+def _strip_wall_clock(telemetry):
+    """Everything simulation-deterministic; wall-clock fields removed.
+
+    Spans, the events/sec gauge (plus its per-shard copies), the sync stall
+    gauge and the events_per_sec field of engine.sample records are the only
+    telemetry derived from ``perf_counter``; the rest must agree bit-exactly
+    between the windowed and process drivers.
+    """
+    import copy
+
+    stripped = copy.deepcopy(telemetry)
+    stripped.pop("spans", None)
+    metrics = stripped.get("metrics", {})
+    for name in list(metrics):
+        base = name.split("{", 1)[0]
+        if base in ("engine.calendar.events_per_sec", "shard.sync.stall_ms"):
+            del metrics[name]
+    for event in stripped.get("recorder_events", []):
+        event.pop("events_per_sec", None)
+    return stripped
+
+
+@pytest.fixture(scope="module")
+def windowed_obs_result():
+    return run_scenario(_obs_config())
+
+
+def test_windowed_obs_telemetry_is_merged(windowed_obs_result):
+    telemetry = windowed_obs_result.telemetry
+    assert telemetry["merged"] == {"shards": 2}
+    metrics = telemetry["metrics"]
+    # Deterministic sync accounting: every worker stepped every window.
+    rounds = windowed_obs_result.shard_stats["sync_rounds"]
+    assert metrics["shard.sync.windows"] == 2 * rounds
+    # Mailbox volume matches the driver's own exchange accounting: every
+    # drained record is counted once on export (with 2 shards, fan-out is 1),
+    # while the final window's exports are routed but never applied.
+    exchanged = windowed_obs_result.shard_stats["records_exchanged"]
+    assert metrics["shard.sync.outbox_records"] == exchanged
+    assert 0 < metrics["shard.sync.inbox_records"] <= exchanged
+    # Per-shard gauge copies sit next to the merged gauge.
+    assert "engine.calendar.heap_depth" in metrics
+    assert "engine.calendar.heap_depth{shard=0}" in metrics
+    assert "engine.calendar.heap_depth{shard=1}" in metrics
+    # Spans aggregated across both workers.
+    assert telemetry["spans"]["shard.window"]["count"] == 2 * rounds
+    # Recorder events interleave in global time order.
+    times = [event["t"] for event in telemetry["recorder_events"]]
+    assert times == sorted(times)
+    assert telemetry["recorder"]["capacity"] == 2 * 4096
+
+
+def test_process_obs_telemetry_equals_windowed(windowed_obs_result):
+    """The object-merge ≡ snapshot-merge law, end to end.
+
+    The windowed driver folds live registries/recorders/span trackers; the
+    process driver folds snapshot dicts shipped over the result pipe.  Equal
+    output (wall-clock fields aside) proves both merge paths implement the
+    same semantics.
+    """
+    process = run_scenario(_obs_config(shard_mode="process"))
+    assert _strip_wall_clock(process.telemetry) == _strip_wall_clock(
+        windowed_obs_result.telemetry
+    )
+
+
+def test_obs_telemetry_merges_under_failure_injection():
+    config = _obs_config(seed=32)
+    events = [
+        FailureEvent(node_id=3, start_s=9.0, end_s=15.0),
+        FailureEvent(node_id=11, start_s=10.0, end_s=18.0),
+    ]
+    windowed = run_sharded(config, failure_events=events)
+    process = run_sharded(
+        replace(config, shard_mode="process"), failure_events=events
+    )
+    assert _comparable(windowed) == _comparable(process)
+    assert _strip_wall_clock(windowed.telemetry) == _strip_wall_clock(
+        process.telemetry
+    )
+    assert windowed.shard_stats["foreign"]["sender_downs"] > 0
+
+
+def test_obs_enabled_does_not_change_parallel_results(windowed_result):
+    """Instrumentation must not perturb the simulation itself.
+
+    The sampler adds its own calendar events, so events_processed differs;
+    everything the paper reads off the run (deliveries, protocol stats,
+    mailbox traffic) must be identical to the uninstrumented windowed run.
+    """
+    instrumented = run_scenario(_obs_config())
+    assert instrumented.packets_sent == windowed_result.packets_sent
+    assert dict(instrumented.member_counts) == dict(windowed_result.member_counts)
+    assert dict(instrumented.protocol_stats) == dict(windowed_result.protocol_stats)
+    assert (
+        instrumented.shard_stats["records_exchanged"]
+        == windowed_result.shard_stats["records_exchanged"]
+    )
+
+
+def test_worker_error_dump_gets_shard_suffix(tmp_path):
+    """Satellite: per-worker crash dumps carry a ``.shard<k>`` suffix."""
+    from repro.obs import ObsConfig
+    from repro.sim.shard import _ShardWorker
+
+    dump = tmp_path / "crash.jsonl"
+    config = _parallel_config(
+        obs_config=ObsConfig(enabled=True, dump_on_error_path=str(dump))
+    )
+    worker = _ShardWorker(config, role=1)
+    assert worker.scenario.config.obs_config.dump_on_error_path == (
+        f"{dump}.shard1"
+    )
+
+    def boom():
+        raise RuntimeError("injected")
+
+    worker.sim.call_in(0.5, boom)
+    with pytest.raises(RuntimeError, match="injected"):
+        worker.step([], until=1.0)
+    assert (tmp_path / "crash.jsonl.shard1").exists()
+
+
+def test_sequential_shard_obs_telemetry_matches_unsharded():
+    """Instrumented sequential sharding = the unsharded telemetry + extras.
+
+    The sequential mode is the exact engine (same events, same order), so
+    every workload-level metric, histogram and fan-out total must be
+    byte-identical to the unsharded instrumented run; the only additions
+    are the sampler's ``engine.shard.*`` partition-balance gauges.  Engine
+    calendar-health gauges (heap depth, tombstones, slot pool) describe
+    the *engine's internals*, which legitimately differ between one heap
+    and N region heaps, so they are excluded alongside wall-clock fields.
+    """
+    def _workload_view(telemetry):
+        metrics = {
+            name: value
+            for name, value in telemetry["metrics"].items()
+            if not name.split("{", 1)[0].startswith("engine.")
+        }
+        return metrics, telemetry["histograms"], telemetry["top_fanout"]
+
+    unsharded = run_scenario(_obs_config(shards=1))
+    sequential = run_scenario(_obs_config(shard_mode="sequential"))
+    assert sequential.events_processed == unsharded.events_processed
+    assert _workload_view(sequential.telemetry) == _workload_view(
+        unsharded.telemetry
+    )
+    # The per-shard partition-balance extras actually arrived.
+    metrics = sequential.telemetry["metrics"]
+    assert "engine.shard.head_scan_comparisons" in metrics
+    assert "engine.shard.heap_depth{shard=0}" in metrics
+    assert "engine.shard.events{shard=1}" in metrics
