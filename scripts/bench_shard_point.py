@@ -26,7 +26,12 @@ Usage::
 
     PYTHONPATH=src python scripts/bench_shard_point.py --out BENCH_shard.json
         [--nodes 1000] [--shards 4] [--duration 30] [--modes unsharded
-        sequential process] [--rounds 1] [--obs] [--report-out REPORT.txt]
+        sequential process] [--rounds 1] [--obs] [--memory]
+        [--report-out REPORT.txt]
+
+``--memory`` adds per-worker setup wall time and peak RSS
+(``resource.getrusage``) for the parallel modes, so the shard-local
+construction win is measurable even on a single-core container.
 """
 
 from __future__ import annotations
@@ -96,8 +101,39 @@ def time_mode(config: ScenarioConfig, rounds: int) -> tuple:
             record["sync_window_s"] = stats["window_s"]
             record["sync_rounds"] = stats["sync_rounds"]
             record["records_exchanged"] = stats["records_exchanged"]
+            record["records_shipped"] = stats["records_shipped"]
+            record["records_filtered"] = stats["records_filtered"]
+            record["halo_by_shard"] = {
+                str(shard): size
+                for shard, size in sorted(stats["halo_by_shard"].items())
+            }
             record["foreign"] = stats["foreign"]
     return record, result
+
+
+def memory_record(result) -> dict:
+    """Per-worker setup time and peak RSS of a parallel-mode result.
+
+    Process mode reports each worker process's own ``ru_maxrss``; windowed
+    mode runs every worker in this process, so all shards report the same
+    process-wide peak (documented in the artifact via ``rss_scope``).
+    """
+    stats = result.shard_stats
+    setup = stats["setup_s_by_shard"]
+    rss = stats["peak_rss_kb_by_shard"]
+    return {
+        "rss_scope": (
+            "per_worker_process" if stats["mode"] == "process" else "shared_process"
+        ),
+        "setup_s_by_shard": {
+            str(shard): round(value, 3) for shard, value in sorted(setup.items())
+        },
+        "setup_s_max": round(max(setup.values()), 3),
+        "peak_rss_kb_by_shard": {
+            str(shard): value for shard, value in sorted(rss.items())
+        },
+        "peak_rss_kb_max": max(rss.values()),
+    }
 
 
 def main() -> int:
@@ -113,6 +149,12 @@ def main() -> int:
     parser.add_argument("--obs", action="store_true",
                         help="instrument every mode (parallel modes merge "
                              "per-worker telemetry into one snapshot)")
+    parser.add_argument("--memory", action="store_true",
+                        help="record per-worker setup wall time and peak RSS "
+                             "for the parallel modes (process mode gives one "
+                             "ru_maxrss per worker process; windowed mode "
+                             "shares this process, so its per-shard RSS is "
+                             "the process-wide peak)")
     parser.add_argument("--report-out", default=None, metavar="PATH",
                         help="write the rendered telemetry report of the "
                              "last instrumented mode to PATH (implies --obs)")
@@ -136,6 +178,12 @@ def main() -> int:
         print(f"[{mode}] nodes={args.nodes} shards="
               f"{args.shards if mode != 'unsharded' else 1} ...", flush=True)
         record, result = time_mode(config, args.rounds)
+        if args.memory and mode in ("windowed", "process"):
+            record["memory"] = memory_record(result)
+            print(f"[{mode}] setup "
+                  f"{record['memory']['setup_s_max']} s/worker (max), "
+                  f"peak RSS {record['memory']['peak_rss_kb_max']} kB "
+                  f"({record['memory']['rss_scope']})", flush=True)
         results[mode] = record
         if result.telemetry is not None:
             telemetry = result.telemetry

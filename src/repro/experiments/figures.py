@@ -362,11 +362,15 @@ def group_count_sweep() -> ExperimentSpec:
 
 
 #: The mobility models swept by :func:`mobility_model_sweep`, in x order.
+#: "rpgm_scattered" is RPGM with ``rpgm_align_multicast=False`` -- multicast
+#: members scattered across mobility groups instead of travelling together,
+#: the knob's adversarial setting.
 MOBILITY_SWEEP_MODELS: List[str] = [
     "random_waypoint",
     "gauss_markov",
     "rpgm",
     "manhattan",
+    "rpgm_scattered",
 ]
 
 
@@ -383,7 +387,11 @@ def mobility_model_sweep() -> ExperimentSpec:
     """
 
     def build(x: float, scale: str) -> ScenarioConfig:
-        mobility = MobilityConfig(model=MOBILITY_SWEEP_MODELS[int(x)])
+        name = MOBILITY_SWEEP_MODELS[int(x)]
+        if name == "rpgm_scattered":
+            mobility = MobilityConfig(model="rpgm", rpgm_align_multicast=False)
+        else:
+            mobility = MobilityConfig(model=name)
         if scale == "paper":
             return _base_config(
                 scale,
@@ -402,9 +410,10 @@ def mobility_model_sweep() -> ExperimentSpec:
     return ExperimentSpec(
         figure="mobility",
         title="Packet delivery vs mobility model "
-              "(random waypoint, Gauss-Markov, RPGM, Manhattan)",
+              "(random waypoint, Gauss-Markov, RPGM, Manhattan, "
+              "scattered RPGM)",
         x_label="model index",
-        x_values=[0, 1, 2, 3],
+        x_values=[0, 1, 2, 3, 4],
         config_builder=build,
     )
 

@@ -232,6 +232,7 @@ class Medium:
         sim: Simulator,
         config: Optional[RadioConfig] = None,
         obs=None,
+        index_membership=None,
     ):
         self.sim = sim
         self.config = config or RadioConfig()
@@ -303,15 +304,19 @@ class Medium:
                     width_m=self._wrap[0],
                     height_m=self._wrap[1],
                     band_m=self.config.motion_band_m,
+                    membership=index_membership,
                 )
             else:
                 self._index = UniformGridIndex(
                     cell_m=self.config.grid_cell_m,
                     slack_m=self.config.grid_slack_m,
                     band_m=self.config.motion_band_m,
+                    membership=index_membership,
                 )
         else:
-            self._index = LinearScanIndex(wrap=self._wrap)
+            self._index = LinearScanIndex(
+                wrap=self._wrap, membership=index_membership
+            )
         #: Kernel dispatch: the two hot entry points are bound per instance
         #: so neither kernel pays a mode branch per call.
         self._batch_mode = self.config.fanout_kernel == "batch"

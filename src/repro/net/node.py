@@ -41,6 +41,7 @@ class Node:
         mobility,
         streams: RandomStreams,
         mac_config: Optional[MacConfig] = None,
+        build_mac: bool = True,
     ):
         self.node_id = node_id
         self.sim = sim
@@ -48,14 +49,21 @@ class Node:
         self.mobility = mobility
         self.streams = streams
         self.phy = Phy(self, medium)
-        self.mac = CsmaMac(
-            sim,
-            self.phy,
-            mac_config or MacConfig(),
-            streams.for_node("mac", node_id),
-            on_receive=self.deliver,
-            on_unicast_failure=self._on_unicast_failure,
-        )
+        #: ``None`` for foreign radios in a sharded worker: a dark radio's
+        #: MAC state machine can never run (its :class:`Phy` callbacks only
+        #: fire for enabled radios), so the worker skips the MAC object and
+        #: its per-node backoff stream.  ``for_node`` streams are
+        #: hash-derived, so not creating one consumes nothing shared.
+        self.mac: Optional[CsmaMac] = None
+        if build_mac:
+            self.mac = CsmaMac(
+                sim,
+                self.phy,
+                mac_config or MacConfig(),
+                streams.for_node("mac", node_id),
+                on_receive=self.deliver,
+                on_unicast_failure=self._on_unicast_failure,
+            )
         self._handlers: Dict[Type[Packet], PacketHandler] = {}
         #: (sniffer, packet types it wants or None for all), registration order.
         self._sniffers: List[Tuple[PacketHandler, Optional[Tuple[Type[Packet], ...]]]] = []

@@ -234,7 +234,8 @@ class UniformGridIndex:
     the truth and exact classification is delegated to the memo.
     """
 
-    def __init__(self, cell_m: float, slack_m: float, band_m: Optional[float] = None):
+    def __init__(self, cell_m: float, slack_m: float, band_m: Optional[float] = None,
+                 membership=None):
         if cell_m <= 0:
             raise ValueError("cell_m must be positive")
         if slack_m < 0:
@@ -243,6 +244,12 @@ class UniformGridIndex:
             raise ValueError("band_m must be non-negative")
         self.cell_m = cell_m
         self.slack_m = slack_m
+        #: Optional membership predicate: radios it rejects are never
+        #: tracked or bucketed (the sharded engine's halo filter -- a
+        #: parallel worker indexes only its owned + halo radios, so grid
+        #: size scales with the region, not the fleet).  ``None`` admits
+        #: every radio.
+        self.membership = membership
         #: Displacement-epoch band for per-sender windows (defaults to the
         #: slack budget): a moving sender keeps its pre-classified window
         #: while it stays within this distance of the window's anchor.
@@ -290,7 +297,16 @@ class UniformGridIndex:
 
     # --------------------------------------------------------------- members
     def add(self, phy: "Phy") -> None:
-        """Track a radio; the grid is rebuilt lazily on the next query."""
+        """Track a radio; the grid is rebuilt lazily on the next query.
+
+        Radios rejected by the membership predicate are ignored entirely:
+        they are never memoised, bucketed or enumerated, so every query
+        (and every rebuild) pays only for admitted members.  Registration
+        order among admitted members is preserved -- the bit-identity
+        contract of the window enumeration.
+        """
+        if self.membership is not None and not self.membership(phy):
+            return
         self.memo.track(phy)
         self._members.append((len(self._members), phy.node_id, phy))
         rate = self.memo.rate_of(phy.node_id)
@@ -890,8 +906,9 @@ class TorusGridIndex(UniformGridIndex):
     """
 
     def __init__(self, cell_m: float, slack_m: float, width_m: float, height_m: float,
-                 band_m: Optional[float] = None):
-        super().__init__(cell_m=cell_m, slack_m=slack_m, band_m=band_m)
+                 band_m: Optional[float] = None, membership=None):
+        super().__init__(cell_m=cell_m, slack_m=slack_m, band_m=band_m,
+                         membership=membership)
         if width_m <= 0 or height_m <= 0:
             raise ValueError("torus dimensions must be positive")
         self.width_m = width_m
@@ -1200,15 +1217,19 @@ class LinearScanIndex:
     window_builds = 0
     window_patch_hits = 0
 
-    def __init__(self, wrap: Optional[Tuple[float, float]] = None):
+    def __init__(self, wrap: Optional[Tuple[float, float]] = None, membership=None):
         self._members: List[Tuple[int, int, "Phy"]] = []
         self._wrap = wrap
+        #: See :attr:`UniformGridIndex.membership` -- same halo-filter hook.
+        self.membership = membership
         #: Reused by :meth:`transmission_window` so the per-transmission
         #: scan stays allocation-free (the medium consumes the window
         #: before the next transmission starts).
         self._window_buf: List[Tuple[int, int, "Phy", bool]] = []
 
     def add(self, phy: "Phy") -> None:
+        if self.membership is not None and not self.membership(phy):
+            return
         self._members.append((len(self._members), phy.node_id, phy))
 
     def members(self) -> List[Tuple[int, int, "Phy"]]:

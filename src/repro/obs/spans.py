@@ -49,6 +49,17 @@ class Span:
     def __exit__(self, exc_type, exc, tb) -> None:
         self.stop()
 
+    def add(self, elapsed_s: float) -> None:
+        """Record one externally-timed interval.
+
+        For sections that cannot bracket themselves with ``start``/``stop``
+        -- e.g. a build phase timed before the obs facade existed.
+        """
+        self.count += 1
+        self.total_s += elapsed_s
+        if elapsed_s > self.max_s:
+            self.max_s = elapsed_s
+
     def merge(self, other: "Span") -> None:
         """Fold another span's aggregate in: counts/totals sum, max wins."""
         self.count += other.count
@@ -110,6 +121,9 @@ class NullSpan:
         pass
 
     def stop(self) -> None:
+        pass
+
+    def add(self, elapsed_s: float) -> None:
         pass
 
     def __enter__(self) -> "NullSpan":

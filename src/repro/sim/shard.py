@@ -148,6 +148,69 @@ class ShardPlan:
         return (col * cw, row * ch, (col + 1) * cw, (row + 1) * ch)
 
     @staticmethod
+    def _axis_distance(v: float, lo: float, hi: float, wrap: float, torus: bool) -> float:
+        """Distance from coordinate ``v`` to the interval ``[lo, hi]``.
+
+        On a torus the minimum-image convention applies: the nearest of the
+        three periodic images of ``v`` decides (regions never span more than
+        one period, so adjacent images suffice).
+        """
+        if torus:
+            best = math.inf
+            for image in (v - wrap, v, v + wrap):
+                if image < lo:
+                    d = lo - image
+                elif image > hi:
+                    d = image - hi
+                else:
+                    return 0.0
+                if d < best:
+                    best = d
+            return best
+        if v < lo:
+            return lo - v
+        if v > hi:
+            return v - hi
+        return 0.0
+
+    def region_distance(self, shard: int, x: float, y: float, torus: bool = False) -> float:
+        """Distance from ``(x, y)`` to ``shard``'s region (0 inside it).
+
+        The *halo set* of a region is exactly the points whose region
+        distance is at most the carrier-sense range: every radio there can
+        interfere with (or be sensed by) a radio inside the region, and no
+        radio outside the halo can.  With ``torus=True`` both axes use the
+        minimum-image convention, so halos wrap around the seams.
+        """
+        x0, y0, x1, y1 = self.region_bounds(shard)
+        dx = self._axis_distance(x, x0, x1, self.width_m, torus)
+        dy = self._axis_distance(y, y0, y1, self.height_m, torus)
+        if dx == 0.0:
+            return dy
+        if dy == 0.0:
+            return dx
+        return math.hypot(dx, dy)
+
+    def shards_within(
+        self, x: float, y: float, radius: float, torus: bool = False
+    ) -> Tuple[int, ...]:
+        """Every shard whose region the disc ``(x, y, radius)`` intersects.
+
+        The neighbor set of a transmission: a radio inside shard ``s`` can
+        only observe a transmission from ``(x, y)`` when ``s`` is in this
+        tuple (with ``radius`` = the carrier-sense range plus any motion
+        slack).  Soundness -- every point within ``radius`` of a region is
+        routed to it -- is what the interest-filtered boundary exchange and
+        the halo-filtered spatial indexes rely on; the Hypothesis geometry
+        suite pins it over area x shard count x range, flat and torus.
+        """
+        return tuple(
+            shard
+            for shard in range(self.shards)
+            if self.region_distance(shard, x, y, torus) <= radius
+        )
+
+    @staticmethod
     def sync_window(
         cs_range_m: float,
         speed_bound_mps: Optional[float],
@@ -327,12 +390,12 @@ class ShardedSimulator(Simulator):
 
 
 # --------------------------------------------------------- parallel workers
-def _resolve_sync_window(config) -> float:
-    """The run's sync window from its radio/motion envelope (or override)."""
+def _radio_envelope(config):
+    """The radio/motion envelope the sync window and interest filter use."""
     from repro.mobility.config import fleet_speed_bound
     from repro.net.config import RadioConfig
 
-    radio = RadioConfig(
+    return RadioConfig(
         transmission_range_m=config.transmission_range_m,
         bitrate_bps=config.bitrate_bps,
         area_topology=config.area_topology,
@@ -340,11 +403,36 @@ def _resolve_sync_window(config) -> float:
         area_height_m=config.area_height_m,
         speed_bound_mps=fleet_speed_bound(config.mobility_config, config.max_speed_mps),
     )
+
+
+def _resolve_sync_window(config) -> float:
+    """The run's sync window from its radio/motion envelope (or override)."""
+    radio = _radio_envelope(config)
     return ShardPlan.sync_window(
         radio.carrier_sense_range_m,
         radio.speed_bound_mps,
         override=config.shard_window_s,
     )
+
+
+@dataclass(frozen=True)
+class _Interest:
+    """The interest filter's inputs: geometry plus the motion envelope.
+
+    A "tx" record is shipped to worker ``j`` only when the sender's
+    interference disc -- carrier-sense range plus per-record motion slack
+    ``speed_bound * airtime``, covering radios that power up and attach
+    while the foreign frame is still in flight -- intersects a region
+    worker ``j``'s radios currently occupy.  "down" records carry no
+    geometry and are broadcast: applying one with no matching in-flight
+    batch is a provable no-op, and a crash must reach any shard still
+    holding one of the sender's earlier frames.
+    """
+
+    plan: ShardPlan
+    torus: bool
+    cs_range_m: float
+    speed_bound_mps: float
 
 
 def _validate_parallel(config) -> None:
@@ -385,18 +473,62 @@ def _record_sort_key(item):
     return (record[1], record[2], 0 if record[0] == "tx" else 1)
 
 
-def _route(outs: List[list], shards: int) -> Tuple[List[list], int]:
-    """All-to-all redistribution: worker ``j`` gets every record but its own,
-    in one globally sorted order shared by all workers."""
+def _route(
+    outs: List[list],
+    shards: int,
+    interest: Optional[_Interest] = None,
+    occupancies: Optional[List[Tuple[int, ...]]] = None,
+) -> Tuple[List[list], int, int, int]:
+    """Redistribute one window's records; returns ``(inboxes, exchanged,
+    shipped, filtered)``.
+
+    Every record enters one globally sorted order first; each worker's
+    inbox is then a *subsequence* of that order (interest-filtered or, with
+    ``interest=None``, simply everyone-but-the-origin), so all workers
+    apply their records in the same relative order -- the determinism
+    contract ``Medium.apply_foreign_records`` documents.  ``exchanged``
+    counts drained records once each; ``shipped``/``filtered`` count
+    per-destination copies delivered/suppressed (all-to-all ships
+    ``exchanged * (shards - 1)`` copies, filtered modes fewer).
+    """
     tagged = [
         (record, origin) for origin, out in enumerate(outs) for record in out
     ]
     tagged.sort(key=_record_sort_key)
-    inboxes = [
-        [record for record, origin in tagged if origin != j]
-        for j in range(shards)
-    ]
-    return inboxes, len(tagged)
+    if interest is None:
+        inboxes = [
+            [record for record, origin in tagged if origin != j]
+            for j in range(shards)
+        ]
+        return inboxes, len(tagged), len(tagged) * (shards - 1), 0
+    plan = interest.plan
+    torus = interest.torus
+    cs_range = interest.cs_range_m
+    speed = interest.speed_bound_mps
+    occupied = [frozenset(occupancy) for occupancy in occupancies]
+    inboxes = [[] for _ in range(shards)]
+    shipped = 0
+    for record, origin in tagged:
+        if record[0] == "tx":
+            # record = ("tx", start, sender, end_time, sx, sy, frame); the
+            # slack covers receiver drift between this boundary and the
+            # frame's end of flight (start falls in the window just closed,
+            # so end - start bounds any attach-time displacement).
+            radius = cs_range + speed * (record[3] - record[1])
+            neighbors = plan.shards_within(record[4], record[5], radius, torus)
+            for j in range(shards):
+                if j == origin:
+                    continue
+                regions = occupied[j]
+                if any(shard in regions for shard in neighbors):
+                    inboxes[j].append(record)
+                    shipped += 1
+        else:
+            for j in range(shards):
+                if j != origin:
+                    inboxes[j].append(record)
+                    shipped += 1
+    return inboxes, len(tagged), shipped, len(tagged) * (shards - 1) - shipped
 
 
 class _ShardWorker:
@@ -414,6 +546,7 @@ class _ShardWorker:
         from repro.workload.failures import FailureSchedule
         from repro.workload.scenario import Scenario
 
+        setup_started = time.perf_counter()
         obs_config = config.obs_config
         if obs_config.enabled and obs_config.dump_on_error_path:
             # Every worker dumps its own ring: a `.shard<k>` suffix keeps
@@ -454,9 +587,54 @@ class _ShardWorker:
             ]
             if owned_events:
                 FailureSchedule(self.sim, scenario.nodes, owned_events).start()
+        #: Owned radios, for the per-boundary occupancy advertisement; a
+        #: crashed radio still occupies a region (it may recover mid-window
+        #: and attach to an in-flight foreign frame), so *every* owned node
+        #: is tracked, enabled or not.
+        self._owned_nodes = [
+            node for node in scenario.nodes if node.phy.shard == role
+        ]
+        #: Foreign radios the shard-local index admitted: the region's halo
+        #: (within carrier-sense range of the region at t=0).  Deterministic
+        #: -- a pure function of the seed and the plan -- so it merges
+        #: identically under both parallel drivers.
+        self.halo_size = sum(
+            1
+            for _, _, phy in self.medium.spatial_index.members()
+            if phy.shard != role
+        )
+        self.setup_s = time.perf_counter() - setup_started
+        if self._obs_on:
+            obs.gauge("shard.halo.size").set(self.halo_size)
+            # The obs facade is created inside build(), so the setup phase
+            # cannot bracket itself with start()/stop(); add() records the
+            # externally-timed interval.
+            obs.span("shard.setup").add(self.setup_s)
 
-    def step(self, inbox: list, until: float) -> list:
-        """Apply one window's foreign records, run to the boundary, export."""
+    def occupancy(self) -> Tuple[int, ...]:
+        """The regions this worker's radios occupy right now, plus its own.
+
+        The interest filter's receiver side: a foreign record can only
+        matter here when its interference disc reaches one of these
+        regions.  Computed at a sync boundary -- the exact simulated time
+        the next window's records are applied at -- so the advertisement is
+        as fresh as the geometry it guards; the per-record motion slack in
+        :func:`_route` covers drift after that instant.
+        """
+        plan = self.scenario.shard_plan
+        now = self.sim.now
+        regions = {self.role}
+        for node in self._owned_nodes:
+            regions.add(plan.shard_of(*node.phy.position(now)))
+        return tuple(sorted(regions))
+
+    def step(self, inbox: list, until: float) -> Tuple[list, Tuple[int, ...]]:
+        """Apply one window's foreign records, run to the boundary, export.
+
+        Returns ``(outbox, occupancy)``: the window's channel records and
+        the occupancy advertisement the driver routes the *next* window's
+        records with.
+        """
         if self._obs_on:
             if self._last_step_end is not None:
                 self._g_stall.set((time.perf_counter() - self._last_step_end) * 1e3)
@@ -478,10 +656,12 @@ class _ShardWorker:
             if out:
                 self._c_outbox.inc(len(out))
             self._last_step_end = time.perf_counter()
-        return out
+        return out, self.occupancy()
 
     def finish(self) -> Dict[str, object]:
         """The shard's mergeable result payload (picklable)."""
+        import resource
+
         from repro.net.spatial import region_census
 
         scenario = self.scenario
@@ -514,6 +694,13 @@ class _ShardWorker:
             "goodput": goodput,
             "foreign": dict(self.medium.foreign_stats),
             "census": census,
+            "halo": self.halo_size,
+            # Wall-clock diagnostics (never compared across modes): build +
+            # stack-start time, and the peak RSS -- per worker process in
+            # process mode, process-wide (shared by all workers) in windowed
+            # mode.  ru_maxrss is kilobytes on Linux.
+            "setup_s": self.setup_s,
+            "peak_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
         }
         if self._obs_on:
             # Publish the shard's derived metrics, then ship the telemetry
@@ -598,33 +785,39 @@ def _merge_telemetry_objects(config, workers, payloads) -> Dict[str, object]:
 
 
 def _drive_windowed(
-    config, failure_events, bounds
-) -> Tuple[List[dict], int, Optional[dict]]:
+    config, failure_events, bounds, interest
+) -> Tuple[List[dict], Tuple[int, int, int], Optional[dict]]:
     workers = [
         _ShardWorker(config, role, failure_events)
         for role in range(config.shards)
     ]
     inboxes: List[list] = [[] for _ in range(config.shards)]
-    exchanged = 0
+    exchanged = shipped = filtered = 0
     for until in bounds:
-        outs = [
+        stepped = [
             worker.step(inboxes[index], until)
             for index, worker in enumerate(workers)
         ]
-        inboxes, count = _route(outs, config.shards)
+        outs = [out for out, _ in stepped]
+        occupancies = [occupancy for _, occupancy in stepped]
+        inboxes, count, sent, cut = _route(
+            outs, config.shards, interest, occupancies
+        )
         exchanged += count
+        shipped += sent
+        filtered += cut
     payloads = [worker.finish() for worker in workers]
     telemetry = (
         _merge_telemetry_objects(config, workers, payloads)
         if config.obs_config.enabled
         else None
     )
-    return payloads, exchanged, telemetry
+    return payloads, (exchanged, shipped, filtered), telemetry
 
 
 def _drive_process(
-    config, failure_events, bounds
-) -> Tuple[List[dict], int, Optional[dict]]:
+    config, failure_events, bounds, interest
+) -> Tuple[List[dict], Tuple[int, int, int], Optional[dict]]:
     context = multiprocessing.get_context()
     connections = []
     processes = []
@@ -641,13 +834,19 @@ def _drive_process(
             connections.append(parent_conn)
             processes.append(process)
         inboxes: List[list] = [[] for _ in range(config.shards)]
-        exchanged = 0
+        exchanged = shipped = filtered = 0
         for until in bounds:
             for index, conn in enumerate(connections):
                 conn.send(("step", until, inboxes[index]))
-            outs = [conn.recv() for conn in connections]
-            inboxes, count = _route(outs, config.shards)
+            stepped = [conn.recv() for conn in connections]
+            outs = [out for out, _ in stepped]
+            occupancies = [occupancy for _, occupancy in stepped]
+            inboxes, count, sent, cut = _route(
+                outs, config.shards, interest, occupancies
+            )
             exchanged += count
+            shipped += sent
+            filtered += cut
         for conn in connections:
             conn.send(("finish",))
         payloads = [conn.recv() for conn in connections]
@@ -665,7 +864,7 @@ def _drive_process(
         if config.obs_config.enabled
         else None
     )
-    return payloads, exchanged, telemetry
+    return payloads, (exchanged, shipped, filtered), telemetry
 
 
 # ------------------------------------------------------------ result merge
@@ -689,7 +888,7 @@ def _merge_collectors(config, payloads) -> Dict[int, "object"]:
 
 
 def _merge_worker_results(
-    config, payloads, *, mode, window_s, rounds, exchanged, telemetry=None
+    config, payloads, *, mode, window_s, rounds, exchange, telemetry=None
 ):
     from repro.membership.summary import combine_summaries
     from repro.workload.scenario import ScenarioResult
@@ -724,17 +923,32 @@ def _merge_worker_results(
         for region, count in payload["census"].items():
             census[region] = census.get(region, 0) + count
         events_total += payload["events_processed"]
+    exchanged, shipped, filtered = exchange
     shard_stats = {
         "mode": mode,
         "shards": config.shards,
         "window_s": window_s,
         "sync_rounds": rounds,
         "records_exchanged": exchanged,
+        # Interest-filter accounting (per-destination copies; all three are
+        # deterministic, so they take part in the windowed ≡ process law).
+        "records_shipped": shipped,
+        "records_filtered": filtered,
         "events_by_shard": {
             payload["role"]: payload["events_processed"] for payload in payloads
         },
         "owned_by_shard": {
             payload["role"]: len(payload["owned"]) for payload in payloads
+        },
+        "halo_by_shard": {
+            payload["role"]: payload["halo"] for payload in payloads
+        },
+        # Wall-clock fields -- excluded from every cross-mode comparison.
+        "setup_s_by_shard": {
+            payload["role"]: payload["setup_s"] for payload in payloads
+        },
+        "peak_rss_kb_by_shard": {
+            payload["role"]: payload["peak_rss_kb"] for payload in payloads
         },
         "final_census": census,
         "foreign": foreign,
@@ -770,22 +984,51 @@ def run_sharded(config, failure_events=None):
     if config.shard_mode not in ("windowed", "process"):
         raise ValueError(f"unknown parallel shard mode {config.shard_mode!r}")
     _validate_parallel(config)
-    window_s = _resolve_sync_window(config)
+    radio = _radio_envelope(config)
+    window_s = ShardPlan.sync_window(
+        radio.carrier_sense_range_m,
+        radio.speed_bound_mps,
+        override=config.shard_window_s,
+    )
     bounds = _boundaries(config.duration_s, window_s)
-    if config.shard_mode == "process":
-        payloads, exchanged, telemetry = _drive_process(config, failure_events, bounds)
+    if radio.speed_bound_mps is None:
+        # No motion envelope: per-record slack is unbounded, so the filter
+        # falls back to the all-to-all broadcast (never reached from
+        # ScenarioConfig, whose fleets always have an exact speed bound).
+        interest = None
     else:
-        payloads, exchanged, telemetry = _drive_windowed(config, failure_events, bounds)
+        interest = _Interest(
+            plan=ShardPlan.build(
+                config.shards, config.area_width_m, config.area_height_m
+            ),
+            torus=(config.area_topology == "torus"),
+            cs_range_m=radio.carrier_sense_range_m,
+            speed_bound_mps=radio.speed_bound_mps,
+        )
+    if config.shard_mode == "process":
+        payloads, exchange, telemetry = _drive_process(
+            config, failure_events, bounds, interest
+        )
+    else:
+        payloads, exchange, telemetry = _drive_windowed(
+            config, failure_events, bounds, interest
+        )
     if telemetry is not None:
         # Annotated here, after both drivers, so the windowed ≡ process
         # telemetry-equality law covers the metadata too.
         telemetry["merged"] = {"shards": config.shards}
+        metrics = telemetry.get("metrics")
+        if metrics is not None:
+            # Driver-side counters (the workers never see what was routed
+            # around them); deterministic, hence inside the equality law.
+            metrics["shard.sync.records_shipped"] = exchange[1]
+            metrics["shard.sync.records_filtered"] = exchange[2]
     return _merge_worker_results(
         config,
         payloads,
         mode=config.shard_mode,
         window_s=window_s,
         rounds=len(bounds),
-        exchanged=exchanged,
+        exchange=exchange,
         telemetry=telemetry,
     )

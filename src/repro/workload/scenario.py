@@ -342,7 +342,38 @@ class Scenario:
             speed_bound_mps=fleet_speed_bound(config.mobility_config, config.max_speed_mps),
             shards=config.shards,
         )
-        self.medium = Medium(self.sim, radio, obs=self.obs)
+        index_membership = None
+        if config.shards > 1:
+            from repro.sim.shard import ShardPlan
+
+            self.shard_plan = ShardPlan.build(
+                config.shards, config.area_width_m, config.area_height_m
+            )
+            if self.shard_role is not None:
+                # Shard-local spatial index: a parallel worker admits only
+                # the radios it can ever interact with -- its own region's
+                # plus the *halo* (radios within carrier-sense range of the
+                # region at t=0).  Foreign non-halo radios are registered on
+                # the medium (the registry and the failure filter need every
+                # phy) but never indexed, so the grid, its motion tracking
+                # and every candidate scan stay region-sized.  Owned radios
+                # always pass (distance 0 inside their home region); halo
+                # radios are disabled foreign ones, filtered by ``enabled``
+                # checks everywhere, so admitting them is free future-proofing
+                # and keeps the index an honest cs-range closure of the region.
+                def index_membership(
+                    phy,
+                    plan=self.shard_plan,
+                    role=self.shard_role,
+                    torus=(config.area_topology == "torus"),
+                    cs_range=radio.carrier_sense_range_m,
+                ):
+                    x, y = phy.position(0.0)
+                    return plan.region_distance(role, x, y, torus=torus) <= cs_range
+
+        self.medium = Medium(
+            self.sim, radio, obs=self.obs, index_membership=index_membership
+        )
         area = RectangularArea(config.area_width_m, config.area_height_m)
 
         # Members are selected before the fleet is built so RPGM can align
@@ -364,6 +395,10 @@ class Scenario:
         )
 
         for node_id in range(config.num_nodes):
+            shard = None
+            if self.shard_plan is not None:
+                shard = self.shard_plan.shard_of(*fleet[node_id].position(0.0))
+            owned = self.shard_role is None or shard == self.shard_role
             node = Node(
                 node_id,
                 self.sim,
@@ -371,8 +406,25 @@ class Scenario:
                 fleet[node_id],
                 streams,
                 mac_config=config.mac_config,
+                build_mac=owned,
             )
             self.nodes.append(node)
+            if shard is not None:
+                node.phy.shard = shard
+                if not owned:
+                    # Foreign radio in a parallel worker: it goes dark (a
+                    # disabled radio neither transmits nor receives) and --
+                    # stack elision -- no MAC / AODV / multicast / gossip
+                    # objects are built for it (the MAC is skipped at
+                    # construction above via ``build_mac=owned``).  Safe
+                    # without stub draws because every
+                    # protocol constructor draws only from per-node
+                    # hash-derived streams (``RandomStreams.for_node``); the
+                    # shared streams (membership, mobility, joins) are all
+                    # consumed unconditionally elsewhere, so every worker's
+                    # draw sequence stays identical to the whole-fleet build.
+                    node.phy.enabled = False
+                    continue
             aodv = AodvRouter(node, config.aodv_config)
             self.aodv[node_id] = aodv
             if config.protocol == "maodv":
@@ -398,23 +450,6 @@ class Scenario:
                     self.gossip_by_group[group_index][node_id] = GossipAgent(
                         node, multicast, aodv, group, config.gossip_config, rng=rng
                     )
-
-        if config.shards > 1:
-            from repro.sim.shard import ShardPlan
-
-            self.shard_plan = ShardPlan.build(
-                config.shards, config.area_width_m, config.area_height_m
-            )
-            for node in self.nodes:
-                node.phy.shard = self.shard_plan.shard_of(*node.phy.position(0.0))
-            if self.shard_role is not None:
-                # A parallel worker: radios outside its region go dark.  A
-                # disabled radio neither transmits nor receives, so foreign
-                # nodes vanish from the channel while every seeded draw
-                # above stayed identical across workers.
-                for node in self.nodes:
-                    if node.phy.shard != self.shard_role:
-                        node.phy.enabled = False
 
         self._build_membership(streams)
         self._attach_applications(streams)
@@ -484,7 +519,12 @@ class Scenario:
         for group_index, group in enumerate(self.groups):
             collector = self.collectors[group_index]
             for member in self.members_by_group[group_index]:
-                self._ensure_sink(group_index, member)
+                # Foreign members in a parallel worker have no multicast
+                # router or gossip agent (stack elision), so their sinks are
+                # skipped too; every member is owned by exactly one worker,
+                # so the merged member registry stays complete.
+                if self._owns(member):
+                    self._ensure_sink(group_index, member)
                 # The join time is drawn unconditionally so a shard worker's
                 # stream stays aligned with the whole-fleet build; only
                 # owned members get the join actually scheduled.
@@ -496,6 +536,8 @@ class Scenario:
                         join_at, self.multicast[member].join_group, group
                     )
             for source_id in self.sources_by_group[group_index]:
+                if not self._owns(source_id):
+                    continue
                 source_node = self.nodes[source_id]
                 source = CbrSource(
                     source_node,
@@ -509,7 +551,9 @@ class Scenario:
                 )
                 self.sources[(group_index, source_id)] = source
                 source_node.add_application(source)
-        self.source = self.sources[(0, self.sources_by_group[0][0])]
+        # ``.get``: a parallel worker that does not own the group-0 source
+        # has no CbrSource for it.
+        self.source = self.sources.get((0, self.sources_by_group[0][0]))
 
     def _attach_probes(self) -> None:
         """Observability-only wiring (never reached with obs disabled).
@@ -749,7 +793,8 @@ class Scenario:
             for agent in agents.values():
                 accumulate("gossip", agent.stats)
         for node in self.nodes:
-            accumulate("mac", node.mac.stats)
+            if node.mac is not None:
+                accumulate("mac", node.mac.stats)
         accumulate("medium", self.medium.stats)
         if self.controller is not None:
             accumulate("membership", self.controller.stats)

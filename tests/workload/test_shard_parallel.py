@@ -38,13 +38,23 @@ def _parallel_config(**overrides):
     return ScenarioConfig.quick(**params)
 
 
+#: shard_stats keys that are wall-clock measurements (plus the mode tag):
+#: everything else in shard_stats is simulation-deterministic and must agree
+#: bit-exactly between the windowed and process drivers.
+_WALL_CLOCK_STATS = ("mode", "setup_s_by_shard", "peak_rss_kb_by_shard")
+
+
 def _comparable(result):
     return (
         result.events_processed,
         result.packets_sent,
         dict(result.member_counts),
         dict(result.protocol_stats),
-        {k: v for k, v in result.shard_stats.items() if k != "mode"},
+        {
+            k: v
+            for k, v in result.shard_stats.items()
+            if k not in _WALL_CLOCK_STATS
+        },
     )
 
 
@@ -68,6 +78,15 @@ def test_windowed_mode_delivers(windowed_result):
     # Cross-shard traffic actually flowed through the mailbox paths.
     foreign = stats["foreign"]
     assert foreign["attached"] + foreign["late_deliveries"] > 0
+    # Interest-filter accounting: copies shipped + suppressed add up to the
+    # all-to-all volume (with 2 shards every record has one destination).
+    assert stats["records_shipped"] + stats["records_filtered"] == (
+        stats["records_exchanged"] * (stats["shards"] - 1)
+    )
+    assert stats["records_shipped"] > 0
+    # Per-worker wall-clock diagnostics rode along for every shard.
+    assert set(stats["setup_s_by_shard"]) == {0, 1}
+    assert all(rss > 0 for rss in stats["peak_rss_kb_by_shard"].values())
 
 
 def test_windowed_mode_is_deterministic(windowed_result):
@@ -109,6 +128,43 @@ def test_four_shards_still_agree():
     process = run_scenario(_parallel_config(shards=4, seed=33, shard_mode="process"))
     assert _comparable(windowed) == _comparable(process)
     assert len(windowed.shard_stats["events_by_shard"]) == 4
+    # With 110 m regions and a 60 m carrier-sense range, senders deep inside
+    # a region cannot reach the diagonal shards: the interest filter must
+    # actually suppress copies here (and identically in both modes).
+    assert windowed.shard_stats["records_filtered"] > 0
+
+
+def test_worker_elides_foreign_stacks_and_indexes_halo_only():
+    """Tentpole accounting: a worker's state is region-sized.
+
+    Protocol/gossip/application objects exist for owned nodes only; the
+    spatial index holds the owned radios plus exactly the halo (foreign
+    radios within carrier-sense range of the region at t=0) and nothing
+    else.
+    """
+    from repro.sim.shard import _ShardWorker
+
+    config = _parallel_config()
+    worker = _ShardWorker(config, role=0)
+    scenario = worker.scenario
+    owned = {node.node_id for node in scenario.nodes if node.phy.shard == 0}
+    assert 0 < len(owned) < config.num_nodes
+    assert set(scenario.aodv) == owned
+    assert set(scenario.multicast) == owned
+    assert set(scenario.sinks) <= owned
+    # Index = owned + halo, characterised exactly by region distance.
+    plan = scenario.shard_plan
+    cs_range = worker.medium.config.carrier_sense_range_m
+    indexed = {
+        phy.node_id for _, _, phy in worker.medium.spatial_index.members()
+    }
+    expected = {
+        node.node_id
+        for node in scenario.nodes
+        if plan.region_distance(0, *node.phy.position(0.0)) <= cs_range
+    }
+    assert owned <= indexed == expected
+    assert worker.halo_size == len(indexed) - len(owned)
 
 
 def test_parallel_modes_reject_unsupported_features():
@@ -177,12 +233,23 @@ def test_windowed_obs_telemetry_is_merged(windowed_obs_result):
     exchanged = windowed_obs_result.shard_stats["records_exchanged"]
     assert metrics["shard.sync.outbox_records"] == exchanged
     assert 0 < metrics["shard.sync.inbox_records"] <= exchanged
+    # Interest-filter accounting: with 2 shards the all-to-all volume is one
+    # copy per record, so shipped + filtered partitions it exactly.
+    assert (
+        metrics["shard.sync.records_shipped"]
+        + metrics["shard.sync.records_filtered"]
+        == exchanged
+    )
+    # Each worker published its halo size (deterministic per-shard gauge).
+    assert "shard.halo.size{shard=0}" in metrics
+    assert "shard.halo.size{shard=1}" in metrics
     # Per-shard gauge copies sit next to the merged gauge.
     assert "engine.calendar.heap_depth" in metrics
     assert "engine.calendar.heap_depth{shard=0}" in metrics
     assert "engine.calendar.heap_depth{shard=1}" in metrics
     # Spans aggregated across both workers.
     assert telemetry["spans"]["shard.window"]["count"] == 2 * rounds
+    assert telemetry["spans"]["shard.setup"]["count"] == 2
     # Recorder events interleave in global time order.
     times = [event["t"] for event in telemetry["recorder_events"]]
     assert times == sorted(times)
